@@ -1,0 +1,75 @@
+// Convergence ablation: synthetic-data quality vs training rounds for the
+// centralized baseline and GTV (D_0^2 G_2^0). The paper trains 300 epochs;
+// this curve shows how far the CPU-scale defaults are from the plateau and
+// lets users pick GTV_BENCH_ROUNDS deliberately.
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "bench/bench_common.h"
+
+namespace gtv::bench {
+namespace {
+
+int run() {
+  BenchConfig config = BenchConfig::from_env();
+  const std::string dataset = config.datasets.empty() ? "loan" : config.datasets.front();
+  std::cout << "=== Convergence: quality vs training rounds (" << dataset << ") ===\n\n";
+  PreparedData data = prepare_dataset(dataset, config.rows, config.seed);
+  const auto groups = even_split_columns(data.train.n_cols(), 2);
+
+  std::vector<std::size_t> checkpoints = {25, 50, 100};
+  if (const char* env = std::getenv("GTV_BENCH_CHECKPOINTS")) {
+    checkpoints.clear();
+    std::stringstream ss(env);
+    std::string item;
+    while (std::getline(ss, item, ',')) checkpoints.push_back(std::stoul(item));
+  }
+  std::cout << "rounds  system       f1_diff  auc_diff  avg_jsd  avg_wd  diff_corr\n";
+  std::vector<std::vector<std::string>> csv_rows;
+
+  // Centralized curve: one model, evaluated at checkpoints.
+  {
+    gan::CentralizedTabularGan model(data.train, default_gan_options(config), config.seed);
+    std::size_t done = 0;
+    for (std::size_t checkpoint : checkpoints) {
+      model.train(checkpoint - done);
+      done = checkpoint;
+      data::Table synthetic = model.sample(data.train.n_rows());
+      MetricRow m = evaluate_synthetic(data, synthetic, groups, config.seed ^ done);
+      std::printf("%-7zu centralized  %.4f   %.4f    %.4f   %.4f  %.3f\n", checkpoint,
+                  m.f1_diff, m.auc_diff, m.avg_jsd, m.avg_wd, m.diff_corr);
+      csv_rows.push_back({std::to_string(checkpoint), "centralized", format_double(m.f1_diff),
+                          format_double(m.auc_diff), format_double(m.avg_jsd),
+                          format_double(m.avg_wd), format_double(m.diff_corr)});
+    }
+  }
+  // GTV curve.
+  {
+    core::GtvOptions options = default_gtv_options(config);
+    options.partition = {0, 2, 2, 0};
+    core::GtvTrainer trainer(data::vertical_split(data.train, groups), options, config.seed);
+    std::size_t done = 0;
+    for (std::size_t checkpoint : checkpoints) {
+      trainer.train(checkpoint - done);
+      done = checkpoint;
+      data::Table synthetic = restore_column_order(trainer.sample(data.train.n_rows()), groups);
+      MetricRow m = evaluate_synthetic(data, synthetic, groups, config.seed ^ done);
+      std::printf("%-7zu gtv          %.4f   %.4f    %.4f   %.4f  %.3f\n", checkpoint,
+                  m.f1_diff, m.auc_diff, m.avg_jsd, m.avg_wd, m.diff_corr);
+      csv_rows.push_back({std::to_string(checkpoint), "gtv", format_double(m.f1_diff),
+                          format_double(m.auc_diff), format_double(m.avg_jsd),
+                          format_double(m.avg_wd), format_double(m.diff_corr)});
+    }
+  }
+  write_csv(config.out_dir, "convergence.csv",
+            {"rounds", "system", "f1_diff", "auc_diff", "avg_jsd", "avg_wd", "diff_corr"},
+            csv_rows);
+  std::cout << "\ncsv: " << config.out_dir << "/convergence.csv\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gtv::bench
+
+int main() { return gtv::bench::run(); }

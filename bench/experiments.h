@@ -1,0 +1,24 @@
+// Shared runners for the paired figure benchmarks:
+//   - data-partition sweep (Fig. 10 / Fig. 11 + Table 2)
+//   - client-number sweep (Fig. 12 / Fig. 13 + Table 3)
+#pragma once
+
+#include "bench/bench_common.h"
+
+namespace gtv::bench {
+
+// Runs the 1090 / 5050 / 9010 Shapley-ranked data partitions for the given
+// generator placement (Fig. 10: G_2^0, Fig. 11: G_0^2; discriminator fully
+// on the server in both). Prints per-dataset metrics plus the Table 2
+// Diff. Corr. rows and writes <csv_name>.
+int run_data_partition_bench(const core::PartitionSpec& partition, const std::string& title,
+                             const std::string& csv_name);
+
+// Runs the 2..5-client sweep with default (256) and enlarged (768)
+// generators for the given partition (Fig. 12: D_0^2 G_0^2,
+// Fig. 13: D_0^2 G_2^0). Prints averaged metrics per client count plus the
+// Table 3 Diff. Corr. rows and writes <csv_name>.
+int run_client_variation_bench(const core::PartitionSpec& partition, const std::string& title,
+                               const std::string& csv_name);
+
+}  // namespace gtv::bench

@@ -1,0 +1,9 @@
+// Figure 10 + Table 2 (upper half): data-partition sweep for D_0^2 G_2^0
+// (full discriminator on the server, full generator in the clients).
+#include "bench/experiments.h"
+
+int main() {
+  gtv::core::PartitionSpec partition{0, 2, 2, 0};  // G_2^0, D_0^2
+  return gtv::bench::run_data_partition_bench(
+      partition, "Figure 10 / Table 2: training-data partition", "fig10_datapart_g20.csv");
+}

@@ -1,0 +1,9 @@
+// Figure 11 + Table 2 (lower half): data-partition sweep for D_0^2 G_0^2
+// (full discriminator AND full generator on the server).
+#include "bench/experiments.h"
+
+int main() {
+  gtv::core::PartitionSpec partition{2, 0, 2, 0};  // G_0^2, D_0^2
+  return gtv::bench::run_data_partition_bench(
+      partition, "Figure 11 / Table 2: training-data partition", "fig11_datapart_g02.csv");
+}

@@ -1,0 +1,8 @@
+// Figure 12 + Table 3 (lower half): client-number sweep for D_0^2 G_0^2.
+#include "bench/experiments.h"
+
+int main() {
+  gtv::core::PartitionSpec partition{2, 0, 2, 0};  // G_0^2, D_0^2
+  return gtv::bench::run_client_variation_bench(
+      partition, "Figure 12 / Table 3: client number variation", "fig12_clients_g02.csv");
+}

@@ -1,0 +1,8 @@
+// Figure 13 + Table 3 (upper half): client-number sweep for D_0^2 G_2^0.
+#include "bench/experiments.h"
+
+int main() {
+  gtv::core::PartitionSpec partition{0, 2, 2, 0};  // G_2^0, D_0^2
+  return gtv::bench::run_client_variation_bench(
+      partition, "Figure 13 / Table 3: client number variation", "fig13_clients_g20.csv");
+}

@@ -1,0 +1,71 @@
+// Figures 5 & 6 (security): the semi-honest server's inference-table
+// attack. Trains GTV twice on a two-client categorical dataset — once
+// WITHOUT training-with-shuffling (Fig. 5: reconstruction succeeds) and
+// once WITH it (Fig. 6: reconstruction collapses to chance) — and reports
+// the attack's cell accuracy and coverage as training progresses.
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace gtv::bench {
+namespace {
+
+int run() {
+  BenchConfig config = BenchConfig::from_env();
+  std::cout << "=== Figures 5/6: server reconstruction attack vs training-with-shuffling ===\n";
+  const std::size_t rows = std::max<std::size_t>(60, config.rows / 4);
+  const std::size_t rounds = std::max<std::size_t>(20, config.rounds);
+  std::cout << "two clients, one binary categorical column each, rows=" << rows
+            << " rounds=" << rounds << "\n\n";
+
+  Rng rng(config.seed);
+  data::Table t({{"gender", data::ColumnType::kCategorical, {"M", "F"}, {}},
+                 {"loan", data::ColumnType::kCategorical, {"Y", "N"}, {}}});
+  for (std::size_t i = 0; i < rows; ++i) {
+    t.append_row({static_cast<double>(rng.uniform_index(2)),
+                  static_cast<double>(rng.uniform_index(2))});
+  }
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const bool shuffling : {false, true}) {
+    core::GtvOptions options;
+    options.gan.noise_dim = 16;
+    options.gan.hidden = 32;
+    options.generator_hidden = 32;
+    options.gan.batch_size = 16;
+    options.gan.d_steps_per_round = 2;
+    options.training_with_shuffling = shuffling;
+    auto shards = data::vertical_split(t, {{0}, {1}});
+    core::GtvTrainer trainer(std::move(shards), options, config.seed);
+
+    std::cout << (shuffling ? "--- WITH training-with-shuffling (Fig. 6) ---\n"
+                            : "--- WITHOUT shuffling (Fig. 5) ---\n");
+    for (std::size_t round = 1; round <= rounds; ++round) {
+      trainer.train_round();
+      if (round % (rounds / 4) == 0 || round == rounds) {
+        const auto eval = trainer.attack_evaluation();
+        std::printf("  round %3zu: claims=%5zu coverage=%.2f cell-accuracy=%.3f\n", round,
+                    eval.claims, eval.coverage, eval.accuracy);
+        csv_rows.push_back({shuffling ? "with_shuffling" : "no_shuffling",
+                            std::to_string(round), std::to_string(eval.claims),
+                            format_double(eval.coverage), format_double(eval.accuracy)});
+      }
+    }
+    const auto final_eval = trainer.attack_evaluation();
+    std::printf("  final reconstruction accuracy: %.3f (%s)\n\n", final_eval.accuracy,
+                shuffling ? "defended: ~chance (0.5 for binary columns)"
+                          : "undefended: near-perfect reconstruction");
+  }
+  write_csv(config.out_dir, "fig56_reconstruction.csv",
+            {"mode", "round", "claims", "coverage", "cell_accuracy"}, csv_rows);
+  std::cout << "paper shape: without shuffling the server reconstructs the categorical\n"
+               "columns (Fig. 5); with training-with-shuffling the inference table goes\n"
+               "stale every round and accuracy drops to chance (Fig. 6).\n";
+  std::cout << "csv: " << config.out_dir << "/fig56_reconstruction.csv\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gtv::bench
+
+int main() { return gtv::bench::run(); }

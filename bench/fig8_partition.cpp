@@ -1,0 +1,84 @@
+// Figure 8 (neural-network partition): the nine D/G partitions plus the
+// centralized baseline, two clients with an even column split, averaged
+// over the five benchmark datasets. Reports the paper's eight metrics
+// (Acc/F1/AUC differences, Avg JSD, Avg WD, Avg-client & Across-client
+// Diff. Corr.).
+//
+// Paper shape to reproduce: centralized best; the three configurations
+// with the full discriminator on the server (D_0^2 *) outperform the other
+// six; D_0^2 G_0^2 and D_0^2 G_2^0 are the best GTV configurations.
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace gtv::bench {
+namespace {
+
+int run() {
+  BenchConfig config = BenchConfig::from_env();
+  std::cout << "=== Figure 8: neural-network partition (avg over datasets) ===\n";
+  std::cout << "rows=" << config.rows << " rounds=" << config.rounds
+            << " repeats=" << config.repeats << " datasets=" << config.datasets.size()
+            << "\n\n";
+
+  // Config 0 = centralized baseline, configs 1..9 = the nine partitions.
+  const auto partitions = core::PartitionSpec::all_nine();
+  const std::size_t n_configs = 1 + partitions.size();
+  const std::size_t n_cells = config.datasets.size() * config.repeats;
+  std::vector<std::vector<MetricRow>> results(n_configs, std::vector<MetricRow>(n_cells));
+
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t c = 0; c < n_configs; ++c) {
+    for (std::size_t d = 0; d < config.datasets.size(); ++d) {
+      for (std::size_t rep = 0; rep < config.repeats; ++rep) {
+        tasks.push_back([&, c, d, rep] {
+          PreparedData data = prepare_dataset(config.datasets[d], config.rows, config.seed);
+          const auto groups = even_split_columns(data.train.n_cols(), 2);
+          const std::uint64_t seed = config.seed + rep * 101;
+          MetricRow row;
+          if (c == 0) {
+            row = centralized_experiment(data, groups, default_gan_options(config),
+                                         config.rounds, seed);
+          } else {
+            core::GtvOptions options = default_gtv_options(config);
+            options.partition = partitions[c - 1];
+            row = gtv_experiment(data, groups, options, config.rounds, seed);
+          }
+          results[c][d * config.repeats + rep] = row;
+        });
+      }
+    }
+  }
+  parallel_tasks(std::move(tasks));
+
+  std::vector<std::vector<std::string>> csv_rows;
+  auto report = [&](const std::string& name, const MetricRow& m) {
+    std::printf("%-14s acc=%.4f f1=%.4f auc=%.4f jsd=%.4f wd=%.4f avgcl=%.3f across=%.3f\n",
+                name.c_str(), m.acc_diff, m.f1_diff, m.auc_diff, m.avg_jsd, m.avg_wd,
+                m.avg_client_corr, m.across_client_corr);
+    csv_rows.push_back({name, format_double(m.acc_diff), format_double(m.f1_diff),
+                        format_double(m.auc_diff), format_double(m.avg_jsd),
+                        format_double(m.avg_wd), format_double(m.avg_client_corr),
+                        format_double(m.across_client_corr)});
+  };
+  for (std::size_t c = 0; c < n_configs; ++c) {
+    MetricRow total;
+    for (const auto& cell : results[c]) total += cell;
+    report(c == 0 ? "centralized" : partitions[c - 1].name(),
+           total / static_cast<double>(n_cells));
+  }
+
+  write_csv(config.out_dir, "fig8_partition.csv",
+            {"config", "acc_diff", "f1_diff", "auc_diff", "avg_jsd", "avg_wd",
+             "avg_client_corr", "across_client_corr"},
+            csv_rows);
+  std::cout << "\npaper shape: centralized best; D_0^2 rows (full critic on server) beat the"
+               " other six; D_0^2 G_0^2 / D_0^2 G_2^0 lead on ML utility.\n";
+  std::cout << "csv: " << config.out_dir << "/fig8_partition.csv\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gtv::bench
+
+int main() { return gtv::bench::run(); }

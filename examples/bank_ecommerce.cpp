@@ -1,0 +1,81 @@
+// The paper's motivating scenario (§1): a bank and an e-commerce company
+// hold different features for the same customers and want a joint synthetic
+// dataset without exchanging raw data. This example builds the two vertical
+// shards, trains GTV with the paper's preferred D_0^2 G_2^0 partition, and
+// shows that the published synthetic table preserves cross-organization
+// column dependencies the bank alone could never synthesize.
+//
+//   ./build/examples/bank_ecommerce
+#include <cmath>
+#include <cstdio>
+
+#include "core/gtv.h"
+#include "data/datasets.h"
+#include "eval/similarity.h"
+
+int main() {
+  using namespace gtv;
+
+  // Shared customers: the bank holds income/credit features, the
+  // e-commerce company holds purchasing behaviour. Both depend on a latent
+  // "affluence" factor, so cross-party correlations exist to be learned.
+  Rng rng(21);
+  data::Table joined({{"income", data::ColumnType::kContinuous, {}, {}},
+                      {"credit_score", data::ColumnType::kContinuous, {}, {}},
+                      {"has_mortgage", data::ColumnType::kCategorical, {"no", "yes"}, {}},
+                      {"monthly_spend", data::ColumnType::kContinuous, {}, {}},
+                      {"orders_per_year", data::ColumnType::kContinuous, {}, {}},
+                      {"premium_member", data::ColumnType::kCategorical, {"no", "yes"}, {}}});
+  for (int i = 0; i < 1000; ++i) {
+    const double affluence = rng.normal();
+    joined.append_row({55 + 18 * affluence + rng.normal(0, 4),
+                       650 + 60 * affluence + rng.normal(0, 20),
+                       static_cast<double>(rng.uniform() < 0.3 + 0.25 * std::tanh(affluence)),
+                       900 + 350 * affluence + rng.normal(0, 80),
+                       14 + 6 * affluence + rng.normal(0, 2),
+                       static_cast<double>(rng.uniform() < 0.2 + 0.3 * std::tanh(affluence))});
+  }
+
+  // Vertical split: bank = columns 0-2, e-commerce = columns 3-5.
+  auto shards = data::vertical_split(joined, {{0, 1, 2}, {3, 4, 5}});
+  std::printf("bank shard: %zu cols, e-commerce shard: %zu cols, %zu aligned rows\n",
+              shards[0].n_cols(), shards[1].n_cols(), shards[0].n_rows());
+
+  core::GtvOptions options;
+  options.partition = {0, 2, 2, 0};  // D_0^2 G_2^0, the paper's recommendation
+  options.gan.batch_size = 64;
+  options.gan.d_steps_per_round = 3;
+  options.gan.hidden = 128;
+  options.generator_hidden = 128;
+  core::GtvTrainer trainer(shards, options, /*seed=*/5);
+
+  std::printf("training GTV (%s) for 80 rounds...\n", options.partition.name().c_str());
+  trainer.train(80, [](std::size_t round, const gan::RoundLosses& losses) {
+    if ((round + 1) % 20 == 0) {
+      std::printf("  round %3zu: critic=%.3f generator=%.3f\n", round + 1, losses.d_loss,
+                  losses.g_loss);
+    }
+  });
+
+  // Secure publication: per-client synthesis + shared-secret shuffle.
+  data::Table synthetic = trainer.sample(joined.n_rows());
+
+  // Did the synthesis capture the bank<->e-commerce dependency?
+  const double across_real_synth = eval::correlation_difference_between(
+      joined, synthetic, {0, 1, 2}, {3, 4, 5});
+  Tensor real_assoc = eval::association_matrix(joined);
+  Tensor synth_assoc = eval::association_matrix(synthetic);
+  std::printf("\ncross-organization association (income <-> monthly_spend):\n");
+  std::printf("  real: %.3f   synthetic: %.3f\n", real_assoc(0, 3), synth_assoc(0, 3));
+  std::printf("across-client Diff. Corr. (lower = better): %.3f\n", across_real_synth);
+
+  auto eval = trainer.attack_evaluation();
+  std::printf("\nsemi-honest server reconstruction accuracy after training: %.3f "
+              "(training-with-shuffling keeps this near chance)\n",
+              eval.accuracy);
+  const auto traffic = trainer.traffic().total();
+  std::printf("total protocol traffic: %.1f MiB over %llu messages\n",
+              static_cast<double>(traffic.bytes) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(traffic.messages));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Multi-client scaling (paper §4.3.3): distribute the Adult columns over
+// 2, 3 and 4 clients, train GTV with the default (256-wide) and enlarged
+// (768-wide) generators, and watch synthetic-data quality respond. Also
+// prints the per-round communication bill, which grows with client count.
+//
+//   ./build/examples/multi_client_scaling
+#include <cstdio>
+
+#include "core/gtv.h"
+#include "data/datasets.h"
+#include "eval/similarity.h"
+
+namespace {
+
+std::vector<std::vector<std::size_t>> round_robin(std::size_t n_cols, std::size_t n_clients) {
+  std::vector<std::vector<std::size_t>> groups(n_clients);
+  for (std::size_t c = 0; c < n_cols; ++c) groups[c % n_clients].push_back(c);
+  return groups;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gtv;
+  Rng rng(31);
+  data::Table adult = data::make_adult(800, rng);
+  std::printf("adult stand-in: %zu rows x %zu columns\n\n", adult.n_rows(), adult.n_cols());
+
+  std::printf("clients generator  avg_jsd  avg_wd   diff_corr  round_traffic(KiB)\n");
+  for (std::size_t n_clients : {2, 3, 4}) {
+    for (const std::size_t width : {256, 768}) {
+      core::GtvOptions options;
+      options.partition = {0, 2, 2, 0};  // D_0^2 G_2^0
+      options.gan.batch_size = 64;
+      options.gan.d_steps_per_round = 2;
+      options.generator_hidden = width;
+      auto groups = round_robin(adult.n_cols(), n_clients);
+      core::GtvTrainer trainer(data::vertical_split(adult, groups), options, 9);
+      trainer.train(40);
+      trainer.traffic().reset();
+      trainer.train_round();
+      const double round_kib =
+          static_cast<double>(trainer.traffic().total().bytes) / 1024.0;
+
+      // Re-join synthetic columns in the original order before comparing.
+      auto shards = trainer.sample_per_client(adult.n_rows());
+      data::Table joined = data::Table::concat_columns(shards);
+      std::vector<std::size_t> restore(adult.n_cols());
+      std::size_t pos = 0;
+      for (const auto& group : groups) {
+        for (std::size_t col : group) restore[col] = pos++;
+      }
+      data::Table synthetic = joined.select_columns(restore);
+
+      auto report = eval::similarity_report(adult, synthetic);
+      std::printf("%-7zu %-9zu  %.4f   %.4f   %.4f     %.1f\n", n_clients, width,
+                  report.avg_jsd, report.avg_wd, report.diff_corr, round_kib);
+    }
+  }
+  std::printf("\npaper shape: more clients -> slightly worse quality; the enlarged (768)\n"
+              "generator counteracts the degradation at higher communication cost.\n");
+  return 0;
+}

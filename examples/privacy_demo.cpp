@@ -1,0 +1,91 @@
+// Privacy demonstration (paper Figs. 5 and 6): what a curious server can
+// reconstruct from the conditional vectors and data indices it legitimately
+// observes — first WITHOUT the training-with-shuffling defence, then WITH
+// it. Prints the server's inference table next to the clients' real data.
+//
+//   ./build/examples/privacy_demo
+#include <cstdio>
+
+#include "core/gtv.h"
+#include "data/datasets.h"
+#include "eval/mia.h"
+
+int main() {
+  using namespace gtv;
+
+  // The paper's running example: client 1 holds Gender, client 2 holds
+  // Loan, six aligned customers.
+  data::Table joined({{"gender", data::ColumnType::kCategorical, {"M", "F"}, {}},
+                      {"loan", data::ColumnType::kCategorical, {"Y", "N"}, {}}});
+  joined.append_row({0, 0});
+  joined.append_row({0, 0});
+  joined.append_row({0, 1});
+  joined.append_row({1, 1});
+  joined.append_row({1, 1});
+  joined.append_row({1, 1});
+
+  auto run = [&](bool shuffling) {
+    core::GtvOptions options;
+    options.gan.noise_dim = 8;
+    options.gan.hidden = 16;
+    options.generator_hidden = 16;
+    options.gan.batch_size = 6;
+    options.gan.d_steps_per_round = 1;
+    options.training_with_shuffling = shuffling;
+    core::GtvTrainer trainer(data::vertical_split(joined, {{0}, {1}}), options, 3);
+    trainer.train(40);
+    return trainer.attack_evaluation();
+  };
+
+  std::printf("clients' real data (6 customers):\n");
+  std::printf("  idx  gender  loan\n");
+  for (std::size_t r = 0; r < joined.n_rows(); ++r) {
+    std::printf("  %zu    %-7s %s\n", r + 1,
+                joined.spec(0).categories[static_cast<std::size_t>(joined.cell(r, 0))].c_str(),
+                joined.spec(1).categories[static_cast<std::size_t>(joined.cell(r, 1))].c_str());
+  }
+
+  std::printf("\n[Fig. 5] GTV WITHOUT shuffling — server's inference table after training:\n");
+  auto undefended = run(false);
+  std::printf("  cells claimed: %zu (coverage %.0f%%), reconstruction accuracy: %.1f%%\n",
+              undefended.claims, undefended.coverage * 100.0, undefended.accuracy * 100.0);
+  std::printf("  -> the server recovered the clients' categorical columns.\n");
+
+  std::printf("\n[Fig. 6] GTV WITH training-with-shuffling:\n");
+  auto defended = run(true);
+  std::printf("  cells claimed: %zu (coverage %.0f%%), reconstruction accuracy: %.1f%%\n",
+              defended.claims, defended.coverage * 100.0, defended.accuracy * 100.0);
+  std::printf("  -> every round the clients re-permute rows with a shared secret seed the\n"
+              "     server never sees; its (index, CV) pairs go stale and accuracy falls\n"
+              "     to roughly the marginal-guess rate.\n");
+
+  // --- §3.3: membership inference against the published synthetic table ----
+  std::printf("\n[§3.3] Membership inference on published synthetic data (loan):\n");
+  Rng rng(7);
+  data::Table full = data::make_loan(700, rng);
+  const std::size_t target = full.column_index("personal_loan");
+  auto [members, non_members] = full.train_test_split(0.3, rng, target);
+  core::GtvOptions options;
+  options.gan.noise_dim = 32;
+  options.gan.hidden = 64;
+  options.generator_hidden = 64;
+  options.gan.batch_size = 64;
+  options.gan.d_steps_per_round = 2;
+  options.gan.adam.lr = 1e-3f;
+  auto shards = data::vertical_split(members, {{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11, 12}});
+  core::GtvTrainer trainer(std::move(shards), options, 11);
+  trainer.train(60);
+  data::Table synth_joined = trainer.sample(members.n_rows());
+  // Restore the original column order before comparing.
+  std::vector<std::size_t> restore(13);
+  std::size_t pos = 0;
+  for (std::size_t c : {0, 1, 2, 3, 4, 5}) restore[c] = pos++;
+  for (std::size_t c : {6, 7, 8, 9, 10, 11, 12}) restore[c] = pos++;
+  auto mia = eval::membership_inference(members, non_members, synth_joined.select_columns(restore));
+  std::printf("  attack AUC: %.3f (0.5 = no membership leakage)\n", mia.auc);
+  std::printf("  member / non-member mean distance to nearest synthetic row: %.3f / %.3f\n",
+              mia.member_mean, mia.non_member_mean);
+  std::printf("  -> the distance-only attack (the only one available against GTV's\n"
+              "     shuffled publication) barely separates members from non-members.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// PSI-based record alignment (the preprocessing step the paper assumes):
+// two organizations hold overlapping-but-different customer sets in
+// different orders; the salted-hash PSI aligns them to the shared
+// customers, after which GTV trains as usual.
+//
+//   ./build/examples/psi_alignment
+#include <cmath>
+#include <cstdio>
+
+#include "core/gtv.h"
+#include "psi/psi.h"
+
+int main() {
+  using namespace gtv;
+  Rng rng(17);
+
+  // The bank knows customers b0..b119; the retailer knows r-prefixed ids
+  // overlapping on the middle 80. Each row depends on a shared latent so
+  // there is cross-party structure to verify after alignment.
+  psi::Party bank, retailer;
+  bank.table = data::Table({{"income", data::ColumnType::kContinuous, {}, {}},
+                            {"defaulted", data::ColumnType::kCategorical, {"no", "yes"}, {}}});
+  retailer.table = data::Table({{"spend", data::ColumnType::kContinuous, {}, {}}});
+  for (int i = 0; i < 120; ++i) {
+    const double z = static_cast<double>(i % 10) - 4.5;  // deterministic per id
+    bank.ids.push_back("customer_" + std::to_string(i));
+    bank.table.append_row({50 + 8 * z + rng.normal(0, 1),
+                           static_cast<double>(rng.uniform() < 0.2)});
+  }
+  for (int i = 20; i < 140; ++i) {  // shifted id range, different order
+    const int id = 159 - i + 20 - 20;  // reversed within [20, 139]
+    const int real_id = 20 + (139 - i);
+    (void)id;
+    const double z = static_cast<double>(real_id % 10) - 4.5;
+    retailer.ids.push_back("customer_" + std::to_string(real_id));
+    retailer.table.append_row({900 + 120 * z + rng.normal(0, 10)});
+  }
+
+  // Clients negotiate a secret salt (like the shuffle seed, hidden from
+  // the server) and intersect salted identifier hashes.
+  const std::uint64_t salt = 0xfeedc0de;
+  auto aligned = psi::align_by_intersection({bank, retailer}, salt);
+  std::printf("bank rows: %zu, retailer rows: %zu, intersection: %zu\n",
+              bank.table.n_rows(), retailer.table.n_rows(), aligned.matched_rows);
+
+  // Sanity: rows are aligned — income and spend must be strongly coupled
+  // through the shared per-id latent.
+  double sum_xy = 0, sum_x = 0, sum_y = 0, sum_xx = 0, sum_yy = 0;
+  const auto n = static_cast<double>(aligned.matched_rows);
+  for (std::size_t r = 0; r < aligned.matched_rows; ++r) {
+    const double x = aligned.tables[0].cell(r, 0);
+    const double y = aligned.tables[1].cell(r, 0);
+    sum_x += x;
+    sum_y += y;
+    sum_xy += x * y;
+    sum_xx += x * x;
+    sum_yy += y * y;
+  }
+  const double corr = (n * sum_xy - sum_x * sum_y) /
+                      std::sqrt((n * sum_xx - sum_x * sum_x) * (n * sum_yy - sum_y * sum_y));
+  std::printf("post-alignment income<->spend correlation: %.3f (should be ~1)\n", corr);
+
+  // The aligned shards feed straight into GTV.
+  core::GtvOptions options;
+  options.gan.noise_dim = 16;
+  options.gan.hidden = 64;
+  options.generator_hidden = 64;
+  options.gan.batch_size = 32;
+  options.gan.d_steps_per_round = 2;
+  core::GtvTrainer trainer(aligned.tables, options, 23);
+  trainer.train(30);
+  data::Table synthetic = trainer.sample(aligned.matched_rows);
+  std::printf("trained GTV on the aligned shards; synthesized %zu x %zu table.\n",
+              synthetic.n_rows(), synthetic.n_cols());
+  return 0;
+}

@@ -1,0 +1,500 @@
+#include "autograd/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gtv::ag {
+
+namespace {
+
+thread_local bool g_grad_mode = true;
+
+using detail::Node;
+
+Var make_op(Tensor value, std::vector<Var> parents, const char* op,
+            std::function<std::vector<Var>(const Var&)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  bool needs_grad = false;
+  if (g_grad_mode) {
+    for (const auto& p : parents) needs_grad = needs_grad || p.requires_grad();
+  }
+  node->requires_grad = needs_grad;
+  if (needs_grad) {
+    node->parents = std::move(parents);
+    node->backward = std::move(backward_fn);
+    node->op = op;
+  }
+  return Var::from_node(std::move(node));
+}
+
+// Reduces a gradient back to the shape of the broadcast operand.
+Var sum_to(const Var& g, std::size_t rows, std::size_t cols) {
+  if (g.rows() == rows && g.cols() == cols) return g;
+  if (rows == 1 && cols == 1) return sum_all(g);
+  if (rows == 1 && cols == g.cols()) return sum_rows(g);
+  if (cols == 1 && rows == g.rows()) return sum_cols(g);
+  throw std::logic_error("autograd::sum_to: cannot reduce " + g.value().shape_str() + " to (" +
+                         std::to_string(rows) + "x" + std::to_string(cols) + ")");
+}
+
+Var pad_rows(const Var& a, std::size_t top, std::size_t bottom);
+
+}  // namespace
+
+// --- Var ----------------------------------------------------------------------
+
+Var::Var(Tensor value, bool requires_grad) : node_(std::make_shared<Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Var::value() const {
+  if (!node_) throw std::logic_error("Var::value on undefined Var");
+  return node_->value;
+}
+
+const Tensor& Var::grad() const {
+  if (!node_) throw std::logic_error("Var::grad on undefined Var");
+  return node_->grad;
+}
+
+void Var::zero_grad() {
+  if (node_) node_->grad = Tensor(node_->value.rows(), node_->value.cols());
+}
+
+void Var::set_value(Tensor v) {
+  if (!node_) throw std::logic_error("Var::set_value on undefined Var");
+  if (node_->backward) {
+    throw std::logic_error("Var::set_value on interior graph node (op=" +
+                           std::string(node_->op) + ")");
+  }
+  node_->value = std::move(v);
+}
+
+Var Var::from_node(std::shared_ptr<detail::Node> node) {
+  Var v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+// --- grad mode ------------------------------------------------------------------
+
+bool grad_mode_enabled() { return g_grad_mode; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }
+
+GradModeGuard::GradModeGuard(bool enabled) : previous_(g_grad_mode) { g_grad_mode = enabled; }
+GradModeGuard::~GradModeGuard() { g_grad_mode = previous_; }
+
+// --- backward / grad --------------------------------------------------------------
+
+namespace {
+
+// Topological order (root last) over the requires_grad sub-graph.
+std::vector<Node*> topo_order(Node* root) {
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  // Iterative post-order DFS.
+  struct Frame {
+    Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (root->requires_grad) stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent == 0 && visited.count(frame.node) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    if (frame.next_parent < frame.node->parents.size()) {
+      Node* parent = frame.node->parents[frame.next_parent].node().get();
+      ++frame.next_parent;
+      if (parent->requires_grad && visited.count(parent) == 0) {
+        stack.push_back({parent, 0});
+      }
+      continue;
+    }
+    visited.insert(frame.node);
+    order.push_back(frame.node);
+    stack.pop_back();
+  }
+  return order;
+}
+
+std::unordered_map<Node*, Var> propagate(const Var& root, bool create_graph,
+                                         const Var& grad_output) {
+  Node* root_node = root.node().get();
+  if (root_node == nullptr) throw std::logic_error("autograd: undefined root");
+  if (!root_node->requires_grad) return {};
+
+  Var seed;
+  if (grad_output.defined()) {
+    if (!grad_output.value().same_shape(root.value())) {
+      throw std::invalid_argument("autograd: grad_output shape mismatch");
+    }
+    seed = grad_output;
+  } else {
+    if (root.rows() != 1 || root.cols() != 1) {
+      throw std::invalid_argument("autograd: implicit backward requires a 1x1 root, got " +
+                                  root.value().shape_str());
+    }
+    seed = Var(Tensor::ones(1, 1));
+  }
+
+  std::vector<Node*> order = topo_order(root_node);
+  std::unordered_map<Node*, Var> grads;
+  grads.emplace(root_node, seed);
+
+  GradModeGuard guard(create_graph);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    auto found = grads.find(node);
+    if (found == grads.end()) continue;  // unreachable from root
+    if (!node->backward) continue;       // leaf
+    const Var upstream = found->second;
+    std::vector<Var> contribs = node->backward(upstream);
+    if (contribs.size() != node->parents.size()) {
+      throw std::logic_error(std::string("autograd: op '") + node->op +
+                             "' backward returned wrong arity");
+    }
+    for (std::size_t i = 0; i < node->parents.size(); ++i) {
+      Node* parent = node->parents[i].node().get();
+      if (!parent->requires_grad) continue;
+      auto slot = grads.find(parent);
+      if (slot == grads.end()) {
+        grads.emplace(parent, contribs[i]);
+      } else {
+        slot->second = add(slot->second, contribs[i]);
+      }
+    }
+  }
+  return grads;
+}
+
+}  // namespace
+
+void backward(const Var& root, const Var& grad_output) {
+  auto grads = propagate(root, /*create_graph=*/false, grad_output);
+  for (auto& [node, g] : grads) {
+    if (node->backward) continue;  // interior node: gradient not retained
+    if (!node->requires_grad) continue;
+    if (node->grad.empty()) node->grad = Tensor(node->value.rows(), node->value.cols());
+    node->grad += g.value();
+  }
+}
+
+std::vector<Var> grad(const Var& root, const std::vector<Var>& inputs, bool create_graph,
+                      const Var& grad_output) {
+  auto grads = propagate(root, create_graph, grad_output);
+  std::vector<Var> out;
+  out.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    auto it = grads.find(input.node().get());
+    if (it != grads.end()) {
+      out.push_back(it->second);
+    } else {
+      out.push_back(constant(Tensor(input.rows(), input.cols())));
+    }
+  }
+  return out;
+}
+
+// --- ops ---------------------------------------------------------------------------
+
+Var constant(Tensor value) { return Var(std::move(value), /*requires_grad=*/false); }
+
+Var stop_gradient(const Var& a) { return constant(a.value()); }
+
+Var add(const Var& a, const Var& b) {
+  Tensor v = a.value() + b.value();
+  const auto ar = a.rows(), ac = a.cols(), br = b.rows(), bc = b.cols();
+  return make_op(std::move(v), {a, b}, "add", [ar, ac, br, bc](const Var& g) {
+    return std::vector<Var>{sum_to(g, ar, ac), sum_to(g, br, bc)};
+  });
+}
+
+Var sub(const Var& a, const Var& b) {
+  Tensor v = a.value() - b.value();
+  const auto ar = a.rows(), ac = a.cols(), br = b.rows(), bc = b.cols();
+  return make_op(std::move(v), {a, b}, "sub", [ar, ac, br, bc](const Var& g) {
+    return std::vector<Var>{sum_to(g, ar, ac), sum_to(neg(g), br, bc)};
+  });
+}
+
+Var mul(const Var& a, const Var& b) {
+  Tensor v = a.value() * b.value();
+  return make_op(std::move(v), {a, b}, "mul", [a, b](const Var& g) {
+    return std::vector<Var>{sum_to(mul(g, b), a.rows(), a.cols()),
+                            sum_to(mul(g, a), b.rows(), b.cols())};
+  });
+}
+
+Var div(const Var& a, const Var& b) {
+  Tensor v = a.value() / b.value();
+  return make_op(std::move(v), {a, b}, "div", [a, b](const Var& g) {
+    Var ga = div(g, b);
+    Var gb = neg(div(mul(g, a), mul(b, b)));
+    return std::vector<Var>{sum_to(ga, a.rows(), a.cols()), sum_to(gb, b.rows(), b.cols())};
+  });
+}
+
+Var neg(const Var& a) {
+  return make_op(-a.value(), {a}, "neg",
+                 [](const Var& g) { return std::vector<Var>{neg(g)}; });
+}
+
+Var add_scalar(const Var& a, float s) {
+  return make_op(a.value().add_scalar(s), {a}, "add_scalar",
+                 [](const Var& g) { return std::vector<Var>{g}; });
+}
+
+Var mul_scalar(const Var& a, float s) {
+  return make_op(a.value().mul_scalar(s), {a}, "mul_scalar",
+                 [s](const Var& g) { return std::vector<Var>{mul_scalar(g, s)}; });
+}
+
+Var matmul(const Var& a, const Var& b) {
+  Tensor v = a.value().matmul(b.value());
+  return make_op(std::move(v), {a, b}, "matmul", [a, b](const Var& g) {
+    return std::vector<Var>{matmul(g, transpose(b)), matmul(transpose(a), g)};
+  });
+}
+
+Var transpose(const Var& a) {
+  return make_op(a.value().transpose(), {a}, "transpose",
+                 [](const Var& g) { return std::vector<Var>{transpose(g)}; });
+}
+
+Var exp(const Var& a) {
+  Tensor v = a.value().map([](float x) { return std::exp(x); });
+  return make_op(std::move(v), {a}, "exp", [a](const Var& g) {
+    return std::vector<Var>{mul(g, exp(a))};
+  });
+}
+
+Var log(const Var& a) {
+  Tensor v = a.value().map([](float x) { return std::log(x); });
+  return make_op(std::move(v), {a}, "log", [a](const Var& g) {
+    return std::vector<Var>{div(g, a)};
+  });
+}
+
+Var sqrt(const Var& a) {
+  Tensor v = a.value().map([](float x) { return std::sqrt(x); });
+  return make_op(std::move(v), {a}, "sqrt", [a](const Var& g) {
+    return std::vector<Var>{div(mul_scalar(g, 0.5f), sqrt(a))};
+  });
+}
+
+Var square(const Var& a) {
+  Tensor v = a.value().map([](float x) { return x * x; });
+  return make_op(std::move(v), {a}, "square", [a](const Var& g) {
+    return std::vector<Var>{mul(mul_scalar(g, 2.0f), a)};
+  });
+}
+
+Var tanh(const Var& a) {
+  Tensor v = a.value().map([](float x) { return std::tanh(x); });
+  return make_op(std::move(v), {a}, "tanh", [a](const Var& g) {
+    Var t = tanh(a);
+    return std::vector<Var>{mul(g, sub(constant(Tensor::ones(1, 1)), mul(t, t)))};
+  });
+}
+
+Var sigmoid(const Var& a) {
+  Tensor v = a.value().map([](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return make_op(std::move(v), {a}, "sigmoid", [a](const Var& g) {
+    Var s = sigmoid(a);
+    return std::vector<Var>{mul(g, mul(s, sub(constant(Tensor::ones(1, 1)), s)))};
+  });
+}
+
+Var relu(const Var& a) { return leaky_relu(a, 0.0f); }
+
+Var leaky_relu(const Var& a, float negative_slope) {
+  Tensor v = a.value().map(
+      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; });
+  // The mask is constant w.r.t. differentiation (d2/dx2 of leaky-relu is 0
+  // almost everywhere), so second-order gradients through the mask are exact.
+  Tensor mask = a.value().map(
+      [negative_slope](float x) { return x > 0.0f ? 1.0f : negative_slope; });
+  return make_op(std::move(v), {a}, "leaky_relu",
+                 [mask = std::move(mask)](const Var& g) {
+                   return std::vector<Var>{mul(g, constant(mask))};
+                 });
+}
+
+Var sum_all(const Var& a) {
+  const auto rows = a.rows(), cols = a.cols();
+  return make_op(Tensor::scalar(a.value().sum()), {a}, "sum_all",
+                 [rows, cols](const Var& g) {
+                   return std::vector<Var>{broadcast_to(g, rows, cols)};
+                 });
+}
+
+Var sum_rows(const Var& a) {
+  const auto rows = a.rows(), cols = a.cols();
+  return make_op(a.value().sum_rows(), {a}, "sum_rows", [rows, cols](const Var& g) {
+    return std::vector<Var>{broadcast_to(g, rows, cols)};
+  });
+}
+
+Var sum_cols(const Var& a) {
+  const auto rows = a.rows(), cols = a.cols();
+  return make_op(a.value().sum_cols(), {a}, "sum_cols", [rows, cols](const Var& g) {
+    return std::vector<Var>{broadcast_to(g, rows, cols)};
+  });
+}
+
+Var mean_all(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  return mul_scalar(sum_all(a), inv);
+}
+
+Var broadcast_to(const Var& a, std::size_t rows, std::size_t cols) {
+  const auto ar = a.rows(), ac = a.cols();
+  if (ar == rows && ac == cols) return a;
+  Tensor v;
+  if (ar == 1 && ac == 1) {
+    v = Tensor::full(rows, cols, a.value()(0, 0));
+  } else if (ar == 1 && ac == cols) {
+    v = Tensor(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c) v(r, c) = a.value()(0, c);
+  } else if (ac == 1 && ar == rows) {
+    v = Tensor(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c) v(r, c) = a.value()(r, 0);
+  } else {
+    throw std::invalid_argument("autograd::broadcast_to: cannot broadcast " +
+                                a.value().shape_str());
+  }
+  return make_op(std::move(v), {a}, "broadcast_to", [ar, ac](const Var& g) {
+    return std::vector<Var>{sum_to(g, ar, ac)};
+  });
+}
+
+Var slice_cols(const Var& a, std::size_t c0, std::size_t c1) {
+  const std::size_t total = a.cols();
+  return make_op(a.value().slice_cols(c0, c1), {a}, "slice_cols",
+                 [c0, c1, total](const Var& g) {
+                   return std::vector<Var>{pad_cols(g, c0, total - c1)};
+                 });
+}
+
+Var pad_cols(const Var& a, std::size_t left, std::size_t right) {
+  const std::size_t c0 = left, c1 = left + a.cols();
+  return make_op(a.value().pad_cols(left, right), {a}, "pad_cols",
+                 [c0, c1](const Var& g) {
+                   return std::vector<Var>{slice_cols(g, c0, c1)};
+                 });
+}
+
+namespace {
+
+Var pad_rows(const Var& a, std::size_t top, std::size_t bottom) {
+  Tensor v(top + a.rows() + bottom, a.cols());
+  const Tensor& src = a.value();
+  for (std::size_t r = 0; r < src.rows(); ++r)
+    for (std::size_t c = 0; c < src.cols(); ++c) v(top + r, c) = src(r, c);
+  const std::size_t r0 = top, r1 = top + a.rows();
+  return make_op(std::move(v), {a}, "pad_rows", [r0, r1](const Var& g) {
+    return std::vector<Var>{slice_rows(g, r0, r1)};
+  });
+}
+
+}  // namespace
+
+Var slice_rows(const Var& a, std::size_t r0, std::size_t r1) {
+  const std::size_t total = a.rows();
+  return make_op(a.value().slice_rows(r0, r1), {a}, "slice_rows",
+                 [r0, r1, total](const Var& g) {
+                   return std::vector<Var>{pad_rows(g, r0, total - r1)};
+                 });
+}
+
+Var concat_cols(const std::vector<Var>& parts) {
+  if (parts.empty()) throw std::invalid_argument("autograd::concat_cols: empty");
+  if (parts.size() == 1) return parts.front();
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  std::vector<std::size_t> offsets;
+  std::size_t offset = 0;
+  for (const auto& p : parts) {
+    values.push_back(p.value());
+    offsets.push_back(offset);
+    offset += p.cols();
+  }
+  offsets.push_back(offset);
+  return make_op(Tensor::concat_cols(values), parts, "concat_cols",
+                 [offsets](const Var& g) {
+                   std::vector<Var> out;
+                   out.reserve(offsets.size() - 1);
+                   for (std::size_t i = 0; i + 1 < offsets.size(); ++i)
+                     out.push_back(slice_cols(g, offsets[i], offsets[i + 1]));
+                   return out;
+                 });
+}
+
+Var concat_rows(const std::vector<Var>& parts) {
+  if (parts.empty()) throw std::invalid_argument("autograd::concat_rows: empty");
+  if (parts.size() == 1) return parts.front();
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  std::vector<std::size_t> offsets;
+  std::size_t offset = 0;
+  for (const auto& p : parts) {
+    values.push_back(p.value());
+    offsets.push_back(offset);
+    offset += p.rows();
+  }
+  offsets.push_back(offset);
+  return make_op(Tensor::concat_rows(values), parts, "concat_rows",
+                 [offsets](const Var& g) {
+                   std::vector<Var> out;
+                   out.reserve(offsets.size() - 1);
+                   for (std::size_t i = 0; i + 1 < offsets.size(); ++i)
+                     out.push_back(slice_rows(g, offsets[i], offsets[i + 1]));
+                   return out;
+                 });
+}
+
+namespace {
+
+Tensor row_max(const Tensor& t) {
+  Tensor out(t.rows(), 1);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    float best = t(r, 0);
+    for (std::size_t c = 1; c < t.cols(); ++c) best = std::max(best, t(r, c));
+    out(r, 0) = best;
+  }
+  return out;
+}
+
+}  // namespace
+
+Var softmax_rows(const Var& a) {
+  // Shifting by the (constant) row max is exact: softmax is shift-invariant.
+  Var shifted = sub(a, constant(row_max(a.value())));
+  Var e = exp(shifted);
+  Var s = sum_cols(e);
+  return div(e, s);
+}
+
+Var log_softmax_rows(const Var& a) {
+  Var shifted = sub(a, constant(row_max(a.value())));
+  Var s = sum_cols(exp(shifted));
+  return sub(shifted, log(s));
+}
+
+Var row_norms(const Var& a, float epsilon) {
+  return sqrt(add_scalar(sum_cols(square(a)), epsilon));
+}
+
+}  // namespace gtv::ag

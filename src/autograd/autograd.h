@@ -1,0 +1,158 @@
+// Tape-based reverse-mode automatic differentiation over gtv::Tensor.
+//
+// Key property: every op's backward pass is itself expressed through the
+// same Var op API, so calling grad(..., /*create_graph=*/true) produces
+// gradients that are themselves differentiable. This enables the
+// second-order gradients required by the WGAN-GP gradient penalty
+// (d/dw of ||dD(x)/dx|| terms) without any special-casing.
+//
+// Usage:
+//   Var w(Tensor::normal(...), /*requires_grad=*/true);
+//   Var y = matmul(x, w);
+//   backward(sum_all(y));            // accumulates into w.grad()
+//   auto gx = grad(sum_all(y), {x}, /*create_graph=*/true)[0];  // graph-carrying
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gtv::ag {
+
+class Var;
+
+namespace detail {
+
+struct Node {
+  Tensor value;
+  bool requires_grad = false;
+  std::vector<Var> parents;
+  // Maps the upstream gradient to one gradient contribution per parent.
+  // Null for leaves and constants.
+  std::function<std::vector<Var>(const Var& grad_out)> backward;
+  // Leaf gradient accumulator filled by gtv::ag::backward().
+  Tensor grad;
+  const char* op = "leaf";
+};
+
+}  // namespace detail
+
+// A differentiable handle to a Tensor. Copies share the underlying node.
+class Var {
+ public:
+  Var() = default;
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  std::size_t rows() const { return value().rows(); }
+  std::size_t cols() const { return value().cols(); }
+  bool requires_grad() const { return node_ != nullptr && node_->requires_grad; }
+
+  // Leaf gradient accessor; valid after backward(). Zero-shaped until then.
+  const Tensor& grad() const;
+  void zero_grad();
+  // In-place update of a leaf's value (optimizer step). Must not be used on
+  // interior graph nodes.
+  void set_value(Tensor v);
+
+  const std::shared_ptr<detail::Node>& node() const { return node_; }
+  static Var from_node(std::shared_ptr<detail::Node> node);
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+// --- grad mode ---------------------------------------------------------------
+// While disabled, ops do not record graph structure (outputs are constants).
+bool grad_mode_enabled();
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+class GradModeGuard {
+ public:
+  explicit GradModeGuard(bool enabled);
+  ~GradModeGuard();
+  GradModeGuard(const GradModeGuard&) = delete;
+  GradModeGuard& operator=(const GradModeGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// --- core API ----------------------------------------------------------------
+// Accumulates d(root)/d(leaf) into every reachable requires_grad leaf's
+// .grad(). `root` must be a 1x1 scalar unless `grad_output` (same shape as
+// root) is supplied — the explicit seed is how VFL split backprop resumes a
+// backward pass from a gradient received over the wire.
+void backward(const Var& root, const Var& grad_output = Var());
+
+// Returns d(root)/d(input) for each input. `root` must be 1x1 unless
+// grad_output is supplied. With create_graph=true the returned Vars carry
+// graph structure and can be differentiated again. Inputs that the root
+// does not depend on yield zero tensors.
+std::vector<Var> grad(const Var& root, const std::vector<Var>& inputs,
+                      bool create_graph = false, const Var& grad_output = Var());
+
+// --- op library ----------------------------------------------------------------
+Var constant(Tensor value);           // never requires grad
+Var stop_gradient(const Var& a);      // value alias, detached
+
+Var add(const Var& a, const Var& b);  // broadcasting as Tensor::operator+
+Var sub(const Var& a, const Var& b);
+Var mul(const Var& a, const Var& b);  // Hadamard, broadcasting
+Var div(const Var& a, const Var& b);
+Var neg(const Var& a);
+Var add_scalar(const Var& a, float s);
+Var mul_scalar(const Var& a, float s);
+
+Var matmul(const Var& a, const Var& b);
+Var transpose(const Var& a);
+
+Var exp(const Var& a);
+Var log(const Var& a);  // caller ensures positivity (use log(x + eps))
+Var sqrt(const Var& a);
+Var square(const Var& a);
+Var tanh(const Var& a);
+Var sigmoid(const Var& a);
+Var relu(const Var& a);
+Var leaky_relu(const Var& a, float negative_slope);
+
+Var sum_all(const Var& a);    // -> 1x1
+Var sum_rows(const Var& a);   // NxC -> 1xC (column sums)
+Var sum_cols(const Var& a);   // NxC -> Nx1 (row sums)
+Var mean_all(const Var& a);   // -> 1x1
+// Broadcasts 1x1 / 1xC / Nx1 up to rows x cols.
+Var broadcast_to(const Var& a, std::size_t rows, std::size_t cols);
+
+Var slice_cols(const Var& a, std::size_t c0, std::size_t c1);
+Var pad_cols(const Var& a, std::size_t left, std::size_t right);
+Var concat_cols(const std::vector<Var>& parts);
+Var concat_rows(const std::vector<Var>& parts);
+Var slice_rows(const Var& a, std::size_t r0, std::size_t r1);
+
+// Numerically stable row-wise softmax / log-softmax (row max treated as a
+// constant shift, which is exact for the softmax derivative).
+Var softmax_rows(const Var& a);
+Var log_softmax_rows(const Var& a);
+// Row-wise L2 norm -> Nx1; epsilon keeps the sqrt differentiable at 0.
+Var row_norms(const Var& a, float epsilon = 1e-12f);
+
+// operator sugar
+inline Var operator+(const Var& a, const Var& b) { return add(a, b); }
+inline Var operator-(const Var& a, const Var& b) { return sub(a, b); }
+inline Var operator*(const Var& a, const Var& b) { return mul(a, b); }
+inline Var operator/(const Var& a, const Var& b) { return div(a, b); }
+inline Var operator-(const Var& a) { return neg(a); }
+
+}  // namespace gtv::ag

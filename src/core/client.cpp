@@ -1,0 +1,163 @@
+#include "core/client.h"
+
+#include <stdexcept>
+
+#include "gan/losses.h"
+
+namespace gtv::core {
+
+using ag::Var;
+
+GtvClient::GtvClient(std::size_t id, data::Table local, const GtvOptions& options,
+                     std::size_t g_slice_width, std::size_t d_out_width, std::uint64_t seed)
+    : id_(id),
+      table_(std::move(local)),
+      options_(options),
+      d_out_width_(d_out_width),
+      rng_(seed) {
+  if (table_.n_rows() == 0 || table_.n_cols() == 0) {
+    throw std::invalid_argument("GtvClient: empty local table");
+  }
+  encoder_.fit(table_, options_.gan.encoder, rng_);
+  cond_ = std::make_unique<encode::ConditionalSampler>(encoder_, table_);
+  encoded_ = encoder_.encode(table_, rng_);
+  original_row_.resize(table_.n_rows());
+  for (std::size_t r = 0; r < original_row_.size(); ++r) original_row_[r] = r;
+
+  g_bottom_ = std::make_unique<gan::GeneratorNet>(g_slice_width, g_slice_width,
+                                                  options_.partition.g_bottom,
+                                                  encoder_.total_width(), rng_);
+  d_bottom_ = std::make_unique<gan::DiscriminatorNet>(
+      encoder_.total_width(), d_out_width, options_.partition.d_bottom, d_out_width, rng_,
+      options_.gan.leaky_slope, options_.gan.dropout);
+  adam_g_ = std::make_unique<nn::Adam>(g_bottom_->parameters(), options_.gan.adam);
+  adam_d_ = std::make_unique<nn::Adam>(d_bottom_->parameters(), options_.gan.adam);
+}
+
+encode::ConditionalSampler::Sample GtvClient::sample_cv(std::size_t batch) {
+  return cond_->sample_train(batch, rng_);
+}
+
+void GtvClient::set_pending_condition(const encode::ConditionalSampler::Sample& sample) {
+  pending_condition_ = sample;
+}
+
+Var GtvClient::run_generator_bottom(const Var& slice_in, Var* raw_logits) {
+  Var logits = g_bottom_->forward(slice_in);
+  if (raw_logits != nullptr) *raw_logits = logits;
+  return gan::apply_output_activations(logits, encoder_.spans(), options_.gan.gumbel_tau,
+                                       rng_);
+}
+
+Tensor GtvClient::forward_fake(const Tensor& g_slice, bool train_generator) {
+  if (train_generator) {
+    if (pending_generator_) {
+      throw std::logic_error("GtvClient::forward_fake: generator backward still pending");
+    }
+    PendingGenerator pending;
+    pending.slice_in = Var(g_slice, /*requires_grad=*/true);
+    Var fake = run_generator_bottom(pending.slice_in, &pending.logits);
+    pending.d_out = d_bottom_->forward(fake);
+    Tensor out = pending.d_out.value();
+    pending_generator_ = std::move(pending);
+    return out;
+  }
+  // Discriminator phase: the generator is frozen; only D^b needs a graph.
+  Tensor fake_value;
+  {
+    ag::NoGradGuard no_grad;
+    fake_value = run_generator_bottom(Var(g_slice), nullptr).value();
+  }
+  last_fake_encoded_ = fake_value;
+  if (pending_fake_d_) {
+    throw std::logic_error("GtvClient::forward_fake: discriminator backward still pending");
+  }
+  pending_fake_d_ = d_bottom_->forward(ag::constant(fake_value));
+  return pending_fake_d_->value();
+}
+
+Tensor GtvClient::backward_generator(const Tensor& grad_d_out) {
+  if (!pending_generator_) {
+    throw std::logic_error("GtvClient::backward_generator: no pending forward");
+  }
+  PendingGenerator pending = std::move(*pending_generator_);
+  pending_generator_.reset();
+  ag::backward(pending.d_out, Var(grad_d_out));
+  if (pending_condition_ && cond_->has_discrete()) {
+    Var cond_term = gan::conditional_loss(
+        pending.logits, cond_->target_mask(*pending_condition_), encoder_.discrete_spans());
+    ag::backward(cond_term);
+  }
+  pending_condition_.reset();
+  return pending.slice_in.grad();
+}
+
+void GtvClient::backward_fake_discriminator(const Tensor& grad_d_out) {
+  if (!pending_fake_d_) {
+    throw std::logic_error("GtvClient::backward_fake_discriminator: no pending forward");
+  }
+  Var d_out = std::move(*pending_fake_d_);
+  pending_fake_d_.reset();
+  ag::backward(d_out, Var(grad_d_out));
+}
+
+Tensor GtvClient::forward_real_all() {
+  if (pending_real_) {
+    throw std::logic_error("GtvClient::forward_real_all: real backward still pending");
+  }
+  pending_real_ = d_bottom_->forward(ag::constant(encoded_));
+  return pending_real_->value();
+}
+
+Tensor GtvClient::forward_real_selected(const std::vector<std::size_t>& idx) {
+  if (pending_real_) {
+    throw std::logic_error("GtvClient::forward_real_selected: real backward still pending");
+  }
+  pending_real_ = d_bottom_->forward(ag::constant(encoded_.gather_rows(idx)));
+  return pending_real_->value();
+}
+
+void GtvClient::backward_real(const Tensor& grad_d_out) {
+  if (!pending_real_) {
+    throw std::logic_error("GtvClient::backward_real: no pending forward");
+  }
+  Var d_out = std::move(*pending_real_);
+  pending_real_.reset();
+  ag::backward(d_out, Var(grad_d_out));
+}
+
+void GtvClient::shuffle_local_data(std::uint64_t round_seed) {
+  Rng shuffle_rng(round_seed);
+  const auto perm = shuffle_rng.permutation(table_.n_rows());
+  table_.permute_rows(perm);
+  encoded_ = encoded_.gather_rows(perm);
+  std::vector<std::size_t> next(original_row_.size());
+  for (std::size_t r = 0; r < perm.size(); ++r) next[r] = original_row_[perm[r]];
+  original_row_ = std::move(next);
+  // Category -> row-index buckets must track the new order.
+  cond_ = std::make_unique<encode::ConditionalSampler>(encoder_, table_);
+}
+
+data::Table GtvClient::synthesize(const Tensor& g_slice) {
+  ag::NoGradGuard no_grad;
+  g_bottom_->set_training(false);
+  Var fake = run_generator_bottom(Var(g_slice), nullptr);
+  g_bottom_->set_training(true);
+  return encoder_.decode(fake.value());
+}
+
+Tensor GtvClient::encoded_rows(const std::vector<std::size_t>& idx) const {
+  return encoded_.gather_rows(idx);
+}
+
+std::vector<std::size_t> GtvClient::original_rows(const std::vector<std::size_t>& idx) const {
+  std::vector<std::size_t> out;
+  out.reserve(idx.size());
+  for (std::size_t r : idx) out.push_back(original_row_.at(r));
+  return out;
+}
+
+std::size_t GtvClient::generator_parameter_count() { return g_bottom_->parameter_count(); }
+std::size_t GtvClient::discriminator_parameter_count() { return d_bottom_->parameter_count(); }
+
+}  // namespace gtv::core

@@ -1,0 +1,366 @@
+#include "core/gtv.h"
+
+#include <stdexcept>
+
+#include "gan/losses.h"
+
+namespace gtv::core {
+
+using ag::Var;
+
+GtvTrainer::GtvTrainer(std::vector<data::Table> client_tables, GtvOptions options,
+                       std::uint64_t seed)
+    : options_(options),
+      shuffle_stream_(options.shuffle_seed),
+      publish_stream_(options.shuffle_seed ^ 0x9e3779b97f4a7c15ULL),
+      dp_rng_(seed ^ 0xd9b0a5e5ULL) {
+  if (client_tables.empty()) throw std::invalid_argument("GtvTrainer: no clients");
+  const std::size_t rows = client_tables.front().n_rows();
+  std::vector<std::size_t> feature_counts;
+  for (const auto& t : client_tables) {
+    if (t.n_rows() != rows) {
+      throw std::invalid_argument("GtvTrainer: client tables must be row-aligned");
+    }
+    feature_counts.push_back(t.n_cols());
+  }
+  initial_joined_ = data::Table::concat_columns(client_tables);
+
+  const auto ratios = ratio_vector(feature_counts);
+  const auto g_widths = proportional_widths(options_.generator_hidden, ratios);
+  const auto d_widths = proportional_widths(options_.gan.hidden, ratios);
+
+  Rng seeder(seed);
+  std::vector<GtvServer::ClientInfo> infos;
+  for (std::size_t i = 0; i < client_tables.size(); ++i) {
+    clients_.push_back(std::make_unique<GtvClient>(i, std::move(client_tables[i]), options_,
+                                                   g_widths[i], d_widths[i],
+                                                   seeder.next_u64()));
+    infos.push_back({clients_[i]->cv_width(), g_widths[i], d_widths[i]});
+  }
+  server_ = std::make_unique<GtvServer>(options_, std::move(infos), seeder.next_u64());
+
+  // Attack layout: global CV bit -> (joined-table column, category). The
+  // paper argues the server can infer this structure from the one-hot
+  // patterns; we hand it over for evaluation.
+  std::vector<ServerInferenceAttack::CvBit> bits;
+  std::size_t column_offset = 0;
+  for (const auto& client : clients_) {
+    for (const auto& span : client->encoder().discrete_spans()) {
+      for (std::size_t k = 0; k < span.cardinality; ++k) {
+        bits.push_back({column_offset + span.source_column, k});
+      }
+    }
+    column_offset += client->n_features();
+  }
+  attack_.set_layout(std::move(bits));
+}
+
+std::string GtvTrainer::link_up(std::size_t client) const {
+  return "client" + std::to_string(client) + "->server";
+}
+
+std::string GtvTrainer::link_down(std::size_t client) const {
+  return "server->client" + std::to_string(client);
+}
+
+Tensor GtvTrainer::privatize(Tensor activations) {
+  if (options_.dp_noise_std <= 0.0f) return activations;
+  for (std::size_t i = 0; i < activations.size(); ++i) {
+    activations.data()[i] += static_cast<float>(dp_rng_.normal(0.0, options_.dp_noise_std));
+  }
+  return activations;
+}
+
+gan::RoundLosses GtvTrainer::critic_step(std::size_t batch) {
+  const std::size_t n = clients_.size();
+  gan::RoundLosses losses;
+
+  // --- CVGeneration (Algorithm 1, step 4) ------------------------------------
+  const bool p2p = options_.index_sharing == IndexSharing::kPeerToPeer;
+  const std::size_t p = server_->select_cv_client();
+  auto sample = clients_[p]->sample_cv(batch);
+  const Tensor cv_p = meter_.transfer(link_up(p), sample.cv);
+  std::vector<std::size_t> idx;
+  if (p2p) {
+    // §3.1.6 alternative: indices go peer-to-peer; the server never sees
+    // them, but every peer does — and peers know the shuffle history, so
+    // they can track original row identities (the co-selection leak).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == p) continue;
+      const std::string link = "client" + std::to_string(p) + "->client" + std::to_string(i);
+      idx = meter_.transfer(link, sample.rows);
+      peer_attack_.observe(clients_[i]->original_rows(idx));
+    }
+    if (n == 1) idx = sample.rows;
+  } else {
+    idx = meter_.transfer(link_up(p), sample.rows);
+  }
+  const Tensor global_cv = server_->assemble_global_cv(p, cv_p, batch);
+  if (!p2p) attack_.observe(idx, global_cv);  // semi-honest server curiosity
+
+  server_->zero_grad_discriminator();
+  for (auto& client : clients_) client->zero_grad_discriminator();
+
+  // --- fake path (steps 5-8): G frozen, D^b graphs retained per client -------
+  const auto slices = server_->generator_forward(global_cv, /*retain_graph=*/false);
+  std::vector<Var> fake_vars;
+  fake_vars.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor slice = meter_.transfer(link_down(i), slices[i]);
+    const Tensor d_out =
+        meter_.transfer(link_up(i), privatize(clients_[i]->forward_fake(slice, false)));
+    fake_vars.emplace_back(d_out, /*requires_grad=*/true);
+  }
+
+  // --- real path (steps 9-15) --------------------------------------------------
+  std::vector<Var> real_vars;
+  real_vars.reserve(n);
+  std::vector<std::size_t> real_full_rows(n, 0);  // rows each client forwarded
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == p || p2p) {
+      // Client p always knows the indices; in the P2P variant every client
+      // received them and forwards only the selected rows.
+      const Tensor d_out = meter_.transfer(
+          link_up(i), privatize(clients_[i]->forward_real_selected(i == p ? sample.rows
+                                                                          : idx)));
+      real_full_rows[i] = d_out.rows();
+      real_vars.emplace_back(d_out, /*requires_grad=*/true);
+    } else {
+      // Non-contributing clients pass ALL their rows; the server selects.
+      const Tensor d_out_full =
+          meter_.transfer(link_up(i), privatize(clients_[i]->forward_real_all()));
+      real_full_rows[i] = d_out_full.rows();
+      real_vars.emplace_back(d_out_full.gather_rows(idx), /*requires_grad=*/true);
+    }
+  }
+
+  // --- top loss (step 16) -----------------------------------------------------------
+  Var cv_var = ag::constant(global_cv);
+  Var d_fake = server_->critic_top(fake_vars, cv_var);
+  Var d_real = server_->critic_top(real_vars, cv_var);
+  Var critic = gan::wasserstein_critic_loss(d_real, d_fake);
+
+  Var gp;
+  if (options_.gan.critic_mode == gan::CriticMode::kWeightClipping) {
+    gp = ag::constant(Tensor::scalar(0.0f));
+  } else if (options_.exact_gradient_penalty) {
+    // Simulation concession: exact WGAN-GP through the full distributed
+    // critic. The interpolated rows never leave this closure; a deployment
+    // would realize this with a split double-backprop protocol.
+    std::vector<std::size_t> widths;
+    std::vector<Tensor> fake_rows, real_rows;
+    for (std::size_t i = 0; i < n; ++i) {
+      widths.push_back(clients_[i]->encoded_width());
+      fake_rows.push_back(clients_[i]->last_fake_encoded());
+      real_rows.push_back(clients_[i]->encoded_rows(sample.rows));
+    }
+    const Tensor fake_x = Tensor::concat_cols(fake_rows);
+    const Tensor real_x = Tensor::concat_cols(real_rows);
+    auto critic_fn = [&](const Var& x) {
+      std::vector<Var> parts;
+      std::size_t offset = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        Var chunk = ag::slice_cols(x, offset, offset + widths[i]);
+        parts.push_back(clients_[i]->discriminator_bottom().forward(chunk));
+        offset += widths[i];
+      }
+      return server_->critic_top(parts, cv_var);
+    };
+    gp = gan::gradient_penalty(critic_fn, real_x, fake_x, server_->rng());
+  } else {
+    // Server-local penalty on D^t's concatenated input logits.
+    std::vector<Tensor> fake_logits, real_logits;
+    std::vector<std::size_t> widths;
+    for (std::size_t i = 0; i < n; ++i) {
+      fake_logits.push_back(fake_vars[i].value());
+      real_logits.push_back(real_vars[i].value());
+      widths.push_back(fake_vars[i].cols());
+    }
+    auto critic_fn = [&](const Var& x) {
+      std::vector<Var> parts;
+      std::size_t offset = 0;
+      for (std::size_t w : widths) {
+        parts.push_back(ag::slice_cols(x, offset, offset + w));
+        offset += w;
+      }
+      return server_->critic_top(parts, cv_var);
+    };
+    gp = gan::gradient_penalty(critic_fn, Tensor::concat_cols(real_logits),
+                               Tensor::concat_cols(fake_logits), server_->rng());
+  }
+
+  Var loss = ag::add(critic, ag::mul_scalar(gp, options_.gan.gp_lambda));
+  ag::backward(loss);
+
+  // --- gradient return + bottom updates ---------------------------------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor fake_grad = meter_.transfer(link_down(i), fake_vars[i].grad());
+    clients_[i]->backward_fake_discriminator(fake_grad);
+
+    Tensor real_grad = real_vars[i].grad();
+    if (i != p && !p2p) {
+      // Scatter the selected-row gradients back into the full-table shape
+      // the client forwarded (rows may repeat: accumulate).
+      Tensor full(real_full_rows[i], real_grad.cols());
+      for (std::size_t b = 0; b < idx.size(); ++b) {
+        for (std::size_t c = 0; c < real_grad.cols(); ++c) {
+          full(idx[b], c) += real_grad(b, c);
+        }
+      }
+      real_grad = std::move(full);
+    }
+    clients_[i]->backward_real(meter_.transfer(link_down(i), real_grad));
+  }
+  server_->step_discriminator();
+  for (auto& client : clients_) client->step_discriminator();
+  if (options_.gan.critic_mode == gan::CriticMode::kWeightClipping) {
+    gan::clip_parameters(server_->discriminator_parameters(), options_.gan.clip_value);
+    for (auto& client : clients_) {
+      gan::clip_parameters(client->discriminator_parameters(), options_.gan.clip_value);
+    }
+  }
+
+  losses.d_loss = loss.value()(0, 0);
+  losses.gp = gp.value()(0, 0);
+  losses.wasserstein = -critic.value()(0, 0);
+  return losses;
+}
+
+float GtvTrainer::generator_step(std::size_t batch) {
+  const std::size_t n = clients_.size();
+
+  // CVGeneration (step 18). The index list is transferred for protocol
+  // fidelity even though the generator update does not consume it (in the
+  // P2P variant it is simply not produced for this phase).
+  const std::size_t p = server_->select_cv_client();
+  auto sample = clients_[p]->sample_cv(batch);
+  const Tensor cv_p = meter_.transfer(link_up(p), sample.cv);
+  if (options_.index_sharing == IndexSharing::kServer) {
+    const std::vector<std::size_t> idx = meter_.transfer(link_up(p), sample.rows);
+    attack_.observe(idx, server_->assemble_global_cv(p, cv_p, batch));
+  }
+  const Tensor global_cv = server_->assemble_global_cv(p, cv_p, batch);
+  if (options_.gan.use_conditional_loss) clients_[p]->set_pending_condition(sample);
+
+  server_->zero_grad_generator();
+  for (auto& client : clients_) client->zero_grad_generator();
+
+  const auto slices = server_->generator_forward(global_cv, /*retain_graph=*/true);
+  std::vector<Var> fake_vars;
+  fake_vars.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor slice = meter_.transfer(link_down(i), slices[i]);
+    const Tensor d_out =
+        meter_.transfer(link_up(i), privatize(clients_[i]->forward_fake(slice, true)));
+    fake_vars.emplace_back(d_out, /*requires_grad=*/true);
+  }
+
+  Var cv_var = ag::constant(global_cv);
+  Var d_fake = server_->critic_top(fake_vars, cv_var);
+  Var adv = gan::wasserstein_generator_loss(d_fake);
+  ag::backward(adv);
+
+  std::vector<Tensor> slice_grads;
+  slice_grads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor d_out_grad = meter_.transfer(link_down(i), fake_vars[i].grad());
+    slice_grads.push_back(meter_.transfer(link_up(i), clients_[i]->backward_generator(d_out_grad)));
+  }
+  server_->generator_backward(slice_grads);
+
+  server_->step_generator();
+  for (auto& client : clients_) client->step_generator();
+  return adv.value()(0, 0);
+}
+
+gan::RoundLosses GtvTrainer::train_round() {
+  const std::size_t batch = std::min(options_.gan.batch_size, clients_.front()->n_rows());
+  gan::RoundLosses losses;
+  for (std::size_t step = 0; step < options_.gan.d_steps_per_round; ++step) {
+    losses = critic_step(batch);
+  }
+  losses.g_loss = generator_step(batch);
+
+  if (options_.training_with_shuffling) {
+    // Step 23: all clients shuffle with the same secret per-round seed.
+    const std::uint64_t round_seed = shuffle_stream_.next_u64();
+    for (auto& client : clients_) client->shuffle_local_data(round_seed);
+  }
+  history_.push_back(losses);
+  return losses;
+}
+
+void GtvTrainer::train(
+    std::size_t rounds, const std::function<void(std::size_t, const gan::RoundLosses&)>& on_round) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    gan::RoundLosses losses = train_round();
+    if (on_round) on_round(r, losses);
+  }
+}
+
+std::vector<data::Table> GtvTrainer::sample_per_client(std::size_t rows) {
+  const std::size_t n = clients_.size();
+  server_->set_training(false);
+  std::vector<std::vector<data::Table>> chunks(n);
+  std::size_t produced = 0;
+  const std::size_t batch = std::max<std::size_t>(options_.gan.batch_size, 1);
+  while (produced < rows) {
+    const std::size_t take = std::min(batch, rows - produced);
+    const std::size_t p = server_->select_cv_client();
+    const Tensor cv_p = meter_.transfer(link_up(p), clients_[p]->sample_cv_original(take));
+    const Tensor global_cv = server_->assemble_global_cv(p, cv_p, take);
+    const auto slices = server_->generator_forward(global_cv, /*retain_graph=*/false);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Tensor slice = meter_.transfer(link_down(i), slices[i]);
+      chunks[i].push_back(clients_[i]->synthesize(slice));
+    }
+    produced += take;
+  }
+  server_->set_training(true);
+
+  std::vector<data::Table> shards;
+  shards.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data::Table shard(chunks[i].front().schema());
+    for (const auto& chunk : chunks[i]) {
+      for (std::size_t r = 0; r < chunk.n_rows(); ++r) {
+        std::vector<double> row(chunk.n_cols());
+        for (std::size_t c = 0; c < chunk.n_cols(); ++c) row[c] = chunk.cell(r, c);
+        shard.append_row(row);
+      }
+    }
+    shards.push_back(std::move(shard));
+  }
+  // Secure publication: every client applies the same secret permutation so
+  // the server cannot map generator inputs to published rows, while the
+  // shards stay row-aligned with each other.
+  const std::uint64_t publish_seed = publish_stream_.next_u64();
+  for (auto& shard : shards) {
+    Rng rng(publish_seed);
+    shard.permute_rows(rng.permutation(shard.n_rows()));
+  }
+  return shards;
+}
+
+data::Table GtvTrainer::sample(std::size_t rows) {
+  return data::Table::concat_columns(sample_per_client(rows));
+}
+
+ServerInferenceAttack::Evaluation GtvTrainer::attack_evaluation() const {
+  return attack_.evaluate(initial_joined_);
+}
+
+PeerSelectionFrequencyAttack::Evaluation GtvTrainer::peer_attack_evaluation(
+    std::size_t joined_column) const {
+  if (initial_joined_.spec(joined_column).type != data::ColumnType::kCategorical) {
+    throw std::invalid_argument("peer_attack_evaluation: column must be categorical");
+  }
+  std::vector<std::size_t> categories;
+  categories.reserve(initial_joined_.n_rows());
+  for (double v : initial_joined_.column(joined_column)) {
+    categories.push_back(static_cast<std::size_t>(v));
+  }
+  return peer_attack_.evaluate(categories);
+}
+
+}  // namespace gtv::core

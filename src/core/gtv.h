@@ -1,0 +1,96 @@
+// GtvTrainer — the public entry point of the GTV framework.
+//
+// It wires the trusted-third-party server and the clients together and
+// executes Algorithm 1 of the paper:
+//
+//   per round:
+//     e x critic step:
+//       CVGeneration: server picks client p ~ P_r; p samples local CVs and
+//         matching row indices; both go to the server (wire).
+//       fake path: G^t(Z ++ CV) -> Split -> clients -> G^b_i -> D^b_i -> server.
+//       real path: client p forwards T_p[idx_p]; every other client forwards
+//         ALL its rows; the server selects idx_p from their logits.
+//       server computes the WGAN-GP critic loss on
+//         D^t(Concat(..., D^s(CV))) and returns gradients over the wire;
+//       split backprop updates {D^t, D^s, D^b_i}.
+//     1 x generator step: same forward, loss -mean(D(fake)) + client-local
+//       conditional term; split backprop updates {G^t, G^b_i}.
+//     training-with-shuffling: every client permutes its rows with the same
+//       secret per-round seed (server never sees it).
+//
+// Every cross-party tensor/index passes through a TrafficMeter, which both
+// enforces serializability and records the communication volume per link.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/attack.h"
+#include "core/client.h"
+#include "core/options.h"
+#include "core/server.h"
+#include "net/wire.h"
+
+namespace gtv::core {
+
+class GtvTrainer {
+ public:
+  // `client_tables` are the vertical shards (same row count, rows aligned).
+  GtvTrainer(std::vector<data::Table> client_tables, GtvOptions options, std::uint64_t seed);
+
+  gan::RoundLosses train_round();
+  void train(std::size_t rounds,
+             const std::function<void(std::size_t, const gan::RoundLosses&)>& on_round = {});
+
+  // Secure publication (§3.1.7): per-client synthesis, then all clients
+  // apply the same secret shuffle before releasing. Shards stay row-aligned.
+  std::vector<data::Table> sample_per_client(std::size_t rows);
+  // Horizontal concatenation of the published shards.
+  data::Table sample(std::size_t rows);
+
+  std::size_t n_clients() const { return clients_.size(); }
+  GtvClient& client(std::size_t i) { return *clients_.at(i); }
+  GtvServer& server() { return *server_; }
+  const net::TrafficMeter& traffic() const { return meter_; }
+  net::TrafficMeter& traffic() { return meter_; }
+  const std::vector<gan::RoundLosses>& history() const { return history_; }
+  const GtvOptions& options() const { return options_; }
+
+  // --- semi-honest server curiosity (evaluation) ------------------------------
+  const ServerInferenceAttack& attack() const { return attack_; }
+  // Scores the attack against the clients' *initial* data order (what a
+  // curious server would reconstruct).
+  ServerInferenceAttack::Evaluation attack_evaluation() const;
+
+  // --- curious-peer leak in the P2P index-sharing variant -----------------------
+  // Only populated when options.index_sharing == kPeerToPeer: the
+  // co-selection observations a non-contributing client accumulates.
+  const PeerSelectionFrequencyAttack& peer_attack() const { return peer_attack_; }
+  // Scores the co-selection leak against the categories of one categorical
+  // column (joined-table index) using the clients' initial data.
+  PeerSelectionFrequencyAttack::Evaluation peer_attack_evaluation(std::size_t joined_column) const;
+
+ private:
+  gan::RoundLosses critic_step(std::size_t batch);
+  float generator_step(std::size_t batch);
+  // Client-side DP noise on outgoing activations (no-op when disabled).
+  Tensor privatize(Tensor activations);
+  std::string link_up(std::size_t client) const;    // client -> server
+  std::string link_down(std::size_t client) const;  // server -> client
+
+  GtvOptions options_;
+  std::vector<std::unique_ptr<GtvClient>> clients_;
+  std::unique_ptr<GtvServer> server_;
+  net::TrafficMeter meter_;
+  ServerInferenceAttack attack_;
+  PeerSelectionFrequencyAttack peer_attack_;
+  Rng shuffle_stream_;   // clients' shared secret stream (never on the server)
+  Rng publish_stream_;
+  Rng dp_rng_;           // Gaussian noise stream for the optional DP mode
+  data::Table initial_joined_;  // evaluation-only ground truth snapshot
+  std::vector<gan::RoundLosses> history_;
+};
+
+}  // namespace gtv::core

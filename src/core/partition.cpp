@@ -1,0 +1,66 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gtv::core {
+
+std::vector<std::size_t> proportional_widths(std::size_t total,
+                                             const std::vector<double>& ratios) {
+  if (ratios.empty()) throw std::invalid_argument("proportional_widths: no ratios");
+  if (total < ratios.size()) {
+    throw std::invalid_argument("proportional_widths: total " + std::to_string(total) +
+                                " smaller than party count " + std::to_string(ratios.size()));
+  }
+  double ratio_sum = 0.0;
+  for (double r : ratios) {
+    if (r <= 0.0) throw std::invalid_argument("proportional_widths: non-positive ratio");
+    ratio_sum += r;
+  }
+  std::vector<std::size_t> widths(ratios.size());
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    widths[i] = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(static_cast<double>(total) * ratios[i] /
+                                               ratio_sum)));
+    assigned += widths[i];
+  }
+  // Distribute the remainder (or claw back excess) starting from the
+  // largest-ratio parties so the result is deterministic.
+  std::vector<std::size_t> order(ratios.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return ratios[a] > ratios[b]; });
+  std::size_t cursor = 0;
+  while (assigned < total) {
+    widths[order[cursor % order.size()]] += 1;
+    ++assigned;
+    ++cursor;
+  }
+  while (assigned > total) {
+    auto& w = widths[order[cursor % order.size()]];
+    if (w > 1) {
+      w -= 1;
+      --assigned;
+    }
+    ++cursor;
+  }
+  return widths;
+}
+
+std::vector<double> ratio_vector(const std::vector<std::size_t>& feature_counts) {
+  std::size_t total = 0;
+  for (std::size_t c : feature_counts) total += c;
+  if (total == 0) throw std::invalid_argument("ratio_vector: zero features");
+  std::vector<double> ratios;
+  ratios.reserve(feature_counts.size());
+  for (std::size_t c : feature_counts) {
+    if (c == 0) throw std::invalid_argument("ratio_vector: client with zero features");
+    ratios.push_back(static_cast<double>(c) / static_cast<double>(total));
+  }
+  return ratios;
+}
+
+}  // namespace gtv::core

@@ -1,0 +1,49 @@
+// Neural-network partition specifications (paper §4.3.1, Fig. 7).
+//
+// The paper's notation D_{n4}^{n3} G_{n2}^{n1} puts n3 FN blocks of the
+// discriminator and n1 RN blocks of the generator on the server (top
+// models) and n4 / n2 blocks in every client (bottom models). Block widths
+// on the client side are split proportionally to the feature-ratio vector
+// P_r, with the total width kept equal to the centralized width.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gtv::core {
+
+struct PartitionSpec {
+  std::size_t g_top = 0;     // n1: generator RN blocks on the server
+  std::size_t g_bottom = 2;  // n2: generator RN blocks in each client
+  std::size_t d_top = 2;     // n3: discriminator FN blocks on the server
+  std::size_t d_bottom = 0;  // n4: discriminator FN blocks in each client
+
+  // Paper-style name, e.g. "D2^0 G0^2" is printed as "D_0^2 G_2^0" meaning
+  // d_top=2, d_bottom=0, g_top=0, g_bottom=2.
+  std::string name() const {
+    return "D_" + std::to_string(d_bottom) + "^" + std::to_string(d_top) + " G_" +
+           std::to_string(g_bottom) + "^" + std::to_string(g_top);
+  }
+
+  // The nine combinations evaluated in Fig. 8 (block counts sum to 2).
+  static std::vector<PartitionSpec> all_nine() {
+    std::vector<PartitionSpec> specs;
+    for (std::size_t d_top = 0; d_top <= 2; ++d_top) {
+      for (std::size_t g_top = 0; g_top <= 2; ++g_top) {
+        specs.push_back({g_top, 2 - g_top, d_top, 2 - d_top});
+      }
+    }
+    return specs;
+  }
+};
+
+// Splits `total` into one width per ratio, each at least 1, summing exactly
+// to `total`. Ratios must be positive and total >= ratios.size().
+std::vector<std::size_t> proportional_widths(std::size_t total,
+                                             const std::vector<double>& ratios);
+
+// P_r: per-client share of the total feature count.
+std::vector<double> ratio_vector(const std::vector<std::size_t>& feature_counts);
+
+}  // namespace gtv::core

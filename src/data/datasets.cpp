@@ -1,0 +1,369 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gtv::data {
+
+namespace {
+
+constexpr std::size_t kLatentDim = 4;
+
+// Column generators share a per-row latent factor z so every column is
+// correlated with every other through z (plus independent noise).
+struct ContinuousGen {
+  std::vector<double> weights;  // projection of z
+  double offset = 0.0;
+  double scale = 1.0;
+  double noise = 0.3;
+  // Optional bimodality: a second mode shifted by `mode_shift` entered with
+  // probability sigmoid(mode_weights . z). Exercises mode-specific encoding.
+  double mode_shift = 0.0;
+  std::vector<double> mode_weights;
+  bool non_negative = false;
+};
+
+struct CategoricalGen {
+  // logits[k] = bias[k] + weights[k] . z  (bias encodes imbalance)
+  std::vector<std::vector<double>> weights;
+  std::vector<double> bias;
+  double temperature = 1.0;
+};
+
+struct MixedGen {
+  ContinuousGen continuous;
+  double special_value = 0.0;
+  // P(special) = sigmoid(bias + weights . z)
+  std::vector<double> special_weights;
+  double special_bias = 1.0;
+};
+
+double dot(const std::vector<double>& w, const std::vector<double>& z) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) acc += w[i] * z[i];
+  return acc;
+}
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+std::vector<double> random_weights(Rng& rng, double magnitude = 1.0) {
+  std::vector<double> w(kLatentDim);
+  for (auto& v : w) v = rng.normal(0.0, magnitude);
+  return w;
+}
+
+double sample_continuous(const ContinuousGen& gen, const std::vector<double>& z, Rng& rng) {
+  double value = gen.offset + gen.scale * dot(gen.weights, z) + rng.normal(0.0, gen.noise);
+  if (gen.mode_shift != 0.0 && !gen.mode_weights.empty()) {
+    const double p = sigmoid(dot(gen.mode_weights, z));
+    if (rng.uniform() < p) value += gen.mode_shift;
+  }
+  if (gen.non_negative) value = std::max(value, 0.0);
+  return value;
+}
+
+std::size_t sample_categorical(const CategoricalGen& gen, const std::vector<double>& z,
+                               Rng& rng) {
+  std::vector<double> probs(gen.bias.size());
+  double max_logit = -1e300;
+  for (std::size_t k = 0; k < probs.size(); ++k) {
+    probs[k] = (gen.bias[k] + dot(gen.weights[k], z)) / gen.temperature;
+    max_logit = std::max(max_logit, probs[k]);
+  }
+  for (auto& p : probs) p = std::exp(p - max_logit);
+  return rng.categorical(probs);
+}
+
+double sample_mixed(const MixedGen& gen, const std::vector<double>& z, Rng& rng) {
+  const double p_special = sigmoid(gen.special_bias + dot(gen.special_weights, z));
+  if (rng.uniform() < p_special) return gen.special_value;
+  return sample_continuous(gen.continuous, z, rng);
+}
+
+// Assembles a table from per-column generators. Generator variants are
+// discriminated by which optional is set.
+struct ColumnGen {
+  ColumnSpec spec;
+  std::optional<ContinuousGen> continuous;
+  std::optional<CategoricalGen> categorical;
+  std::optional<MixedGen> mixed;
+};
+
+std::vector<std::string> class_labels(const std::string& prefix, std::size_t n) {
+  std::vector<std::string> labels;
+  labels.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) labels.push_back(prefix + std::to_string(i));
+  return labels;
+}
+
+CategoricalGen make_cat_gen(Rng& rng, const std::vector<double>& bias, double strength = 1.0,
+                            double temperature = 1.0) {
+  CategoricalGen gen;
+  gen.bias = bias;
+  gen.temperature = temperature;
+  gen.weights.reserve(bias.size());
+  for (std::size_t k = 0; k < bias.size(); ++k) gen.weights.push_back(random_weights(rng, strength));
+  return gen;
+}
+
+ContinuousGen make_cont_gen(Rng& rng, double offset, double scale, double noise,
+                            bool non_negative = false, double mode_shift = 0.0) {
+  ContinuousGen gen;
+  gen.weights = random_weights(rng);
+  gen.offset = offset;
+  gen.scale = scale;
+  gen.noise = noise;
+  gen.non_negative = non_negative;
+  gen.mode_shift = mode_shift;
+  if (mode_shift != 0.0) gen.mode_weights = random_weights(rng);
+  return gen;
+}
+
+Table generate(const std::vector<ColumnGen>& gens, std::size_t rows, Rng& rng) {
+  std::vector<ColumnSpec> schema;
+  schema.reserve(gens.size());
+  for (const auto& g : gens) schema.push_back(g.spec);
+  Table table(std::move(schema));
+  table.reserve(rows);
+  std::vector<double> row(gens.size());
+  std::vector<double> z(kLatentDim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (auto& v : z) v = rng.normal();
+    for (std::size_t c = 0; c < gens.size(); ++c) {
+      const auto& g = gens[c];
+      if (g.continuous) {
+        row[c] = sample_continuous(*g.continuous, z, rng);
+      } else if (g.categorical) {
+        row[c] = static_cast<double>(sample_categorical(*g.categorical, z, rng));
+      } else if (g.mixed) {
+        row[c] = sample_mixed(*g.mixed, z, rng);
+      } else {
+        throw std::logic_error("generate: column without generator");
+      }
+    }
+    table.append_row(row);
+  }
+  return table;
+}
+
+ColumnGen cont_col(const std::string& name, ContinuousGen gen) {
+  ColumnGen c;
+  c.spec = {name, ColumnType::kContinuous, {}, {}};
+  c.continuous = std::move(gen);
+  return c;
+}
+
+ColumnGen cat_col(const std::string& name, std::vector<std::string> labels, CategoricalGen gen) {
+  ColumnGen c;
+  c.spec = {name, ColumnType::kCategorical, std::move(labels), {}};
+  c.categorical = std::move(gen);
+  return c;
+}
+
+ColumnGen mixed_col(const std::string& name, MixedGen gen) {
+  ColumnGen c;
+  c.spec = {name, ColumnType::kMixed, {}, {gen.special_value}};
+  c.mixed = std::move(gen);
+  return c;
+}
+
+}  // namespace
+
+Table make_loan(std::size_t rows, Rng& rng) {
+  std::vector<ColumnGen> gens;
+  gens.push_back(cont_col("age", make_cont_gen(rng, 45.0, 8.0, 3.0)));
+  gens.push_back(cont_col("experience", make_cont_gen(rng, 20.0, 8.0, 3.0)));
+  gens.push_back(cont_col("income", make_cont_gen(rng, 70.0, 30.0, 10.0, /*nn=*/true)));
+  gens.push_back(cat_col("family", class_labels("f", 4), make_cat_gen(rng, {0.5, 0.3, 0.0, -0.2})));
+  gens.push_back(cont_col("cc_avg", make_cont_gen(rng, 2.0, 1.2, 0.4, /*nn=*/true)));
+  gens.push_back(
+      cat_col("education", class_labels("e", 3), make_cat_gen(rng, {0.6, 0.0, -0.3})));
+  {
+    MixedGen mortgage;
+    mortgage.continuous = make_cont_gen(rng, 150.0, 60.0, 25.0, /*nn=*/true);
+    mortgage.special_value = 0.0;
+    mortgage.special_weights = random_weights(rng);
+    mortgage.special_bias = 1.0;  // ~70% of rows have no mortgage
+    gens.push_back(mixed_col("mortgage", std::move(mortgage)));
+  }
+  gens.push_back(cat_col("securities", class_labels("s", 2), make_cat_gen(rng, {1.8, -1.8})));
+  gens.push_back(cat_col("cd_account", class_labels("cd", 2), make_cat_gen(rng, {2.2, -2.2})));
+  gens.push_back(cat_col("online", class_labels("o", 2), make_cat_gen(rng, {0.2, -0.2})));
+  gens.push_back(cat_col("credit_card", class_labels("cc", 2), make_cat_gen(rng, {0.6, -0.6})));
+  gens.push_back(cat_col("zip_region", class_labels("z", 7),
+                         make_cat_gen(rng, {0.2, 0.1, 0.0, 0.0, -0.1, -0.2, -0.3}, 0.5)));
+  // Target: ~10% positive, strongly z-driven so features are predictive.
+  gens.push_back(cat_col("personal_loan", {"no", "yes"}, make_cat_gen(rng, {2.2, -2.2}, 2.0)));
+  return generate(gens, rows, rng);
+}
+
+Table make_adult(std::size_t rows, Rng& rng) {
+  std::vector<ColumnGen> gens;
+  gens.push_back(cont_col("age", make_cont_gen(rng, 38.0, 10.0, 4.0)));
+  gens.push_back(cat_col("workclass", class_labels("w", 8),
+                         make_cat_gen(rng, {2.0, 0.5, 0.0, -0.2, -0.5, -0.8, -1.2, -2.0})));
+  gens.push_back(cont_col("fnlwgt", make_cont_gen(rng, 1.9e5, 8e4, 3e4, /*nn=*/true)));
+  gens.push_back(cat_col(
+      "education", class_labels("ed", 16),
+      make_cat_gen(rng, {1.8, 1.6, 0.9, 0.5, 0.3, 0.0, 0.0, -0.2, -0.4, -0.6, -0.8, -1.0, -1.2,
+                         -1.4, -1.7, -2.0},
+                   0.7)));
+  gens.push_back(cont_col("education_num", make_cont_gen(rng, 10.0, 2.5, 1.0)));
+  gens.push_back(cat_col("marital_status", class_labels("m", 7),
+                         make_cat_gen(rng, {1.5, 1.2, 0.0, -0.5, -0.8, -1.5, -2.0})));
+  gens.push_back(cat_col("occupation", class_labels("oc", 14),
+                         make_cat_gen(rng, {1.0, 0.9, 0.8, 0.6, 0.5, 0.3, 0.2, 0.0, -0.2, -0.4,
+                                            -0.8, -1.2, -1.6, -2.2},
+                                      0.8)));
+  gens.push_back(cat_col("relationship", class_labels("r", 6),
+                         make_cat_gen(rng, {1.4, 1.0, 0.2, -0.2, -0.8, -1.4})));
+  gens.push_back(
+      cat_col("race", class_labels("ra", 5), make_cat_gen(rng, {2.5, 0.3, 0.0, -0.5, -1.0}, 0.4)));
+  gens.push_back(cat_col("sex", {"male", "female"}, make_cat_gen(rng, {0.35, -0.35})));
+  {
+    MixedGen gain;  // mostly zero, long positive tail when nonzero
+    gain.continuous = make_cont_gen(rng, 6000.0, 3000.0, 1500.0, /*nn=*/true);
+    gain.special_value = 0.0;
+    gain.special_weights = random_weights(rng);
+    gain.special_bias = 2.2;  // ~90% zeros
+    gens.push_back(mixed_col("capital_gain", std::move(gain)));
+  }
+  {
+    MixedGen loss;
+    loss.continuous = make_cont_gen(rng, 1900.0, 500.0, 300.0, /*nn=*/true);
+    loss.special_value = 0.0;
+    loss.special_weights = random_weights(rng);
+    loss.special_bias = 2.8;  // ~94% zeros
+    gens.push_back(mixed_col("capital_loss", std::move(loss)));
+  }
+  gens.push_back(cont_col("hours_per_week", make_cont_gen(rng, 40.0, 8.0, 4.0, /*nn=*/true)));
+  gens.push_back(cat_col("native_country", class_labels("nc", 10),
+                         make_cat_gen(rng, {3.0, 0.0, -0.3, -0.6, -0.8, -1.0, -1.2, -1.4, -1.6,
+                                            -1.8},
+                                      0.3)));
+  // Income >50K: ~24% positive.
+  gens.push_back(cat_col("income", {"<=50K", ">50K"}, make_cat_gen(rng, {1.2, -1.2}, 2.0)));
+  return generate(gens, rows, rng);
+}
+
+Table make_covtype(std::size_t rows, Rng& rng) {
+  std::vector<ColumnGen> gens;
+  const char* cont_names[10] = {"elevation",        "aspect",
+                                "slope",            "horiz_dist_hydro",
+                                "vert_dist_hydro",  "horiz_dist_road",
+                                "hillshade_9am",    "hillshade_noon",
+                                "hillshade_3pm",    "horiz_dist_fire"};
+  const double offsets[10] = {2900, 150, 14, 270, 45, 2300, 212, 223, 142, 1980};
+  const double scales[10] = {280, 110, 7, 210, 58, 1500, 27, 20, 38, 1320};
+  for (int i = 0; i < 10; ++i) {
+    gens.push_back(cont_col(cont_names[i],
+                            make_cont_gen(rng, offsets[i], scales[i], scales[i] * 0.2,
+                                          /*nn=*/false, i % 3 == 0 ? scales[i] * 1.5 : 0.0)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    gens.push_back(cat_col("wilderness_" + std::to_string(i), class_labels("b", 2),
+                           make_cat_gen(rng, {1.0 + 0.3 * i, -1.0 - 0.3 * i}, 1.2)));
+  }
+  for (int i = 0; i < 40; ++i) {
+    // Soil types are sparse one-hot flags with varying rarity.
+    const double rarity = 1.2 + 0.08 * i;
+    gens.push_back(cat_col("soil_" + std::to_string(i), class_labels("b", 2),
+                           make_cat_gen(rng, {rarity, -rarity}, 1.0)));
+  }
+  gens.push_back(cat_col("cover_type", class_labels("ct", 7),
+                         make_cat_gen(rng, {1.6, 1.5, 0.3, -1.2, -0.8, -0.6, -1.0}, 1.6)));
+  return generate(gens, rows, rng);
+}
+
+Table make_intrusion(std::size_t rows, Rng& rng) {
+  std::vector<ColumnGen> gens;
+  gens.push_back(cont_col("duration", make_cont_gen(rng, 40.0, 60.0, 30.0, /*nn=*/true)));
+  gens.push_back(cat_col("protocol_type", class_labels("p", 3), make_cat_gen(rng, {1.2, 0.4, -1.0})));
+  gens.push_back(cat_col("service", class_labels("srv", 12),
+                         make_cat_gen(rng, {1.5, 1.2, 0.9, 0.5, 0.2, 0.0, -0.2, -0.5, -0.8, -1.1,
+                                            -1.4, -1.8},
+                                      0.8)));
+  gens.push_back(cat_col("flag", class_labels("fl", 6),
+                         make_cat_gen(rng, {2.0, 0.5, -0.2, -0.8, -1.2, -1.8})));
+  gens.push_back(cont_col("src_bytes", make_cont_gen(rng, 2500.0, 2500.0, 800.0, true, 4000.0)));
+  gens.push_back(cont_col("dst_bytes", make_cont_gen(rng, 1200.0, 1400.0, 500.0, true, 2500.0)));
+  gens.push_back(cat_col("land", class_labels("b", 2), make_cat_gen(rng, {4.0, -4.0})));
+  gens.push_back(cont_col("wrong_fragment", make_cont_gen(rng, 0.1, 0.3, 0.1, true)));
+  gens.push_back(cont_col("urgent", make_cont_gen(rng, 0.02, 0.1, 0.05, true)));
+  gens.push_back(cont_col("hot", make_cont_gen(rng, 0.3, 0.8, 0.3, true)));
+  gens.push_back(cont_col("num_failed_logins", make_cont_gen(rng, 0.1, 0.3, 0.1, true)));
+  gens.push_back(cat_col("logged_in", class_labels("b", 2), make_cat_gen(rng, {0.4, -0.4})));
+  const char* rate_names[22] = {
+      "num_compromised", "root_shell",      "su_attempted",     "num_root",
+      "num_file_create", "num_shells",      "num_access_files", "count",
+      "srv_count",       "serror_rate",     "srv_serror_rate",  "rerror_rate",
+      "srv_rerror_rate", "same_srv_rate",   "diff_srv_rate",    "srv_diff_host_rate",
+      "dst_host_count",  "dst_host_srv",    "dst_same_srv",     "dst_diff_srv",
+      "dst_serror_rate", "dst_rerror_rate"};
+  for (int i = 0; i < 22; ++i) {
+    const double scale = (i < 9) ? 20.0 : 0.3;
+    gens.push_back(cont_col(rate_names[i],
+                            make_cont_gen(rng, scale, scale * 0.8, scale * 0.25, /*nn=*/true)));
+  }
+  gens.push_back(cont_col("num_outbound_cmds", make_cont_gen(rng, 0.05, 0.15, 0.05, true)));
+  gens.push_back(cat_col("is_host_login", class_labels("b", 2), make_cat_gen(rng, {3.5, -3.5})));
+  gens.push_back(cat_col("is_guest_login", class_labels("b", 2), make_cat_gen(rng, {2.5, -2.5})));
+  gens.push_back(cont_col("dst_host_same_src_port", make_cont_gen(rng, 0.2, 0.25, 0.1, true)));
+  gens.push_back(cont_col("dst_host_srv_diff_host", make_cont_gen(rng, 0.05, 0.1, 0.04, true)));
+  gens.push_back(cont_col("dst_host_srv_serror", make_cont_gen(rng, 0.1, 0.2, 0.08, true)));
+  gens.push_back(cont_col("dst_host_srv_rerror", make_cont_gen(rng, 0.1, 0.2, 0.08, true)));
+  // 5 attack classes (normal, dos, probe, r2l, u2r) — heavily imbalanced.
+  gens.push_back(cat_col("attack_class", class_labels("atk", 5),
+                         make_cat_gen(rng, {1.8, 1.6, -0.3, -1.6, -2.6}, 1.8)));
+  return generate(gens, rows, rng);
+}
+
+Table make_credit(std::size_t rows, Rng& rng) {
+  std::vector<ColumnGen> gens;
+  gens.push_back(cont_col("time", make_cont_gen(rng, 9.5e4, 4.5e4, 2e4, /*nn=*/true)));
+  for (int i = 1; i <= 28; ++i) {
+    // PCA-style components: zero-mean, varied scale, some bimodal.
+    const double scale = 2.2 - 0.06 * i;
+    gens.push_back(cont_col("v" + std::to_string(i),
+                            make_cont_gen(rng, 0.0, scale, scale * 0.3, /*nn=*/false,
+                                          i % 7 == 0 ? 2.5 * scale : 0.0)));
+  }
+  {
+    MixedGen amount;  // many small card payments, point mass at 1.0
+    amount.continuous = make_cont_gen(rng, 90.0, 70.0, 40.0, /*nn=*/true);
+    amount.special_value = 1.0;
+    amount.special_weights = random_weights(rng);
+    amount.special_bias = -1.8;  // ~14% at the point mass
+    gens.push_back(mixed_col("amount", std::move(amount)));
+  }
+  // Fraud target: ~1% positive.
+  gens.push_back(cat_col("fraud", {"genuine", "fraud"}, make_cat_gen(rng, {4.0, -4.0}, 1.4)));
+  return generate(gens, rows, rng);
+}
+
+Table make_dataset(const std::string& name, std::size_t rows, Rng& rng) {
+  if (name == "loan") return make_loan(rows, rng);
+  if (name == "adult") return make_adult(rows, rng);
+  if (name == "covtype") return make_covtype(rows, rng);
+  if (name == "intrusion") return make_intrusion(rows, rng);
+  if (name == "credit") return make_credit(rows, rng);
+  throw std::invalid_argument("make_dataset: unknown dataset '" + name + "'");
+}
+
+const std::vector<std::string>& dataset_names() {
+  static const std::vector<std::string> names = {"loan", "adult", "covtype", "intrusion",
+                                                 "credit"};
+  return names;
+}
+
+std::string target_column(const std::string& dataset) {
+  if (dataset == "loan") return "personal_loan";
+  if (dataset == "adult") return "income";
+  if (dataset == "covtype") return "cover_type";
+  if (dataset == "intrusion") return "attack_class";
+  if (dataset == "credit") return "fraud";
+  throw std::invalid_argument("target_column: unknown dataset '" + dataset + "'");
+}
+
+}  // namespace gtv::data

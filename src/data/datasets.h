@@ -1,0 +1,40 @@
+// Synthetic stand-ins for the paper's five benchmark datasets.
+//
+// The offline environment has no access to UCI / Kaggle, so each generator
+// reproduces the *shape* of its namesake: the same column counts and types
+// (continuous / categorical / mixed), realistic cardinalities, class
+// imbalance in the target, and — crucially for GTV — genuine cross-column
+// dependencies. All columns are driven by a shared low-dimensional latent
+// factor per row, so correlations exist both within and across any vertical
+// partition of the columns, which is exactly what the VFL experiments need
+// to detect.
+//
+//   Dataset    rows(dflt)  features                        target
+//   loan          5000     12 (5 cont, 6 cat, 1 mixed)     binary ~10% positive
+//   adult        10000     14 (4 cont, 8 cat, 2 mixed)     binary ~24% positive
+//   covtype      10000     54 (10 cont, 44 binary cat)     7-class, imbalanced
+//   intrusion    10000     41 (34 cont, 7 cat)             5-class, imbalanced
+//   credit       10000     30 (29 cont, 1 mixed)           binary ~1% positive
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace gtv::data {
+
+Table make_loan(std::size_t rows, Rng& rng);
+Table make_adult(std::size_t rows, Rng& rng);
+Table make_covtype(std::size_t rows, Rng& rng);
+Table make_intrusion(std::size_t rows, Rng& rng);
+Table make_credit(std::size_t rows, Rng& rng);
+
+// Dispatch by name ("loan", "adult", "covtype", "intrusion", "credit").
+Table make_dataset(const std::string& name, std::size_t rows, Rng& rng);
+// The five benchmark dataset names, in the paper's order.
+const std::vector<std::string>& dataset_names();
+// Name of the target column of each benchmark dataset.
+std::string target_column(const std::string& dataset);
+
+}  // namespace gtv::data

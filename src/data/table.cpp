@@ -1,0 +1,350 @@
+#include "data/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gtv::data {
+
+std::string to_string(ColumnType type) {
+  switch (type) {
+    case ColumnType::kCategorical: return "cat";
+    case ColumnType::kContinuous: return "cont";
+    case ColumnType::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+Table::Table(std::vector<ColumnSpec> schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.size());
+  std::unordered_set<std::string> names;
+  for (const auto& spec : schema_) {
+    if (!names.insert(spec.name).second) {
+      throw std::invalid_argument("Table: duplicate column name '" + spec.name + "'");
+    }
+    if (spec.type == ColumnType::kCategorical && spec.categories.empty()) {
+      throw std::invalid_argument("Table: categorical column '" + spec.name +
+                                  "' has no categories");
+    }
+  }
+}
+
+std::size_t Table::column_index(const std::string& name) const {
+  auto found = find_column(name);
+  if (!found) throw std::invalid_argument("Table: no column named '" + name + "'");
+  return *found;
+}
+
+std::optional<std::size_t> Table::find_column(const std::string& name) const {
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void Table::set_cell(std::size_t row, std::size_t col, double value) {
+  columns_.at(col).at(row) = value;
+}
+
+void Table::append_row(const std::vector<double>& values) {
+  if (values.size() != schema_.size()) {
+    throw std::invalid_argument("Table::append_row: expected " +
+                                std::to_string(schema_.size()) + " values, got " +
+                                std::to_string(values.size()));
+  }
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    if (schema_[c].type == ColumnType::kCategorical) {
+      const double v = values[c];
+      const auto k = static_cast<std::size_t>(v);
+      if (v < 0 || v != static_cast<double>(k) || k >= schema_[c].cardinality()) {
+        throw std::invalid_argument("Table::append_row: invalid category index for column '" +
+                                    schema_[c].name + "'");
+      }
+    }
+    columns_[c].push_back(values[c]);
+  }
+}
+
+void Table::reserve(std::size_t rows) {
+  for (auto& col : columns_) col.reserve(rows);
+}
+
+Table Table::select_columns(const std::vector<std::size_t>& cols) const {
+  std::vector<ColumnSpec> schema;
+  schema.reserve(cols.size());
+  for (std::size_t c : cols) schema.push_back(spec(c));
+  Table out(std::move(schema));
+  for (std::size_t i = 0; i < cols.size(); ++i) out.columns_[i] = columns_.at(cols[i]);
+  return out;
+}
+
+Table Table::gather_rows(const std::vector<std::size_t>& rows) const {
+  Table out(schema_);
+  for (std::size_t c = 0; c < n_cols(); ++c) {
+    out.columns_[c].reserve(rows.size());
+    for (std::size_t r : rows) out.columns_[c].push_back(columns_[c].at(r));
+  }
+  return out;
+}
+
+Table Table::slice_rows(std::size_t r0, std::size_t r1) const {
+  if (r0 > r1 || r1 > n_rows()) throw std::out_of_range("Table::slice_rows");
+  Table out(schema_);
+  for (std::size_t c = 0; c < n_cols(); ++c) {
+    out.columns_[c].assign(columns_[c].begin() + static_cast<std::ptrdiff_t>(r0),
+                           columns_[c].begin() + static_cast<std::ptrdiff_t>(r1));
+  }
+  return out;
+}
+
+void Table::permute_rows(const std::vector<std::size_t>& perm) {
+  if (perm.size() != n_rows()) {
+    throw std::invalid_argument("Table::permute_rows: permutation size mismatch");
+  }
+  for (auto& col : columns_) {
+    std::vector<double> next(col.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) next[i] = col.at(perm[i]);
+    col = std::move(next);
+  }
+}
+
+Table Table::concat_columns(const std::vector<Table>& parts) {
+  if (parts.empty()) return Table();
+  const std::size_t rows = parts.front().n_rows();
+  std::vector<ColumnSpec> schema;
+  for (const auto& part : parts) {
+    if (part.n_rows() != rows) {
+      throw std::invalid_argument("Table::concat_columns: row count mismatch");
+    }
+    schema.insert(schema.end(), part.schema_.begin(), part.schema_.end());
+  }
+  Table out(std::move(schema));  // ctor rejects duplicate names
+  std::size_t offset = 0;
+  for (const auto& part : parts) {
+    for (std::size_t c = 0; c < part.n_cols(); ++c) out.columns_[offset + c] = part.columns_[c];
+    offset += part.n_cols();
+  }
+  return out;
+}
+
+std::pair<Table, Table> Table::train_test_split(double test_fraction, Rng& rng,
+                                                std::optional<std::size_t> stratify_col) const {
+  if (test_fraction < 0.0 || test_fraction > 1.0) {
+    throw std::invalid_argument("train_test_split: fraction must be in [0,1]");
+  }
+  std::vector<std::size_t> train_rows, test_rows;
+  if (stratify_col) {
+    const auto& col = columns_.at(*stratify_col);
+    if (spec(*stratify_col).type != ColumnType::kCategorical) {
+      throw std::invalid_argument("train_test_split: stratify column must be categorical");
+    }
+    std::unordered_map<long, std::vector<std::size_t>> buckets;
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      buckets[static_cast<long>(col[r])].push_back(r);
+    }
+    for (auto& [cls, rows] : buckets) {
+      std::vector<std::size_t> order = rng.permutation(rows.size());
+      const auto n_test = static_cast<std::size_t>(
+          static_cast<double>(rows.size()) * test_fraction + 0.5);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        (i < n_test ? test_rows : train_rows).push_back(rows[order[i]]);
+      }
+    }
+  } else {
+    std::vector<std::size_t> order = rng.permutation(n_rows());
+    const auto n_test =
+        static_cast<std::size_t>(static_cast<double>(n_rows()) * test_fraction + 0.5);
+    test_rows.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n_test));
+    train_rows.assign(order.begin() + static_cast<std::ptrdiff_t>(n_test), order.end());
+  }
+  // Keep row order stable within each split for reproducibility.
+  std::sort(train_rows.begin(), train_rows.end());
+  std::sort(test_rows.begin(), test_rows.end());
+  return {gather_rows(train_rows), gather_rows(test_rows)};
+}
+
+Table Table::stratified_sample(std::size_t rows, std::size_t stratify_col, Rng& rng) const {
+  if (rows >= n_rows()) return *this;
+  const auto& col = columns_.at(stratify_col);
+  std::unordered_map<long, std::vector<std::size_t>> buckets;
+  for (std::size_t r = 0; r < col.size(); ++r) buckets[static_cast<long>(col[r])].push_back(r);
+  const double keep = static_cast<double>(rows) / static_cast<double>(n_rows());
+  std::vector<std::size_t> selected;
+  selected.reserve(rows);
+  for (auto& [cls, bucket] : buckets) {
+    auto take = static_cast<std::size_t>(static_cast<double>(bucket.size()) * keep + 0.5);
+    take = std::max<std::size_t>(take, bucket.empty() ? 0 : 1);
+    take = std::min(take, bucket.size());
+    std::vector<std::size_t> order = rng.permutation(bucket.size());
+    for (std::size_t i = 0; i < take; ++i) selected.push_back(bucket[order[i]]);
+  }
+  std::sort(selected.begin(), selected.end());
+  return gather_rows(selected);
+}
+
+std::vector<std::size_t> Table::class_counts(std::size_t col) const {
+  const auto& spec_ = spec(col);
+  if (spec_.type != ColumnType::kCategorical) {
+    throw std::invalid_argument("Table::class_counts: column '" + spec_.name +
+                                "' is not categorical");
+  }
+  std::vector<std::size_t> counts(spec_.cardinality(), 0);
+  for (double v : columns_.at(col)) ++counts.at(static_cast<std::size_t>(v));
+  return counts;
+}
+
+bool Table::same_schema(const Table& other) const {
+  if (schema_.size() != other.schema_.size()) return false;
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name != other.schema_[i].name || schema_[i].type != other.schema_[i].type ||
+        schema_[i].categories != other.schema_[i].categories) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Table> vertical_split(const Table& table,
+                                  const std::vector<std::vector<std::size_t>>& groups) {
+  std::vector<Table> shards;
+  shards.reserve(groups.size());
+  std::vector<bool> used(table.n_cols(), false);
+  for (const auto& group : groups) {
+    for (std::size_t c : group) {
+      if (c >= table.n_cols()) throw std::out_of_range("vertical_split: column out of range");
+      if (used[c]) throw std::invalid_argument("vertical_split: column assigned twice");
+      used[c] = true;
+    }
+    shards.push_back(table.select_columns(group));
+  }
+  return shards;
+}
+
+// --- CSV ------------------------------------------------------------------------
+
+namespace {
+
+std::string encode_header(const ColumnSpec& spec) {
+  std::ostringstream os;
+  os << spec.name << ":" << to_string(spec.type);
+  if (spec.type == ColumnType::kCategorical) {
+    os << "{";
+    for (std::size_t i = 0; i < spec.categories.size(); ++i) {
+      os << spec.categories[i] << (i + 1 < spec.categories.size() ? "|" : "");
+    }
+    os << "}";
+  } else if (spec.type == ColumnType::kMixed) {
+    os << "{";
+    for (std::size_t i = 0; i < spec.special_values.size(); ++i) {
+      os << spec.special_values[i] << (i + 1 < spec.special_values.size() ? ";" : "");
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+ColumnSpec decode_header(const std::string& field) {
+  const auto colon = field.find(':');
+  if (colon == std::string::npos) {
+    throw std::runtime_error("csv: malformed header field '" + field + "'");
+  }
+  ColumnSpec spec;
+  spec.name = field.substr(0, colon);
+  std::string rest = field.substr(colon + 1);
+  const auto brace = rest.find('{');
+  const std::string type = rest.substr(0, brace);
+  if (type == "cont") {
+    spec.type = ColumnType::kContinuous;
+  } else if (type == "cat") {
+    spec.type = ColumnType::kCategorical;
+  } else if (type == "mixed") {
+    spec.type = ColumnType::kMixed;
+  } else {
+    throw std::runtime_error("csv: unknown column type '" + type + "'");
+  }
+  if (brace != std::string::npos) {
+    const auto close = rest.rfind('}');
+    std::string body = rest.substr(brace + 1, close - brace - 1);
+    std::stringstream ss(body);
+    std::string item;
+    const char sep = spec.type == ColumnType::kCategorical ? '|' : ';';
+    while (std::getline(ss, item, sep)) {
+      if (spec.type == ColumnType::kCategorical) {
+        spec.categories.push_back(item);
+      } else {
+        spec.special_values.push_back(std::stod(item));
+      }
+    }
+  }
+  return spec;
+}
+
+std::vector<std::string> split_line(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, sep)) fields.push_back(field);
+  if (!line.empty() && line.back() == sep) fields.emplace_back();
+  return fields;
+}
+
+}  // namespace
+
+void write_csv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open '" + path + "'");
+  for (std::size_t c = 0; c < table.n_cols(); ++c) {
+    out << encode_header(table.spec(c)) << (c + 1 < table.n_cols() ? "," : "\n");
+  }
+  out.precision(10);
+  for (std::size_t r = 0; r < table.n_rows(); ++r) {
+    for (std::size_t c = 0; c < table.n_cols(); ++c) {
+      const auto& spec = table.spec(c);
+      if (spec.type == ColumnType::kCategorical) {
+        out << spec.categories.at(static_cast<std::size_t>(table.cell(r, c)));
+      } else {
+        out << table.cell(r, c);
+      }
+      out << (c + 1 < table.n_cols() ? "," : "\n");
+    }
+  }
+}
+
+Table read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("read_csv: empty file");
+  std::vector<ColumnSpec> schema;
+  for (const auto& field : split_line(line, ',')) schema.push_back(decode_header(field));
+  Table table(std::move(schema));
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_line(line, ',');
+    if (fields.size() != table.n_cols()) {
+      throw std::runtime_error("read_csv: row with wrong arity");
+    }
+    std::vector<double> row(fields.size());
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      const auto& spec = table.spec(c);
+      if (spec.type == ColumnType::kCategorical) {
+        const auto it =
+            std::find(spec.categories.begin(), spec.categories.end(), fields[c]);
+        if (it == spec.categories.end()) {
+          throw std::runtime_error("read_csv: unknown category '" + fields[c] + "'");
+        }
+        row[c] = static_cast<double>(std::distance(spec.categories.begin(), it));
+      } else {
+        row[c] = std::stod(fields[c]);
+      }
+    }
+    table.append_row(row);
+  }
+  return table;
+}
+
+}  // namespace gtv::data

@@ -1,0 +1,99 @@
+// Typed tabular data container.
+//
+// A Table is a column-major collection of equally long columns. Cells are
+// stored as double: continuous columns hold raw values, categorical columns
+// hold category indices (0..K-1) into the column's category label list, and
+// mixed columns hold either a continuous value or one of a declared set of
+// special (categorical-like) values, as in CTAB-GAN's mixed encoder.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace gtv::data {
+
+enum class ColumnType { kCategorical, kContinuous, kMixed };
+
+std::string to_string(ColumnType type);
+
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kContinuous;
+  // Category labels; size defines the cardinality. Categorical only.
+  std::vector<std::string> categories;
+  // Special point-mass values a mixed column can take (e.g. 0, -1).
+  std::vector<double> special_values;
+
+  std::size_t cardinality() const { return categories.size(); }
+};
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<ColumnSpec> schema);
+
+  std::size_t n_rows() const { return columns_.empty() ? 0 : columns_.front().size(); }
+  std::size_t n_cols() const { return schema_.size(); }
+
+  const ColumnSpec& spec(std::size_t col) const { return schema_.at(col); }
+  const std::vector<ColumnSpec>& schema() const { return schema_; }
+  // Index of the column with this name; throws if absent.
+  std::size_t column_index(const std::string& name) const;
+  std::optional<std::size_t> find_column(const std::string& name) const;
+
+  const std::vector<double>& column(std::size_t col) const { return columns_.at(col); }
+  double cell(std::size_t row, std::size_t col) const { return columns_.at(col).at(row); }
+  void set_cell(std::size_t row, std::size_t col, double value);
+
+  // Appends one row; values.size() must equal n_cols(). Categorical values
+  // must be valid category indices.
+  void append_row(const std::vector<double>& values);
+  void reserve(std::size_t rows);
+
+  // --- structural operations -------------------------------------------------
+  // New table with the given columns (in the given order).
+  Table select_columns(const std::vector<std::size_t>& cols) const;
+  // New table with the given rows (repetition allowed).
+  Table gather_rows(const std::vector<std::size_t>& rows) const;
+  Table slice_rows(std::size_t r0, std::size_t r1) const;
+  // In-place row permutation: new_row[i] = old_row[perm[i]].
+  void permute_rows(const std::vector<std::size_t>& perm);
+  // Horizontal concatenation (same row count, disjoint column names).
+  static Table concat_columns(const std::vector<Table>& parts);
+
+  // Splits rows into (train, test) with `test_fraction` of rows in test.
+  // If `stratify_col` is set (a categorical column), the class proportions
+  // are preserved in both splits.
+  std::pair<Table, Table> train_test_split(double test_fraction, Rng& rng,
+                                           std::optional<std::size_t> stratify_col = {}) const;
+
+  // Stratified subsample of `rows` rows w.r.t. `stratify_col` (paper: the
+  // 50K-row samples of Covertype/Credit/Intrusion). Returns all rows if
+  // `rows >= n_rows()`.
+  Table stratified_sample(std::size_t rows, std::size_t stratify_col, Rng& rng) const;
+
+  // Per-class row counts of a categorical column.
+  std::vector<std::size_t> class_counts(std::size_t col) const;
+
+  bool same_schema(const Table& other) const;
+
+ private:
+  std::vector<ColumnSpec> schema_;
+  std::vector<std::vector<double>> columns_;
+};
+
+// Splits columns into `parts` groups: group g receives the columns whose
+// index appears in groups[g]. Used to create per-client vertical shards.
+std::vector<Table> vertical_split(const Table& table,
+                                  const std::vector<std::vector<std::size_t>>& groups);
+
+// CSV round trip. The header encodes types: "name:cat{a|b|c}",
+// "name:cont", "name:mixed{0;-1}". Categorical cells are written as labels.
+void write_csv(const Table& table, const std::string& path);
+Table read_csv(const std::string& path);
+
+}  // namespace gtv::data

@@ -1,0 +1,84 @@
+#include "encode/cond.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gtv::encode {
+
+ConditionalSampler::ConditionalSampler(const TableEncoder& encoder, const data::Table& data)
+    : encoder_(&encoder), n_rows_(data.n_rows()), encoded_width_(encoder.total_width()) {
+  if (n_rows_ == 0) throw std::invalid_argument("ConditionalSampler: empty table");
+  const auto& discrete = encoder.discrete_spans();
+  cv_offsets_.reserve(discrete.size());
+  for (const auto& span : discrete) {
+    cv_offsets_.push_back(cv_width_);
+    cv_width_ += span.cardinality;
+
+    std::vector<std::vector<std::size_t>> buckets(span.cardinality);
+    const auto& column = data.column(span.source_column);
+    for (std::size_t r = 0; r < column.size(); ++r) {
+      buckets.at(static_cast<std::size_t>(column[r])).push_back(r);
+    }
+    std::vector<double> logf(span.cardinality), rawf(span.cardinality);
+    for (std::size_t k = 0; k < span.cardinality; ++k) {
+      logf[k] = std::log(1.0 + static_cast<double>(buckets[k].size()));
+      rawf[k] = static_cast<double>(buckets[k].size());
+    }
+    rows_by_category_.push_back(std::move(buckets));
+    log_freq_.push_back(std::move(logf));
+    raw_freq_.push_back(std::move(rawf));
+  }
+}
+
+ConditionalSampler::Sample ConditionalSampler::sample_train(std::size_t batch, Rng& rng) const {
+  Sample sample;
+  sample.rows.reserve(batch);
+  if (!has_discrete()) {
+    sample.cv = Tensor(batch, 0);
+    for (std::size_t b = 0; b < batch; ++b) sample.rows.push_back(rng.uniform_index(n_rows_));
+    return sample;
+  }
+  sample.cv = Tensor(batch, cv_width_);
+  sample.span.reserve(batch);
+  sample.category.reserve(batch);
+  const std::size_t n_spans = rows_by_category_.size();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t span = rng.uniform_index(n_spans);
+    // Retry on empty categories (log(1+0)=0 weight already excludes them
+    // unless every category is empty, which cannot happen for a fitted col).
+    const std::size_t category = rng.categorical(log_freq_[span]);
+    const auto& bucket = rows_by_category_[span][category];
+    if (bucket.empty()) {
+      throw std::logic_error("ConditionalSampler: sampled an empty category bucket");
+    }
+    sample.cv(b, cv_offsets_[span] + category) = 1.0f;
+    sample.rows.push_back(bucket[rng.uniform_index(bucket.size())]);
+    sample.span.push_back(span);
+    sample.category.push_back(category);
+  }
+  return sample;
+}
+
+Tensor ConditionalSampler::sample_original(std::size_t batch, Rng& rng) const {
+  if (!has_discrete()) return Tensor(batch, 0);
+  Tensor cv(batch, cv_width_);
+  const std::size_t n_spans = rows_by_category_.size();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t span = rng.uniform_index(n_spans);
+    const std::size_t category = rng.categorical(raw_freq_[span]);
+    cv(b, cv_offsets_[span] + category) = 1.0f;
+  }
+  return cv;
+}
+
+Tensor ConditionalSampler::target_mask(const Sample& sample) const {
+  Tensor mask(sample.rows.size(), encoded_width_);
+  const auto& discrete = encoder_->discrete_spans();
+  for (std::size_t b = 0; b < sample.span.size(); ++b) {
+    const auto& span = discrete.at(sample.span[b]);
+    mask(b, span.span_offset + sample.category[b]) = 1.0f;
+  }
+  return mask;
+}
+
+}  // namespace gtv::encode

@@ -1,0 +1,74 @@
+// Conditional-vector (CV) machinery, following CT-GAN's
+// "training-by-sampling":
+//
+//   - one discrete (categorical) column is chosen uniformly at random,
+//   - a category is chosen with probability proportional to log(1+freq),
+//   - the CV is a one-hot over the concatenated category lists of all
+//     discrete columns,
+//   - a matching real row (whose chosen column equals the chosen category)
+//     is sampled uniformly for discriminator training.
+//
+// In GTV the same machinery runs per client: each client builds CVs over
+// its own categorical columns, and the server selects which client's CV is
+// used each round (weighted by the feature-ratio vector P_r).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/table.h"
+#include "encode/encoder.h"
+#include "tensor/tensor.h"
+
+namespace gtv::encode {
+
+class ConditionalSampler {
+ public:
+  // `data` must be the table the encoder was fitted on (it provides the
+  // row index lists per category).
+  ConditionalSampler(const TableEncoder& encoder, const data::Table& data);
+
+  // Total CV width: sum of cardinalities of all discrete spans.
+  std::size_t cv_width() const { return cv_width_; }
+  bool has_discrete() const { return cv_width_ > 0; }
+  std::size_t n_rows() const { return n_rows_; }
+
+  struct Sample {
+    Tensor cv;                          // batch x cv_width (empty if no discrete cols)
+    std::vector<std::size_t> rows;      // matching data row per batch row
+    std::vector<std::size_t> span;      // chosen discrete-span index per batch row
+    std::vector<std::size_t> category;  // chosen category per batch row
+  };
+
+  // Training-time sample (log-frequency category distribution). When the
+  // table has no discrete columns the CV is an empty tensor and rows are
+  // sampled uniformly.
+  Sample sample_train(std::size_t batch, Rng& rng) const;
+  // Synthesis-time CV with categories drawn from the original frequencies.
+  Tensor sample_original(std::size_t batch, Rng& rng) const;
+
+  // One-hot target over the *encoded* layout: 1 at the conditioned
+  // (span offset + category) position of each row. Used by the generator's
+  // conditional cross-entropy loss.
+  Tensor target_mask(const Sample& sample) const;
+
+  // Offsets of each discrete span inside the CV (parallel to
+  // encoder.discrete_spans()).
+  const std::vector<std::size_t>& cv_offsets() const { return cv_offsets_; }
+  const TableEncoder& encoder() const { return *encoder_; }
+
+ private:
+  const TableEncoder* encoder_;
+  std::size_t n_rows_ = 0;
+  std::size_t cv_width_ = 0;
+  std::size_t encoded_width_ = 0;
+  std::vector<std::size_t> cv_offsets_;
+  // rows_by_category_[span][category] = row indices holding that category.
+  std::vector<std::vector<std::vector<std::size_t>>> rows_by_category_;
+  // log(1+freq) weights per span.
+  std::vector<std::vector<double>> log_freq_;
+  // raw frequency weights per span.
+  std::vector<std::vector<double>> raw_freq_;
+};
+
+}  // namespace gtv::encode

@@ -1,0 +1,205 @@
+#include "encode/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gtv::encode {
+
+using data::ColumnType;
+
+void TableEncoder::fit(const data::Table& table, const EncoderOptions& options, Rng& rng) {
+  if (table.n_rows() == 0) throw std::invalid_argument("TableEncoder::fit: empty table");
+  schema_ = data::Table(table.schema());
+  codecs_.clear();
+  spans_.clear();
+  column_spans_.assign(table.n_cols(), {});
+  discrete_spans_.clear();
+  total_width_ = 0;
+
+  for (std::size_t c = 0; c < table.n_cols(); ++c) {
+    const auto& spec = table.spec(c);
+    ColumnCodec codec;
+    codec.type = spec.type;
+    codec.normalization_factor = options.normalization_factor;
+    switch (spec.type) {
+      case ColumnType::kCategorical: {
+        codec.cardinality = spec.cardinality();
+        Span onehot{total_width_, codec.cardinality, Activation::kSoftmax, c};
+        column_spans_[c].push_back(spans_.size());
+        spans_.push_back(onehot);
+        total_width_ += onehot.width;
+
+        DiscreteSpan ds;
+        ds.source_column = c;
+        ds.span_offset = onehot.offset;
+        ds.cardinality = codec.cardinality;
+        ds.frequencies = table.class_counts(c);
+        discrete_spans_.push_back(std::move(ds));
+        break;
+      }
+      case ColumnType::kContinuous: {
+        codec.gmm.fit(table.column(c), options.gmm, rng);
+        Span alpha{total_width_, 1, Activation::kTanh, c};
+        column_spans_[c].push_back(spans_.size());
+        spans_.push_back(alpha);
+        total_width_ += 1;
+        Span modes{total_width_, codec.gmm.n_modes(), Activation::kSoftmax, c};
+        column_spans_[c].push_back(spans_.size());
+        spans_.push_back(modes);
+        total_width_ += modes.width;
+        break;
+      }
+      case ColumnType::kMixed: {
+        codec.special_values = spec.special_values;
+        // Fit the GMM on the non-special portion only.
+        std::vector<double> continuous_part;
+        for (double v : table.column(c)) {
+          const bool special =
+              std::any_of(codec.special_values.begin(), codec.special_values.end(),
+                          [v](double s) { return v == s; });
+          if (!special) continuous_part.push_back(v);
+        }
+        if (continuous_part.empty()) {
+          // Column is all special values; treat the first special as mean.
+          continuous_part.push_back(codec.special_values.empty() ? 0.0
+                                                                 : codec.special_values[0]);
+        }
+        codec.gmm.fit(continuous_part, options.gmm, rng);
+        Span alpha{total_width_, 1, Activation::kTanh, c};
+        column_spans_[c].push_back(spans_.size());
+        spans_.push_back(alpha);
+        total_width_ += 1;
+        Span modes{total_width_, codec.special_values.size() + codec.gmm.n_modes(),
+                   Activation::kSoftmax, c};
+        column_spans_[c].push_back(spans_.size());
+        spans_.push_back(modes);
+        total_width_ += modes.width;
+        break;
+      }
+    }
+    codecs_.push_back(std::move(codec));
+  }
+}
+
+Tensor TableEncoder::encode(const data::Table& table, Rng& rng) const {
+  if (!table.same_schema(schema_)) {
+    throw std::invalid_argument("TableEncoder::encode: schema mismatch with fitted table");
+  }
+  Tensor out(table.n_rows(), total_width_);
+  for (std::size_t c = 0; c < table.n_cols(); ++c) {
+    const auto& codec = codecs_[c];
+    const auto& span_ids = column_spans_[c];
+    for (std::size_t r = 0; r < table.n_rows(); ++r) {
+      const double v = table.cell(r, c);
+      switch (codec.type) {
+        case ColumnType::kCategorical: {
+          const Span& onehot = spans_[span_ids[0]];
+          out(r, onehot.offset + static_cast<std::size_t>(v)) = 1.0f;
+          break;
+        }
+        case ColumnType::kContinuous: {
+          const Span& alpha = spans_[span_ids[0]];
+          const Span& modes = spans_[span_ids[1]];
+          const auto resp = codec.gmm.responsibilities(v);
+          const std::size_t mode = rng.categorical(resp);
+          const double normalized =
+              (v - codec.gmm.means()[mode]) /
+              (codec.normalization_factor * codec.gmm.stds()[mode]);
+          out(r, alpha.offset) = static_cast<float>(std::clamp(normalized, -1.0, 1.0));
+          out(r, modes.offset + mode) = 1.0f;
+          break;
+        }
+        case ColumnType::kMixed: {
+          const Span& alpha = spans_[span_ids[0]];
+          const Span& modes = spans_[span_ids[1]];
+          const std::size_t n_special = codec.special_values.size();
+          std::size_t special_idx = n_special;
+          for (std::size_t s = 0; s < n_special; ++s) {
+            if (v == codec.special_values[s]) {
+              special_idx = s;
+              break;
+            }
+          }
+          if (special_idx < n_special) {
+            // Point-mass mode: alpha pinned to 0 as in CTAB-GAN.
+            out(r, alpha.offset) = 0.0f;
+            out(r, modes.offset + special_idx) = 1.0f;
+          } else {
+            const auto resp = codec.gmm.responsibilities(v);
+            const std::size_t mode = rng.categorical(resp);
+            const double normalized =
+                (v - codec.gmm.means()[mode]) /
+                (codec.normalization_factor * codec.gmm.stds()[mode]);
+            out(r, alpha.offset) = static_cast<float>(std::clamp(normalized, -1.0, 1.0));
+            out(r, modes.offset + n_special + mode) = 1.0f;
+          }
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+data::Table TableEncoder::decode(const Tensor& encoded) const {
+  if (encoded.cols() != total_width_) {
+    throw std::invalid_argument("TableEncoder::decode: width " +
+                                std::to_string(encoded.cols()) + " != fitted " +
+                                std::to_string(total_width_));
+  }
+  data::Table out(schema_.schema());
+  out.reserve(encoded.rows());
+  std::vector<double> row(schema_.n_cols());
+  for (std::size_t r = 0; r < encoded.rows(); ++r) {
+    for (std::size_t c = 0; c < schema_.n_cols(); ++c) {
+      const auto& codec = codecs_[c];
+      const auto& span_ids = column_spans_[c];
+      auto argmax_span = [&](const Span& span) {
+        std::size_t best = 0;
+        float best_v = encoded(r, span.offset);
+        for (std::size_t k = 1; k < span.width; ++k) {
+          if (encoded(r, span.offset + k) > best_v) {
+            best_v = encoded(r, span.offset + k);
+            best = k;
+          }
+        }
+        return best;
+      };
+      switch (codec.type) {
+        case ColumnType::kCategorical: {
+          row[c] = static_cast<double>(argmax_span(spans_[span_ids[0]]));
+          break;
+        }
+        case ColumnType::kContinuous: {
+          const Span& alpha_span = spans_[span_ids[0]];
+          const std::size_t mode = argmax_span(spans_[span_ids[1]]);
+          const double alpha =
+              std::clamp<double>(encoded(r, alpha_span.offset), -1.0, 1.0);
+          row[c] = alpha * codec.normalization_factor * codec.gmm.stds()[mode] +
+                   codec.gmm.means()[mode];
+          break;
+        }
+        case ColumnType::kMixed: {
+          const Span& alpha_span = spans_[span_ids[0]];
+          const std::size_t mode = argmax_span(spans_[span_ids[1]]);
+          const std::size_t n_special = codec.special_values.size();
+          if (mode < n_special) {
+            row[c] = codec.special_values[mode];
+          } else {
+            const double alpha =
+                std::clamp<double>(encoded(r, alpha_span.offset), -1.0, 1.0);
+            const std::size_t g = mode - n_special;
+            row[c] = alpha * codec.normalization_factor * codec.gmm.stds()[g] +
+                     codec.gmm.means()[g];
+          }
+          break;
+        }
+      }
+    }
+    out.append_row(row);
+  }
+  return out;
+}
+
+}  // namespace gtv::encode

@@ -1,0 +1,163 @@
+#include "encode/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gtv::encode {
+
+namespace {
+
+double log_gaussian(double x, double mean, double std) {
+  const double z = (x - mean) / std;
+  return -0.5 * z * z - std::log(std) - 0.918938533204673;  // log(sqrt(2*pi))
+}
+
+}  // namespace
+
+void GaussianMixture1D::fit(const std::vector<double>& values, const GmmOptions& options,
+                            Rng& rng) {
+  if (values.empty()) throw std::invalid_argument("GaussianMixture1D::fit: empty data");
+  const std::size_t n = values.size();
+  const std::size_t k = std::min(options.max_modes, n);
+
+  const auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  const double spread = std::max(*max_it - *min_it, 1e-9);
+
+  // Degenerate column: single point mass.
+  if (spread <= 1e-9 || k == 1) {
+    means_ = {values[0]};
+    stds_ = {std::max(options.min_std, 1e-6)};
+    weights_ = {1.0};
+    return;
+  }
+
+  // k-means++-style seeding: first center uniform, then distance-weighted.
+  means_.clear();
+  means_.push_back(values[rng.uniform_index(n)]);
+  while (means_.size() < k) {
+    std::vector<double> d2(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (double m : means_) best = std::min(best, (values[i] - m) * (values[i] - m));
+      d2[i] = best + 1e-12;
+    }
+    means_.push_back(values[rng.categorical(d2)]);
+  }
+  stds_.assign(k, spread / static_cast<double>(2 * k));
+  weights_.assign(k, 1.0 / static_cast<double>(k));
+
+  std::vector<double> resp(n * k);
+  double previous_ll = -std::numeric_limits<double>::max();
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // E-step.
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double max_log = -std::numeric_limits<double>::max();
+      for (std::size_t j = 0; j < k; ++j) {
+        resp[i * k + j] = std::log(weights_[j] + 1e-300) +
+                          log_gaussian(values[i], means_[j], stds_[j]);
+        max_log = std::max(max_log, resp[i * k + j]);
+      }
+      double total = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        resp[i * k + j] = std::exp(resp[i * k + j] - max_log);
+        total += resp[i * k + j];
+      }
+      for (std::size_t j = 0; j < k; ++j) resp[i * k + j] /= total;
+      ll += max_log + std::log(total);
+    }
+    ll /= static_cast<double>(n);
+    // M-step.
+    for (std::size_t j = 0; j < k; ++j) {
+      double rsum = 0.0, mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        rsum += resp[i * k + j];
+        mean += resp[i * k + j] * values[i];
+      }
+      if (rsum < 1e-12) {
+        // Re-seed a dead component.
+        means_[j] = values[rng.uniform_index(n)];
+        stds_[j] = spread / static_cast<double>(2 * k);
+        weights_[j] = 1e-6;
+        continue;
+      }
+      mean /= rsum;
+      double var = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        var += resp[i * k + j] * (values[i] - mean) * (values[i] - mean);
+      }
+      var /= rsum;
+      means_[j] = mean;
+      stds_[j] = std::max(std::sqrt(var), options.min_std);
+      weights_[j] = rsum / static_cast<double>(n);
+    }
+    if (std::abs(ll - previous_ll) < options.tolerance) break;
+    previous_ll = ll;
+  }
+
+  // Prune insignificant modes and renormalize weights.
+  std::vector<double> w, m, s;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (weights_[j] >= options.min_weight) {
+      w.push_back(weights_[j]);
+      m.push_back(means_[j]);
+      s.push_back(stds_[j]);
+    }
+  }
+  if (w.empty()) {
+    // Keep the dominant mode if everything was pruned.
+    const std::size_t best = static_cast<std::size_t>(
+        std::max_element(weights_.begin(), weights_.end()) - weights_.begin());
+    w = {1.0};
+    m = {means_[best]};
+    s = {stds_[best]};
+  }
+  double total = 0.0;
+  for (double v : w) total += v;
+  for (double& v : w) v /= total;
+  weights_ = std::move(w);
+  means_ = std::move(m);
+  stds_ = std::move(s);
+}
+
+std::vector<double> GaussianMixture1D::responsibilities(double value) const {
+  const std::size_t k = means_.size();
+  std::vector<double> out(k);
+  double max_log = -std::numeric_limits<double>::max();
+  for (std::size_t j = 0; j < k; ++j) {
+    out[j] = std::log(weights_[j] + 1e-300) + log_gaussian(value, means_[j], stds_[j]);
+    max_log = std::max(max_log, out[j]);
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    out[j] = std::exp(out[j] - max_log);
+    total += out[j];
+  }
+  for (double& v : out) v /= total;
+  return out;
+}
+
+std::size_t GaussianMixture1D::most_likely_mode(double value) const {
+  const auto r = responsibilities(value);
+  return static_cast<std::size_t>(std::max_element(r.begin(), r.end()) - r.begin());
+}
+
+double GaussianMixture1D::log_likelihood(const std::vector<double>& values) const {
+  double total = 0.0;
+  for (double x : values) {
+    double max_log = -std::numeric_limits<double>::max();
+    std::vector<double> logs(means_.size());
+    for (std::size_t j = 0; j < means_.size(); ++j) {
+      logs[j] = std::log(weights_[j] + 1e-300) + log_gaussian(x, means_[j], stds_[j]);
+      max_log = std::max(max_log, logs[j]);
+    }
+    double acc = 0.0;
+    for (double l : logs) acc += std::exp(l - max_log);
+    total += max_log + std::log(acc);
+  }
+  return total / static_cast<double>(values.size());
+}
+
+}  // namespace gtv::encode

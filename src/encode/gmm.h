@@ -1,0 +1,48 @@
+// 1-D Gaussian mixture fitted with EM, used by the mode-specific
+// normalization of CT-GAN (the "VGM" encoder): each continuous column is
+// modeled as a mixture; a value is encoded as its mode id plus a scalar
+// normalized within that mode.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace gtv::encode {
+
+struct GmmOptions {
+  std::size_t max_modes = 10;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-5;
+  // Modes whose mixture weight falls below this are dropped after fitting
+  // (CT-GAN keeps only "significant" modes).
+  double min_weight = 0.005;
+  double min_std = 1e-4;
+};
+
+class GaussianMixture1D {
+ public:
+  // Fits by EM with k-means++-style initialization drawn from `rng`.
+  // `values` must be non-empty.
+  void fit(const std::vector<double>& values, const GmmOptions& options, Rng& rng);
+
+  std::size_t n_modes() const { return means_.size(); }
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+
+  // Posterior P(mode | value), normalized.
+  std::vector<double> responsibilities(double value) const;
+  // Mode with the highest posterior.
+  std::size_t most_likely_mode(double value) const;
+  // Average log-likelihood of the data under the fitted mixture.
+  double log_likelihood(const std::vector<double>& values) const;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace gtv::encode

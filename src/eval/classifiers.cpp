@@ -1,0 +1,196 @@
+#include "eval/classifiers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "eval/tree.h"
+
+namespace gtv::eval {
+
+namespace {
+
+// x with an appended constant-1 column (bias absorbed into the weights).
+Tensor with_bias(const Tensor& x) {
+  Tensor out(x.rows(), x.cols() + 1);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) out(r, c) = x(r, c);
+    out(r, x.cols()) = 1.0f;
+  }
+  return out;
+}
+
+Tensor softmax_rows_plain(const Tensor& logits) {
+  Tensor out(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    float mx = logits(r, 0);
+    for (std::size_t c = 1; c < logits.cols(); ++c) mx = std::max(mx, logits(r, c));
+    float total = 0.0f;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      out(r, c) = std::exp(logits(r, c) - mx);
+      total += out(r, c);
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) out(r, c) /= total;
+  }
+  return out;
+}
+
+void check_fit_inputs(const Tensor& x, const std::vector<std::size_t>& y,
+                      std::size_t n_classes) {
+  if (x.rows() != y.size()) throw std::invalid_argument("Classifier::fit: x/y size mismatch");
+  if (x.rows() == 0) throw std::invalid_argument("Classifier::fit: empty training set");
+  if (n_classes < 2) throw std::invalid_argument("Classifier::fit: need >= 2 classes");
+  for (std::size_t label : y) {
+    if (label >= n_classes) throw std::invalid_argument("Classifier::fit: label out of range");
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> Classifier::predict(const Tensor& x) const {
+  Tensor scores = predict_scores(x);
+  std::vector<std::size_t> out(scores.rows());
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < scores.cols(); ++c) {
+      if (scores(r, c) > scores(r, best)) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+// --- LogisticRegression -------------------------------------------------------
+
+LogisticRegression::LogisticRegression(std::size_t epochs, float lr, float l2)
+    : epochs_(epochs), lr_(lr), l2_(l2) {}
+
+void LogisticRegression::fit(const Tensor& x, const std::vector<std::size_t>& y,
+                             std::size_t n_classes, Rng& rng) {
+  check_fit_inputs(x, y, n_classes);
+  (void)rng;
+  const Tensor xb = with_bias(x);
+  const auto n = static_cast<float>(xb.rows());
+  weights_ = Tensor(xb.cols(), n_classes);
+  for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+    Tensor probs = softmax_rows_plain(xb.matmul(weights_));
+    // dL/dlogits = (p - onehot) / n
+    for (std::size_t r = 0; r < probs.rows(); ++r) probs(r, y[r]) -= 1.0f;
+    Tensor grad = xb.transpose().matmul(probs).mul_scalar(1.0f / n);
+    grad += weights_.mul_scalar(l2_);
+    weights_ -= grad.mul_scalar(lr_);
+  }
+}
+
+Tensor LogisticRegression::predict_scores(const Tensor& x) const {
+  if (weights_.empty()) throw std::logic_error("LogisticRegression: not fitted");
+  return softmax_rows_plain(with_bias(x).matmul(weights_));
+}
+
+// --- LinearSvm --------------------------------------------------------------------
+
+LinearSvm::LinearSvm(std::size_t epochs, float lr, float l2)
+    : epochs_(epochs), lr_(lr), l2_(l2) {}
+
+void LinearSvm::fit(const Tensor& x, const std::vector<std::size_t>& y, std::size_t n_classes,
+                    Rng& rng) {
+  check_fit_inputs(x, y, n_classes);
+  const Tensor xb = with_bias(x);
+  weights_ = Tensor(xb.cols(), n_classes);
+  const std::size_t n = xb.rows();
+  for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+    const auto order = rng.permutation(n);
+    const float lr = lr_ / (1.0f + 0.1f * static_cast<float>(epoch));
+    for (std::size_t r : order) {
+      // One-vs-rest squared hinge per class: target +1 for y[r], else -1.
+      for (std::size_t k = 0; k < n_classes; ++k) {
+        float score = 0.0f;
+        for (std::size_t c = 0; c < xb.cols(); ++c) score += xb(r, c) * weights_(c, k);
+        const float target = (k == y[r]) ? 1.0f : -1.0f;
+        const float margin = 1.0f - target * score;
+        for (std::size_t c = 0; c < xb.cols(); ++c) {
+          float grad = l2_ * weights_(c, k);
+          if (margin > 0.0f) grad += -2.0f * margin * target * xb(r, c);
+          weights_(c, k) -= lr * grad;
+        }
+      }
+    }
+  }
+}
+
+Tensor LinearSvm::predict_scores(const Tensor& x) const {
+  if (weights_.empty()) throw std::logic_error("LinearSvm: not fitted");
+  return with_bias(x).matmul(weights_);
+}
+
+// --- MlpClassifier -------------------------------------------------------------------
+
+MlpClassifier::MlpClassifier(std::size_t hidden, std::size_t epochs, std::size_t batch)
+    : hidden_(hidden), epochs_(epochs), batch_(batch) {}
+
+void MlpClassifier::fit(const Tensor& x, const std::vector<std::size_t>& y,
+                        std::size_t n_classes, Rng& rng) {
+  check_fit_inputs(x, y, n_classes);
+  const std::size_t d = x.cols();
+  const float bound1 = std::sqrt(6.0f / static_cast<float>(d + hidden_));
+  const float bound2 = std::sqrt(6.0f / static_cast<float>(hidden_ + n_classes));
+  w1_ = Tensor::uniform(d, hidden_, -bound1, bound1, rng);
+  b1_ = Tensor(1, hidden_);
+  w2_ = Tensor::uniform(hidden_, n_classes, -bound2, bound2, rng);
+  b2_ = Tensor(1, n_classes);
+
+  Tensor vw1(d, hidden_), vb1(1, hidden_), vw2(hidden_, n_classes), vb2(1, n_classes);
+  const float lr = 0.05f, momentum = 0.9f;
+  const std::size_t n = x.rows();
+  for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+    const auto order = rng.permutation(n);
+    for (std::size_t start = 0; start < n; start += batch_) {
+      const std::size_t end = std::min(n, start + batch_);
+      std::vector<std::size_t> rows(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                    order.begin() + static_cast<std::ptrdiff_t>(end));
+      Tensor xb = x.gather_rows(rows);
+      const auto m = static_cast<float>(xb.rows());
+
+      Tensor pre = xb.matmul(w1_) + b1_;
+      Tensor h = pre.map([](float v) { return v > 0.0f ? v : 0.0f; });
+      Tensor probs = softmax_rows_plain(h.matmul(w2_) + b2_);
+      for (std::size_t r = 0; r < rows.size(); ++r) probs(r, y[rows[r]]) -= 1.0f;
+      Tensor dlogits = probs.mul_scalar(1.0f / m);
+
+      Tensor gw2 = h.transpose().matmul(dlogits);
+      Tensor gb2 = dlogits.sum_rows();
+      Tensor dh = dlogits.matmul(w2_.transpose());
+      Tensor mask = pre.map([](float v) { return v > 0.0f ? 1.0f : 0.0f; });
+      Tensor dpre = dh * mask;
+      Tensor gw1 = xb.transpose().matmul(dpre);
+      Tensor gb1 = dpre.sum_rows();
+
+      vw1 = vw1.mul_scalar(momentum) - gw1.mul_scalar(lr);
+      vb1 = vb1.mul_scalar(momentum) - gb1.mul_scalar(lr);
+      vw2 = vw2.mul_scalar(momentum) - gw2.mul_scalar(lr);
+      vb2 = vb2.mul_scalar(momentum) - gb2.mul_scalar(lr);
+      w1_ += vw1;
+      b1_ += vb1;
+      w2_ += vw2;
+      b2_ += vb2;
+    }
+  }
+}
+
+Tensor MlpClassifier::predict_scores(const Tensor& x) const {
+  if (w1_.empty()) throw std::logic_error("MlpClassifier: not fitted");
+  Tensor h = (x.matmul(w1_) + b1_).map([](float v) { return v > 0.0f ? v : 0.0f; });
+  return softmax_rows_plain(h.matmul(w2_) + b2_);
+}
+
+std::vector<std::unique_ptr<Classifier>> make_classifier_suite() {
+  std::vector<std::unique_ptr<Classifier>> suite;
+  suite.push_back(std::make_unique<DecisionTreeClassifier>());
+  suite.push_back(std::make_unique<LinearSvm>());
+  suite.push_back(std::make_unique<RandomForestClassifier>());
+  suite.push_back(std::make_unique<LogisticRegression>());
+  suite.push_back(std::make_unique<MlpClassifier>());
+  return suite;
+}
+
+}  // namespace gtv::eval

@@ -1,0 +1,83 @@
+// The five classifier families of the paper's ML-utility pipeline
+// (decision tree, linear SVM, random forest, multinomial logistic
+// regression, MLP), implemented from scratch behind one interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace gtv::eval {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  virtual void fit(const Tensor& x, const std::vector<std::size_t>& y, std::size_t n_classes,
+                   Rng& rng) = 0;
+  // Per-class scores (probabilities where available, decision values for
+  // the SVM); shape n x n_classes. Higher is more likely.
+  virtual Tensor predict_scores(const Tensor& x) const = 0;
+  virtual std::string name() const = 0;
+
+  std::vector<std::size_t> predict(const Tensor& x) const;
+};
+
+// Multinomial logistic regression trained by full-batch gradient descent
+// with L2 regularization.
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(std::size_t epochs = 200, float lr = 0.5f, float l2 = 1e-4f);
+  void fit(const Tensor& x, const std::vector<std::size_t>& y, std::size_t n_classes,
+           Rng& rng) override;
+  Tensor predict_scores(const Tensor& x) const override;
+  std::string name() const override { return "logistic_regression"; }
+
+ private:
+  std::size_t epochs_;
+  float lr_;
+  float l2_;
+  Tensor weights_;  // (features+1) x classes, last row is the bias
+};
+
+// Linear SVM: one-vs-rest squared-hinge, SGD with L2.
+class LinearSvm : public Classifier {
+ public:
+  explicit LinearSvm(std::size_t epochs = 60, float lr = 0.05f, float l2 = 1e-4f);
+  void fit(const Tensor& x, const std::vector<std::size_t>& y, std::size_t n_classes,
+           Rng& rng) override;
+  Tensor predict_scores(const Tensor& x) const override;
+  std::string name() const override { return "linear_svm"; }
+
+ private:
+  std::size_t epochs_;
+  float lr_;
+  float l2_;
+  Tensor weights_;
+};
+
+// One-hidden-layer MLP (100 relu units, matching the paper's evaluation
+// model), trained with Adam on softmax cross-entropy.
+class MlpClassifier : public Classifier {
+ public:
+  explicit MlpClassifier(std::size_t hidden = 100, std::size_t epochs = 60,
+                         std::size_t batch = 128);
+  void fit(const Tensor& x, const std::vector<std::size_t>& y, std::size_t n_classes,
+           Rng& rng) override;
+  Tensor predict_scores(const Tensor& x) const override;
+  std::string name() const override { return "mlp"; }
+
+ private:
+  std::size_t hidden_;
+  std::size_t epochs_;
+  std::size_t batch_;
+  Tensor w1_, b1_, w2_, b2_;
+};
+
+// The full classifier suite used by the ML-utility pipeline (decision tree
+// and random forest live in tree.h).
+std::vector<std::unique_ptr<Classifier>> make_classifier_suite();
+
+}  // namespace gtv::eval

@@ -1,0 +1,71 @@
+#include "eval/features.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gtv::eval {
+
+void FeatureMatrix::fit(const data::Table& train, std::size_t target_column) {
+  if (target_column >= train.n_cols()) {
+    throw std::out_of_range("FeatureMatrix::fit: target column out of range");
+  }
+  if (train.spec(target_column).type != data::ColumnType::kCategorical) {
+    throw std::invalid_argument("FeatureMatrix::fit: target must be categorical");
+  }
+  target_ = target_column;
+  n_classes_ = train.spec(target_column).cardinality();
+  scalers_.clear();
+  width_ = 0;
+  for (std::size_t c = 0; c < train.n_cols(); ++c) {
+    if (c == target_column) continue;
+    ColumnScaler scaler;
+    scaler.source = c;
+    if (train.spec(c).type == data::ColumnType::kCategorical) {
+      scaler.categorical = true;
+      scaler.cardinality = train.spec(c).cardinality();
+      width_ += scaler.cardinality;
+    } else {
+      double sum = 0.0, sq = 0.0;
+      for (double v : train.column(c)) {
+        sum += v;
+        sq += v * v;
+      }
+      const double n = static_cast<double>(train.n_rows());
+      scaler.mean = sum / n;
+      scaler.std = std::sqrt(std::max(sq / n - scaler.mean * scaler.mean, 1e-12));
+      width_ += 1;
+    }
+    scalers_.push_back(scaler);
+  }
+}
+
+Tensor FeatureMatrix::transform(const data::Table& table) const {
+  Tensor out(table.n_rows(), width_);
+  for (std::size_t r = 0; r < table.n_rows(); ++r) {
+    std::size_t offset = 0;
+    for (const auto& scaler : scalers_) {
+      const double v = table.cell(r, scaler.source);
+      if (scaler.categorical) {
+        const auto k = static_cast<std::size_t>(v);
+        if (k < scaler.cardinality) out(r, offset + k) = 1.0f;
+        offset += scaler.cardinality;
+      } else {
+        out(r, offset) = static_cast<float>((v - scaler.mean) / scaler.std);
+        offset += 1;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> FeatureMatrix::labels(const data::Table& table) const {
+  std::vector<std::size_t> out;
+  out.reserve(table.n_rows());
+  for (double v : table.column(target_)) {
+    const auto k = static_cast<std::size_t>(v);
+    out.push_back(k < n_classes_ ? k : n_classes_ - 1);
+  }
+  return out;
+}
+
+}  // namespace gtv::eval

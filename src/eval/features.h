@@ -1,0 +1,43 @@
+// Feature preparation for the ML-utility classifiers: categorical columns
+// are one-hot encoded, continuous/mixed columns are standardized with
+// statistics fitted on the training split (the usual sklearn-style
+// fit/transform contract).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/table.h"
+#include "tensor/tensor.h"
+
+namespace gtv::eval {
+
+class FeatureMatrix {
+ public:
+  // Fits scalers on `train` using every column except `target_column`.
+  void fit(const data::Table& train, std::size_t target_column);
+
+  // Dense design matrix for a table with the fitted schema.
+  Tensor transform(const data::Table& table) const;
+  // Target labels (category indices) of the target column.
+  std::vector<std::size_t> labels(const data::Table& table) const;
+
+  std::size_t n_features() const { return width_; }
+  std::size_t n_classes() const { return n_classes_; }
+  std::size_t target_column() const { return target_; }
+
+ private:
+  struct ColumnScaler {
+    std::size_t source = 0;
+    bool categorical = false;
+    std::size_t cardinality = 0;  // categorical
+    double mean = 0.0;            // continuous
+    double std = 1.0;
+  };
+  std::vector<ColumnScaler> scalers_;
+  std::size_t target_ = 0;
+  std::size_t n_classes_ = 0;
+  std::size_t width_ = 0;
+};
+
+}  // namespace gtv::eval

@@ -1,0 +1,94 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gtv::eval {
+
+double accuracy(const std::vector<std::size_t>& truth, const std::vector<std::size_t>& pred) {
+  if (truth.size() != pred.size() || truth.empty()) {
+    throw std::invalid_argument("accuracy: size mismatch or empty");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) hits += truth[i] == pred[i];
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double macro_f1(const std::vector<std::size_t>& truth, const std::vector<std::size_t>& pred,
+                std::size_t n_classes) {
+  if (truth.size() != pred.size() || truth.empty()) {
+    throw std::invalid_argument("macro_f1: size mismatch or empty");
+  }
+  double total = 0.0;
+  for (std::size_t k = 0; k < n_classes; ++k) {
+    std::size_t tp = 0, fp = 0, fn = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      const bool is_true = truth[i] == k;
+      const bool is_pred = pred[i] == k;
+      tp += is_true && is_pred;
+      fp += !is_true && is_pred;
+      fn += is_true && !is_pred;
+    }
+    const double denom = 2.0 * tp + fp + fn;
+    total += denom > 0.0 ? 2.0 * tp / denom : 0.0;
+  }
+  return total / static_cast<double>(n_classes);
+}
+
+double binary_auc(const std::vector<std::size_t>& truth, const std::vector<double>& scores) {
+  if (truth.size() != scores.size() || truth.empty()) {
+    throw std::invalid_argument("binary_auc: size mismatch or empty");
+  }
+  // Average ranks (ties share the mean rank), then Mann-Whitney.
+  std::vector<std::size_t> order(truth.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> ranks(truth.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  double rank_sum = 0.0;
+  std::size_t n_pos = 0;
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    if (truth[k] == 1) {
+      rank_sum += ranks[k];
+      ++n_pos;
+    }
+  }
+  const std::size_t n_neg = truth.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) {
+    throw std::invalid_argument("binary_auc: needs both classes present");
+  }
+  const double u = rank_sum - static_cast<double>(n_pos) * (n_pos + 1) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+double macro_auc(const std::vector<std::size_t>& truth, const Tensor& scores) {
+  if (truth.size() != scores.rows()) throw std::invalid_argument("macro_auc: size mismatch");
+  double total = 0.0;
+  std::size_t used = 0;
+  for (std::size_t k = 0; k < scores.cols(); ++k) {
+    std::vector<std::size_t> binary(truth.size());
+    std::vector<double> class_scores(truth.size());
+    std::size_t n_pos = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      binary[i] = truth[i] == k ? 1 : 0;
+      n_pos += binary[i];
+      class_scores[i] = scores(i, k);
+    }
+    if (n_pos == 0 || n_pos == truth.size()) continue;
+    total += binary_auc(binary, class_scores);
+    ++used;
+  }
+  if (used == 0) throw std::invalid_argument("macro_auc: no scorable class");
+  return total / static_cast<double>(used);
+}
+
+}  // namespace gtv::eval

@@ -1,0 +1,26 @@
+// Classification metrics: accuracy, macro F1, and ROC-AUC (rank-based,
+// one-vs-rest macro-averaged for multiclass).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gtv::eval {
+
+double accuracy(const std::vector<std::size_t>& truth, const std::vector<std::size_t>& pred);
+
+// Macro-averaged F1 over `n_classes` classes (absent classes count as 0).
+double macro_f1(const std::vector<std::size_t>& truth, const std::vector<std::size_t>& pred,
+                std::size_t n_classes);
+
+// Binary AUC from per-sample scores for the positive class (Mann-Whitney
+// rank statistic with tie correction).
+double binary_auc(const std::vector<std::size_t>& truth, const std::vector<double>& scores);
+
+// Macro one-vs-rest AUC from an (n x n_classes) score matrix. Classes with
+// no positive or no negative examples are skipped.
+double macro_auc(const std::vector<std::size_t>& truth, const Tensor& scores);
+
+}  // namespace gtv::eval

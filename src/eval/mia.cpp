@@ -1,0 +1,87 @@
+#include "eval/mia.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace gtv::eval {
+
+namespace {
+
+using data::ColumnType;
+using data::Table;
+
+// Per-column inverse scales from the synthetic table.
+std::vector<double> column_scales(const Table& synthetic) {
+  std::vector<double> scales(synthetic.n_cols(), 1.0);
+  for (std::size_t c = 0; c < synthetic.n_cols(); ++c) {
+    if (synthetic.spec(c).type == ColumnType::kCategorical) continue;
+    const auto& col = synthetic.column(c);
+    const auto [mn, mx] = std::minmax_element(col.begin(), col.end());
+    scales[c] = 1.0 / std::max(*mx - *mn, 1e-9);
+  }
+  return scales;
+}
+
+double nearest_distance(const Table& candidates, std::size_t row, const Table& synthetic,
+                        const std::vector<double>& scales) {
+  double best = std::numeric_limits<double>::max();
+  for (std::size_t s = 0; s < synthetic.n_rows(); ++s) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < synthetic.n_cols() && acc < best; ++c) {
+      if (synthetic.spec(c).type == ColumnType::kCategorical) {
+        acc += candidates.cell(row, c) == synthetic.cell(s, c) ? 0.0 : 1.0;
+      } else {
+        const double d = (candidates.cell(row, c) - synthetic.cell(s, c)) * scales[c];
+        acc += d * d;
+      }
+    }
+    best = std::min(best, acc);
+  }
+  return std::sqrt(best);
+}
+
+}  // namespace
+
+MiaResult membership_inference(const Table& members, const Table& non_members,
+                               const Table& synthetic) {
+  if (!members.same_schema(synthetic) || !non_members.same_schema(synthetic)) {
+    throw std::invalid_argument("membership_inference: schema mismatch");
+  }
+  if (members.n_rows() == 0 || non_members.n_rows() == 0 || synthetic.n_rows() == 0) {
+    throw std::invalid_argument("membership_inference: empty table");
+  }
+  const auto scales = column_scales(synthetic);
+  std::vector<double> member_d(members.n_rows()), non_member_d(non_members.n_rows());
+  for (std::size_t r = 0; r < members.n_rows(); ++r) {
+    member_d[r] = nearest_distance(members, r, synthetic, scales);
+  }
+  for (std::size_t r = 0; r < non_members.n_rows(); ++r) {
+    non_member_d[r] = nearest_distance(non_members, r, synthetic, scales);
+  }
+
+  MiaResult result;
+  double m_total = 0.0, n_total = 0.0;
+  for (double d : member_d) m_total += d;
+  for (double d : non_member_d) n_total += d;
+  result.member_mean = m_total / static_cast<double>(member_d.size());
+  result.non_member_mean = n_total / static_cast<double>(non_member_d.size());
+  // AUC of "-distance" as a membership score: P(member closer than non-member).
+  double wins = 0.0;
+  for (double m : member_d) {
+    for (double n : non_member_d) {
+      if (m < n) {
+        wins += 1.0;
+      } else if (m == n) {
+        wins += 0.5;
+      }
+    }
+  }
+  result.auc =
+      wins / (static_cast<double>(member_d.size()) * static_cast<double>(non_member_d.size()));
+  return result;
+}
+
+}  // namespace gtv::eval

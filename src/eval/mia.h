@@ -1,0 +1,29 @@
+// Membership inference against published synthetic data (paper §3.3).
+//
+// Implements the black-box, synthetic-data-only attack family of
+// Hilprecht et al. / GAN-Leaks: the adversary scores a candidate record by
+// its distance to the closest published synthetic row (closer = more
+// likely a training member). Success is measured as the Mann-Whitney AUC
+// of that score separating true members (training rows) from non-members
+// (held-out rows). 0.5 = no leakage; the paper argues GTV's split
+// generator and publication shuffle keep the stronger white-box variants
+// unavailable, leaving only this weak signal.
+#pragma once
+
+#include "data/table.h"
+
+namespace gtv::eval {
+
+struct MiaResult {
+  double auc = 0.5;          // membership separability (0.5 = safe)
+  double member_mean = 0.0;  // mean distance of members to nearest synthetic row
+  double non_member_mean = 0.0;
+};
+
+// Distances are computed in a normalized feature space: continuous/mixed
+// columns are scaled by the synthetic column's min-max range, categorical
+// mismatches cost 1. All three tables must share the schema.
+MiaResult membership_inference(const data::Table& members, const data::Table& non_members,
+                               const data::Table& synthetic);
+
+}  // namespace gtv::eval

@@ -1,0 +1,74 @@
+#include "eval/ml_utility.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "eval/classifiers.h"
+#include "eval/features.h"
+#include "eval/metrics.h"
+
+namespace gtv::eval {
+
+UtilityScores evaluate_suite(const data::Table& train, const data::Table& test,
+                             std::size_t target_column, Rng& rng,
+                             std::vector<std::string>* names,
+                             std::vector<UtilityScores>* per_classifier) {
+  FeatureMatrix features;
+  features.fit(train, target_column);
+  const Tensor x_train = features.transform(train);
+  const Tensor x_test = features.transform(test);
+  const auto y_train = features.labels(train);
+  const auto y_test = features.labels(test);
+
+  UtilityScores average;
+  auto suite = make_classifier_suite();
+  std::size_t scored = 0;
+  for (auto& classifier : suite) {
+    classifier->fit(x_train, y_train, features.n_classes(), rng);
+    const Tensor scores = classifier->predict_scores(x_test);
+    std::vector<std::size_t> pred(scores.rows());
+    for (std::size_t r = 0; r < scores.rows(); ++r) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < scores.cols(); ++c) {
+        if (scores(r, c) > scores(r, best)) best = c;
+      }
+      pred[r] = best;
+    }
+    UtilityScores s;
+    s.accuracy = accuracy(y_test, pred);
+    s.f1 = macro_f1(y_test, pred, features.n_classes());
+    try {
+      s.auc = macro_auc(y_test, scores);
+    } catch (const std::invalid_argument&) {
+      s.auc = 0.5;  // degenerate test labels
+    }
+    average.accuracy += s.accuracy;
+    average.f1 += s.f1;
+    average.auc += s.auc;
+    ++scored;
+    if (names != nullptr) names->push_back(classifier->name());
+    if (per_classifier != nullptr) per_classifier->push_back(s);
+  }
+  average.accuracy /= static_cast<double>(scored);
+  average.f1 /= static_cast<double>(scored);
+  average.auc /= static_cast<double>(scored);
+  return average;
+}
+
+UtilityDifference ml_utility_difference(const data::Table& real_train,
+                                        const data::Table& synthetic_train,
+                                        const data::Table& real_test,
+                                        std::size_t target_column, Rng& rng) {
+  UtilityDifference result;
+  result.real = evaluate_suite(real_train, real_test, target_column, rng,
+                               &result.classifier_names, &result.per_classifier_real);
+  std::vector<std::string> synth_names;
+  result.synthetic = evaluate_suite(synthetic_train, real_test, target_column, rng,
+                                    &synth_names, &result.per_classifier_synthetic);
+  result.difference.accuracy = std::abs(result.real.accuracy - result.synthetic.accuracy);
+  result.difference.f1 = std::abs(result.real.f1 - result.synthetic.f1);
+  result.difference.auc = std::abs(result.real.auc - result.synthetic.auc);
+  return result;
+}
+
+}  // namespace gtv::eval

@@ -1,0 +1,44 @@
+// The paper's ML-utility pipeline (§4.2.1): train the five-classifier
+// suite once on real training data and once on synthetic data of the same
+// size, evaluate both on the held-out real test set, and report the
+// (real - synthetic) differences in accuracy, macro F1 and macro AUC.
+// Lower difference = better synthetic data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "tensor/rng.h"
+
+namespace gtv::eval {
+
+struct UtilityScores {
+  double accuracy = 0.0;
+  double f1 = 0.0;
+  double auc = 0.0;
+};
+
+struct UtilityDifference {
+  UtilityScores real;        // suite trained on real data
+  UtilityScores synthetic;   // suite trained on synthetic data
+  UtilityScores difference;  // real - synthetic (per metric)
+  // Per-classifier breakdown (parallel to make_classifier_suite() order).
+  std::vector<std::string> classifier_names;
+  std::vector<UtilityScores> per_classifier_real;
+  std::vector<UtilityScores> per_classifier_synthetic;
+};
+
+// `target_column` indexes a categorical column present in all three tables.
+UtilityDifference ml_utility_difference(const data::Table& real_train,
+                                        const data::Table& synthetic_train,
+                                        const data::Table& real_test,
+                                        std::size_t target_column, Rng& rng);
+
+// Averaged scores of the suite trained on `train`, tested on `test`.
+UtilityScores evaluate_suite(const data::Table& train, const data::Table& test,
+                             std::size_t target_column, Rng& rng,
+                             std::vector<std::string>* names = nullptr,
+                             std::vector<UtilityScores>* per_classifier = nullptr);
+
+}  // namespace gtv::eval

@@ -1,0 +1,94 @@
+#include "eval/shapley.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "eval/classifiers.h"
+#include "eval/features.h"
+
+namespace gtv::eval {
+
+std::vector<double> shapley_importance(const data::Table& table, std::size_t target_column,
+                                       const ShapleyOptions& options, Rng& rng) {
+  FeatureMatrix features;
+  features.fit(table, target_column);
+  const Tensor x = features.transform(table);
+  const auto y = features.labels(table);
+
+  MlpClassifier mlp(100, options.mlp_epochs);
+  mlp.fit(x, y, features.n_classes(), rng);
+
+  // Map encoded feature positions back to source columns so permutations
+  // swap whole original columns (one-hot groups move together).
+  std::vector<std::size_t> feature_columns;  // source column per table col (non-target)
+  for (std::size_t c = 0; c < table.n_cols(); ++c) {
+    if (c != target_column) feature_columns.push_back(c);
+  }
+  // Encoded span per source column, in fit order.
+  std::vector<std::pair<std::size_t, std::size_t>> encoded_span(table.n_cols(), {0, 0});
+  {
+    std::size_t offset = 0;
+    for (std::size_t c = 0; c < table.n_cols(); ++c) {
+      if (c == target_column) continue;
+      const std::size_t width =
+          table.spec(c).type == data::ColumnType::kCategorical ? table.spec(c).cardinality() : 1;
+      encoded_span[c] = {offset, offset + width};
+      offset += width;
+    }
+  }
+
+  std::vector<double> importance(table.n_cols(), 0.0);
+  const std::size_t n = x.rows();
+  Tensor composite(1, x.cols());
+  for (std::size_t s = 0; s < options.samples; ++s) {
+    const std::size_t target_row = rng.uniform_index(n);
+    const std::size_t background_row = rng.uniform_index(n);
+    // Start from the background row; walk a random column permutation,
+    // switching columns to the target row one at a time.
+    for (std::size_t c = 0; c < x.cols(); ++c) composite(0, c) = x(background_row, c);
+    const auto cls = y[target_row];
+    auto value = [&]() {
+      return static_cast<double>(mlp.predict_scores(composite)(0, cls));
+    };
+    double previous = value();
+    std::vector<std::size_t> order = rng.permutation(feature_columns.size());
+    for (std::size_t oi : order) {
+      const std::size_t column = feature_columns[oi];
+      const auto [lo, hi] = encoded_span[column];
+      for (std::size_t c = lo; c < hi; ++c) composite(0, c) = x(target_row, c);
+      const double current = value();
+      importance[column] += std::abs(current - previous);
+      previous = current;
+    }
+  }
+  for (double& v : importance) v /= static_cast<double>(options.samples);
+  return importance;
+}
+
+std::vector<std::size_t> rank_features_by_importance(const data::Table& table,
+                                                     std::size_t target_column,
+                                                     const ShapleyOptions& options, Rng& rng) {
+  const auto importance = shapley_importance(table, target_column, options, rng);
+  std::vector<std::size_t> ranked;
+  for (std::size_t c = 0; c < table.n_cols(); ++c) {
+    if (c != target_column) ranked.push_back(c);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+    return importance[a] > importance[b];
+  });
+  return ranked;
+}
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split_by_importance(
+    const std::vector<std::size_t>& ranked, double fraction) {
+  const auto top = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(ranked.size()) * fraction + 0.5));
+  std::vector<std::size_t> head(ranked.begin(),
+                                ranked.begin() + static_cast<std::ptrdiff_t>(
+                                                     std::min(top, ranked.size())));
+  std::vector<std::size_t> tail(ranked.begin() + static_cast<std::ptrdiff_t>(head.size()),
+                                ranked.end());
+  return {std::move(head), std::move(tail)};
+}
+
+}  // namespace gtv::eval

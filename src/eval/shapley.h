@@ -1,0 +1,38 @@
+// Monte-Carlo permutation-sampling estimate of Shapley feature importance
+// (Lundberg & Lee's sampling approximation), used to rank features for the
+// motivation case study (Fig. 3) and the 1090/5050/9010 data-partition
+// experiments. The value function is the MLP's predicted probability of
+// the sample's true class; marginal contributions are averaged over random
+// permutations and background rows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/table.h"
+#include "tensor/rng.h"
+
+namespace gtv::eval {
+
+struct ShapleyOptions {
+  std::size_t samples = 200;      // permutation draws
+  std::size_t mlp_epochs = 40;    // epochs for the explained MLP
+};
+
+// Mean |Shapley value| per original table column (target excluded; its
+// entry is 0). Higher = more important for predicting the target.
+std::vector<double> shapley_importance(const data::Table& table, std::size_t target_column,
+                                       const ShapleyOptions& options, Rng& rng);
+
+// Column indices (target excluded) sorted by descending importance.
+std::vector<std::size_t> rank_features_by_importance(const data::Table& table,
+                                                     std::size_t target_column,
+                                                     const ShapleyOptions& options, Rng& rng);
+
+// Splits the ranked features into (top `fraction`, rest) — the paper's
+// Setting-A / Setting-B construction. The top group has at least one
+// feature.
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split_by_importance(
+    const std::vector<std::size_t>& ranked, double fraction);
+
+}  // namespace gtv::eval

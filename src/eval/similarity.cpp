@@ -1,0 +1,239 @@
+#include "eval/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gtv::eval {
+
+namespace {
+
+using data::ColumnType;
+using data::Table;
+
+std::vector<double> category_distribution(const Table& t, std::size_t col) {
+  const std::size_t k = t.spec(col).cardinality();
+  std::vector<double> dist(k, 0.0);
+  for (double v : t.column(col)) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (idx < k) dist[idx] += 1.0;
+  }
+  const double total = static_cast<double>(t.n_rows());
+  for (double& d : dist) d /= total;
+  return dist;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 1e-12 || vb <= 1e-12) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+// Correlation ratio eta: categorical x -> continuous y.
+double correlation_ratio(const std::vector<double>& categories, std::size_t cardinality,
+                         const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::vector<double> sums(cardinality, 0.0);
+  std::vector<std::size_t> counts(cardinality, 0);
+  double grand = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(categories[i]);
+    if (k < cardinality) {
+      sums[k] += values[i];
+      ++counts[k];
+    }
+    grand += values[i];
+  }
+  grand /= static_cast<double>(n);
+  double between = 0.0, total = 0.0;
+  for (std::size_t k = 0; k < cardinality; ++k) {
+    if (counts[k] == 0) continue;
+    const double mean_k = sums[k] / static_cast<double>(counts[k]);
+    between += static_cast<double>(counts[k]) * (mean_k - grand) * (mean_k - grand);
+  }
+  for (double v : values) total += (v - grand) * (v - grand);
+  if (total <= 1e-12) return 0.0;
+  return std::sqrt(std::max(0.0, between / total));
+}
+
+// Cramér's V between two categorical columns.
+double cramers_v(const std::vector<double>& a, std::size_t ka, const std::vector<double>& b,
+                 std::size_t kb) {
+  const std::size_t n = a.size();
+  std::vector<double> joint(ka * kb, 0.0), pa(ka, 0.0), pb(kb, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ia = static_cast<std::size_t>(a[i]);
+    const auto ib = static_cast<std::size_t>(b[i]);
+    if (ia >= ka || ib >= kb) continue;
+    joint[ia * kb + ib] += 1.0;
+    pa[ia] += 1.0;
+    pb[ib] += 1.0;
+  }
+  double chi2 = 0.0;
+  for (std::size_t ia = 0; ia < ka; ++ia) {
+    for (std::size_t ib = 0; ib < kb; ++ib) {
+      const double expected = pa[ia] * pb[ib] / static_cast<double>(n);
+      if (expected <= 1e-12) continue;
+      const double diff = joint[ia * kb + ib] - expected;
+      chi2 += diff * diff / expected;
+    }
+  }
+  const std::size_t denom_dim = std::min(ka, kb);
+  if (denom_dim < 2) return 0.0;
+  const double phi2 = chi2 / static_cast<double>(n);
+  return std::sqrt(phi2 / static_cast<double>(denom_dim - 1));
+}
+
+double association(const Table& t, std::size_t i, std::size_t j) {
+  const bool cat_i = t.spec(i).type == ColumnType::kCategorical;
+  const bool cat_j = t.spec(j).type == ColumnType::kCategorical;
+  if (!cat_i && !cat_j) return std::abs(pearson(t.column(i), t.column(j)));
+  if (cat_i && cat_j) {
+    return cramers_v(t.column(i), t.spec(i).cardinality(), t.column(j),
+                     t.spec(j).cardinality());
+  }
+  if (cat_i) return correlation_ratio(t.column(i), t.spec(i).cardinality(), t.column(j));
+  return correlation_ratio(t.column(j), t.spec(j).cardinality(), t.column(i));
+}
+
+}  // namespace
+
+double jensen_shannon_divergence(const std::vector<double>& p, const std::vector<double>& q) {
+  if (p.size() != q.size() || p.empty()) {
+    throw std::invalid_argument("jensen_shannon_divergence: size mismatch");
+  }
+  auto kl = [](const std::vector<double>& a, const std::vector<double>& m) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] > 1e-12 && m[i] > 1e-12) total += a[i] * std::log2(a[i] / m[i]);
+    }
+    return total;
+  };
+  std::vector<double> m(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  return std::clamp(0.5 * kl(p, m) + 0.5 * kl(q, m), 0.0, 1.0);
+}
+
+double average_jsd(const Table& real, const Table& synthetic) {
+  if (!real.same_schema(synthetic)) throw std::invalid_argument("average_jsd: schema mismatch");
+  double total = 0.0;
+  std::size_t used = 0;
+  for (std::size_t c = 0; c < real.n_cols(); ++c) {
+    if (real.spec(c).type != ColumnType::kCategorical) continue;
+    total += jensen_shannon_divergence(category_distribution(real, c),
+                                       category_distribution(synthetic, c));
+    ++used;
+  }
+  return used > 0 ? total / static_cast<double>(used) : 0.0;
+}
+
+double wasserstein_distance(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("wasserstein_distance: empty sample");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // Quantile coupling on a common grid of max(|a|,|b|) points.
+  const std::size_t grid = std::max(a.size(), b.size());
+  auto quantile = [](const std::vector<double>& v, double u) {
+    const double pos = u * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+  };
+  double total = 0.0;
+  for (std::size_t g = 0; g < grid; ++g) {
+    const double u = (static_cast<double>(g) + 0.5) / static_cast<double>(grid);
+    total += std::abs(quantile(a, u) - quantile(b, u));
+  }
+  return total / static_cast<double>(grid);
+}
+
+double average_wd(const Table& real, const Table& synthetic) {
+  if (!real.same_schema(synthetic)) throw std::invalid_argument("average_wd: schema mismatch");
+  double total = 0.0;
+  std::size_t used = 0;
+  for (std::size_t c = 0; c < real.n_cols(); ++c) {
+    if (real.spec(c).type == ColumnType::kCategorical) continue;
+    std::vector<double> a = real.column(c);
+    std::vector<double> b = synthetic.column(c);
+    // Normalize by the real column's range so columns are comparable.
+    const auto [mn_it, mx_it] = std::minmax_element(a.begin(), a.end());
+    const double lo = *mn_it;
+    const double range = std::max(*mx_it - lo, 1e-12);
+    for (double& v : a) v = (v - lo) / range;
+    for (double& v : b) v = (v - lo) / range;
+    total += wasserstein_distance(std::move(a), std::move(b));
+    ++used;
+  }
+  return used > 0 ? total / static_cast<double>(used) : 0.0;
+}
+
+Tensor association_matrix(const Table& table) {
+  const std::size_t n = table.n_cols();
+  Tensor out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out(i, i) = 1.0f;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto value = static_cast<float>(association(table, i, j));
+      out(i, j) = value;
+      out(j, i) = value;
+    }
+  }
+  return out;
+}
+
+double correlation_difference(const Table& real, const Table& synthetic) {
+  if (!real.same_schema(synthetic)) {
+    throw std::invalid_argument("correlation_difference: schema mismatch");
+  }
+  Tensor diff = association_matrix(real) - association_matrix(synthetic);
+  double total = 0.0;
+  for (std::size_t i = 0; i < diff.rows(); ++i) {
+    for (std::size_t j = 0; j < diff.cols(); ++j) {
+      total += static_cast<double>(diff(i, j)) * diff(i, j);
+    }
+  }
+  return std::sqrt(total);
+}
+
+double correlation_difference_between(const Table& real, const Table& synthetic,
+                                      const std::vector<std::size_t>& cols_a,
+                                      const std::vector<std::size_t>& cols_b) {
+  if (!real.same_schema(synthetic)) {
+    throw std::invalid_argument("correlation_difference_between: schema mismatch");
+  }
+  Tensor real_assoc = association_matrix(real);
+  Tensor synth_assoc = association_matrix(synthetic);
+  double total = 0.0;
+  for (std::size_t a : cols_a) {
+    for (std::size_t b : cols_b) {
+      const double diff =
+          static_cast<double>(real_assoc(a, b)) - static_cast<double>(synth_assoc(a, b));
+      total += diff * diff;
+    }
+  }
+  return std::sqrt(total);
+}
+
+SimilarityReport similarity_report(const Table& real, const Table& synthetic) {
+  SimilarityReport report;
+  report.avg_jsd = average_jsd(real, synthetic);
+  report.avg_wd = average_wd(real, synthetic);
+  report.diff_corr = correlation_difference(real, synthetic);
+  return report;
+}
+
+}  // namespace gtv::eval

@@ -1,0 +1,53 @@
+// Statistical-similarity metrics between a real and a synthetic table
+// (paper §4.2.2):
+//
+//   - Average Jensen-Shannon divergence over categorical columns
+//   - Average 1-D Wasserstein distance over continuous / mixed columns
+//     (computed on min-max-normalized values so columns are comparable)
+//   - dython-style pairwise association matrix (Pearson for cont-cont,
+//     correlation ratio for cat-cont, Cramér's V for cat-cat) and the
+//     l2 norm of the real-vs-synthetic difference ("Diff. Corr."), with
+//     Avg-client / Across-client variants for the two-client experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/table.h"
+#include "tensor/tensor.h"
+
+namespace gtv::eval {
+
+// JSD (base 2, in [0,1]) between the category distributions of one column.
+double jensen_shannon_divergence(const std::vector<double>& p, const std::vector<double>& q);
+// Average JSD over all categorical columns. Returns 0 if none.
+double average_jsd(const data::Table& real, const data::Table& synthetic);
+
+// 1-D Wasserstein distance between two samples (empirical quantile
+// coupling). Values are normalized by the real column's min-max range.
+double wasserstein_distance(std::vector<double> a, std::vector<double> b);
+// Average normalized WD over continuous + mixed columns. Returns 0 if none.
+double average_wd(const data::Table& real, const data::Table& synthetic);
+
+// Pairwise association matrix of a table (symmetric, diagonal 1):
+//   cont-cont: |Pearson|, cat-cont: correlation ratio, cat-cat: Cramér's V.
+Tensor association_matrix(const data::Table& table);
+
+// ||assoc(real) - assoc(synthetic)||_2 over all pairs (Frobenius norm).
+double correlation_difference(const data::Table& real, const data::Table& synthetic);
+
+// Frobenius norm of the difference restricted to pairs (i in cols_a,
+// j in cols_b) — the Across-client variant when cols_a / cols_b are the two
+// clients' column sets, computed on the joined tables.
+double correlation_difference_between(const data::Table& real, const data::Table& synthetic,
+                                      const std::vector<std::size_t>& cols_a,
+                                      const std::vector<std::size_t>& cols_b);
+
+struct SimilarityReport {
+  double avg_jsd = 0.0;
+  double avg_wd = 0.0;
+  double diff_corr = 0.0;
+};
+SimilarityReport similarity_report(const data::Table& real, const data::Table& synthetic);
+
+}  // namespace gtv::eval

@@ -1,0 +1,174 @@
+#include "eval/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gtv::eval {
+
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double impurity = 1.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    impurity -= p * p;
+  }
+  return impurity;
+}
+
+}  // namespace
+
+DecisionTreeClassifier::DecisionTreeClassifier(TreeOptions options) : options_(options) {}
+
+void DecisionTreeClassifier::fit(const Tensor& x, const std::vector<std::size_t>& y,
+                                 std::size_t n_classes, Rng& rng) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    throw std::invalid_argument("DecisionTreeClassifier::fit: bad inputs");
+  }
+  n_classes_ = n_classes;
+  nodes_.clear();
+  std::vector<std::size_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  build(x, y, rows, 0, rng);
+}
+
+std::size_t DecisionTreeClassifier::build(const Tensor& x, const std::vector<std::size_t>& y,
+                                          const std::vector<std::size_t>& rows,
+                                          std::size_t depth, Rng& rng) {
+  const std::size_t index = nodes_.size();
+  nodes_.emplace_back();
+
+  std::vector<std::size_t> counts(n_classes_, 0);
+  for (std::size_t r : rows) ++counts[y[r]];
+  {
+    Node& node = nodes_[index];
+    node.class_probs.resize(n_classes_);
+    for (std::size_t c = 0; c < n_classes_; ++c) {
+      node.class_probs[c] = static_cast<float>(counts[c]) / static_cast<float>(rows.size());
+    }
+  }
+  const double parent_gini = gini(counts, rows.size());
+  const bool pure = std::count(counts.begin(), counts.end(), rows.size()) == 1;
+  if (depth >= options_.max_depth || rows.size() < options_.min_samples_split || pure ||
+      parent_gini <= 1e-12) {
+    return index;
+  }
+
+  // Candidate features (all, or a random subset for forests).
+  std::vector<std::size_t> features(x.cols());
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  if (options_.features_per_split > 0 && options_.features_per_split < x.cols()) {
+    for (std::size_t i = 0; i < options_.features_per_split; ++i) {
+      std::swap(features[i], features[i + rng.uniform_index(x.cols() - i)]);
+    }
+    features.resize(options_.features_per_split);
+  }
+
+  double best_gain = 1e-9;
+  std::size_t best_feature = 0;
+  float best_threshold = 0.0f;
+  std::vector<float> values;
+  for (std::size_t f : features) {
+    values.clear();
+    values.reserve(rows.size());
+    for (std::size_t r : rows) values.push_back(x(r, f));
+    std::sort(values.begin(), values.end());
+    if (values.front() == values.back()) continue;
+    // Quantile-cut thresholds.
+    const std::size_t cuts = std::min(options_.max_thresholds, rows.size() - 1);
+    for (std::size_t q = 1; q <= cuts; ++q) {
+      const float threshold =
+          values[q * rows.size() / (cuts + 1)];
+      std::vector<std::size_t> left_counts(n_classes_, 0), right_counts(n_classes_, 0);
+      std::size_t n_left = 0;
+      for (std::size_t r : rows) {
+        if (x(r, f) <= threshold) {
+          ++left_counts[y[r]];
+          ++n_left;
+        } else {
+          ++right_counts[y[r]];
+        }
+      }
+      const std::size_t n_right = rows.size() - n_left;
+      if (n_left < options_.min_samples_leaf || n_right < options_.min_samples_leaf) continue;
+      const double weighted =
+          (static_cast<double>(n_left) * gini(left_counts, n_left) +
+           static_cast<double>(n_right) * gini(right_counts, n_right)) /
+          static_cast<double>(rows.size());
+      const double gain = parent_gini - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_gain <= 1e-9) return index;
+
+  std::vector<std::size_t> left_rows, right_rows;
+  for (std::size_t r : rows) {
+    (x(r, best_feature) <= best_threshold ? left_rows : right_rows).push_back(r);
+  }
+  const std::size_t left = build(x, y, left_rows, depth + 1, rng);
+  const std::size_t right = build(x, y, right_rows, depth + 1, rng);
+  Node& node = nodes_[index];  // re-borrow: build() may have reallocated
+  node.leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return index;
+}
+
+Tensor DecisionTreeClassifier::predict_scores(const Tensor& x) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTreeClassifier: not fitted");
+  Tensor out(x.rows(), n_classes_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    std::size_t node = 0;
+    while (!nodes_[node].leaf) {
+      node = x(r, nodes_[node].feature) <= nodes_[node].threshold ? nodes_[node].left
+                                                                  : nodes_[node].right;
+    }
+    for (std::size_t c = 0; c < n_classes_; ++c) out(r, c) = nodes_[node].class_probs[c];
+  }
+  return out;
+}
+
+RandomForestClassifier::RandomForestClassifier(std::size_t n_trees, TreeOptions options)
+    : n_trees_(n_trees), options_(options) {}
+
+void RandomForestClassifier::fit(const Tensor& x, const std::vector<std::size_t>& y,
+                                 std::size_t n_classes, Rng& rng) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    throw std::invalid_argument("RandomForestClassifier::fit: bad inputs");
+  }
+  n_classes_ = n_classes;
+  trees_.clear();
+  TreeOptions tree_options = options_;
+  if (tree_options.features_per_split == 0) {
+    tree_options.features_per_split = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(x.cols()))));
+  }
+  for (std::size_t t = 0; t < n_trees_; ++t) {
+    // Bootstrap sample.
+    std::vector<std::size_t> rows(x.rows());
+    for (auto& r : rows) r = rng.uniform_index(x.rows());
+    Tensor xb = x.gather_rows(rows);
+    std::vector<std::size_t> yb(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) yb[i] = y[rows[i]];
+    trees_.emplace_back(tree_options);
+    trees_.back().fit(xb, yb, n_classes, rng);
+  }
+}
+
+Tensor RandomForestClassifier::predict_scores(const Tensor& x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForestClassifier: not fitted");
+  Tensor total(x.rows(), n_classes_);
+  for (const auto& tree : trees_) total += tree.predict_scores(x);
+  return total.mul_scalar(1.0f / static_cast<float>(trees_.size()));
+}
+
+}  // namespace gtv::eval

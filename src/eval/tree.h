@@ -1,0 +1,64 @@
+// CART decision tree (gini impurity, axis-aligned thresholds) and a bagged
+// random forest with sqrt-feature subsampling.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "eval/classifiers.h"
+
+namespace gtv::eval {
+
+struct TreeOptions {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_split = 8;
+  std::size_t min_samples_leaf = 2;
+  // 0 = use all features at each split; otherwise sample this many.
+  std::size_t features_per_split = 0;
+  // Candidate thresholds per feature (quantile cuts) to bound fit cost.
+  std::size_t max_thresholds = 16;
+};
+
+class DecisionTreeClassifier : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(TreeOptions options = {});
+  void fit(const Tensor& x, const std::vector<std::size_t>& y, std::size_t n_classes,
+           Rng& rng) override;
+  Tensor predict_scores(const Tensor& x) const override;
+  std::string name() const override { return "decision_tree"; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::size_t feature = 0;
+    float threshold = 0.0f;
+    std::size_t left = 0;
+    std::size_t right = 0;
+    std::vector<float> class_probs;
+  };
+  std::size_t build(const Tensor& x, const std::vector<std::size_t>& y,
+                    const std::vector<std::size_t>& rows, std::size_t depth, Rng& rng);
+
+  TreeOptions options_;
+  std::size_t n_classes_ = 0;
+  std::vector<Node> nodes_;
+};
+
+class RandomForestClassifier : public Classifier {
+ public:
+  explicit RandomForestClassifier(std::size_t n_trees = 20, TreeOptions options = {});
+  void fit(const Tensor& x, const std::vector<std::size_t>& y, std::size_t n_classes,
+           Rng& rng) override;
+  Tensor predict_scores(const Tensor& x) const override;
+  std::string name() const override { return "random_forest"; }
+
+ private:
+  std::size_t n_trees_;
+  TreeOptions options_;
+  std::vector<DecisionTreeClassifier> trees_;
+  std::size_t n_classes_ = 0;
+};
+
+}  // namespace gtv::eval

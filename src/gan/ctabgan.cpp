@@ -1,0 +1,205 @@
+#include "gan/ctabgan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gtv::gan {
+
+using ag::Var;
+
+// --- GeneratorNet ---------------------------------------------------------------
+
+GeneratorNet::GeneratorNet(std::size_t in_features, std::size_t hidden, std::size_t n_blocks,
+                           std::size_t out_features, Rng& rng) {
+  std::size_t width = in_features;
+  for (std::size_t i = 0; i < n_blocks; ++i) {
+    blocks_.push_back(std::make_unique<nn::ResidualBlock>(width, hidden, rng));
+    width = blocks_.back()->out_features();
+  }
+  out_ = std::make_unique<nn::Linear>(width, out_features, rng);
+}
+
+Var GeneratorNet::forward(const Var& x) {
+  Var h = x;
+  for (auto& block : blocks_) h = block->forward(h);
+  return out_->forward(h);
+}
+
+std::vector<Var> GeneratorNet::parameters() {
+  std::vector<Var> params;
+  for (auto& block : blocks_) {
+    auto p = block->parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  auto p = out_->parameters();
+  params.insert(params.end(), p.begin(), p.end());
+  return params;
+}
+
+void GeneratorNet::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& block : blocks_) block->set_training(training);
+  out_->set_training(training);
+}
+
+// --- DiscriminatorNet -------------------------------------------------------------
+
+DiscriminatorNet::DiscriminatorNet(std::size_t in_features, std::size_t hidden,
+                                   std::size_t n_blocks, std::size_t out_features, Rng& rng,
+                                   float slope, float dropout) {
+  std::size_t width = in_features;
+  for (std::size_t i = 0; i < n_blocks; ++i) {
+    blocks_.push_back(std::make_unique<nn::FNBlock>(width, hidden, rng, slope, dropout));
+    width = blocks_.back()->out_features();
+  }
+  out_ = std::make_unique<nn::Linear>(width, out_features, rng);
+}
+
+Var DiscriminatorNet::forward(const Var& x) {
+  Var h = x;
+  for (auto& block : blocks_) h = block->forward(h);
+  return out_->forward(h);
+}
+
+std::vector<Var> DiscriminatorNet::parameters() {
+  std::vector<Var> params;
+  for (auto& block : blocks_) {
+    auto p = block->parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  auto p = out_->parameters();
+  params.insert(params.end(), p.begin(), p.end());
+  return params;
+}
+
+void DiscriminatorNet::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& block : blocks_) block->set_training(training);
+  out_->set_training(training);
+}
+
+// --- CentralizedTabularGan ----------------------------------------------------------
+
+CentralizedTabularGan::CentralizedTabularGan(const data::Table& train, GanOptions options,
+                                             std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  if (train.n_rows() < 2) {
+    throw std::invalid_argument("CentralizedTabularGan: training table too small");
+  }
+  encoder_.fit(train, options_.encoder, rng_);
+  cond_ = std::make_unique<encode::ConditionalSampler>(encoder_, train);
+  real_encoded_ = encoder_.encode(train, rng_);
+
+  const std::size_t cv = cond_->cv_width();
+  generator_ = std::make_unique<GeneratorNet>(options_.noise_dim + cv, options_.hidden,
+                                              options_.generator_blocks, encoder_.total_width(),
+                                              rng_);
+  discriminator_ = std::make_unique<DiscriminatorNet>(
+      encoder_.total_width() + cv, options_.hidden, options_.discriminator_blocks, 1, rng_,
+      options_.leaky_slope, options_.dropout);
+  adam_g_ = std::make_unique<nn::Adam>(generator_->parameters(), options_.adam);
+  adam_d_ = std::make_unique<nn::Adam>(discriminator_->parameters(), options_.adam);
+}
+
+Tensor CentralizedTabularGan::generate_batch_input(const Tensor& cv) {
+  Tensor noise = Tensor::normal(cv.rows(), options_.noise_dim, 0.0f, 1.0f, rng_);
+  if (cv.cols() == 0) return noise;
+  return Tensor::concat_cols({noise, cv});
+}
+
+RoundLosses CentralizedTabularGan::train_round() {
+  const std::size_t batch = std::min(options_.batch_size, cond_->n_rows());
+  RoundLosses losses;
+
+  // --- critic steps ---------------------------------------------------------
+  for (std::size_t step = 0; step < options_.d_steps_per_round; ++step) {
+    auto cond_sample = cond_->sample_train(batch, rng_);
+    const Tensor& cv = cond_sample.cv;
+
+    // Fake rows, detached from the generator for the critic update.
+    Tensor fake_rows;
+    {
+      ag::NoGradGuard no_grad;
+      Var logits = generator_->forward(Var(generate_batch_input(cv)));
+      fake_rows =
+          apply_output_activations(logits, encoder_.spans(), options_.gumbel_tau, rng_).value();
+    }
+    Tensor real_rows = real_encoded_.gather_rows(cond_sample.rows);
+
+    Tensor fake_in = cv.cols() ? Tensor::concat_cols({fake_rows, cv}) : fake_rows;
+    Tensor real_in = cv.cols() ? Tensor::concat_cols({real_rows, cv}) : real_rows;
+
+    adam_d_->zero_grad();
+    Var d_real = discriminator_->forward(ag::constant(real_in));
+    Var d_fake = discriminator_->forward(ag::constant(fake_in));
+    Var critic = wasserstein_critic_loss(d_real, d_fake);
+    Var loss = critic;
+    if (options_.critic_mode == CriticMode::kGradientPenalty) {
+      Var gp = gradient_penalty([this](const Var& x) { return discriminator_->forward(x); },
+                                real_in, fake_in, rng_);
+      loss = ag::add(critic, ag::mul_scalar(gp, options_.gp_lambda));
+      losses.gp = gp.value()(0, 0);
+    }
+    ag::backward(loss);
+    adam_d_->step();
+    if (options_.critic_mode == CriticMode::kWeightClipping) {
+      clip_parameters(discriminator_->parameters(), options_.clip_value);
+    }
+
+    losses.d_loss = loss.value()(0, 0);
+    losses.wasserstein = -critic.value()(0, 0);
+  }
+
+  // --- generator step ----------------------------------------------------------
+  {
+    auto cond_sample = cond_->sample_train(batch, rng_);
+    const Tensor& cv = cond_sample.cv;
+    adam_g_->zero_grad();
+    adam_d_->zero_grad();  // gradients flow through D; discard them
+    Var logits = generator_->forward(Var(generate_batch_input(cv)));
+    Var fake = apply_output_activations(logits, encoder_.spans(), options_.gumbel_tau, rng_);
+    Var d_in = cv.cols() ? ag::concat_cols({fake, ag::constant(cv)}) : fake;
+    Var d_fake = discriminator_->forward(d_in);
+    Var loss = wasserstein_generator_loss(d_fake);
+    if (options_.use_conditional_loss && cond_->has_discrete()) {
+      Var cond_term =
+          conditional_loss(logits, cond_->target_mask(cond_sample), encoder_.discrete_spans());
+      loss = ag::add(loss, cond_term);
+    }
+    ag::backward(loss);
+    adam_g_->step();
+    losses.g_loss = loss.value()(0, 0);
+  }
+
+  history_.push_back(losses);
+  return losses;
+}
+
+void CentralizedTabularGan::train(
+    std::size_t rounds, const std::function<void(std::size_t, const RoundLosses&)>& on_round) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    RoundLosses losses = train_round();
+    if (on_round) on_round(r, losses);
+  }
+}
+
+data::Table CentralizedTabularGan::sample(std::size_t rows) {
+  generator_->set_training(false);
+  ag::NoGradGuard no_grad;
+  data::Table out(encoder_.schema_table().schema());
+  std::size_t produced = 0;
+  const std::size_t batch = std::max<std::size_t>(options_.batch_size, 1);
+  std::vector<Tensor> chunks;
+  while (produced < rows) {
+    const std::size_t take = std::min(batch, rows - produced);
+    Tensor cv = cond_->sample_original(take, rng_);
+    Var logits = generator_->forward(Var(generate_batch_input(cv)));
+    Var fake = apply_output_activations(logits, encoder_.spans(), options_.gumbel_tau, rng_);
+    chunks.push_back(fake.value());
+    produced += take;
+  }
+  generator_->set_training(true);
+  return encoder_.decode(Tensor::concat_rows(chunks));
+}
+
+}  // namespace gtv::gan

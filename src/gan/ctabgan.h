@@ -1,0 +1,119 @@
+// Centralized conditional tabular GAN — the paper's baseline.
+//
+// Architecture follows CT-GAN (with CTAB-GAN's mixed-type encoder folded
+// into the TableEncoder):
+//   generator:     (noise ++ cv) -> ResidualBlock x n -> FC(total_width)
+//                  -> per-span activations (tanh / gumbel-softmax)
+//   discriminator: (encoded row ++ cv) -> FNBlock x n -> FC(1)
+// trained with WGAN-GP (lambda=10, e critic steps per generator step) plus
+// CT-GAN's conditional cross-entropy term on the generator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/table.h"
+#include "encode/cond.h"
+#include "encode/encoder.h"
+#include "gan/losses.h"
+#include "nn/adam.h"
+#include "nn/module.h"
+
+namespace gtv::gan {
+
+// Critic regularization: gradient penalty (WGAN-GP, the paper's loss) or
+// the original WGAN weight clipping (kept as an ablation baseline).
+enum class CriticMode { kGradientPenalty, kWeightClipping };
+
+struct GanOptions {
+  std::size_t noise_dim = 128;
+  std::size_t hidden = 256;                // RN/FN block width (256 in the paper)
+  std::size_t generator_blocks = 2;
+  std::size_t discriminator_blocks = 2;
+  std::size_t batch_size = 128;
+  std::size_t d_steps_per_round = 5;       // `e` in Algorithm 1
+  float gp_lambda = 10.0f;
+  CriticMode critic_mode = CriticMode::kGradientPenalty;
+  float clip_value = 0.01f;  // only used with kWeightClipping
+  float gumbel_tau = 0.2f;
+  float leaky_slope = 0.2f;
+  float dropout = 0.5f;
+  bool use_conditional_loss = true;
+  nn::AdamOptions adam;                    // shared by G and D
+  encode::EncoderOptions encoder;
+};
+
+// A generator network: residual tower + output FC. Kept as a named class so
+// the VFL code can build top/bottom towers out of the same parts.
+class GeneratorNet : public nn::Module {
+ public:
+  GeneratorNet(std::size_t in_features, std::size_t hidden, std::size_t n_blocks,
+               std::size_t out_features, Rng& rng);
+  ag::Var forward(const ag::Var& x) override;
+  std::vector<ag::Var> parameters() override;
+  void set_training(bool training) override;
+  std::size_t out_features() const { return out_->out_features(); }
+
+ private:
+  std::vector<std::unique_ptr<nn::ResidualBlock>> blocks_;
+  std::unique_ptr<nn::Linear> out_;
+};
+
+// A discriminator tower: FN blocks + output FC.
+class DiscriminatorNet : public nn::Module {
+ public:
+  DiscriminatorNet(std::size_t in_features, std::size_t hidden, std::size_t n_blocks,
+                   std::size_t out_features, Rng& rng, float slope = 0.2f,
+                   float dropout = 0.5f);
+  ag::Var forward(const ag::Var& x) override;
+  std::vector<ag::Var> parameters() override;
+  void set_training(bool training) override;
+  std::size_t out_features() const { return out_->out_features(); }
+
+ private:
+  std::vector<std::unique_ptr<nn::FNBlock>> blocks_;
+  std::unique_ptr<nn::Linear> out_;
+};
+
+struct RoundLosses {
+  float d_loss = 0.0f;       // critic loss incl. gradient penalty (last critic step)
+  float g_loss = 0.0f;       // adversarial + conditional term
+  float gp = 0.0f;           // gradient-penalty value (last critic step)
+  float wasserstein = 0.0f;  // mean(D(real)) - mean(D(fake)) estimate
+};
+
+class CentralizedTabularGan {
+ public:
+  CentralizedTabularGan(const data::Table& train, GanOptions options, std::uint64_t seed);
+
+  // One round = options.d_steps_per_round critic updates + 1 generator update.
+  RoundLosses train_round();
+  // Convenience: `rounds` rounds with an optional per-round callback.
+  void train(std::size_t rounds,
+             const std::function<void(std::size_t, const RoundLosses&)>& on_round = {});
+
+  // Draws synthetic rows and inverse-transforms them to the table schema.
+  data::Table sample(std::size_t rows);
+
+  const encode::TableEncoder& encoder() const { return encoder_; }
+  const std::vector<RoundLosses>& history() const { return history_; }
+  const GanOptions& options() const { return options_; }
+
+ private:
+  Tensor generate_batch_input(const Tensor& cv);
+
+  GanOptions options_;
+  Rng rng_;
+  encode::TableEncoder encoder_;
+  std::unique_ptr<encode::ConditionalSampler> cond_;
+  Tensor real_encoded_;
+  std::unique_ptr<GeneratorNet> generator_;
+  std::unique_ptr<DiscriminatorNet> discriminator_;
+  std::unique_ptr<nn::Adam> adam_g_;
+  std::unique_ptr<nn::Adam> adam_d_;
+  std::vector<RoundLosses> history_;
+};
+
+}  // namespace gtv::gan

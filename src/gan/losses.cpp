@@ -1,0 +1,105 @@
+#include "gan/losses.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gtv::gan {
+
+Var gumbel_softmax(const Var& logits, float tau, Rng& rng) {
+  if (tau <= 0.0f) throw std::invalid_argument("gumbel_softmax: tau must be positive");
+  Tensor noise(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < noise.rows(); ++r) {
+    for (std::size_t c = 0; c < noise.cols(); ++c) {
+      double u = 0.0;
+      do {
+        u = rng.uniform();
+      } while (u <= 1e-12);
+      noise(r, c) = static_cast<float>(-std::log(-std::log(u)));
+    }
+  }
+  Var shifted = ag::add(logits, ag::constant(std::move(noise)));
+  return ag::softmax_rows(ag::mul_scalar(shifted, 1.0f / tau));
+}
+
+Var apply_output_activations(const Var& logits, const std::vector<encode::Span>& spans,
+                             float tau, Rng& rng) {
+  std::vector<Var> parts;
+  parts.reserve(spans.size());
+  std::size_t covered = 0;
+  for (const auto& span : spans) {
+    if (span.offset != covered) {
+      throw std::invalid_argument("apply_output_activations: spans must tile the layout");
+    }
+    Var slice = ag::slice_cols(logits, span.offset, span.offset + span.width);
+    if (span.activation == encode::Activation::kTanh) {
+      parts.push_back(ag::tanh(slice));
+    } else {
+      parts.push_back(gumbel_softmax(slice, tau, rng));
+    }
+    covered += span.width;
+  }
+  if (covered != logits.cols()) {
+    throw std::invalid_argument("apply_output_activations: spans do not cover all columns");
+  }
+  return ag::concat_cols(parts);
+}
+
+Var conditional_loss(const Var& logits, const Tensor& target_mask,
+                     const std::vector<encode::TableEncoder::DiscreteSpan>& discrete_spans) {
+  if (target_mask.rows() != logits.rows() || target_mask.cols() != logits.cols()) {
+    throw std::invalid_argument("conditional_loss: mask shape mismatch");
+  }
+  Var mask = ag::constant(target_mask);
+  Var total = ag::constant(Tensor::scalar(0.0f));
+  for (const auto& span : discrete_spans) {
+    Var span_logits = ag::slice_cols(logits, span.span_offset, span.span_offset + span.cardinality);
+    Var span_mask = ag::slice_cols(mask, span.span_offset, span.span_offset + span.cardinality);
+    Var log_probs = ag::log_softmax_rows(span_logits);
+    total = ag::sub(total, ag::sum_all(ag::mul(span_mask, log_probs)));
+  }
+  return ag::mul_scalar(total, 1.0f / static_cast<float>(logits.rows()));
+}
+
+Var gradient_penalty(const std::function<Var(const Var&)>& critic, const Tensor& real_input,
+                     const Tensor& fake_input, Rng& rng) {
+  if (!real_input.same_shape(fake_input)) {
+    throw std::invalid_argument("gradient_penalty: real/fake shape mismatch " +
+                                real_input.shape_str() + " vs " + fake_input.shape_str());
+  }
+  Tensor mix(real_input.rows(), real_input.cols());
+  for (std::size_t r = 0; r < mix.rows(); ++r) {
+    const float eps = static_cast<float>(rng.uniform());
+    for (std::size_t c = 0; c < mix.cols(); ++c) {
+      mix(r, c) = eps * real_input(r, c) + (1.0f - eps) * fake_input(r, c);
+    }
+  }
+  Var x_hat(std::move(mix), /*requires_grad=*/true);
+  Var d_hat = critic(x_hat);
+  if (d_hat.cols() != 1) {
+    throw std::invalid_argument("gradient_penalty: critic must output one column");
+  }
+  Var gx = ag::grad(ag::sum_all(d_hat), {x_hat}, /*create_graph=*/true)[0];
+  Var norms = ag::row_norms(gx);
+  return ag::mean_all(ag::square(ag::add_scalar(norms, -1.0f)));
+}
+
+void clip_parameters(std::vector<Var> params, float clip) {
+  if (clip <= 0.0f) throw std::invalid_argument("clip_parameters: clip must be positive");
+  for (auto& p : params) {
+    Tensor value = p.value();
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      value.data()[i] = std::clamp(value.data()[i], -clip, clip);
+    }
+    // Leaf update outside any graph (same contract as the optimizer step).
+    p.set_value(std::move(value));
+  }
+}
+
+Var wasserstein_critic_loss(const Var& d_real, const Var& d_fake) {
+  return ag::sub(ag::mean_all(d_fake), ag::mean_all(d_real));
+}
+
+Var wasserstein_generator_loss(const Var& d_fake) { return ag::neg(ag::mean_all(d_fake)); }
+
+}  // namespace gtv::gan

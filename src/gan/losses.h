@@ -1,0 +1,56 @@
+// Loss components shared by the centralized tabular GAN baseline and the
+// GTV (VFL) training loop:
+//
+//   - Gumbel-softmax relaxation for one-hot output spans (CT-GAN, tau=0.2)
+//   - per-span output activation application (tanh / gumbel-softmax)
+//   - the generator's conditional cross-entropy term
+//   - the WGAN-GP gradient penalty, written against an arbitrary critic
+//     closure so the same code serves a monolithic D and the VFL-split
+//     {D_b_i} + D_s + D_t stack.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/autograd.h"
+#include "encode/encoder.h"
+#include "tensor/rng.h"
+
+namespace gtv::gan {
+
+using ag::Var;
+
+// y = softmax((logits + g) / tau) with g ~ Gumbel(0,1) per element.
+Var gumbel_softmax(const Var& logits, float tau, Rng& rng);
+
+// Applies tanh to kTanh spans and gumbel-softmax to kSoftmax spans of the
+// generator's raw output. `spans` must tile [0, logits.cols()).
+Var apply_output_activations(const Var& logits, const std::vector<encode::Span>& spans,
+                             float tau, Rng& rng);
+
+// Generator conditional term (CT-GAN): cross-entropy between the raw
+// generated logits of each conditioned one-hot span and the category the
+// conditional vector demanded. `target_mask` is 1 at (row, encoded position)
+// of the conditioned category (zero rows contribute nothing).
+// Pass only the discrete spans that lie inside `logits`' layout.
+Var conditional_loss(const Var& logits, const Tensor& target_mask,
+                     const std::vector<encode::TableEncoder::DiscreteSpan>& discrete_spans);
+
+// WGAN-GP penalty: E[(||d critic(x_hat) / d x_hat||_2 - 1)^2] with
+// x_hat = eps * real + (1 - eps) * fake, eps ~ U(0,1) per row.
+// The returned Var carries graph through the critic's parameters
+// (create_graph), so adding it to the critic loss trains correctly.
+Var gradient_penalty(const std::function<Var(const Var&)>& critic, const Tensor& real_input,
+                     const Tensor& fake_input, Rng& rng);
+
+// In-place clamp of every parameter to [-clip, clip] (WGAN weight
+// clipping; the ablation baseline for the gradient penalty). Vars are
+// shared handles, so the copies mutate the underlying parameters.
+void clip_parameters(std::vector<Var> params, float clip);
+
+// Wasserstein critic loss: mean(D(fake)) - mean(D(real)).
+Var wasserstein_critic_loss(const Var& d_real, const Var& d_fake);
+// Generator adversarial loss: -mean(D(fake)).
+Var wasserstein_generator_loss(const Var& d_fake);
+
+}  // namespace gtv::gan

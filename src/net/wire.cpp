@@ -1,0 +1,104 @@
+#include "net/wire.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gtv::net {
+
+namespace {
+
+template <typename T>
+void append(std::vector<std::uint8_t>& out, const T& value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read(const std::vector<std::uint8_t>& bytes, std::size_t& offset) {
+  if (offset + sizeof(T) > bytes.size()) {
+    throw std::runtime_error("wire: truncated payload");
+  }
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_tensor(const Tensor& t) {
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + t.size() * sizeof(float));
+  append<std::uint64_t>(out, t.rows());
+  append<std::uint64_t>(out, t.cols());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(t.data());
+  out.insert(out.end(), p, p + t.size() * sizeof(float));
+  return out;
+}
+
+Tensor deserialize_tensor(const std::vector<std::uint8_t>& bytes) {
+  std::size_t offset = 0;
+  const auto rows = static_cast<std::size_t>(read<std::uint64_t>(bytes, offset));
+  const auto cols = static_cast<std::size_t>(read<std::uint64_t>(bytes, offset));
+  if (bytes.size() != offset + rows * cols * sizeof(float)) {
+    throw std::runtime_error("wire: tensor payload size mismatch");
+  }
+  std::vector<float> values(rows * cols);
+  std::memcpy(values.data(), bytes.data() + offset, values.size() * sizeof(float));
+  return Tensor(rows, cols, std::move(values));
+}
+
+std::vector<std::uint8_t> serialize_indices(const std::vector<std::size_t>& idx) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + idx.size() * 8);
+  append<std::uint64_t>(out, idx.size());
+  for (std::size_t v : idx) append<std::uint64_t>(out, static_cast<std::uint64_t>(v));
+  return out;
+}
+
+std::vector<std::size_t> deserialize_indices(const std::vector<std::uint8_t>& bytes) {
+  std::size_t offset = 0;
+  const auto n = static_cast<std::size_t>(read<std::uint64_t>(bytes, offset));
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<std::size_t>(read<std::uint64_t>(bytes, offset)));
+  }
+  return out;
+}
+
+Tensor TrafficMeter::transfer(const std::string& link, const Tensor& t) {
+  auto bytes = serialize_tensor(t);
+  auto& stats = links_[link];
+  stats.bytes += bytes.size();
+  stats.messages += 1;
+  return deserialize_tensor(bytes);
+}
+
+std::vector<std::size_t> TrafficMeter::transfer(const std::string& link,
+                                                const std::vector<std::size_t>& indices) {
+  auto bytes = serialize_indices(indices);
+  auto& stats = links_[link];
+  stats.bytes += bytes.size();
+  stats.messages += 1;
+  return deserialize_indices(bytes);
+}
+
+const LinkStats& TrafficMeter::stats(const std::string& link) const {
+  static const LinkStats kEmpty;
+  auto it = links_.find(link);
+  return it == links_.end() ? kEmpty : it->second;
+}
+
+LinkStats TrafficMeter::total() const {
+  LinkStats total;
+  for (const auto& [name, stats] : links_) {
+    total.bytes += stats.bytes;
+    total.messages += stats.messages;
+  }
+  return total;
+}
+
+void TrafficMeter::reset() { links_.clear(); }
+
+}  // namespace gtv::net

@@ -1,0 +1,49 @@
+// Simulated network boundary between GTV parties.
+//
+// The VFL privacy argument rests on *what* crosses the server/client
+// boundary, so every cross-party value in this codebase is passed through a
+// TrafficMeter: the payload is serialized to bytes, the byte count is
+// charged to a named link, and the value is reconstructed from the bytes on
+// the "other side". This both enforces that only serializable plain data
+// crosses (no shared object graphs, no autograd history) and reproduces the
+// paper's communication-overhead accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gtv::net {
+
+// --- serialization ---------------------------------------------------------------
+std::vector<std::uint8_t> serialize_tensor(const Tensor& t);
+Tensor deserialize_tensor(const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> serialize_indices(const std::vector<std::size_t>& idx);
+std::vector<std::size_t> deserialize_indices(const std::vector<std::uint8_t>& bytes);
+
+struct LinkStats {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+class TrafficMeter {
+ public:
+  // Simulates sending `t` over `link`: serializes, counts, deserializes.
+  Tensor transfer(const std::string& link, const Tensor& t);
+  std::vector<std::size_t> transfer(const std::string& link,
+                                    const std::vector<std::size_t>& indices);
+
+  const LinkStats& stats(const std::string& link) const;
+  LinkStats total() const;
+  const std::map<std::string, LinkStats>& all() const { return links_; }
+  void reset();
+
+ private:
+  std::map<std::string, LinkStats> links_;
+};
+
+}  // namespace gtv::net

@@ -1,0 +1,52 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace gtv::nn {
+
+Adam::Adam(std::vector<ag::Var> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    const Tensor& g = p.grad();
+    if (g.empty()) continue;  // never touched by backward()
+    Tensor value = p.value();
+    float* w = value.data();
+    const float* grad = g.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (std::size_t k = 0; k < value.size(); ++k) {
+      const float gk = grad[k] + options_.weight_decay * w[k];
+      m[k] = options_.beta1 * m[k] + (1.0f - options_.beta1) * gk;
+      v[k] = options_.beta2 * v[k] + (1.0f - options_.beta2) * gk * gk;
+      const float m_hat = m[k] / bc1;
+      const float v_hat = v[k] / bc2;
+      w[k] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+    p.set_value(std::move(value));
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+std::size_t Adam::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& p : params_) n += p.value().size();
+  return n;
+}
+
+}  // namespace gtv::nn

@@ -1,0 +1,39 @@
+// Adam optimizer (Kingma & Ba) with optional decoupled weight decay.
+// Defaults follow CT-GAN's training configuration: lr 2e-4, betas (0.5, 0.9),
+// eps 1e-8, weight decay 1e-6.
+#pragma once
+
+#include <vector>
+
+#include "autograd/autograd.h"
+
+namespace gtv::nn {
+
+struct AdamOptions {
+  float lr = 2e-4f;
+  float beta1 = 0.5f;
+  float beta2 = 0.9f;
+  float eps = 1e-8f;
+  float weight_decay = 1e-6f;
+};
+
+class Adam {
+ public:
+  explicit Adam(std::vector<ag::Var> params, AdamOptions options = {});
+
+  // Applies one update using each parameter's accumulated .grad().
+  void step();
+  void zero_grad();
+
+  const AdamOptions& options() const { return options_; }
+  std::size_t parameter_count() const;
+
+ private:
+  std::vector<ag::Var> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  AdamOptions options_;
+  long step_count_ = 0;
+};
+
+}  // namespace gtv::nn

@@ -1,0 +1,166 @@
+#include "nn/module.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gtv::nn {
+
+std::size_t Module::parameter_count() {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) n += p.value().size();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.zero_grad();
+}
+
+// --- Linear -------------------------------------------------------------------
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_(in_features), out_(out_features) {
+  if (in_ == 0 || out_ == 0) {
+    throw std::invalid_argument("Linear: zero-sized layer (" + std::to_string(in_) + "->" +
+                                std::to_string(out_) + ")");
+  }
+  // Kaiming-uniform with fan_in, matching torch.nn.Linear defaults.
+  const float bound = 1.0f / std::sqrt(static_cast<float>(in_));
+  weight_ = Var(Tensor::uniform(in_, out_, -bound, bound, rng), /*requires_grad=*/true);
+  bias_ = Var(Tensor::uniform(1, out_, -bound, bound, rng), /*requires_grad=*/true);
+}
+
+Var Linear::forward(const Var& x) {
+  if (x.cols() != in_) {
+    throw std::invalid_argument("Linear(" + std::to_string(in_) + "->" + std::to_string(out_) +
+                                "): input has " + std::to_string(x.cols()) + " features");
+  }
+  return ag::add(ag::matmul(x, weight_), bias_);
+}
+
+// --- BatchNorm1d ----------------------------------------------------------------
+
+BatchNorm1d::BatchNorm1d(std::size_t features, float eps, float momentum)
+    : features_(features),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Var(Tensor::ones(1, features), /*requires_grad=*/true)),
+      beta_(Var(Tensor::zeros(1, features), /*requires_grad=*/true)),
+      running_mean_(Tensor::zeros(1, features)),
+      running_var_(Tensor::ones(1, features)) {}
+
+Var BatchNorm1d::forward(const Var& x) {
+  if (x.cols() != features_) {
+    throw std::invalid_argument("BatchNorm1d(" + std::to_string(features_) + "): input has " +
+                                std::to_string(x.cols()) + " features");
+  }
+  if (training_) {
+    const auto n = static_cast<float>(x.rows());
+    // Batch statistics, composed from differentiable primitives so the whole
+    // normalization is differentiable (including the variance path).
+    Var mu = ag::mul_scalar(ag::sum_rows(x), 1.0f / n);          // 1 x C
+    Var centered = ag::sub(x, mu);                               // N x C
+    Var var = ag::mul_scalar(ag::sum_rows(ag::square(centered)), 1.0f / n);
+    Var inv_std = ag::div(ag::constant(Tensor::ones(1, 1)),
+                          ag::sqrt(ag::add_scalar(var, eps_)));
+    Var normalized = ag::mul(centered, inv_std);
+    // Update running statistics outside the graph.
+    {
+      ag::NoGradGuard no_grad;
+      const Tensor& bm = mu.value();
+      const Tensor& bv = var.value();
+      running_mean_ = running_mean_.mul_scalar(1.0f - momentum_) + bm.mul_scalar(momentum_);
+      running_var_ = running_var_.mul_scalar(1.0f - momentum_) + bv.mul_scalar(momentum_);
+    }
+    return ag::add(ag::mul(normalized, gamma_), beta_);
+  }
+  Tensor inv_std = running_var_.map([this](float v) { return 1.0f / std::sqrt(v + eps_); });
+  Var normalized = ag::mul(ag::sub(x, ag::constant(running_mean_)), ag::constant(inv_std));
+  return ag::add(ag::mul(normalized, gamma_), beta_);
+}
+
+// --- Dropout ---------------------------------------------------------------------
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {
+  if (p < 0.0f || p >= 1.0f) throw std::invalid_argument("Dropout: p must be in [0, 1)");
+}
+
+Var Dropout::forward(const Var& x) {
+  if (!training_ || p_ == 0.0f) return x;
+  const float keep = 1.0f - p_;
+  Tensor mask(x.rows(), x.cols());
+  for (std::size_t r = 0; r < mask.rows(); ++r)
+    for (std::size_t c = 0; c < mask.cols(); ++c)
+      mask(r, c) = rng_->uniform() < keep ? 1.0f / keep : 0.0f;
+  return ag::mul(x, ag::constant(std::move(mask)));
+}
+
+// --- Sequential -------------------------------------------------------------------
+
+Sequential& Sequential::add(std::unique_ptr<Module> m) {
+  layers_.push_back(std::move(m));
+  return *this;
+}
+
+Var Sequential::forward(const Var& x) {
+  Var h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+std::vector<Var> Sequential::parameters() {
+  std::vector<Var> params;
+  for (auto& layer : layers_) {
+    auto p = layer->parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+// --- ResidualBlock -----------------------------------------------------------------
+
+ResidualBlock::ResidualBlock(std::size_t in_features, std::size_t hidden, Rng& rng)
+    : in_(in_features), hidden_(hidden), fc_(in_features, hidden, rng), bn_(hidden) {}
+
+Var ResidualBlock::forward(const Var& x) {
+  Var h = ag::relu(bn_.forward(fc_.forward(x)));
+  return ag::concat_cols({h, x});
+}
+
+std::vector<Var> ResidualBlock::parameters() {
+  auto params = fc_.parameters();
+  auto bn_params = bn_.parameters();
+  params.insert(params.end(), bn_params.begin(), bn_params.end());
+  return params;
+}
+
+void ResidualBlock::set_training(bool training) {
+  Module::set_training(training);
+  fc_.set_training(training);
+  bn_.set_training(training);
+}
+
+// --- FNBlock -----------------------------------------------------------------------
+
+FNBlock::FNBlock(std::size_t in_features, std::size_t hidden, Rng& rng, float slope,
+                 float dropout_p)
+    : fc_(in_features, hidden, rng), act_(slope), drop_(dropout_p, rng) {}
+
+Var FNBlock::forward(const Var& x) {
+  return drop_.forward(act_.forward(fc_.forward(x)));
+}
+
+std::vector<Var> FNBlock::parameters() { return fc_.parameters(); }
+
+void FNBlock::set_training(bool training) {
+  Module::set_training(training);
+  fc_.set_training(training);
+  act_.set_training(training);
+  drop_.set_training(training);
+}
+
+}  // namespace gtv::nn

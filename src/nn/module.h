@@ -1,0 +1,167 @@
+// Neural-network building blocks over the autograd engine.
+//
+// The layer set mirrors what CT-GAN's generator and discriminator need:
+//   - Linear (+ Kaiming/Xavier init)
+//   - BatchNorm1d (train/eval modes, running statistics)
+//   - ReLU / LeakyReLU / Tanh activations
+//   - Dropout (inverted, train-only)
+//   - ResidualBlock: FC -> BN -> ReLU, concat-skip (CT-GAN style)
+//   - FNBlock: FC -> LeakyReLU -> Dropout (CT-GAN discriminator block)
+//   - Sequential container
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/autograd.h"
+#include "tensor/rng.h"
+
+namespace gtv::nn {
+
+using ag::Var;
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual Var forward(const Var& x) = 0;
+  // All trainable leaf Vars.
+  virtual std::vector<Var> parameters() { return {}; }
+  // Toggles train/eval behaviour (dropout, batchnorm).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  std::size_t parameter_count();
+  void zero_grad();
+
+ protected:
+  bool training_ = true;
+};
+
+class Linear : public Module {
+ public:
+  // Kaiming-uniform initialized weight (in x out) and zero bias (1 x out).
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Var forward(const Var& x) override;
+  std::vector<Var> parameters() override { return {weight_, bias_}; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  const Var& weight() const { return weight_; }
+  const Var& bias() const { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Var weight_;
+  Var bias_;
+};
+
+class BatchNorm1d : public Module {
+ public:
+  explicit BatchNorm1d(std::size_t features, float eps = 1e-5f, float momentum = 0.1f);
+
+  Var forward(const Var& x) override;
+  std::vector<Var> parameters() override { return {gamma_, beta_}; }
+
+ private:
+  std::size_t features_;
+  float eps_;
+  float momentum_;
+  Var gamma_;
+  Var beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+};
+
+class ReLU : public Module {
+ public:
+  Var forward(const Var& x) override { return ag::relu(x); }
+};
+
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(float slope = 0.2f) : slope_(slope) {}
+  Var forward(const Var& x) override { return ag::leaky_relu(x, slope_); }
+
+ private:
+  float slope_;
+};
+
+class Tanh : public Module {
+ public:
+  Var forward(const Var& x) override { return ag::tanh(x); }
+};
+
+class Dropout : public Module {
+ public:
+  // Inverted dropout with keep-prob scaling; identity in eval mode.
+  Dropout(float p, Rng& rng);
+  Var forward(const Var& x) override;
+
+ private:
+  float p_;
+  Rng* rng_;
+};
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  // Builder-style: seq.add(std::make_unique<Linear>(...)).
+  Sequential& add(std::unique_ptr<Module> m);
+  template <typename M, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<M>(std::forward<Args>(args)...));
+  }
+
+  Var forward(const Var& x) override;
+  std::vector<Var> parameters() override;
+  void set_training(bool training) override;
+
+  std::size_t size() const { return layers_.size(); }
+  Module& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+// CT-GAN generator residual block: out = concat(relu(bn(fc(x))), x).
+// Output width is hidden + input width.
+class ResidualBlock : public Module {
+ public:
+  ResidualBlock(std::size_t in_features, std::size_t hidden, Rng& rng);
+
+  Var forward(const Var& x) override;
+  std::vector<Var> parameters() override;
+  void set_training(bool training) override;
+
+  std::size_t out_features() const { return hidden_ + in_; }
+
+ private:
+  std::size_t in_;
+  std::size_t hidden_;
+  Linear fc_;
+  BatchNorm1d bn_;
+};
+
+// CT-GAN discriminator block: out = dropout(leaky_relu(fc(x))).
+class FNBlock : public Module {
+ public:
+  FNBlock(std::size_t in_features, std::size_t hidden, Rng& rng, float slope = 0.2f,
+          float dropout_p = 0.5f);
+
+  Var forward(const Var& x) override;
+  std::vector<Var> parameters() override;
+  void set_training(bool training) override;
+
+  std::size_t out_features() const { return fc_.out_features(); }
+
+ private:
+  Linear fc_;
+  LeakyReLU act_;
+  Dropout drop_;
+};
+
+}  // namespace gtv::nn

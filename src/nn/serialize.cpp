@@ -1,0 +1,75 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gtv::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x47545650;  // "GTVP"
+
+template <typename T>
+void write_value(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_value(std::ifstream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_parameters: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_parameters(Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_parameters: cannot open '" + path + "'");
+  const auto params = module.parameters();
+  write_value(out, kMagic);
+  write_value(out, static_cast<std::uint64_t>(params.size()));
+  for (const auto& p : params) {
+    write_value(out, static_cast<std::uint64_t>(p.value().rows()));
+    write_value(out, static_cast<std::uint64_t>(p.value().cols()));
+    out.write(reinterpret_cast<const char*>(p.value().data()),
+              static_cast<std::streamsize>(p.value().size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_parameters: write failed for '" + path + "'");
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_parameters: cannot open '" + path + "'");
+  if (read_value<std::uint32_t>(in) != kMagic) {
+    throw std::runtime_error("load_parameters: bad magic in '" + path + "'");
+  }
+  auto params = module.parameters();
+  const auto count = read_value<std::uint64_t>(in);
+  if (count != params.size()) {
+    throw std::runtime_error("load_parameters: parameter count mismatch (file " +
+                             std::to_string(count) + ", module " +
+                             std::to_string(params.size()) + ")");
+  }
+  // Stage all tensors first so a corrupt file cannot half-update the module.
+  std::vector<Tensor> staged;
+  staged.reserve(params.size());
+  for (const auto& p : params) {
+    const auto rows = static_cast<std::size_t>(read_value<std::uint64_t>(in));
+    const auto cols = static_cast<std::size_t>(read_value<std::uint64_t>(in));
+    if (rows != p.value().rows() || cols != p.value().cols()) {
+      throw std::runtime_error("load_parameters: shape mismatch");
+    }
+    std::vector<float> values(rows * cols);
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_parameters: truncated payload");
+    staged.emplace_back(rows, cols, std::move(values));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) params[i].set_value(std::move(staged[i]));
+}
+
+}  // namespace gtv::nn

@@ -1,0 +1,21 @@
+// Parameter checkpointing: saves/restores every trainable tensor of a
+// Module in declaration order. The format is a small binary container
+// (magic, parameter count, then shape + float payload per parameter), so a
+// trained generator can be persisted and reloaded for later synthesis.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace gtv::nn {
+
+// Writes all parameters of `module` to `path`. Throws on I/O failure.
+void save_parameters(Module& module, const std::string& path);
+
+// Restores parameters saved by save_parameters. The module must have the
+// same architecture: parameter count and every shape must match, otherwise
+// throws std::runtime_error without modifying the module.
+void load_parameters(Module& module, const std::string& path);
+
+}  // namespace gtv::nn

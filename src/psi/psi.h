@@ -1,0 +1,57 @@
+// Private-Set-Intersection-based record alignment.
+//
+// GTV (like other VFL systems) assumes the clients' rows are pre-aligned:
+// row r in every shard belongs to the same individual. The paper defers
+// this to PSI [Chen+17, Dong+13]. This module reproduces that
+// preprocessing step with a salted-hash PSI in the semi-honest model:
+//
+//   1. all clients agree on a secret salt (like the shuffle seed, it is
+//      negotiated among clients and never shared with the server),
+//   2. each client publishes the salted hashes of its record identifiers,
+//   3. everyone computes the hash intersection and sorts it (a canonical
+//      order no single party controls),
+//   4. each client reorders its local table to that canonical order.
+//
+// Identifiers outside the intersection never leave a client in plaintext;
+// the salt prevents offline dictionary attacks by the server. A hardened
+// deployment would use an OPRF-based PSI — the alignment *functionality*
+// and interface are identical, which is what GTV depends on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace gtv::psi {
+
+// 64-bit salted hash of a record identifier (SplitMix-style mixing).
+std::uint64_t salted_hash(const std::string& id, std::uint64_t salt);
+
+// One party's input to the alignment: a table whose row i belongs to the
+// individual identified by ids[i]. Identifiers must be unique per party.
+struct Party {
+  std::vector<std::string> ids;
+  data::Table table;
+};
+
+// Hashes every party's identifiers with the shared salt and returns the
+// sorted intersection of the hash sets.
+std::vector<std::uint64_t> hash_intersection(const std::vector<Party>& parties,
+                                             std::uint64_t salt);
+
+struct AlignmentResult {
+  // Per-party tables restricted to the intersection, all in the same
+  // (canonical hash-sorted) row order.
+  std::vector<data::Table> tables;
+  // How many records the intersection kept.
+  std::size_t matched_rows = 0;
+};
+
+// Full alignment: every returned table has matched_rows rows and row r of
+// every table belongs to the same individual. Throws if a party has
+// duplicate identifiers or if the intersection is empty.
+AlignmentResult align_by_intersection(const std::vector<Party>& parties, std::uint64_t salt);
+
+}  // namespace gtv::psi

@@ -1,0 +1,43 @@
+// Deterministic, seedable random number generation for the whole project.
+//
+// Every stochastic component (weight init, noise sampling, shuffling,
+// dataset generation) draws from an explicitly threaded Rng so that runs
+// are reproducible and the VFL shared-seed Shuffle can be expressed as
+// "two parties construct the same Rng".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gtv {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+  // Standard normal via Box-Muller (cached spare value).
+  double normal();
+  double normal(double mean, double stddev);
+  // Sample index from an unnormalized non-negative weight vector.
+  std::size_t categorical(const std::vector<double>& weights);
+  // Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+  // Split off an independent child stream (for per-worker determinism).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace gtv

@@ -1,0 +1,117 @@
+#include "tensor/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gtv {
+
+struct ThreadPool::Impl {
+  // Jobs are shared so a straggling worker that grabbed the pointer after
+  // the work was fully consumed can still safely observe `next >= n`.
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t chunk = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining{0};
+  };
+
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::shared_ptr<Job> job;
+  std::uint64_t job_serial = 0;
+  bool shutdown = false;
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> local;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_work.wait(lock, [&] { return shutdown || job_serial != seen; });
+        if (shutdown) return;
+        seen = job_serial;
+        local = job;
+      }
+      if (local) run_chunks(*local);
+    }
+  }
+
+  void run_chunks(Job& j) {
+    for (;;) {
+      const std::size_t begin = j.next.fetch_add(j.chunk);
+      if (begin >= j.n) break;
+      const std::size_t end = std::min(j.n, begin + j.chunk);
+      (*j.fn)(begin, end);
+      if (j.remaining.fetch_sub(end - begin) == end - begin) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv_done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  workers_ = std::min<std::size_t>(hw == 0 ? 4 : hw, 16);
+  const std::size_t spawned = workers_ > 1 ? workers_ - 1 : 0;
+  impl_->threads.reserve(spawned);
+  for (std::size_t i = 0; i < spawned; ++i) {
+    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  if (n <= grain || workers_ <= 1) {
+    fn(0, n);
+    return;
+  }
+  auto job = std::make_shared<Impl::Job>();
+  job->fn = &fn;
+  job->n = n;
+  const std::size_t target_chunks = workers_ * 4;
+  job->chunk = std::max(grain, (n + target_chunks - 1) / target_chunks);
+  job->remaining.store(n);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->job = job;
+    ++impl_->job_serial;
+  }
+  impl_->cv_work.notify_all();
+  impl_->run_chunks(*job);  // caller participates
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv_done.wait(lock, [&] { return job->remaining.load() == 0; });
+  impl_->job.reset();
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  ThreadPool::instance().parallel_for(n, grain, fn);
+}
+
+}  // namespace gtv

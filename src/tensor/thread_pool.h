@@ -1,0 +1,42 @@
+// Minimal persistent thread pool used to parallelize dense kernels.
+//
+// The pool is created lazily on first use and sized to the hardware
+// concurrency (capped). parallel_for partitions [0, n) into contiguous
+// chunks; the calling thread participates so small ranges stay cheap.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace gtv {
+
+class ThreadPool {
+ public:
+  // Global singleton pool.
+  static ThreadPool& instance();
+
+  // Runs fn(begin, end) over a partition of [0, n). Blocks until done.
+  // `grain` is the minimum chunk size; ranges smaller than `grain`
+  // run inline on the calling thread without synchronization.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  std::size_t worker_count() const { return workers_; }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+
+  struct Impl;
+  Impl* impl_;        // owned; opaque to keep <thread> out of the header
+  std::size_t workers_;
+};
+
+// Convenience wrapper over the singleton.
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace gtv

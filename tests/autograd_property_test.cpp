@@ -1,0 +1,113 @@
+// Parameterized gradient sweeps: random compositions of the op library
+// checked against central finite differences across many seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/autograd.h"
+
+namespace gtv::ag {
+namespace {
+
+float eval_scalar(const std::function<Var(const Var&)>& f, const Tensor& x) {
+  NoGradGuard no_grad;
+  return f(Var(x)).value()(0, 0);
+}
+
+void expect_grad_matches(const std::function<Var(const Var&)>& f, const Tensor& x0,
+                         float tol = 3e-2f) {
+  Var x(x0, true);
+  backward(f(x));
+  const float h = 1e-3f;
+  for (std::size_t r = 0; r < x0.rows(); ++r) {
+    for (std::size_t c = 0; c < x0.cols(); ++c) {
+      Tensor plus = x0, minus = x0;
+      plus(r, c) += h;
+      minus(r, c) -= h;
+      const float numeric = (eval_scalar(f, plus) - eval_scalar(f, minus)) / (2 * h);
+      EXPECT_NEAR(x.grad()(r, c), numeric, tol) << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+class AutogradPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AutogradPropertyTest, RandomSmoothComposition) {
+  Rng rng(GetParam());
+  const std::size_t r = 2 + rng.uniform_index(3), c = 2 + rng.uniform_index(3);
+  Tensor x0 = Tensor::uniform(r, c, 0.3f, 1.5f, rng);
+  Tensor w0 = Tensor::normal(c, 3, 0.0f, 0.7f, rng);
+  expect_grad_matches(
+      [&](const Var& x) {
+        Var h = tanh(matmul(x, constant(w0)));
+        Var s = sigmoid(sum_cols(h));
+        return mean_all(mul(s, s));
+      },
+      x0);
+}
+
+TEST_P(AutogradPropertyTest, SoftmaxCrossEntropyComposition) {
+  Rng rng(GetParam() ^ 0xabc);
+  const std::size_t n = 2 + rng.uniform_index(3), k = 2 + rng.uniform_index(4);
+  Tensor x0 = Tensor::normal(n, k, 0.0f, 1.5f, rng);
+  Tensor target(n, k);
+  for (std::size_t i = 0; i < n; ++i) target(i, rng.uniform_index(k)) = 1.0f;
+  expect_grad_matches(
+      [&](const Var& x) {
+        return neg(mean_all(mul(log_softmax_rows(x), constant(target))));
+      },
+      x0);
+}
+
+TEST_P(AutogradPropertyTest, NormPenaltyComposition) {
+  Rng rng(GetParam() ^ 0xdef);
+  const std::size_t n = 2 + rng.uniform_index(4), c = 2 + rng.uniform_index(4);
+  Tensor x0 = Tensor::uniform(n, c, 0.2f, 1.0f, rng);
+  expect_grad_matches(
+      [&](const Var& x) {
+        Var norms = row_norms(x);
+        return mean_all(square(add_scalar(norms, -1.0f)));
+      },
+      x0);
+}
+
+TEST_P(AutogradPropertyTest, SliceConcatComposition) {
+  Rng rng(GetParam() ^ 0x123);
+  const std::size_t n = 2 + rng.uniform_index(3);
+  const std::size_t c = 4 + rng.uniform_index(4);
+  Tensor x0 = Tensor::normal(n, c, 0.0f, 1.0f, rng);
+  const std::size_t cut = 1 + rng.uniform_index(c - 2);
+  expect_grad_matches(
+      [&](const Var& x) {
+        Var left = mul_scalar(slice_cols(x, 0, cut), 2.0f);
+        Var right = tanh(slice_cols(x, cut, c));
+        return sum_all(square(concat_cols({left, right})));
+      },
+      x0);
+}
+
+TEST_P(AutogradPropertyTest, SecondOrderOfQuadraticFormIsConstant) {
+  Rng rng(GetParam() ^ 0x777);
+  const std::size_t d = 2 + rng.uniform_index(3);
+  Tensor a0 = Tensor::normal(d, d, 0.0f, 0.8f, rng);
+  // f(x) = x A x^T (1xd input); Hessian = A + A^T, independent of x.
+  Tensor x0 = Tensor::normal(1, d, 0.0f, 1.0f, rng);
+  Var x(x0, true);
+  Var f = sum_all(mul(matmul(x, constant(a0)), x));
+  Var g = grad(f, {x}, /*create_graph=*/true)[0];
+  // d/dx of sum(g) = sum of Hessian rows.
+  Var gg = grad(sum_all(g), {x})[0];
+  Tensor hess_row_sums(1, d);
+  for (std::size_t j = 0; j < d; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < d; ++i) acc += a0(i, j) + a0(j, i);
+    hess_row_sums(0, j) = static_cast<float>(acc);
+  }
+  EXPECT_LT(gg.value().max_abs_diff(hess_row_sums), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace gtv::ag

@@ -1,0 +1,286 @@
+#include "autograd/autograd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace gtv::ag {
+namespace {
+
+// Central-difference numerical gradient of a scalar-valued function of one
+// leaf tensor. `f` must rebuild the graph from the given tensor each call.
+Tensor numerical_grad(const std::function<float(const Tensor&)>& f, const Tensor& x,
+                      float h = 1e-3f) {
+  Tensor g(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      Tensor plus = x, minus = x;
+      plus(r, c) += h;
+      minus(r, c) -= h;
+      g(r, c) = (f(plus) - f(minus)) / (2.0f * h);
+    }
+  }
+  return g;
+}
+
+// Checks analytic gradient of `build` (graph builder) against numeric.
+void check_gradient(const std::function<Var(const Var&)>& build, const Tensor& x0,
+                    float tol = 2e-2f, float h = 1e-3f) {
+  Var x(x0, /*requires_grad=*/true);
+  Var loss = build(x);
+  ASSERT_EQ(loss.rows(), 1u);
+  ASSERT_EQ(loss.cols(), 1u);
+  backward(loss);
+  Tensor numeric = numerical_grad(
+      [&](const Tensor& t) {
+        NoGradGuard no_grad;
+        Var v(t);
+        return build(v).value()(0, 0);
+      },
+      x0, h);
+  ASSERT_TRUE(x.grad().same_shape(numeric));
+  for (std::size_t r = 0; r < numeric.rows(); ++r) {
+    for (std::size_t c = 0; c < numeric.cols(); ++c) {
+      EXPECT_NEAR(x.grad()(r, c), numeric(r, c), tol)
+          << "mismatch at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(AutogradTest, LeafProperties) {
+  Var x(Tensor::of({{1, 2}}), true);
+  EXPECT_TRUE(x.requires_grad());
+  EXPECT_TRUE(x.grad().empty());
+  Var c = constant(Tensor::of({{3}}));
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(AutogradTest, SimpleAddBackward) {
+  Var x(Tensor::of({{1, 2}, {3, 4}}), true);
+  backward(sum_all(add(x, x)));
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_FLOAT_EQ(x.grad()(r, c), 2.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossBackwardCalls) {
+  Var x(Tensor::of({{1.0f}}), true);
+  backward(mul_scalar(x, 3.0f));
+  backward(mul_scalar(x, 3.0f));
+  EXPECT_FLOAT_EQ(x.grad()(0, 0), 6.0f);
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad()(0, 0), 0.0f);
+}
+
+TEST(AutogradTest, BackwardRequiresScalarRoot) {
+  Var x(Tensor::of({{1, 2}}), true);
+  EXPECT_THROW(backward(add(x, x)), std::invalid_argument);
+}
+
+TEST(AutogradTest, NoGradModeProducesConstants) {
+  Var x(Tensor::of({{2.0f}}), true);
+  NoGradGuard guard;
+  Var y = mul(x, x);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(AutogradTest, MatmulGradient) {
+  Rng rng(1);
+  check_gradient(
+      [](const Var& x) {
+        Var w = constant(Tensor::of({{1, -2}, {0.5, 3}, {-1, 1}}));
+        return sum_all(matmul(x, w));
+      },
+      Tensor::normal(4, 3, 0.0f, 1.0f, rng));
+}
+
+TEST(AutogradTest, MatmulGradientBothSides) {
+  Rng rng(2);
+  Tensor a0 = Tensor::normal(3, 4, 0.0f, 1.0f, rng);
+  Tensor b0 = Tensor::normal(4, 2, 0.0f, 1.0f, rng);
+  Var a(a0, true), b(b0, true);
+  backward(sum_all(matmul(a, b)));
+  // d/dA sum(AB) = ones * B^T.
+  Tensor expect_a = Tensor::ones(3, 2).matmul(b0.transpose());
+  Tensor expect_b = a0.transpose().matmul(Tensor::ones(3, 2));
+  EXPECT_LT(a.grad().max_abs_diff(expect_a), 1e-5f);
+  EXPECT_LT(b.grad().max_abs_diff(expect_b), 1e-5f);
+}
+
+TEST(AutogradTest, MulDivGradient) {
+  Rng rng(3);
+  Tensor x0 = Tensor::uniform(3, 3, 0.5f, 2.0f, rng);
+  check_gradient(
+      [](const Var& x) {
+        Var c = constant(Tensor::full(3, 3, 1.7f));
+        return sum_all(div(mul(x, x), add(x, c)));
+      },
+      x0);
+}
+
+TEST(AutogradTest, BroadcastAddGradient) {
+  Rng rng(4);
+  Tensor x0 = Tensor::normal(1, 5, 0.0f, 1.0f, rng);  // row vector broadcast up
+  check_gradient(
+      [](const Var& x) {
+        Var big = constant(Tensor::full(6, 5, 0.3f));
+        return sum_all(square(add(big, x)));
+      },
+      x0);
+}
+
+TEST(AutogradTest, ColBroadcastMulGradient) {
+  Rng rng(5);
+  Tensor x0 = Tensor::uniform(4, 1, 0.5f, 1.5f, rng);  // col vector
+  check_gradient(
+      [](const Var& x) {
+        Var big = constant(Tensor::full(4, 3, 2.0f));
+        return sum_all(mul(big, x));
+      },
+      x0);
+}
+
+TEST(AutogradTest, ElementwiseUnaryGradients) {
+  Rng rng(6);
+  Tensor pos = Tensor::uniform(3, 4, 0.3f, 2.0f, rng);
+  check_gradient([](const Var& x) { return sum_all(exp(x)); }, pos);
+  check_gradient([](const Var& x) { return sum_all(log(x)); }, pos);
+  check_gradient([](const Var& x) { return sum_all(sqrt(x)); }, pos);
+  check_gradient([](const Var& x) { return sum_all(square(x)); }, pos);
+  check_gradient([](const Var& x) { return sum_all(tanh(x)); }, pos);
+  check_gradient([](const Var& x) { return sum_all(sigmoid(x)); }, pos);
+}
+
+TEST(AutogradTest, LeakyReluGradient) {
+  // Values kept away from the kink so finite differences are valid.
+  Tensor x0 = Tensor::of({{-2, -1, 1}, {3, -0.5, 2}});
+  check_gradient([](const Var& x) { return sum_all(leaky_relu(x, 0.2f)); }, x0);
+  Var x(x0, true);
+  backward(sum_all(relu(x)));
+  EXPECT_FLOAT_EQ(x.grad()(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()(0, 2), 1.0f);
+}
+
+TEST(AutogradTest, ReductionGradients) {
+  Rng rng(7);
+  Tensor x0 = Tensor::normal(3, 4, 0.0f, 1.0f, rng);
+  check_gradient([](const Var& x) { return sum_all(square(sum_rows(x))); }, x0);
+  check_gradient([](const Var& x) { return sum_all(square(sum_cols(x))); }, x0);
+  check_gradient([](const Var& x) { return mean_all(square(x)); }, x0);
+}
+
+TEST(AutogradTest, SliceAndPadGradients) {
+  Rng rng(8);
+  Tensor x0 = Tensor::normal(3, 6, 0.0f, 1.0f, rng);
+  check_gradient([](const Var& x) { return sum_all(square(slice_cols(x, 1, 4))); }, x0);
+  check_gradient([](const Var& x) { return sum_all(square(pad_cols(x, 2, 1))); }, x0);
+  check_gradient([](const Var& x) { return sum_all(square(slice_rows(x, 1, 3))); }, x0);
+}
+
+TEST(AutogradTest, ConcatGradient) {
+  Rng rng(9);
+  Tensor x0 = Tensor::normal(3, 4, 0.0f, 1.0f, rng);
+  check_gradient(
+      [](const Var& x) {
+        Var a = slice_cols(x, 0, 2);
+        Var b = slice_cols(x, 2, 4);
+        // Weighted concat so the two branches have distinct gradients.
+        Var cat = concat_cols({mul_scalar(a, 2.0f), mul_scalar(b, -3.0f)});
+        return sum_all(square(cat));
+      },
+      x0);
+}
+
+TEST(AutogradTest, ConcatRowsGradient) {
+  Rng rng(10);
+  Tensor x0 = Tensor::normal(4, 3, 0.0f, 1.0f, rng);
+  check_gradient(
+      [](const Var& x) {
+        Var a = slice_rows(x, 0, 1);
+        Var b = slice_rows(x, 1, 4);
+        return sum_all(square(concat_rows({mul_scalar(a, 3.0f), b})));
+      },
+      x0);
+}
+
+TEST(AutogradTest, SoftmaxRowsSumsToOneAndGradient) {
+  Rng rng(11);
+  Tensor x0 = Tensor::normal(3, 5, 0.0f, 2.0f, rng);
+  {
+    NoGradGuard no_grad;
+    Var s = softmax_rows(Var(x0));
+    Tensor row_sums = s.value().sum_cols();
+    for (std::size_t r = 0; r < 3; ++r) EXPECT_NEAR(row_sums(r, 0), 1.0f, 1e-5f);
+  }
+  Tensor target = Tensor::zeros(3, 5);
+  target(0, 1) = target(1, 3) = target(2, 0) = 1.0f;
+  check_gradient(
+      [&target](const Var& x) {
+        // Cross-entropy against a fixed one-hot target.
+        return neg(mean_all(mul(log_softmax_rows(x), constant(target))));
+      },
+      x0);
+}
+
+TEST(AutogradTest, RowNormsGradient) {
+  Rng rng(12);
+  Tensor x0 = Tensor::uniform(4, 3, 0.5f, 2.0f, rng);
+  check_gradient([](const Var& x) { return sum_all(row_norms(x)); }, x0);
+}
+
+TEST(AutogradTest, StopGradientBlocksFlow) {
+  Var x(Tensor::of({{2.0f}}), true);
+  Var y = mul(stop_gradient(x), x);  // d/dx = stop(x) = 2, not 2x = 4
+  backward(y);
+  EXPECT_FLOAT_EQ(x.grad()(0, 0), 2.0f);
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  Var x(Tensor::of({{3.0f}}), true);
+  Var a = mul_scalar(x, 2.0f);
+  Var b = mul_scalar(x, 5.0f);
+  backward(add(a, b));
+  EXPECT_FLOAT_EQ(x.grad()(0, 0), 7.0f);
+}
+
+TEST(AutogradTest, ReusedVariableInOneOp) {
+  Var x(Tensor::of({{3.0f}}), true);
+  backward(mul(x, x));
+  EXPECT_FLOAT_EQ(x.grad()(0, 0), 6.0f);
+}
+
+TEST(AutogradTest, GradReturnsZeroForUnreachedInput) {
+  Var x(Tensor::of({{1.0f}}), true);
+  Var y(Tensor::of({{2.0f}}), true);
+  auto gs = grad(mul(x, x), {x, y});
+  EXPECT_FLOAT_EQ(gs[0].value()(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(gs[1].value()(0, 0), 0.0f);
+}
+
+TEST(AutogradTest, GradWithExplicitGradOutput) {
+  Var x(Tensor::of({{1, 2}}), true);
+  Var y = mul_scalar(x, 3.0f);  // 1x2 root with explicit seed
+  auto gs = grad(y, {x}, false, Var(Tensor::of({{10, 100}})));
+  EXPECT_FLOAT_EQ(gs[0].value()(0, 0), 30.0f);
+  EXPECT_FLOAT_EQ(gs[0].value()(0, 1), 300.0f);
+}
+
+TEST(AutogradTest, SetValueRejectsInteriorNodes) {
+  Var x(Tensor::of({{1.0f}}), true);
+  Var y = mul(x, x);
+  EXPECT_THROW(y.set_value(Tensor::of({{5.0f}})), std::logic_error);
+  x.set_value(Tensor::of({{9.0f}}));
+  EXPECT_FLOAT_EQ(x.value()(0, 0), 9.0f);
+}
+
+TEST(AutogradTest, DeepChainGradient) {
+  // A 40-layer chain exercises the iterative topological sort.
+  Var x(Tensor::of({{1.0f}}), true);
+  Var h = x;
+  for (int i = 0; i < 40; ++i) h = mul_scalar(h, 1.05f);
+  backward(h);
+  EXPECT_NEAR(x.grad()(0, 0), std::pow(1.05f, 40.0f), 1e-3f);
+}
+
+}  // namespace
+}  // namespace gtv::ag

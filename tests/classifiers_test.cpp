@@ -1,0 +1,153 @@
+#include "eval/classifiers.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/tree.h"
+
+namespace gtv::eval {
+namespace {
+
+// Linearly separable 2-class blobs.
+void blobs(std::size_t n, Tensor& x, std::vector<std::size_t>& y, Rng& rng) {
+  x = Tensor(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cls = rng.uniform_index(2);
+    x(i, 0) = static_cast<float>(rng.normal(cls == 0 ? -2.0 : 2.0, 0.7));
+    x(i, 1) = static_cast<float>(rng.normal(cls == 0 ? 1.0 : -1.0, 0.7));
+    y[i] = cls;
+  }
+}
+
+// XOR-ish pattern: not linearly separable — trees/MLP must beat linear.
+void xor_data(std::size_t n, Tensor& x, std::vector<std::size_t>& y, Rng& rng) {
+  x = Tensor(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform() < 0.5 ? -1.0 : 1.0;
+    const double b = rng.uniform() < 0.5 ? -1.0 : 1.0;
+    x(i, 0) = static_cast<float>(a + rng.normal(0, 0.25));
+    x(i, 1) = static_cast<float>(b + rng.normal(0, 0.25));
+    y[i] = (a > 0) != (b > 0) ? 1 : 0;
+  }
+}
+
+class SuiteParamTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SuiteParamTest, SeparatesBlobs) {
+  Rng rng(1 + GetParam());
+  Tensor x_train, x_test;
+  std::vector<std::size_t> y_train, y_test;
+  blobs(300, x_train, y_train, rng);
+  blobs(150, x_test, y_test, rng);
+  auto suite = make_classifier_suite();
+  auto& clf = *suite.at(GetParam());
+  clf.fit(x_train, y_train, 2, rng);
+  const double acc = accuracy(y_test, clf.predict(x_test));
+  EXPECT_GT(acc, 0.9) << clf.name();
+  const double auc = macro_auc(y_test, clf.predict_scores(x_test));
+  EXPECT_GT(auc, 0.93) << clf.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, SuiteParamTest, ::testing::Range<std::size_t>(0, 5),
+                         [](const auto& info) {
+                           return make_classifier_suite()[info.param]->name();
+                         });
+
+TEST(ClassifiersTest, SuiteHasPaperFiveFamilies) {
+  auto suite = make_classifier_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& c : suite) names.insert(c->name());
+  EXPECT_TRUE(names.count("decision_tree"));
+  EXPECT_TRUE(names.count("linear_svm"));
+  EXPECT_TRUE(names.count("random_forest"));
+  EXPECT_TRUE(names.count("logistic_regression"));
+  EXPECT_TRUE(names.count("mlp"));
+}
+
+TEST(ClassifiersTest, NonlinearModelsSolveXor) {
+  Rng rng(2);
+  Tensor x_train, x_test;
+  std::vector<std::size_t> y_train, y_test;
+  xor_data(400, x_train, y_train, rng);
+  xor_data(200, x_test, y_test, rng);
+
+  DecisionTreeClassifier tree;
+  tree.fit(x_train, y_train, 2, rng);
+  EXPECT_GT(accuracy(y_test, tree.predict(x_test)), 0.9);
+
+  MlpClassifier mlp(32, 120);
+  mlp.fit(x_train, y_train, 2, rng);
+  EXPECT_GT(accuracy(y_test, mlp.predict(x_test)), 0.9);
+
+  // A linear model cannot do much better than chance on XOR.
+  LogisticRegression lr;
+  lr.fit(x_train, y_train, 2, rng);
+  EXPECT_LT(accuracy(y_test, lr.predict(x_test)), 0.75);
+}
+
+TEST(ClassifiersTest, MulticlassSupport) {
+  Rng rng(3);
+  // Three well-separated blobs on a line.
+  Tensor x(300, 1);
+  std::vector<std::size_t> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const std::size_t cls = i % 3;
+    x(i, 0) = static_cast<float>(rng.normal(static_cast<double>(cls) * 4.0, 0.5));
+    y[i] = cls;
+  }
+  for (auto& clf : make_classifier_suite()) {
+    clf->fit(x, y, 3, rng);
+    EXPECT_GT(accuracy(y, clf->predict(x)), 0.9) << clf->name();
+    EXPECT_EQ(clf->predict_scores(x).cols(), 3u) << clf->name();
+  }
+}
+
+TEST(ClassifiersTest, FitValidation) {
+  Rng rng(4);
+  LogisticRegression lr;
+  EXPECT_THROW(lr.fit(Tensor(2, 2), {0}, 2, rng), std::invalid_argument);       // size
+  EXPECT_THROW(lr.fit(Tensor(2, 2), {0, 1}, 1, rng), std::invalid_argument);    // classes
+  EXPECT_THROW(lr.fit(Tensor(2, 2), {0, 5}, 2, rng), std::invalid_argument);    // label range
+  EXPECT_THROW(lr.predict_scores(Tensor(1, 2)), std::logic_error);              // not fitted
+}
+
+TEST(ClassifiersTest, TreePredictBeforeFitThrows) {
+  DecisionTreeClassifier tree;
+  EXPECT_THROW(tree.predict_scores(Tensor(1, 2)), std::logic_error);
+  RandomForestClassifier forest;
+  EXPECT_THROW(forest.predict_scores(Tensor(1, 2)), std::logic_error);
+}
+
+TEST(ClassifiersTest, TreeRespectsDepthLimit) {
+  Rng rng(5);
+  Tensor x_train;
+  std::vector<std::size_t> y_train;
+  blobs(200, x_train, y_train, rng);
+  TreeOptions shallow;
+  shallow.max_depth = 1;
+  DecisionTreeClassifier stump(shallow);
+  stump.fit(x_train, y_train, 2, rng);
+  EXPECT_LE(stump.node_count(), 3u);  // root + two leaves
+}
+
+TEST(ClassifiersTest, ForestBeatsSingleStumpOnXor) {
+  Rng rng(6);
+  Tensor x_train, x_test;
+  std::vector<std::size_t> y_train, y_test;
+  xor_data(400, x_train, y_train, rng);
+  xor_data(200, x_test, y_test, rng);
+  TreeOptions shallow;
+  shallow.max_depth = 1;
+  DecisionTreeClassifier stump(shallow);
+  stump.fit(x_train, y_train, 2, rng);
+  RandomForestClassifier forest(15);
+  forest.fit(x_train, y_train, 2, rng);
+  EXPECT_GT(accuracy(y_test, forest.predict(x_test)),
+            accuracy(y_test, stump.predict(x_test)));
+}
+
+}  // namespace
+}  // namespace gtv::eval

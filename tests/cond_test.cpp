@@ -1,0 +1,146 @@
+#include "encode/cond.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gtv::encode {
+namespace {
+
+using data::ColumnType;
+using data::Table;
+
+Table two_cat_table(std::size_t rows, Rng& rng) {
+  // Imbalanced 'gender' (80/20) and 'loan' (3 classes).
+  Table t({{"income", ColumnType::kContinuous, {}, {}},
+           {"gender", ColumnType::kCategorical, {"M", "F"}, {}},
+           {"loan", ColumnType::kCategorical, {"none", "small", "large"}, {}}});
+  for (std::size_t i = 0; i < rows; ++i) {
+    t.append_row({rng.normal(50, 10), static_cast<double>(rng.categorical({8, 2})),
+                  static_cast<double>(rng.categorical({6, 3, 1}))});
+  }
+  return t;
+}
+
+struct Fixture {
+  Rng rng{1};
+  Table table;
+  TableEncoder encoder;
+  Fixture() : table(two_cat_table(1000, rng)) { encoder.fit(table, EncoderOptions{}, rng); }
+};
+
+TEST(CondTest, CvWidthIsSumOfCardinalities) {
+  Fixture f;
+  ConditionalSampler sampler(f.encoder, f.table);
+  EXPECT_EQ(sampler.cv_width(), 5u);  // 2 + 3
+  EXPECT_TRUE(sampler.has_discrete());
+  ASSERT_EQ(sampler.cv_offsets().size(), 2u);
+  EXPECT_EQ(sampler.cv_offsets()[0], 0u);
+  EXPECT_EQ(sampler.cv_offsets()[1], 2u);
+}
+
+TEST(CondTest, EveryCvRowIsOneHot) {
+  Fixture f;
+  ConditionalSampler sampler(f.encoder, f.table);
+  auto sample = sampler.sample_train(128, f.rng);
+  ASSERT_EQ(sample.cv.rows(), 128u);
+  ASSERT_EQ(sample.cv.cols(), 5u);
+  for (std::size_t b = 0; b < 128; ++b) {
+    float total = 0;
+    for (std::size_t c = 0; c < 5; ++c) total += sample.cv(b, c);
+    EXPECT_FLOAT_EQ(total, 1.0f);
+  }
+}
+
+TEST(CondTest, SampledRowsMatchCondition) {
+  // The invariant the paper's Algorithm 1 relies on: T_p[idx_p] rows carry
+  // the category indicated by the CV.
+  Fixture f;
+  ConditionalSampler sampler(f.encoder, f.table);
+  auto sample = sampler.sample_train(256, f.rng);
+  const auto& discrete = f.encoder.discrete_spans();
+  for (std::size_t b = 0; b < 256; ++b) {
+    const auto& ds = discrete.at(sample.span[b]);
+    EXPECT_DOUBLE_EQ(f.table.cell(sample.rows[b], ds.source_column),
+                     static_cast<double>(sample.category[b]));
+  }
+}
+
+TEST(CondTest, LogFrequencyOversamplesMinority) {
+  Fixture f;
+  ConditionalSampler sampler(f.encoder, f.table);
+  std::size_t minority = 0, total_gender = 0;
+  for (int it = 0; it < 40; ++it) {
+    auto sample = sampler.sample_train(128, f.rng);
+    for (std::size_t b = 0; b < 128; ++b) {
+      if (sample.span[b] == 0) {  // gender span
+        ++total_gender;
+        minority += (sample.category[b] == 1);
+      }
+    }
+  }
+  const double minority_rate = static_cast<double>(minority) / total_gender;
+  // Raw frequency would give 0.2; log-frequency pushes toward parity.
+  EXPECT_GT(minority_rate, 0.3);
+  EXPECT_LT(minority_rate, 0.65);
+}
+
+TEST(CondTest, OriginalFrequencyMatchesData) {
+  Fixture f;
+  ConditionalSampler sampler(f.encoder, f.table);
+  Tensor cv = sampler.sample_original(4000, f.rng);
+  // Count category picks within the gender span.
+  std::size_t male = 0, female = 0;
+  for (std::size_t b = 0; b < 4000; ++b) {
+    male += cv(b, 0) == 1.0f;
+    female += cv(b, 1) == 1.0f;
+  }
+  const double f_rate = static_cast<double>(female) / (male + female);
+  EXPECT_NEAR(f_rate, 0.2, 0.06);
+}
+
+TEST(CondTest, TargetMaskAlignsWithEncodedSpans) {
+  Fixture f;
+  ConditionalSampler sampler(f.encoder, f.table);
+  auto sample = sampler.sample_train(64, f.rng);
+  Tensor mask = sampler.target_mask(sample);
+  ASSERT_EQ(mask.cols(), f.encoder.total_width());
+  Tensor encoded = f.encoder.encode(f.table.gather_rows(sample.rows), f.rng);
+  // For each row, the masked position must be hot in the encoded real row.
+  for (std::size_t b = 0; b < 64; ++b) {
+    float hit = 0;
+    for (std::size_t c = 0; c < mask.cols(); ++c) {
+      if (mask(b, c) == 1.0f) hit = encoded(b, c);
+    }
+    EXPECT_FLOAT_EQ(hit, 1.0f);
+  }
+}
+
+TEST(CondTest, NoDiscreteColumnsDegradesGracefully) {
+  Rng rng(2);
+  Table t({{"x", ColumnType::kContinuous, {}, {}}});
+  for (int i = 0; i < 50; ++i) t.append_row({rng.normal()});
+  TableEncoder enc;
+  enc.fit(t, EncoderOptions{}, rng);
+  ConditionalSampler sampler(enc, t);
+  EXPECT_FALSE(sampler.has_discrete());
+  EXPECT_EQ(sampler.cv_width(), 0u);
+  auto sample = sampler.sample_train(16, rng);
+  EXPECT_EQ(sample.cv.cols(), 0u);
+  EXPECT_EQ(sample.rows.size(), 16u);
+  for (auto r : sample.rows) EXPECT_LT(r, 50u);
+  Tensor original = sampler.sample_original(8, rng);
+  EXPECT_EQ(original.cols(), 0u);
+}
+
+TEST(CondTest, EmptyTableThrows) {
+  Rng rng(3);
+  Table t = two_cat_table(10, rng);
+  TableEncoder enc;
+  enc.fit(t, EncoderOptions{}, rng);
+  Table empty(t.schema());
+  EXPECT_THROW(ConditionalSampler(enc, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gtv::encode

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "core/attack.h"
+#include "core/partition.h"
+
+namespace gtv::core {
+namespace {
+
+TEST(PartitionTest, AllNineCoversEveryCombination) {
+  auto specs = PartitionSpec::all_nine();
+  ASSERT_EQ(specs.size(), 9u);
+  for (const auto& spec : specs) {
+    EXPECT_EQ(spec.g_top + spec.g_bottom, 2u);
+    EXPECT_EQ(spec.d_top + spec.d_bottom, 2u);
+  }
+  // All names are distinct.
+  std::set<std::string> names;
+  for (const auto& spec : specs) names.insert(spec.name());
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(PartitionTest, NameMatchesPaperNotation) {
+  PartitionSpec spec{0, 2, 2, 0};  // g_top, g_bottom, d_top, d_bottom
+  EXPECT_EQ(spec.name(), "D_0^2 G_2^0");
+}
+
+TEST(PartitionTest, ProportionalWidthsSumExactly) {
+  auto widths = proportional_widths(256, {0.5, 0.5});
+  EXPECT_EQ(widths, (std::vector<std::size_t>{128, 128}));
+  widths = proportional_widths(256, {0.1, 0.9});
+  EXPECT_EQ(widths[0] + widths[1], 256u);
+  EXPECT_LT(widths[0], widths[1]);
+  widths = proportional_widths(257, {1.0, 1.0, 1.0});
+  EXPECT_EQ(widths[0] + widths[1] + widths[2], 257u);
+}
+
+TEST(PartitionTest, ExtremeRatiosKeepMinimumWidth) {
+  auto widths = proportional_widths(100, {0.001, 0.999});
+  EXPECT_GE(widths[0], 1u);
+  EXPECT_EQ(widths[0] + widths[1], 100u);
+}
+
+TEST(PartitionTest, InvalidInputsThrow) {
+  EXPECT_THROW(proportional_widths(1, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(proportional_widths(10, {}), std::invalid_argument);
+  EXPECT_THROW(proportional_widths(10, {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(ratio_vector({0, 3}), std::invalid_argument);
+  EXPECT_THROW(ratio_vector({}), std::invalid_argument);
+}
+
+TEST(PartitionTest, RatioVector) {
+  auto r = ratio_vector({2, 8});
+  EXPECT_DOUBLE_EQ(r[0], 0.2);
+  EXPECT_DOUBLE_EQ(r[1], 0.8);
+}
+
+TEST(AttackTest, ReconstructsWithoutShuffling) {
+  // Two binary columns, CV bits: [col0=0, col0=1, col1=0, col1=1].
+  data::Table reference({{"gender", data::ColumnType::kCategorical, {"M", "F"}, {}},
+                         {"loan", data::ColumnType::kCategorical, {"Y", "N"}, {}}});
+  reference.append_row({0, 0});
+  reference.append_row({0, 1});
+  reference.append_row({1, 0});
+  reference.append_row({1, 1});
+
+  ServerInferenceAttack attack;
+  attack.set_layout({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+
+  // Observe every (row, column) with the true category, as the CVGeneration
+  // protocol would reveal without shuffling.
+  for (std::size_t col = 0; col < 2; ++col) {
+    for (std::size_t row = 0; row < 4; ++row) {
+      Tensor cv(1, 4);
+      const auto cat = static_cast<std::size_t>(reference.cell(row, col));
+      cv(0, col * 2 + cat) = 1.0f;
+      attack.observe({row}, cv);
+    }
+  }
+  auto eval = attack.evaluate(reference);
+  EXPECT_EQ(eval.claims, 8u);
+  EXPECT_DOUBLE_EQ(eval.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(eval.coverage, 1.0);
+}
+
+TEST(AttackTest, StaleClaimsScoreLowAfterPermutation) {
+  data::Table reference({{"c", data::ColumnType::kCategorical, {"a", "b"}, {}}});
+  for (int i = 0; i < 2; ++i) reference.append_row({0});
+  for (int i = 0; i < 2; ++i) reference.append_row({1});
+
+  ServerInferenceAttack attack;
+  attack.set_layout({{0, 0}, {0, 1}});
+  // Claims made against a reversed row order (as if data had shuffled).
+  for (std::size_t row = 0; row < 4; ++row) {
+    Tensor cv(1, 2);
+    const auto cat = static_cast<std::size_t>(reference.cell(3 - row, 0));
+    cv(0, cat) = 1.0f;
+    attack.observe({row}, cv);
+  }
+  auto eval = attack.evaluate(reference);
+  EXPECT_EQ(eval.claims, 4u);
+  EXPECT_LT(eval.accuracy, 0.5 + 1e-9);
+}
+
+TEST(AttackTest, LatestClaimWins) {
+  data::Table reference({{"c", data::ColumnType::kCategorical, {"a", "b"}, {}}});
+  reference.append_row({1});
+  ServerInferenceAttack attack;
+  attack.set_layout({{0, 0}, {0, 1}});
+  Tensor wrong(1, 2);
+  wrong(0, 0) = 1.0f;  // claim category 0
+  attack.observe({0}, wrong);
+  Tensor right(1, 2);
+  right(0, 1) = 1.0f;  // later claim category 1
+  attack.observe({0}, right);
+  auto eval = attack.evaluate(reference);
+  EXPECT_EQ(eval.claims, 1u);
+  EXPECT_DOUBLE_EQ(eval.accuracy, 1.0);
+  EXPECT_EQ(attack.observation_count(), 2u);
+}
+
+TEST(AttackTest, ShapeValidation) {
+  ServerInferenceAttack attack;
+  attack.set_layout({{0, 0}});
+  EXPECT_THROW(attack.observe({0}, Tensor(1, 2)), std::invalid_argument);
+  EXPECT_THROW(attack.observe({0, 1}, Tensor(1, 1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gtv::core

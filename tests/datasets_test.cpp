@@ -1,0 +1,124 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gtv::data {
+namespace {
+
+class DatasetParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetParamTest, GeneratesRequestedRows) {
+  Rng rng(1);
+  Table t = make_dataset(GetParam(), 500, rng);
+  EXPECT_EQ(t.n_rows(), 500u);
+  EXPECT_GT(t.n_cols(), 10u);
+}
+
+TEST_P(DatasetParamTest, HasDeclaredTargetColumn) {
+  Rng rng(2);
+  Table t = make_dataset(GetParam(), 200, rng);
+  const std::size_t target = t.column_index(target_column(GetParam()));
+  EXPECT_EQ(t.spec(target).type, ColumnType::kCategorical);
+  EXPECT_GE(t.spec(target).cardinality(), 2u);
+}
+
+TEST_P(DatasetParamTest, AllClassesRepresented) {
+  Rng rng(3);
+  Table t = make_dataset(GetParam(), 4000, rng);
+  const std::size_t target = t.column_index(target_column(GetParam()));
+  auto counts = t.class_counts(target);
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    EXPECT_GT(counts[k], 0u) << GetParam() << " class " << k << " empty";
+  }
+}
+
+TEST_P(DatasetParamTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  Table t1 = make_dataset(GetParam(), 50, a);
+  Table t2 = make_dataset(GetParam(), 50, b);
+  ASSERT_TRUE(t1.same_schema(t2));
+  for (std::size_t r = 0; r < 50; ++r)
+    for (std::size_t c = 0; c < t1.n_cols(); ++c)
+      EXPECT_DOUBLE_EQ(t1.cell(r, c), t2.cell(r, c));
+}
+
+TEST_P(DatasetParamTest, FeaturesCorrelateWithTarget) {
+  // The latent-factor construction must make features predictive: at least
+  // one continuous column's class-conditional means must differ noticeably.
+  Rng rng(4);
+  Table t = make_dataset(GetParam(), 3000, rng);
+  const std::size_t target = t.column_index(target_column(GetParam()));
+  double best_separation = 0.0;
+  for (std::size_t c = 0; c < t.n_cols(); ++c) {
+    if (t.spec(c).type == ColumnType::kCategorical) continue;
+    // Mean by target class 0 vs rest.
+    double m0 = 0, m1 = 0, s = 0;
+    std::size_t n0 = 0, n1 = 0;
+    for (std::size_t r = 0; r < t.n_rows(); ++r) {
+      const double v = t.cell(r, c);
+      s += v * v;
+      if (t.cell(r, target) == 0) {
+        m0 += v;
+        ++n0;
+      } else {
+        m1 += v;
+        ++n1;
+      }
+    }
+    if (n0 == 0 || n1 == 0) continue;
+    m0 /= n0;
+    m1 /= n1;
+    const double scale = std::sqrt(s / t.n_rows()) + 1e-9;
+    best_separation = std::max(best_separation, std::abs(m0 - m1) / scale);
+  }
+  EXPECT_GT(best_separation, 0.05) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetParamTest, ::testing::ValuesIn(dataset_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(DatasetsTest, ExpectedFeatureCounts) {
+  Rng rng(5);
+  // Feature counts (excluding target) mirror the real datasets.
+  EXPECT_EQ(make_loan(10, rng).n_cols(), 13u);       // 12 features + target
+  EXPECT_EQ(make_adult(10, rng).n_cols(), 15u);      // 14 features + target
+  EXPECT_EQ(make_covtype(10, rng).n_cols(), 55u);    // 54 features + target
+  EXPECT_EQ(make_intrusion(10, rng).n_cols(), 42u);  // 41 features + target
+  EXPECT_EQ(make_credit(10, rng).n_cols(), 31u);     // 30 features + target
+}
+
+TEST(DatasetsTest, ImbalancedTargets) {
+  Rng rng(6);
+  Table credit = make_credit(8000, rng);
+  auto counts = credit.class_counts(credit.column_index("fraud"));
+  const double fraud_rate = static_cast<double>(counts[1]) / 8000.0;
+  EXPECT_LT(fraud_rate, 0.06);
+  EXPECT_GT(fraud_rate, 0.001);
+
+  Table loan = make_loan(8000, rng);
+  auto loan_counts = loan.class_counts(loan.column_index("personal_loan"));
+  const double positive = static_cast<double>(loan_counts[1]) / 8000.0;
+  EXPECT_LT(positive, 0.35);
+  EXPECT_GT(positive, 0.02);
+}
+
+TEST(DatasetsTest, MixedColumnsHaveSpecialMass) {
+  Rng rng(7);
+  Table adult = make_adult(4000, rng);
+  const std::size_t gain = adult.column_index("capital_gain");
+  ASSERT_EQ(adult.spec(gain).type, ColumnType::kMixed);
+  std::size_t zeros = 0;
+  for (double v : adult.column(gain)) zeros += (v == 0.0);
+  EXPECT_GT(static_cast<double>(zeros) / 4000.0, 0.5);
+}
+
+TEST(DatasetsTest, UnknownNameThrows) {
+  Rng rng(8);
+  EXPECT_THROW(make_dataset("nope", 10, rng), std::invalid_argument);
+  EXPECT_THROW(target_column("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gtv::data

@@ -1,0 +1,171 @@
+#include "encode/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.h"
+
+namespace gtv::encode {
+namespace {
+
+using data::ColumnSpec;
+using data::ColumnType;
+using data::Table;
+
+Table mixed_table(std::size_t rows, Rng& rng) {
+  Table t({{"cont", ColumnType::kContinuous, {}, {}},
+           {"cat", ColumnType::kCategorical, {"a", "b", "c"}, {}},
+           {"mix", ColumnType::kMixed, {}, {0.0}}});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double cont = rng.uniform() < 0.5 ? rng.normal(-4.0, 0.5) : rng.normal(6.0, 1.0);
+    const double cat = static_cast<double>(rng.categorical({5.0, 3.0, 2.0}));
+    const double mix = rng.uniform() < 0.4 ? 0.0 : rng.normal(100.0, 10.0);
+    t.append_row({cont, cat, mix});
+  }
+  return t;
+}
+
+TEST(EncoderTest, SpanLayout) {
+  Rng rng(1);
+  Table t = mixed_table(800, rng);
+  TableEncoder enc;
+  enc.fit(t, EncoderOptions{}, rng);
+  // cont -> alpha + modes; cat -> onehot; mix -> alpha + (special+modes).
+  ASSERT_EQ(enc.spans_of_column(0).size(), 2u);
+  ASSERT_EQ(enc.spans_of_column(1).size(), 1u);
+  ASSERT_EQ(enc.spans_of_column(2).size(), 2u);
+  const auto& spans = enc.spans();
+  EXPECT_EQ(spans[enc.spans_of_column(0)[0]].activation, Activation::kTanh);
+  EXPECT_EQ(spans[enc.spans_of_column(0)[1]].activation, Activation::kSoftmax);
+  EXPECT_EQ(spans[enc.spans_of_column(1)[0]].width, 3u);
+  // Offsets are contiguous and cover the whole width.
+  std::size_t expected_offset = 0;
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.offset, expected_offset);
+    expected_offset += span.width;
+  }
+  EXPECT_EQ(expected_offset, enc.total_width());
+}
+
+TEST(EncoderTest, EncodeShapesAndOneHotValidity) {
+  Rng rng(2);
+  Table t = mixed_table(500, rng);
+  TableEncoder enc;
+  enc.fit(t, EncoderOptions{}, rng);
+  Tensor e = enc.encode(t, rng);
+  EXPECT_EQ(e.rows(), 500u);
+  EXPECT_EQ(e.cols(), enc.total_width());
+  // Every softmax span row must be exactly one-hot; every alpha in [-1,1].
+  for (const auto& span : enc.spans()) {
+    for (std::size_t r = 0; r < e.rows(); ++r) {
+      if (span.activation == Activation::kSoftmax) {
+        float total = 0;
+        for (std::size_t k = 0; k < span.width; ++k) total += e(r, span.offset + k);
+        EXPECT_FLOAT_EQ(total, 1.0f);
+      } else {
+        EXPECT_GE(e(r, span.offset), -1.0f);
+        EXPECT_LE(e(r, span.offset), 1.0f);
+      }
+    }
+  }
+}
+
+TEST(EncoderTest, RoundTripCategoricalExact) {
+  Rng rng(3);
+  Table t = mixed_table(400, rng);
+  TableEncoder enc;
+  enc.fit(t, EncoderOptions{}, rng);
+  Table back = enc.decode(enc.encode(t, rng));
+  for (std::size_t r = 0; r < t.n_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(back.cell(r, 1), t.cell(r, 1));
+  }
+}
+
+TEST(EncoderTest, RoundTripContinuousApproximate) {
+  Rng rng(4);
+  Table t = mixed_table(2000, rng);
+  TableEncoder enc;
+  enc.fit(t, EncoderOptions{}, rng);
+  Table back = enc.decode(enc.encode(t, rng));
+  // Mode-specific normalization is lossy only through alpha clipping; the
+  // error should be small relative to column scale.
+  double worst = 0.0;
+  for (std::size_t r = 0; r < t.n_rows(); ++r) {
+    worst = std::max(worst, std::abs(back.cell(r, 0) - t.cell(r, 0)));
+  }
+  EXPECT_LT(worst, 2.0);  // column spans roughly [-6, 9]
+}
+
+TEST(EncoderTest, RoundTripMixedSpecialValuesExact) {
+  Rng rng(5);
+  Table t = mixed_table(800, rng);
+  TableEncoder enc;
+  enc.fit(t, EncoderOptions{}, rng);
+  Table back = enc.decode(enc.encode(t, rng));
+  for (std::size_t r = 0; r < t.n_rows(); ++r) {
+    if (t.cell(r, 2) == 0.0) {
+      EXPECT_DOUBLE_EQ(back.cell(r, 2), 0.0) << "special value lost at row " << r;
+    } else {
+      EXPECT_NEAR(back.cell(r, 2), t.cell(r, 2), 15.0);
+    }
+  }
+}
+
+TEST(EncoderTest, DiscreteSpansOnlyCategorical) {
+  Rng rng(6);
+  Table t = mixed_table(300, rng);
+  TableEncoder enc;
+  enc.fit(t, EncoderOptions{}, rng);
+  ASSERT_EQ(enc.discrete_spans().size(), 1u);
+  EXPECT_EQ(enc.discrete_spans()[0].source_column, 1u);
+  EXPECT_EQ(enc.discrete_spans()[0].cardinality, 3u);
+  // Frequencies reflect the data.
+  std::size_t total = 0;
+  for (auto f : enc.discrete_spans()[0].frequencies) total += f;
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(EncoderTest, SchemaMismatchThrows) {
+  Rng rng(7);
+  Table t = mixed_table(100, rng);
+  TableEncoder enc;
+  enc.fit(t, EncoderOptions{}, rng);
+  Table other({{"x", ColumnType::kContinuous, {}, {}}});
+  other.append_row({1.0});
+  EXPECT_THROW(enc.encode(other, rng), std::invalid_argument);
+  EXPECT_THROW(enc.decode(Tensor(3, enc.total_width() + 1)), std::invalid_argument);
+  EXPECT_THROW(enc.fit(Table({{"y", ColumnType::kContinuous, {}, {}}}), EncoderOptions{}, rng),
+               std::invalid_argument);
+}
+
+TEST(EncoderTest, BenchmarkDatasetsRoundTrip) {
+  // Property-style check over all five benchmark datasets: encode/decode
+  // keeps categorical columns exact and continuous columns within a modest
+  // fraction of the column scale.
+  Rng rng(8);
+  for (const auto& name : data::dataset_names()) {
+    Table t = data::make_dataset(name, 600, rng);
+    TableEncoder enc;
+    enc.fit(t, EncoderOptions{}, rng);
+    Table back = enc.decode(enc.encode(t, rng));
+    for (std::size_t c = 0; c < t.n_cols(); ++c) {
+      if (t.spec(c).type == ColumnType::kCategorical) {
+        for (std::size_t r = 0; r < t.n_rows(); ++r) {
+          ASSERT_DOUBLE_EQ(back.cell(r, c), t.cell(r, c))
+              << name << " col " << t.spec(c).name;
+        }
+      } else {
+        double scale = 1e-9, err = 0.0;
+        for (std::size_t r = 0; r < t.n_rows(); ++r) {
+          scale = std::max(scale, std::abs(t.cell(r, c)));
+          err = std::max(err, std::abs(back.cell(r, c) - t.cell(r, c)));
+        }
+        EXPECT_LT(err / scale, 0.55) << name << " col " << t.spec(c).name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gtv::encode

@@ -1,0 +1,214 @@
+#include "gan/ctabgan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gan/losses.h"
+
+namespace gtv::gan {
+namespace {
+
+using data::ColumnType;
+using data::Table;
+
+Table toy_table(std::size_t rows, Rng& rng) {
+  Table t({{"value", ColumnType::kContinuous, {}, {}},
+           {"label", ColumnType::kCategorical, {"x", "y"}, {}}});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t cls = rng.categorical({7, 3});
+    const double mean = cls == 0 ? -2.0 : 4.0;
+    t.append_row({rng.normal(mean, 0.6), static_cast<double>(cls)});
+  }
+  return t;
+}
+
+GanOptions small_options() {
+  GanOptions options;
+  options.noise_dim = 16;
+  options.hidden = 32;
+  options.batch_size = 32;
+  options.d_steps_per_round = 2;
+  return options;
+}
+
+TEST(LossesTest, GumbelSoftmaxRowsSumToOne) {
+  Rng rng(1);
+  ag::Var logits(Tensor::normal(6, 4, 0.0f, 2.0f, rng));
+  ag::Var y = gumbel_softmax(logits, 0.2f, rng);
+  Tensor sums = y.value().sum_cols();
+  for (std::size_t r = 0; r < 6; ++r) EXPECT_NEAR(sums(r, 0), 1.0f, 1e-5f);
+  EXPECT_THROW(gumbel_softmax(logits, 0.0f, rng), std::invalid_argument);
+}
+
+TEST(LossesTest, GumbelSoftmaxLowTauSharp) {
+  Rng rng(2);
+  // Strong logits + low temperature -> near one-hot at the argmax.
+  Tensor strong = Tensor::of({{10, 0, 0}, {0, 12, 0}});
+  ag::Var y = gumbel_softmax(ag::Var(strong), 0.1f, rng);
+  EXPECT_GT(y.value()(0, 0), 0.95f);
+  EXPECT_GT(y.value()(1, 1), 0.95f);
+}
+
+TEST(LossesTest, ApplyOutputActivationsLayout) {
+  Rng rng(3);
+  std::vector<encode::Span> spans = {{0, 1, encode::Activation::kTanh, 0},
+                                     {1, 3, encode::Activation::kSoftmax, 0},
+                                     {4, 2, encode::Activation::kSoftmax, 1}};
+  ag::Var logits(Tensor::normal(5, 6, 0.0f, 1.0f, rng));
+  ag::Var out = apply_output_activations(logits, spans, 0.2f, rng);
+  EXPECT_EQ(out.cols(), 6u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_LE(std::abs(out.value()(r, 0)), 1.0f);  // tanh
+    float s1 = 0, s2 = 0;
+    for (std::size_t c = 1; c < 4; ++c) s1 += out.value()(r, c);
+    for (std::size_t c = 4; c < 6; ++c) s2 += out.value()(r, c);
+    EXPECT_NEAR(s1, 1.0f, 1e-5f);
+    EXPECT_NEAR(s2, 1.0f, 1e-5f);
+  }
+  // Gap in spans rejected.
+  std::vector<encode::Span> bad = {{0, 1, encode::Activation::kTanh, 0},
+                                   {2, 4, encode::Activation::kSoftmax, 0}};
+  EXPECT_THROW(apply_output_activations(logits, bad, 0.2f, rng), std::invalid_argument);
+}
+
+TEST(LossesTest, ConditionalLossPrefersMatchingLogits) {
+  // Target category 1 of a 3-wide span at offset 0.
+  encode::TableEncoder::DiscreteSpan span;
+  span.source_column = 0;
+  span.span_offset = 0;
+  span.cardinality = 3;
+  Tensor mask = Tensor::zeros(2, 3);
+  mask(0, 1) = 1.0f;
+  mask(1, 1) = 1.0f;
+  Tensor good = Tensor::of({{-3, 5, -3}, {-2, 6, -2}});
+  Tensor bad = Tensor::of({{5, -3, -3}, {6, -2, -2}});
+  ag::Var loss_good = conditional_loss(ag::Var(good), mask, {span});
+  ag::Var loss_bad = conditional_loss(ag::Var(bad), mask, {span});
+  EXPECT_LT(loss_good.value()(0, 0), loss_bad.value()(0, 0));
+  EXPECT_GE(loss_good.value()(0, 0), 0.0f);
+}
+
+TEST(LossesTest, GradientPenaltyZeroForUnitGradientCritic) {
+  Rng rng(4);
+  // critic(x) = x[:, 0]: gradient e1 per row, norm exactly 1 -> penalty 0.
+  auto critic = [](const ag::Var& x) { return ag::slice_cols(x, 0, 1); };
+  Tensor real = Tensor::normal(8, 4, 0.0f, 1.0f, rng);
+  Tensor fake = Tensor::normal(8, 4, 0.0f, 1.0f, rng);
+  ag::Var gp = gradient_penalty(critic, real, fake, rng);
+  EXPECT_NEAR(gp.value()(0, 0), 0.0f, 1e-6f);
+}
+
+TEST(LossesTest, GradientPenaltyPositiveForScaledCritic) {
+  Rng rng(5);
+  // critic(x) = 3 * x[:, 0]: gradient norm 3 -> penalty (3-1)^2 = 4.
+  auto critic = [](const ag::Var& x) { return ag::mul_scalar(ag::slice_cols(x, 0, 1), 3.0f); };
+  Tensor real = Tensor::normal(8, 4, 0.0f, 1.0f, rng);
+  Tensor fake = Tensor::normal(8, 4, 0.0f, 1.0f, rng);
+  ag::Var gp = gradient_penalty(critic, real, fake, rng);
+  EXPECT_NEAR(gp.value()(0, 0), 4.0f, 1e-4f);
+}
+
+TEST(LossesTest, GradientPenaltyShapeMismatchThrows) {
+  Rng rng(6);
+  auto critic = [](const ag::Var& x) { return ag::slice_cols(x, 0, 1); };
+  EXPECT_THROW(gradient_penalty(critic, Tensor(2, 3), Tensor(2, 4), rng),
+               std::invalid_argument);
+}
+
+TEST(GeneratorNetTest, ShapesThroughResidualTower) {
+  Rng rng(7);
+  GeneratorNet g(20, 32, 2, 11, rng);
+  ag::Var y = g.forward(ag::Var(Tensor::normal(4, 20, 0.0f, 1.0f, rng)));
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.cols(), 11u);
+  EXPECT_GT(g.parameter_count(), 0u);
+}
+
+TEST(GeneratorNetTest, ZeroBlocksIsPlainLinear) {
+  Rng rng(8);
+  GeneratorNet g(5, 32, 0, 7, rng);
+  ag::Var y = g.forward(ag::Var(Tensor::normal(3, 5, 0.0f, 1.0f, rng)));
+  EXPECT_EQ(y.cols(), 7u);
+  EXPECT_EQ(g.parameters().size(), 2u);  // just the output Linear
+}
+
+TEST(DiscriminatorNetTest, CriticOutputsOneColumn) {
+  Rng rng(9);
+  DiscriminatorNet d(15, 32, 2, 1, rng);
+  ag::Var y = d.forward(ag::Var(Tensor::normal(6, 15, 0.0f, 1.0f, rng)));
+  EXPECT_EQ(y.rows(), 6u);
+  EXPECT_EQ(y.cols(), 1u);
+}
+
+TEST(CentralizedGanTest, TrainRoundProducesFiniteLosses) {
+  Rng rng(10);
+  Table t = toy_table(200, rng);
+  CentralizedTabularGan gan(t, small_options(), 42);
+  RoundLosses losses = gan.train_round();
+  EXPECT_TRUE(std::isfinite(losses.d_loss));
+  EXPECT_TRUE(std::isfinite(losses.g_loss));
+  EXPECT_TRUE(std::isfinite(losses.gp));
+  EXPECT_EQ(gan.history().size(), 1u);
+}
+
+TEST(CentralizedGanTest, SampleMatchesSchemaAndSize) {
+  Rng rng(11);
+  Table t = toy_table(150, rng);
+  CentralizedTabularGan gan(t, small_options(), 7);
+  gan.train(3);
+  Table synth = gan.sample(77);
+  EXPECT_EQ(synth.n_rows(), 77u);
+  ASSERT_TRUE(synth.same_schema(t));
+  // Categorical values are valid indices.
+  for (double v : synth.column(1)) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+TEST(CentralizedGanTest, LearnsBimodalToyDistribution) {
+  // After a modest number of rounds the synthetic class ratio and the
+  // class-conditional means should move toward the real ones.
+  Rng rng(12);
+  Table t = toy_table(400, rng);
+  GanOptions options = small_options();
+  options.batch_size = 64;
+  CentralizedTabularGan gan(t, options, 99);
+  gan.train(60);
+  Table synth = gan.sample(400);
+  auto counts = synth.class_counts(1);
+  const double y_rate = static_cast<double>(counts[1]) / 400.0;
+  EXPECT_GT(y_rate, 0.08);
+  EXPECT_LT(y_rate, 0.65);
+  // Continuous values should fall in the real support (roughly [-4, 7]).
+  double mn = 1e9, mx = -1e9;
+  for (double v : synth.column(0)) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_GT(mn, -10.0);
+  EXPECT_LT(mx, 13.0);
+}
+
+TEST(CentralizedGanTest, WeightClippingModeTrains) {
+  Rng rng(13);
+  Table t = toy_table(150, rng);
+  GanOptions options = small_options();
+  options.critic_mode = CriticMode::kWeightClipping;
+  options.clip_value = 0.05f;
+  CentralizedTabularGan gan(t, options, 3);
+  RoundLosses losses = gan.train_round();
+  EXPECT_FLOAT_EQ(losses.gp, 0.0f);
+  EXPECT_TRUE(std::isfinite(losses.d_loss));
+  Table synth = gan.sample(20);
+  EXPECT_EQ(synth.n_rows(), 20u);
+}
+
+TEST(CentralizedGanTest, RejectsTinyTable) {
+  Table t({{"v", ColumnType::kContinuous, {}, {}}});
+  t.append_row({1.0});
+  EXPECT_THROW(CentralizedTabularGan(t, small_options(), 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gtv::gan

@@ -1,0 +1,128 @@
+#include "encode/gmm.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace gtv::encode {
+namespace {
+
+std::vector<double> bimodal_sample(std::size_t n, Rng& rng) {
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.4) {
+      values.push_back(rng.normal(-5.0, 0.5));
+    } else {
+      values.push_back(rng.normal(3.0, 1.0));
+    }
+  }
+  return values;
+}
+
+TEST(GmmTest, RecoversBimodalModes) {
+  Rng rng(1);
+  auto values = bimodal_sample(4000, rng);
+  GaussianMixture1D gmm;
+  GmmOptions opts;
+  opts.max_modes = 5;
+  gmm.fit(values, opts, rng);
+  ASSERT_GE(gmm.n_modes(), 2u);
+  // Two of the means must be near -5 and 3.
+  double best_lo = 1e9, best_hi = 1e9;
+  for (double m : gmm.means()) {
+    best_lo = std::min(best_lo, std::abs(m + 5.0));
+    best_hi = std::min(best_hi, std::abs(m - 3.0));
+  }
+  EXPECT_LT(best_lo, 0.5);
+  EXPECT_LT(best_hi, 0.5);
+}
+
+TEST(GmmTest, WeightsSumToOne) {
+  Rng rng(2);
+  auto values = bimodal_sample(1000, rng);
+  GaussianMixture1D gmm;
+  gmm.fit(values, GmmOptions{}, rng);
+  double total = 0.0;
+  for (double w : gmm.weights()) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GmmTest, ConstantColumnDegeneratesToSingleMode) {
+  Rng rng(3);
+  std::vector<double> values(100, 7.25);
+  GaussianMixture1D gmm;
+  gmm.fit(values, GmmOptions{}, rng);
+  ASSERT_EQ(gmm.n_modes(), 1u);
+  EXPECT_DOUBLE_EQ(gmm.means()[0], 7.25);
+  EXPECT_GT(gmm.stds()[0], 0.0);
+}
+
+TEST(GmmTest, EmptyDataThrows) {
+  Rng rng(4);
+  GaussianMixture1D gmm;
+  EXPECT_THROW(gmm.fit({}, GmmOptions{}, rng), std::invalid_argument);
+}
+
+TEST(GmmTest, FewerPointsThanModes) {
+  Rng rng(5);
+  GaussianMixture1D gmm;
+  gmm.fit({1.0, 2.0, 3.0}, GmmOptions{}, rng);  // max_modes=10 > 3 points
+  EXPECT_LE(gmm.n_modes(), 3u);
+  EXPECT_GE(gmm.n_modes(), 1u);
+}
+
+TEST(GmmTest, ResponsibilitiesNormalizedAndPeaked) {
+  Rng rng(6);
+  auto values = bimodal_sample(3000, rng);
+  GaussianMixture1D gmm;
+  gmm.fit(values, GmmOptions{}, rng);
+  auto resp = gmm.responsibilities(-5.0);
+  double total = 0.0;
+  for (double r : resp) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The most likely mode at -5 must have mean near -5.
+  EXPECT_LT(std::abs(gmm.means()[gmm.most_likely_mode(-5.0)] + 5.0), 1.0);
+  EXPECT_LT(std::abs(gmm.means()[gmm.most_likely_mode(3.0)] - 3.0), 1.0);
+}
+
+TEST(GmmTest, PrunesTinyModes) {
+  Rng rng(7);
+  // Unimodal data with max_modes=10 should collapse to few modes.
+  std::vector<double> values;
+  for (int i = 0; i < 3000; ++i) values.push_back(rng.normal(0.0, 1.0));
+  GaussianMixture1D gmm;
+  GmmOptions opts;
+  opts.min_weight = 0.02;
+  gmm.fit(values, opts, rng);
+  EXPECT_LT(gmm.n_modes(), 10u);
+}
+
+TEST(GmmTest, LogLikelihoodImprovesOverSingleGaussianForBimodal) {
+  Rng rng(8);
+  auto values = bimodal_sample(3000, rng);
+  GaussianMixture1D multi;
+  GmmOptions opts;
+  multi.fit(values, opts, rng);
+  GaussianMixture1D single;
+  GmmOptions one;
+  one.max_modes = 1;
+  single.fit(values, one, rng);
+  EXPECT_GT(multi.log_likelihood(values), single.log_likelihood(values) + 0.1);
+}
+
+TEST(GmmTest, MinStdFloorRespected) {
+  Rng rng(9);
+  // Near-duplicate values can collapse variance; the floor must hold.
+  std::vector<double> values(500, 1.0);
+  values.push_back(1.000001);
+  GaussianMixture1D gmm;
+  GmmOptions opts;
+  opts.min_std = 1e-4;
+  gmm.fit(values, opts, rng);
+  for (double s : gmm.stds()) EXPECT_GE(s, opts.min_std * 0.999);
+}
+
+}  // namespace
+}  // namespace gtv::encode

@@ -1,0 +1,178 @@
+// Tests for the extension features: P2P index sharing and its co-selection
+// leak, DP noise on intermediate logits, WGAN weight clipping, and the
+// original-row tracking the curious-peer analysis relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gtv.h"
+#include "gan/losses.h"
+
+namespace gtv::core {
+namespace {
+
+using data::ColumnType;
+using data::Table;
+
+Table imbalanced_two_col(std::size_t rows, Rng& rng) {
+  // Column 0: 90/10 binary (strong minority), column 1: continuous.
+  Table t({{"cls", ColumnType::kCategorical, {"maj", "min"}, {}},
+           {"value", ColumnType::kContinuous, {}, {}}});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto cls = static_cast<double>(rng.categorical({9, 1}));
+    t.append_row({cls, rng.normal(cls * 3.0, 1.0)});
+  }
+  return t;
+}
+
+GtvOptions tiny_options() {
+  GtvOptions options;
+  options.gan.noise_dim = 8;
+  options.gan.hidden = 16;
+  options.generator_hidden = 16;
+  options.gan.batch_size = 16;
+  options.gan.d_steps_per_round = 1;
+  return options;
+}
+
+TEST(PeerAttackTest, MinorityOverselectionHasLiftAndAuc) {
+  PeerSelectionFrequencyAttack attack;
+  // Rows 4-5 form the minority; log-frequency sampling picks them often.
+  for (int i = 0; i < 20; ++i) {
+    attack.observe({4, 5, 4});
+    attack.observe({0, 1});
+  }
+  auto eval = attack.evaluate({0, 0, 0, 0, 1, 1});
+  EXPECT_GT(eval.minority_rate, eval.majority_rate);
+  EXPECT_GT(eval.lift, 2.0);
+  EXPECT_GT(eval.auc, 0.85);
+}
+
+TEST(PeerAttackTest, UniformSelectionHasNoLift) {
+  PeerSelectionFrequencyAttack attack;
+  Rng rng(4);
+  std::vector<std::size_t> categories(40);
+  for (auto& c : categories) c = rng.uniform_index(2);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::size_t> batch;
+    for (int b = 0; b < 6; ++b) batch.push_back(rng.uniform_index(40));
+    attack.observe(batch);
+  }
+  auto eval = attack.evaluate(categories);
+  EXPECT_NEAR(eval.lift, 1.0, 0.25);
+  EXPECT_NEAR(eval.auc, 0.5, 0.2);
+}
+
+TEST(PeerAttackTest, UnobservedRowsCountAsZero) {
+  PeerSelectionFrequencyAttack attack;
+  attack.observe({3});
+  auto eval = attack.evaluate({0, 0, 0, 1});  // row 3 is the minority
+  EXPECT_GT(eval.minority_rate, 0.0);
+  EXPECT_DOUBLE_EQ(eval.majority_rate, 0.0);
+  EXPECT_GT(eval.auc, 0.99);
+}
+
+TEST(GtvFeaturesTest, P2PModeRoutesIndicesToPeersNotServer) {
+  Rng rng(1);
+  Table t = imbalanced_two_col(60, rng);
+  GtvOptions options = tiny_options();
+  options.index_sharing = IndexSharing::kPeerToPeer;
+  auto shards = data::vertical_split(t, {{0}, {1}});
+  GtvTrainer trainer(std::move(shards), options, 3);
+  trainer.train(4);
+  // Peer link saw traffic; server never observed (idx, cv) pairs.
+  const auto& meter = trainer.traffic();
+  const bool peer_traffic = meter.stats("client0->client1").bytes > 0 ||
+                            meter.stats("client1->client0").bytes > 0;
+  EXPECT_TRUE(peer_traffic);
+  EXPECT_EQ(trainer.attack().observation_count(), 0u);
+  EXPECT_GT(trainer.peer_attack().observation_count(), 0u);
+}
+
+TEST(GtvFeaturesTest, P2PLeakHasLiftOnImbalancedColumn) {
+  Rng rng(2);
+  Table t = imbalanced_two_col(80, rng);
+  GtvOptions options = tiny_options();
+  options.index_sharing = IndexSharing::kPeerToPeer;
+  auto shards = data::vertical_split(t, {{0}, {1}});
+  GtvTrainer trainer(std::move(shards), options, 5);
+  trainer.train(30);
+  auto eval = trainer.peer_attack_evaluation(0);
+  // Log-frequency oversampling selects each 10%-minority row far more often
+  // than each majority row; a counting peer separates the classes cleanly.
+  EXPECT_GT(eval.lift, 2.0);
+  EXPECT_GT(eval.auc, 0.8);
+  // And shuffling does NOT defend here (clients know the seed): the lift
+  // persists even though training-with-shuffling was on (default).
+  EXPECT_TRUE(trainer.options().training_with_shuffling);
+}
+
+TEST(GtvFeaturesTest, ServerModeLeavesPeerAttackEmpty) {
+  Rng rng(3);
+  Table t = imbalanced_two_col(50, rng);
+  GtvTrainer trainer(data::vertical_split(t, {{0}, {1}}), tiny_options(), 5);
+  trainer.train(2);
+  EXPECT_EQ(trainer.peer_attack().observation_count(), 0u);
+  EXPECT_GT(trainer.attack().observation_count(), 0u);
+}
+
+TEST(GtvFeaturesTest, DpNoiseStillTrains) {
+  Rng rng(4);
+  Table t = imbalanced_two_col(60, rng);
+  GtvOptions options = tiny_options();
+  options.dp_noise_std = 0.3f;
+  GtvTrainer trainer(data::vertical_split(t, {{0}, {1}}), options, 7);
+  auto losses = trainer.train_round();
+  EXPECT_TRUE(std::isfinite(losses.d_loss));
+  EXPECT_TRUE(std::isfinite(losses.g_loss));
+  Table synth = trainer.sample(20);
+  EXPECT_EQ(synth.n_rows(), 20u);
+}
+
+TEST(GtvFeaturesTest, WeightClippingModeBoundsCriticWeights) {
+  Rng rng(5);
+  Table t = imbalanced_two_col(60, rng);
+  GtvOptions options = tiny_options();
+  options.gan.critic_mode = gan::CriticMode::kWeightClipping;
+  options.gan.clip_value = 0.05f;
+  GtvTrainer trainer(data::vertical_split(t, {{0}, {1}}), options, 9);
+  auto losses = trainer.train_round();
+  EXPECT_FLOAT_EQ(losses.gp, 0.0f);  // no penalty in clipping mode
+  for (const auto& p : trainer.server().discriminator_parameters()) {
+    EXPECT_LE(p.value().max(), 0.05f + 1e-6f);
+    EXPECT_GE(p.value().min(), -0.05f - 1e-6f);
+  }
+  for (std::size_t i = 0; i < trainer.n_clients(); ++i) {
+    for (const auto& p : trainer.client(i).discriminator_parameters()) {
+      EXPECT_LE(p.value().max(), 0.05f + 1e-6f);
+    }
+  }
+}
+
+TEST(GtvFeaturesTest, ClipParametersValidation) {
+  ag::Var p(Tensor::of({{0.5f, -2.0f}}), true);
+  gan::clip_parameters({p}, 1.0f);
+  EXPECT_FLOAT_EQ(p.value()(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(p.value()(0, 1), -1.0f);
+  EXPECT_THROW(gan::clip_parameters({p}, 0.0f), std::invalid_argument);
+}
+
+TEST(GtvFeaturesTest, OriginalRowTrackingSurvivesShuffles) {
+  Rng rng(6);
+  Table t = imbalanced_two_col(30, rng);
+  GtvOptions options = tiny_options();
+  GtvClient client(0, t, options, 6, 5, 11);
+  client.shuffle_local_data(111);
+  client.shuffle_local_data(222);
+  // original_rows must map each current row back to its initial identity:
+  // the cell values must match the snapshot at those original positions.
+  std::vector<std::size_t> all(30);
+  for (std::size_t r = 0; r < 30; ++r) all[r] = r;
+  const auto originals = client.original_rows(all);
+  for (std::size_t r = 0; r < 30; ++r) {
+    EXPECT_DOUBLE_EQ(client.local_table().cell(r, 1), t.cell(originals[r], 1));
+  }
+}
+
+}  // namespace
+}  // namespace gtv::core

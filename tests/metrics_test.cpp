@@ -1,0 +1,55 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace gtv::eval {
+namespace {
+
+TEST(MetricsTest, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(accuracy({0, 1, 1, 0}, {0, 1, 0, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(accuracy({1}, {1}), 1.0);
+  EXPECT_THROW(accuracy({}, {}), std::invalid_argument);
+  EXPECT_THROW(accuracy({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(MetricsTest, MacroF1PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(macro_f1({0, 1, 0, 1}, {0, 1, 0, 1}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(macro_f1({0, 0, 0, 0}, {1, 1, 1, 1}, 2), 0.0);
+}
+
+TEST(MetricsTest, MacroF1HandlesImbalance) {
+  // 9 of class 0 predicted right, the one class-1 sample missed.
+  std::vector<std::size_t> truth(10, 0), pred(10, 0);
+  truth[9] = 1;
+  const double f1 = macro_f1(truth, pred, 2);
+  // class0 F1 = 18/19, class1 F1 = 0 -> macro ~0.4737
+  EXPECT_NEAR(f1, 0.5 * 18.0 / 19.0, 1e-9);
+}
+
+TEST(MetricsTest, BinaryAucPerfectSeparation) {
+  std::vector<std::size_t> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(binary_auc(truth, {0.1, 0.2, 0.8, 0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(binary_auc(truth, {0.9, 0.8, 0.2, 0.1}), 0.0);
+}
+
+TEST(MetricsTest, BinaryAucChanceAndTies) {
+  // All scores tied -> AUC 0.5 with tie correction.
+  EXPECT_DOUBLE_EQ(binary_auc({0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+  EXPECT_THROW(binary_auc({0, 0}, {0.1, 0.2}), std::invalid_argument);
+}
+
+TEST(MetricsTest, MacroAucMulticlassPerfect) {
+  std::vector<std::size_t> truth = {0, 1, 2};
+  Tensor scores = Tensor::of({{0.9, 0.05, 0.05}, {0.1, 0.8, 0.1}, {0.0, 0.2, 0.8}});
+  EXPECT_DOUBLE_EQ(macro_auc(truth, scores), 1.0);
+}
+
+TEST(MetricsTest, MacroAucSkipsAbsentClasses) {
+  std::vector<std::size_t> truth = {0, 1, 0, 1};  // class 2 never appears
+  Tensor scores = Tensor::of(
+      {{0.8, 0.1, 0.1}, {0.2, 0.7, 0.1}, {0.9, 0.05, 0.05}, {0.1, 0.8, 0.1}});
+  EXPECT_DOUBLE_EQ(macro_auc(truth, scores), 1.0);
+}
+
+}  // namespace
+}  // namespace gtv::eval

@@ -1,0 +1,69 @@
+#include "eval/mia.h"
+
+#include <gtest/gtest.h>
+
+namespace gtv::eval {
+namespace {
+
+using data::ColumnType;
+using data::Table;
+
+Table gaussian_table(std::size_t rows, double mean, Rng& rng) {
+  Table t({{"x", ColumnType::kContinuous, {}, {}},
+           {"c", ColumnType::kCategorical, {"a", "b"}, {}}});
+  for (std::size_t i = 0; i < rows; ++i) {
+    t.append_row({rng.normal(mean, 1.0), static_cast<double>(rng.uniform_index(2))});
+  }
+  return t;
+}
+
+TEST(MiaTest, LeakyGeneratorThatCopiesTrainingDataIsDetected) {
+  Rng rng(1);
+  Table members = gaussian_table(60, 0.0, rng);
+  Table non_members = gaussian_table(60, 0.0, rng);
+  // Worst case: the "synthetic" data IS the training data (memorization).
+  MiaResult result = membership_inference(members, non_members, members);
+  EXPECT_GT(result.auc, 0.9);
+  EXPECT_NEAR(result.member_mean, 0.0, 1e-9);
+  EXPECT_GT(result.non_member_mean, 0.0);
+}
+
+TEST(MiaTest, IndependentSyntheticDataIsSafe) {
+  Rng rng(2);
+  Table members = gaussian_table(80, 0.0, rng);
+  Table non_members = gaussian_table(80, 0.0, rng);
+  Table synthetic = gaussian_table(200, 0.0, rng);  // same distribution, fresh draws
+  MiaResult result = membership_inference(members, non_members, synthetic);
+  EXPECT_NEAR(result.auc, 0.5, 0.12);
+}
+
+TEST(MiaTest, PartialMemorizationInBetween) {
+  Rng rng(3);
+  Table members = gaussian_table(50, 0.0, rng);
+  Table non_members = gaussian_table(50, 0.0, rng);
+  // Half copied members, half fresh samples.
+  Table synthetic(members.schema());
+  for (std::size_t r = 0; r < 25; ++r) {
+    synthetic.append_row({members.cell(r, 0), members.cell(r, 1)});
+  }
+  Table fresh = gaussian_table(25, 0.0, rng);
+  for (std::size_t r = 0; r < 25; ++r) {
+    synthetic.append_row({fresh.cell(r, 0), fresh.cell(r, 1)});
+  }
+  MiaResult result = membership_inference(members, non_members, synthetic);
+  EXPECT_GT(result.auc, 0.6);
+  EXPECT_LT(result.auc, 1.0);
+}
+
+TEST(MiaTest, Validation) {
+  Rng rng(4);
+  Table t = gaussian_table(10, 0.0, rng);
+  Table other({{"z", ColumnType::kContinuous, {}, {}}});
+  other.append_row({0.0});
+  EXPECT_THROW(membership_inference(t, t, other), std::invalid_argument);
+  Table empty(t.schema());
+  EXPECT_THROW(membership_inference(empty, t, t), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gtv::eval

@@ -1,0 +1,92 @@
+#include "eval/ml_utility.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "eval/features.h"
+
+namespace gtv::eval {
+namespace {
+
+using data::ColumnType;
+using data::Table;
+
+TEST(FeatureMatrixTest, LayoutAndStandardization) {
+  Table t({{"v", ColumnType::kContinuous, {}, {}},
+           {"c", ColumnType::kCategorical, {"a", "b", "z"}, {}},
+           {"y", ColumnType::kCategorical, {"n", "p"}, {}}});
+  t.append_row({10, 0, 0});
+  t.append_row({20, 1, 1});
+  t.append_row({30, 2, 0});
+  t.append_row({40, 0, 1});
+  FeatureMatrix f;
+  f.fit(t, 2);
+  EXPECT_EQ(f.n_features(), 1u + 3u);
+  EXPECT_EQ(f.n_classes(), 2u);
+  Tensor x = f.transform(t);
+  ASSERT_EQ(x.cols(), 4u);
+  // Standardized continuous column: mean 0.
+  float mean = 0;
+  for (std::size_t r = 0; r < 4; ++r) mean += x(r, 0);
+  EXPECT_NEAR(mean / 4.0f, 0.0f, 1e-5f);
+  // One-hot.
+  EXPECT_FLOAT_EQ(x(2, 1 + 2), 1.0f);
+  EXPECT_FLOAT_EQ(x(2, 1 + 0), 0.0f);
+  auto y = f.labels(t);
+  EXPECT_EQ(y, (std::vector<std::size_t>{0, 1, 0, 1}));
+}
+
+TEST(FeatureMatrixTest, Validation) {
+  Table t({{"v", ColumnType::kContinuous, {}, {}}});
+  t.append_row({1.0});
+  FeatureMatrix f;
+  EXPECT_THROW(f.fit(t, 5), std::out_of_range);
+  EXPECT_THROW(f.fit(t, 0), std::invalid_argument);  // continuous target
+}
+
+TEST(MlUtilityTest, PerfectSyntheticDataScoresNearZeroDifference) {
+  Rng rng(1);
+  Table full = data::make_loan(1200, rng);
+  const std::size_t target = full.column_index("personal_loan");
+  auto [train, test] = full.train_test_split(0.25, rng, target);
+  // "Synthetic" data that IS real data: difference should be tiny.
+  auto result = ml_utility_difference(train, train, test, target, rng);
+  EXPECT_LT(result.difference.accuracy, 0.03);
+  EXPECT_LT(result.difference.auc, 0.03);
+  EXPECT_EQ(result.classifier_names.size(), 5u);
+  EXPECT_EQ(result.per_classifier_real.size(), 5u);
+}
+
+TEST(MlUtilityTest, GarbageSyntheticDataScoresWorse) {
+  Rng rng(2);
+  Table full = data::make_loan(1200, rng);
+  const std::size_t target = full.column_index("personal_loan");
+  auto [train, test] = full.train_test_split(0.25, rng, target);
+  // Garbage: shuffle the target column independently of features.
+  Table garbage = train;
+  Rng shuffle_rng(9);
+  std::vector<double> shuffled = garbage.column(target);
+  const auto perm = shuffle_rng.permutation(shuffled.size());
+  for (std::size_t r = 0; r < shuffled.size(); ++r) {
+    garbage.set_cell(r, target, shuffled[perm[r]]);
+  }
+  auto good = ml_utility_difference(train, train, test, target, rng);
+  auto bad = ml_utility_difference(train, garbage, test, target, rng);
+  EXPECT_GT(bad.difference.auc, good.difference.auc);
+  EXPECT_GE(bad.difference.f1 + bad.difference.accuracy,
+            good.difference.f1 + good.difference.accuracy);
+}
+
+TEST(MlUtilityTest, RealSuiteBeatsChanceOnAllDatasets) {
+  Rng rng(3);
+  for (const auto& name : data::dataset_names()) {
+    Table full = data::make_dataset(name, 900, rng);
+    const std::size_t target = full.column_index(data::target_column(name));
+    auto [train, test] = full.train_test_split(0.25, rng, target);
+    UtilityScores scores = evaluate_suite(train, test, target, rng);
+    EXPECT_GT(scores.auc, 0.6) << name;
+  }
+}
+
+}  // namespace
+}  // namespace gtv::eval

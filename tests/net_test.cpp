@@ -1,0 +1,72 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace gtv::net {
+namespace {
+
+TEST(WireTest, TensorRoundTrip) {
+  Rng rng(1);
+  Tensor t = Tensor::uniform(7, 5, -3.0f, 3.0f, rng);
+  Tensor back = deserialize_tensor(serialize_tensor(t));
+  EXPECT_FLOAT_EQ(t.max_abs_diff(back), 0.0f);
+  EXPECT_EQ(back.rows(), 7u);
+  EXPECT_EQ(back.cols(), 5u);
+}
+
+TEST(WireTest, EmptyTensorRoundTrip) {
+  Tensor t(0, 4);
+  Tensor back = deserialize_tensor(serialize_tensor(t));
+  EXPECT_EQ(back.rows(), 0u);
+  EXPECT_EQ(back.cols(), 4u);
+}
+
+TEST(WireTest, IndicesRoundTrip) {
+  std::vector<std::size_t> idx = {0, 5, 5, 999999, 3};
+  EXPECT_EQ(deserialize_indices(serialize_indices(idx)), idx);
+  EXPECT_TRUE(deserialize_indices(serialize_indices({})).empty());
+}
+
+TEST(WireTest, TruncatedPayloadThrows) {
+  auto bytes = serialize_tensor(Tensor(2, 2, 1.0f));
+  bytes.pop_back();
+  EXPECT_THROW(deserialize_tensor(bytes), std::runtime_error);
+  auto ibytes = serialize_indices({1, 2, 3});
+  ibytes.resize(10);
+  EXPECT_THROW(deserialize_indices(ibytes), std::runtime_error);
+}
+
+TEST(TrafficMeterTest, CountsBytesAndMessagesPerLink) {
+  TrafficMeter meter;
+  Tensor t(4, 8);  // 16-byte header + 128 bytes payload
+  meter.transfer("a->b", t);
+  meter.transfer("a->b", t);
+  meter.transfer("b->a", std::vector<std::size_t>{1, 2, 3});
+  EXPECT_EQ(meter.stats("a->b").messages, 2u);
+  EXPECT_EQ(meter.stats("a->b").bytes, 2u * (16 + 4 * 8 * 4));
+  EXPECT_EQ(meter.stats("b->a").messages, 1u);
+  EXPECT_EQ(meter.stats("b->a").bytes, 8u + 3 * 8);
+  EXPECT_EQ(meter.total().messages, 3u);
+  EXPECT_EQ(meter.stats("unknown").bytes, 0u);
+}
+
+TEST(TrafficMeterTest, TransferReturnsEqualValue) {
+  TrafficMeter meter;
+  Rng rng(2);
+  Tensor t = Tensor::normal(3, 3, 0.0f, 1.0f, rng);
+  Tensor out = meter.transfer("x", t);
+  EXPECT_FLOAT_EQ(t.max_abs_diff(out), 0.0f);
+  std::vector<std::size_t> idx = {7, 0, 7};
+  EXPECT_EQ(meter.transfer("x", idx), idx);
+}
+
+TEST(TrafficMeterTest, ResetClears) {
+  TrafficMeter meter;
+  meter.transfer("x", Tensor(1, 1));
+  meter.reset();
+  EXPECT_EQ(meter.total().bytes, 0u);
+  EXPECT_TRUE(meter.all().empty());
+}
+
+}  // namespace
+}  // namespace gtv::net

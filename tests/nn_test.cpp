@@ -1,0 +1,197 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/adam.h"
+
+namespace gtv::nn {
+namespace {
+
+TEST(LinearTest, ShapesAndForward) {
+  Rng rng(1);
+  Linear lin(3, 5, rng);
+  EXPECT_EQ(lin.parameters().size(), 2u);
+  EXPECT_EQ(lin.parameter_count(), 3u * 5u + 5u);
+  Var x(Tensor::ones(2, 3));
+  Var y = lin.forward(x);
+  EXPECT_EQ(y.rows(), 2u);
+  EXPECT_EQ(y.cols(), 5u);
+  EXPECT_THROW(lin.forward(Var(Tensor::ones(2, 4))), std::invalid_argument);
+  EXPECT_THROW(Linear(0, 3, rng), std::invalid_argument);
+}
+
+TEST(LinearTest, GradientFlowsToParameters) {
+  Rng rng(2);
+  Linear lin(4, 2, rng);
+  Var x(Tensor::ones(3, 4));
+  ag::backward(ag::sum_all(lin.forward(x)));
+  EXPECT_FALSE(lin.weight().grad().empty());
+  // d/dW sum(xW + b) with x = ones: every weight grad = batch size.
+  EXPECT_NEAR(lin.weight().grad()(0, 0), 3.0f, 1e-5f);
+  EXPECT_NEAR(lin.bias().grad()(0, 1), 3.0f, 1e-5f);
+}
+
+TEST(BatchNormTest, NormalizesInTraining) {
+  Rng rng(3);
+  BatchNorm1d bn(4);
+  bn.set_training(true);
+  Var x(Tensor::normal(64, 4, 5.0f, 3.0f, rng));
+  Var y = bn.forward(x);
+  Tensor mu = y.value().mean_rows();
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_NEAR(mu(0, c), 0.0f, 1e-4f);
+  // Unit variance per column.
+  Tensor centered = y.value() - mu;
+  Tensor var = (centered * centered).mean_rows();
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_NEAR(var(0, c), 1.0f, 1e-2f);
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  Rng rng(4);
+  BatchNorm1d bn(2);
+  bn.set_training(true);
+  // Feed several batches with mean 10 to build running stats.
+  for (int i = 0; i < 200; ++i) {
+    Var x(Tensor::normal(32, 2, 10.0f, 1.0f, rng));
+    bn.forward(x);
+  }
+  bn.set_training(false);
+  // A batch at the training mean should normalize to ~0.
+  Var y = bn.forward(Var(Tensor::full(8, 2, 10.0f)));
+  EXPECT_NEAR(y.value()(0, 0), 0.0f, 0.2f);
+  // A single row works in eval mode (no batch statistics needed).
+  Var z = bn.forward(Var(Tensor::full(1, 2, 10.0f)));
+  EXPECT_EQ(z.rows(), 1u);
+}
+
+TEST(BatchNormTest, BackwardRuns) {
+  Rng rng(5);
+  BatchNorm1d bn(3);
+  Var x(Tensor::normal(16, 3, 0.0f, 1.0f, rng), true);
+  ag::backward(ag::sum_all(ag::square(bn.forward(x))));
+  EXPECT_FALSE(x.grad().empty());
+  EXPECT_TRUE(x.grad().all_finite());
+}
+
+TEST(DropoutTest, TrainAndEvalBehaviour) {
+  Rng rng(6);
+  Dropout drop(0.5f, rng);
+  Var x(Tensor::ones(100, 10));
+  drop.set_training(true);
+  Var y = drop.forward(x);
+  // Inverted dropout: surviving entries are scaled to 2, ~half survive.
+  int zeros = 0, twos = 0;
+  for (std::size_t i = 0; i < y.value().size(); ++i) {
+    const float v = y.value().values()[i];
+    if (v == 0.0f) ++zeros;
+    else if (std::abs(v - 2.0f) < 1e-5f) ++twos;
+    else FAIL() << "unexpected value " << v;
+  }
+  EXPECT_NEAR(zeros / 1000.0, 0.5, 0.08);
+  EXPECT_EQ(zeros + twos, 1000);
+  drop.set_training(false);
+  Var z = drop.forward(x);
+  EXPECT_FLOAT_EQ(z.value().max_abs_diff(x.value()), 0.0f);
+  EXPECT_THROW(Dropout(1.0f, rng), std::invalid_argument);
+}
+
+TEST(SequentialTest, ComposesAndCollectsParams) {
+  Rng rng(7);
+  Sequential seq;
+  seq.emplace<Linear>(4, 8, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Linear>(8, 2, rng);
+  EXPECT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq.parameters().size(), 4u);
+  Var y = seq.forward(Var(Tensor::ones(5, 4)));
+  EXPECT_EQ(y.cols(), 2u);
+}
+
+TEST(ResidualBlockTest, ConcatSkipWidens) {
+  Rng rng(8);
+  ResidualBlock block(10, 16, rng);
+  EXPECT_EQ(block.out_features(), 26u);
+  Var y = block.forward(Var(Tensor::ones(3, 10)));
+  EXPECT_EQ(y.cols(), 26u);
+  // The skip part is the raw input.
+  for (std::size_t c = 16; c < 26; ++c) EXPECT_FLOAT_EQ(y.value()(0, c), 1.0f);
+  EXPECT_EQ(block.parameters().size(), 4u);  // fc W+b, bn gamma+beta
+}
+
+TEST(FNBlockTest, ShapeAndEvalDeterminism) {
+  Rng rng(9);
+  FNBlock block(6, 12, rng, 0.2f, 0.5f);
+  EXPECT_EQ(block.out_features(), 12u);
+  block.set_training(false);
+  Var x(Tensor::ones(2, 6));
+  Var y1 = block.forward(x);
+  Var y2 = block.forward(x);
+  EXPECT_FLOAT_EQ(y1.value().max_abs_diff(y2.value()), 0.0f);
+  EXPECT_EQ(y1.cols(), 12u);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // Minimize ||x - target||^2 from zero; Adam should converge.
+  Var x(Tensor::zeros(1, 4), true);
+  Tensor target = Tensor::of({{1, -2, 3, 0.5}});
+  AdamOptions opts;
+  opts.lr = 0.1f;
+  opts.weight_decay = 0.0f;
+  Adam optimizer({x}, opts);
+  for (int i = 0; i < 800; ++i) {
+    optimizer.zero_grad();
+    Var loss = ag::sum_all(ag::square(ag::sub(x, ag::constant(target))));
+    ag::backward(loss);
+    optimizer.step();
+  }
+  EXPECT_LT(x.value().max_abs_diff(target), 1e-2f);
+}
+
+TEST(AdamTest, LinearRegressionConverges) {
+  Rng rng(10);
+  // y = x @ w_true, fit a Linear layer.
+  Tensor w_true = Tensor::of({{2.0f}, {-1.0f}, {0.5f}});
+  Tensor x_data = Tensor::normal(64, 3, 0.0f, 1.0f, rng);
+  Tensor y_data = x_data.matmul(w_true);
+  Linear lin(3, 1, rng);
+  AdamOptions opts;
+  opts.lr = 0.05f;
+  opts.weight_decay = 0.0f;
+  Adam optimizer(lin.parameters(), opts);
+  float last_loss = 1e9f;
+  for (int i = 0; i < 1000; ++i) {
+    optimizer.zero_grad();
+    Var pred = lin.forward(Var(x_data));
+    Var loss = ag::mean_all(ag::square(ag::sub(pred, ag::constant(y_data))));
+    ag::backward(loss);
+    optimizer.step();
+    last_loss = loss.value()(0, 0);
+  }
+  EXPECT_LT(last_loss, 1e-3f);
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  Var used(Tensor::ones(1, 1), true);
+  Var unused(Tensor::ones(1, 1), true);
+  AdamOptions opts;
+  opts.weight_decay = 0.0f;  // isolate the gradient path
+  Adam optimizer({used, unused}, opts);
+  optimizer.zero_grad();
+  ag::backward(ag::square(used));
+  optimizer.step();  // must not throw on `unused`
+  EXPECT_FLOAT_EQ(unused.value()(0, 0), 1.0f);
+  EXPECT_NE(used.value()(0, 0), 1.0f);
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Rng rng(11);
+  Linear lin(2, 2, rng);
+  ag::backward(ag::sum_all(lin.forward(Var(Tensor::ones(1, 2)))));
+  EXPECT_NE(lin.weight().grad().sum(), 0.0f);
+  lin.zero_grad();
+  EXPECT_FLOAT_EQ(lin.weight().grad().sum(), 0.0f);
+}
+
+}  // namespace
+}  // namespace gtv::nn

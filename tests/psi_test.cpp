@@ -1,0 +1,96 @@
+#include "psi/psi.h"
+
+#include <gtest/gtest.h>
+
+namespace gtv::psi {
+namespace {
+
+using data::ColumnType;
+using data::Table;
+
+Table one_col_table(const std::vector<double>& values) {
+  Table t({{"v", ColumnType::kContinuous, {}, {}}});
+  for (double v : values) t.append_row({v});
+  return t;
+}
+
+TEST(PsiTest, SaltedHashDeterministicAndSaltSensitive) {
+  EXPECT_EQ(salted_hash("user42", 7), salted_hash("user42", 7));
+  EXPECT_NE(salted_hash("user42", 7), salted_hash("user42", 8));
+  EXPECT_NE(salted_hash("user42", 7), salted_hash("user43", 7));
+}
+
+TEST(PsiTest, HashIntersectionBasics) {
+  Party a{{"u1", "u2", "u3"}, one_col_table({1, 2, 3})};
+  Party b{{"u2", "u3", "u4"}, one_col_table({20, 30, 40})};
+  auto common = hash_intersection({a, b}, 99);
+  EXPECT_EQ(common.size(), 2u);
+  // Result is sorted.
+  EXPECT_TRUE(std::is_sorted(common.begin(), common.end()));
+}
+
+TEST(PsiTest, DuplicateIdsRejected) {
+  Party a{{"u1", "u1"}, one_col_table({1, 2})};
+  EXPECT_THROW(hash_intersection({a}, 1), std::invalid_argument);
+}
+
+TEST(PsiTest, AlignmentKeepsRowsConsistentAcrossParties) {
+  // Parties hold the same users in different orders with some non-overlap.
+  Party a{{"u1", "u2", "u3", "u5"}, one_col_table({10, 20, 30, 50})};
+  Party b{{"u3", "u5", "u2", "u9"}, one_col_table({33, 55, 22, 99})};
+  auto result = align_by_intersection({a, b}, 1234);
+  EXPECT_EQ(result.matched_rows, 3u);  // u2, u3, u5
+  ASSERT_EQ(result.tables.size(), 2u);
+  ASSERT_EQ(result.tables[0].n_rows(), 3u);
+  // Row-wise alignment: a's value/10 must match b's value/11 per user.
+  for (std::size_t r = 0; r < 3; ++r) {
+    const double ua = result.tables[0].cell(r, 0) / 10.0;  // 2, 3 or 5
+    const double ub = result.tables[1].cell(r, 0) / 11.0;
+    EXPECT_DOUBLE_EQ(ua, ub);
+  }
+}
+
+TEST(PsiTest, NonMembersExcluded) {
+  Party a{{"x", "y"}, one_col_table({1, 2})};
+  Party b{{"y", "z"}, one_col_table({4, 5})};
+  auto result = align_by_intersection({a, b}, 5);
+  EXPECT_EQ(result.matched_rows, 1u);
+  EXPECT_DOUBLE_EQ(result.tables[0].cell(0, 0), 2.0);  // y in a
+  EXPECT_DOUBLE_EQ(result.tables[1].cell(0, 0), 4.0);  // y in b
+}
+
+TEST(PsiTest, EmptyIntersectionThrows) {
+  Party a{{"a"}, one_col_table({1})};
+  Party b{{"b"}, one_col_table({2})};
+  EXPECT_THROW(align_by_intersection({a, b}, 5), std::invalid_argument);
+}
+
+TEST(PsiTest, RowMismatchThrows) {
+  Party a{{"a", "b"}, one_col_table({1})};
+  EXPECT_THROW(align_by_intersection({a}, 5), std::invalid_argument);
+}
+
+TEST(PsiTest, ThreePartyAlignment) {
+  Party a{{"u1", "u2", "u3"}, one_col_table({1, 2, 3})};
+  Party b{{"u3", "u1", "u7"}, one_col_table({3, 1, 7})};
+  Party c{{"u2", "u3", "u1", "u8"}, one_col_table({2, 3, 1, 8})};
+  auto result = align_by_intersection({a, b, c}, 42);
+  EXPECT_EQ(result.matched_rows, 2u);  // u1, u3
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_DOUBLE_EQ(result.tables[0].cell(r, 0), result.tables[2].cell(r, 0));
+    EXPECT_DOUBLE_EQ(result.tables[0].cell(r, 0), result.tables[1].cell(r, 0));
+  }
+}
+
+TEST(PsiTest, CanonicalOrderIndependentOfPartyOrder) {
+  Party a{{"u1", "u2", "u3"}, one_col_table({1, 2, 3})};
+  Party b{{"u3", "u2", "u1"}, one_col_table({3, 2, 1})};
+  auto ab = align_by_intersection({a, b}, 9);
+  auto ba = align_by_intersection({b, a}, 9);
+  for (std::size_t r = 0; r < ab.matched_rows; ++r) {
+    EXPECT_DOUBLE_EQ(ab.tables[0].cell(r, 0), ba.tables[1].cell(r, 0));
+  }
+}
+
+}  // namespace
+}  // namespace gtv::psi

@@ -1,0 +1,94 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gan/ctabgan.h"
+
+namespace gtv::nn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SerializeTest, RoundTripRestoresExactWeights) {
+  Rng rng(1);
+  Sequential model;
+  model.emplace<Linear>(4, 8, rng);
+  model.emplace<ReLU>();
+  model.emplace<Linear>(8, 3, rng);
+  const std::string path = temp_path("gtv_serialize_roundtrip.bin");
+  save_parameters(model, path);
+
+  Sequential other;
+  other.emplace<Linear>(4, 8, rng);  // different random init
+  other.emplace<ReLU>();
+  other.emplace<Linear>(8, 3, rng);
+  load_parameters(other, path);
+
+  auto a = model.parameters();
+  auto b = other.parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i].value().max_abs_diff(b[i].value()), 0.0f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, GeneratorNetOutputsMatchAfterReload) {
+  Rng rng(2);
+  gan::GeneratorNet net(10, 16, 2, 6, rng);
+  const std::string path = temp_path("gtv_serialize_gen.bin");
+  save_parameters(net, path);
+  gan::GeneratorNet restored(10, 16, 2, 6, rng);
+  load_parameters(restored, path);
+  net.set_training(false);
+  restored.set_training(false);
+  ag::NoGradGuard no_grad;
+  Tensor x = Tensor::ones(3, 10);
+  EXPECT_FLOAT_EQ(net.forward(ag::Var(x)).value().max_abs_diff(
+                      restored.forward(ag::Var(x)).value()),
+                  0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ArchitectureMismatchRejected) {
+  Rng rng(3);
+  Linear small(4, 4, rng);
+  Linear big(8, 8, rng);
+  const std::string path = temp_path("gtv_serialize_mismatch.bin");
+  save_parameters(small, path);
+  EXPECT_THROW(load_parameters(big, path), std::runtime_error);
+  // big is untouched on failure.
+  Sequential two;
+  two.emplace<Linear>(4, 4, rng);
+  two.emplace<Linear>(4, 4, rng);
+  EXPECT_THROW(load_parameters(two, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CorruptFilesRejected) {
+  Rng rng(4);
+  Linear model(3, 3, rng);
+  const std::string path = temp_path("gtv_serialize_corrupt.bin");
+  save_parameters(model, path);
+  // Truncate.
+  std::filesystem::resize_file(path, 10);
+  EXPECT_THROW(load_parameters(model, path), std::runtime_error);
+  // Bad magic.
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint32_t junk = 0xdeadbeef;
+    out.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+  }
+  EXPECT_THROW(load_parameters(model, path), std::runtime_error);
+  EXPECT_THROW(load_parameters(model, temp_path("gtv_no_such_file.bin")), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gtv::nn

@@ -1,0 +1,67 @@
+#include "eval/shapley.h"
+
+#include <gtest/gtest.h>
+
+namespace gtv::eval {
+namespace {
+
+using data::ColumnType;
+using data::Table;
+
+// 'signal' fully determines the target; 'noise' is irrelevant.
+Table signal_noise_table(std::size_t rows, Rng& rng) {
+  Table t({{"signal", ColumnType::kContinuous, {}, {}},
+           {"noise", ColumnType::kContinuous, {}, {}},
+           {"cat_noise", ColumnType::kCategorical, {"a", "b"}, {}},
+           {"y", ColumnType::kCategorical, {"neg", "pos"}, {}}});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double s = rng.normal();
+    t.append_row({s, rng.normal(), static_cast<double>(rng.uniform_index(2)),
+                  s > 0.0 ? 1.0 : 0.0});
+  }
+  return t;
+}
+
+TEST(ShapleyTest, SignalColumnDominates) {
+  Rng rng(1);
+  Table t = signal_noise_table(600, rng);
+  ShapleyOptions options;
+  options.samples = 150;
+  auto importance = shapley_importance(t, 3, options, rng);
+  ASSERT_EQ(importance.size(), 4u);
+  EXPECT_DOUBLE_EQ(importance[3], 0.0);  // target excluded
+  EXPECT_GT(importance[0], importance[1] * 2.0);
+  EXPECT_GT(importance[0], importance[2] * 2.0);
+}
+
+TEST(ShapleyTest, RankingPutsSignalFirst) {
+  Rng rng(2);
+  Table t = signal_noise_table(600, rng);
+  ShapleyOptions options;
+  options.samples = 150;
+  auto ranked = rank_features_by_importance(t, 3, options, rng);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], 0u);
+  // Target never appears.
+  for (std::size_t c : ranked) EXPECT_NE(c, 3u);
+}
+
+TEST(ShapleyTest, SplitByImportanceFractions) {
+  std::vector<std::size_t> ranked = {7, 3, 5, 1, 9, 2, 8, 4, 6, 0};
+  auto [top10, rest90] = split_by_importance(ranked, 0.1);
+  EXPECT_EQ(top10, (std::vector<std::size_t>{7}));
+  EXPECT_EQ(rest90.size(), 9u);
+  auto [top50, rest50] = split_by_importance(ranked, 0.5);
+  EXPECT_EQ(top50.size(), 5u);
+  EXPECT_EQ(top50[0], 7u);
+  auto [top90, rest10] = split_by_importance(ranked, 0.9);
+  EXPECT_EQ(top90.size(), 9u);
+  EXPECT_EQ(rest10, (std::vector<std::size_t>{0}));
+  // Tiny lists still give a non-empty head.
+  auto [head, tail] = split_by_importance({42}, 0.1);
+  EXPECT_EQ(head, (std::vector<std::size_t>{42}));
+  EXPECT_TRUE(tail.empty());
+}
+
+}  // namespace
+}  // namespace gtv::eval

@@ -1,0 +1,140 @@
+#include "eval/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gtv::eval {
+namespace {
+
+using data::ColumnType;
+using data::Table;
+
+Table correlated_table(std::size_t rows, double coupling, Rng& rng) {
+  // 'a' continuous, 'b' continuous correlated with a, 'c' categorical
+  // depending on a.
+  Table t({{"a", ColumnType::kContinuous, {}, {}},
+           {"b", ColumnType::kContinuous, {}, {}},
+           {"c", ColumnType::kCategorical, {"lo", "hi"}, {}}});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double a = rng.normal();
+    const double b = coupling * a + (1.0 - coupling) * rng.normal();
+    const double c = (coupling * a + (1.0 - coupling) * rng.normal()) > 0 ? 1.0 : 0.0;
+    t.append_row({a, b, c});
+  }
+  return t;
+}
+
+TEST(SimilarityTest, JsdBoundsAndSymmetry) {
+  EXPECT_DOUBLE_EQ(jensen_shannon_divergence({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_NEAR(jensen_shannon_divergence({1.0, 0.0}, {0.0, 1.0}), 1.0, 1e-9);
+  const double d1 = jensen_shannon_divergence({0.7, 0.3}, {0.3, 0.7});
+  const double d2 = jensen_shannon_divergence({0.3, 0.7}, {0.7, 0.3});
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_GT(d1, 0.0);
+  EXPECT_LT(d1, 1.0);
+  EXPECT_THROW(jensen_shannon_divergence({0.5}, {0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(SimilarityTest, WassersteinIdenticalAndShifted) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(wasserstein_distance(a, a), 0.0, 1e-9);
+  std::vector<double> shifted = {3, 4, 5, 6, 7};
+  EXPECT_NEAR(wasserstein_distance(a, shifted), 2.0, 1e-9);
+  EXPECT_THROW(wasserstein_distance({}, {1.0}), std::invalid_argument);
+}
+
+TEST(SimilarityTest, WassersteinDifferentSizes) {
+  std::vector<double> a = {0, 1};
+  std::vector<double> b = {0, 0.5, 1};
+  EXPECT_LT(wasserstein_distance(a, b), 0.2);
+}
+
+TEST(SimilarityTest, AverageMetricsZeroForIdenticalTables) {
+  Rng rng(1);
+  Table t = correlated_table(500, 0.8, rng);
+  EXPECT_DOUBLE_EQ(average_jsd(t, t), 0.0);
+  EXPECT_NEAR(average_wd(t, t), 0.0, 1e-12);
+  EXPECT_NEAR(correlation_difference(t, t), 0.0, 1e-12);
+}
+
+TEST(SimilarityTest, MetricsIncreaseWithDistributionShift) {
+  Rng rng(2);
+  Table real = correlated_table(800, 0.8, rng);
+  Table close = correlated_table(800, 0.8, rng);   // same process, new sample
+  Table far = correlated_table(800, 0.0, rng);     // decorrelated process
+  // Shift 'far' continuous columns too.
+  Table shifted(far.schema());
+  for (std::size_t r = 0; r < far.n_rows(); ++r) {
+    shifted.append_row({far.cell(r, 0) + 3.0, far.cell(r, 1) * 2.0, far.cell(r, 2)});
+  }
+  EXPECT_LT(average_wd(real, close), average_wd(real, shifted));
+  EXPECT_LT(correlation_difference(real, close), correlation_difference(real, shifted));
+}
+
+TEST(SimilarityTest, AssociationMatrixProperties) {
+  Rng rng(3);
+  Table t = correlated_table(1000, 0.9, rng);
+  Tensor m = association_matrix(t);
+  ASSERT_EQ(m.rows(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(m(i, i), 1.0f);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(m(i, j), m(j, i));
+      EXPECT_GE(m(i, j), 0.0f);
+      EXPECT_LE(m(i, j), 1.0f + 1e-5f);
+    }
+  }
+  // Strong coupling: a-b Pearson and a-c correlation ratio both high.
+  EXPECT_GT(m(0, 1), 0.7f);
+  EXPECT_GT(m(0, 2), 0.4f);
+}
+
+TEST(SimilarityTest, CramersVDetectsDependence) {
+  Rng rng(4);
+  Table t({{"x", ColumnType::kCategorical, {"a", "b"}, {}},
+           {"same", ColumnType::kCategorical, {"a", "b"}, {}},
+           {"indep", ColumnType::kCategorical, {"a", "b"}, {}}});
+  for (int i = 0; i < 1000; ++i) {
+    const double x = static_cast<double>(rng.uniform_index(2));
+    t.append_row({x, x, static_cast<double>(rng.uniform_index(2))});
+  }
+  Tensor m = association_matrix(t);
+  EXPECT_GT(m(0, 1), 0.95f);   // identical columns
+  EXPECT_LT(m(0, 2), 0.15f);   // independent columns
+}
+
+TEST(SimilarityTest, BetweenBlockCorrelationDifference) {
+  Rng rng(5);
+  Table real = correlated_table(800, 0.8, rng);
+  Table synth = correlated_table(800, 0.0, rng);
+  // Across "clients" {a} and {b, c}: the decorrelated synthetic data loses
+  // the cross-block association.
+  const double across = correlation_difference_between(real, synth, {0}, {1, 2});
+  EXPECT_GT(across, 0.3);
+  const double self = correlation_difference_between(real, real, {0}, {1, 2});
+  EXPECT_NEAR(self, 0.0, 1e-12);
+}
+
+TEST(SimilarityTest, SchemaMismatchThrows) {
+  Rng rng(6);
+  Table t = correlated_table(50, 0.5, rng);
+  Table other({{"z", ColumnType::kContinuous, {}, {}}});
+  other.append_row({0.0});
+  EXPECT_THROW(average_jsd(t, other), std::invalid_argument);
+  EXPECT_THROW(average_wd(t, other), std::invalid_argument);
+  EXPECT_THROW(correlation_difference(t, other), std::invalid_argument);
+}
+
+TEST(SimilarityTest, ReportBundlesAllThree) {
+  Rng rng(7);
+  Table real = correlated_table(400, 0.8, rng);
+  Table synth = correlated_table(400, 0.4, rng);
+  SimilarityReport report = similarity_report(real, synth);
+  EXPECT_GE(report.avg_jsd, 0.0);
+  EXPECT_GT(report.avg_wd, 0.0);
+  EXPECT_GT(report.diff_corr, 0.0);
+}
+
+}  // namespace
+}  // namespace gtv::eval

@@ -1,0 +1,168 @@
+#include "data/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace gtv::data {
+namespace {
+
+Table small_table() {
+  Table t({{"age", ColumnType::kContinuous, {}, {}},
+           {"gender", ColumnType::kCategorical, {"M", "F"}, {}},
+           {"balance", ColumnType::kMixed, {}, {0.0}}});
+  t.append_row({31.5, 0, 120.0});
+  t.append_row({42.0, 1, 0.0});
+  t.append_row({27.0, 0, 310.5});
+  t.append_row({55.2, 1, 0.0});
+  return t;
+}
+
+TEST(TableTest, BasicAccessors) {
+  Table t = small_table();
+  EXPECT_EQ(t.n_rows(), 4u);
+  EXPECT_EQ(t.n_cols(), 3u);
+  EXPECT_EQ(t.column_index("gender"), 1u);
+  EXPECT_FALSE(t.find_column("missing").has_value());
+  EXPECT_THROW(t.column_index("missing"), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(t.cell(2, 0), 27.0);
+  EXPECT_EQ(t.spec(1).cardinality(), 2u);
+}
+
+TEST(TableTest, RejectsDuplicateColumnNames) {
+  EXPECT_THROW(Table({{"x", ColumnType::kContinuous, {}, {}},
+                      {"x", ColumnType::kContinuous, {}, {}}}),
+               std::invalid_argument);
+}
+
+TEST(TableTest, RejectsCategoricalWithoutCategories) {
+  EXPECT_THROW(Table({{"c", ColumnType::kCategorical, {}, {}}}), std::invalid_argument);
+}
+
+TEST(TableTest, AppendRowValidation) {
+  Table t = small_table();
+  EXPECT_THROW(t.append_row({1.0, 0.0}), std::invalid_argument);       // arity
+  EXPECT_THROW(t.append_row({1.0, 2.0, 0.0}), std::invalid_argument);  // bad category
+  EXPECT_THROW(t.append_row({1.0, 0.5, 0.0}), std::invalid_argument);  // fractional category
+}
+
+TEST(TableTest, SelectColumnsAndVerticalSplit) {
+  Table t = small_table();
+  Table sub = t.select_columns({2, 0});
+  EXPECT_EQ(sub.spec(0).name, "balance");
+  EXPECT_DOUBLE_EQ(sub.cell(0, 1), 31.5);
+
+  auto shards = vertical_split(t, {{0, 1}, {2}});
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0].n_cols(), 2u);
+  EXPECT_EQ(shards[1].spec(0).name, "balance");
+  EXPECT_THROW(vertical_split(t, {{0}, {0}}), std::invalid_argument);
+  EXPECT_THROW(vertical_split(t, {{9}}), std::out_of_range);
+}
+
+TEST(TableTest, GatherAndSliceRows) {
+  Table t = small_table();
+  Table g = t.gather_rows({3, 0, 0});
+  EXPECT_EQ(g.n_rows(), 3u);
+  EXPECT_DOUBLE_EQ(g.cell(0, 0), 55.2);
+  EXPECT_DOUBLE_EQ(g.cell(2, 0), 31.5);
+  Table s = t.slice_rows(1, 3);
+  EXPECT_EQ(s.n_rows(), 2u);
+  EXPECT_DOUBLE_EQ(s.cell(0, 0), 42.0);
+}
+
+TEST(TableTest, PermuteRowsSharedSeedAlignment) {
+  // Two vertically split shards permuted with the same seed stay row-aligned.
+  Table t = small_table();
+  auto shards = vertical_split(t, {{0, 1}, {2}});
+  Rng r1(99), r2(99);
+  shards[0].permute_rows(r1.permutation(4));
+  shards[1].permute_rows(r2.permutation(4));
+  Table joined = Table::concat_columns(shards);
+  // Every joined row must be one of the original rows (alignment preserved).
+  for (std::size_t r = 0; r < 4; ++r) {
+    bool matched = false;
+    for (std::size_t o = 0; o < 4; ++o) {
+      matched = matched || (joined.cell(r, 0) == t.cell(o, 0) &&
+                            joined.cell(r, 1) == t.cell(o, 1) &&
+                            joined.cell(r, 2) == t.cell(o, 2));
+    }
+    EXPECT_TRUE(matched) << "row " << r << " lost alignment";
+  }
+}
+
+TEST(TableTest, ConcatColumnsChecks) {
+  Table t = small_table();
+  auto shards = vertical_split(t, {{0}, {1, 2}});
+  Table joined = Table::concat_columns(shards);
+  EXPECT_EQ(joined.n_cols(), 3u);
+  EXPECT_DOUBLE_EQ(joined.cell(2, 2), 310.5);
+  // Row mismatch rejected.
+  Table shorter = shards[1].slice_rows(0, 2);
+  EXPECT_THROW(Table::concat_columns({shards[0], shorter}), std::invalid_argument);
+}
+
+TEST(TableTest, TrainTestSplitSizes) {
+  Rng rng(5);
+  Table t = small_table();
+  auto [train, test] = t.train_test_split(0.25, rng);
+  EXPECT_EQ(test.n_rows(), 1u);
+  EXPECT_EQ(train.n_rows(), 3u);
+  EXPECT_THROW(t.train_test_split(1.5, rng), std::invalid_argument);
+}
+
+TEST(TableTest, StratifiedSplitPreservesClassBalance) {
+  Table t({{"cls", ColumnType::kCategorical, {"a", "b"}, {}}});
+  for (int i = 0; i < 80; ++i) t.append_row({0});
+  for (int i = 0; i < 20; ++i) t.append_row({1});
+  Rng rng(7);
+  auto [train, test] = t.train_test_split(0.2, rng, 0);
+  auto test_counts = test.class_counts(0);
+  EXPECT_EQ(test_counts[0], 16u);
+  EXPECT_EQ(test_counts[1], 4u);
+}
+
+TEST(TableTest, StratifiedSampleKeepsMinorityClass) {
+  Table t({{"cls", ColumnType::kCategorical, {"maj", "min"}, {}}});
+  for (int i = 0; i < 990; ++i) t.append_row({0});
+  for (int i = 0; i < 10; ++i) t.append_row({1});
+  Rng rng(11);
+  Table sampled = t.stratified_sample(100, 0, rng);
+  auto counts = sampled.class_counts(0);
+  EXPECT_NEAR(static_cast<double>(counts[0]), 99.0, 2.0);
+  EXPECT_GE(counts[1], 1u);
+}
+
+TEST(TableTest, ClassCountsRejectsContinuous) {
+  Table t = small_table();
+  EXPECT_THROW(t.class_counts(0), std::invalid_argument);
+  auto counts = t.class_counts(1);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t = small_table();
+  const std::string path = std::filesystem::temp_directory_path() / "gtv_table_test.csv";
+  write_csv(t, path);
+  Table back = read_csv(path);
+  ASSERT_TRUE(back.same_schema(t));
+  ASSERT_EQ(back.n_rows(), t.n_rows());
+  for (std::size_t r = 0; r < t.n_rows(); ++r)
+    for (std::size_t c = 0; c < t.n_cols(); ++c)
+      EXPECT_NEAR(back.cell(r, c), t.cell(r, c), 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, SameSchemaDetectsDifferences) {
+  Table a = small_table();
+  Table b({{"age", ColumnType::kContinuous, {}, {}},
+           {"gender", ColumnType::kCategorical, {"M", "X"}, {}},
+           {"balance", ColumnType::kMixed, {}, {0.0}}});
+  EXPECT_FALSE(a.same_schema(b));
+  EXPECT_TRUE(a.same_schema(small_table()));
+}
+
+}  // namespace
+}  // namespace gtv::data

@@ -1,0 +1,91 @@
+// Property-style sweeps over random shapes/seeds (TEST_P): algebraic
+// identities the tensor kernels must satisfy.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace gtv {
+namespace {
+
+class TensorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+  std::size_t dim() { return 1 + rng_.uniform_index(12); }
+};
+
+TEST_P(TensorPropertyTest, AdditionCommutesAndAssociates) {
+  const std::size_t r = dim(), c = dim();
+  Tensor a = Tensor::normal(r, c, 0, 1, rng_);
+  Tensor b = Tensor::normal(r, c, 0, 1, rng_);
+  Tensor t = Tensor::normal(r, c, 0, 1, rng_);
+  EXPECT_LT((a + b).max_abs_diff(b + a), 1e-6f);
+  EXPECT_LT(((a + b) + t).max_abs_diff(a + (b + t)), 1e-5f);
+}
+
+TEST_P(TensorPropertyTest, MatmulTransposeIdentity) {
+  const std::size_t m = dim(), k = dim(), n = dim();
+  Tensor a = Tensor::normal(m, k, 0, 1, rng_);
+  Tensor b = Tensor::normal(k, n, 0, 1, rng_);
+  // (AB)^T == B^T A^T
+  Tensor lhs = a.matmul(b).transpose();
+  Tensor rhs = b.transpose().matmul(a.transpose());
+  EXPECT_LT(lhs.max_abs_diff(rhs), 1e-4f);
+}
+
+TEST_P(TensorPropertyTest, MatmulDistributesOverAddition) {
+  const std::size_t m = dim(), k = dim(), n = dim();
+  Tensor a = Tensor::normal(m, k, 0, 1, rng_);
+  Tensor b = Tensor::normal(k, n, 0, 1, rng_);
+  Tensor c = Tensor::normal(k, n, 0, 1, rng_);
+  EXPECT_LT(a.matmul(b + c).max_abs_diff(a.matmul(b) + a.matmul(c)), 1e-4f);
+}
+
+TEST_P(TensorPropertyTest, SliceConcatRoundTrip) {
+  const std::size_t r = dim(), c = 2 + rng_.uniform_index(10);
+  Tensor a = Tensor::normal(r, c, 0, 1, rng_);
+  const std::size_t cut = 1 + rng_.uniform_index(c - 1);
+  Tensor back = Tensor::concat_cols({a.slice_cols(0, cut), a.slice_cols(cut, c)});
+  EXPECT_FLOAT_EQ(a.max_abs_diff(back), 0.0f);
+}
+
+TEST_P(TensorPropertyTest, GatherOfIotaIsIdentity) {
+  const std::size_t r = 1 + dim(), c = dim();
+  Tensor a = Tensor::normal(r, c, 0, 1, rng_);
+  std::vector<std::size_t> iota(r);
+  for (std::size_t i = 0; i < r; ++i) iota[i] = i;
+  EXPECT_FLOAT_EQ(a.max_abs_diff(a.gather_rows(iota)), 0.0f);
+}
+
+TEST_P(TensorPropertyTest, SumDecomposesByRowsAndCols) {
+  const std::size_t r = dim(), c = dim();
+  Tensor a = Tensor::normal(r, c, 0, 1, rng_);
+  EXPECT_NEAR(a.sum_rows().sum(), a.sum(), 1e-3f);
+  EXPECT_NEAR(a.sum_cols().sum(), a.sum(), 1e-3f);
+}
+
+TEST_P(TensorPropertyTest, RowNormsNonNegativeAndHomogeneous) {
+  const std::size_t r = dim(), c = dim();
+  Tensor a = Tensor::normal(r, c, 0, 1, rng_);
+  Tensor n1 = a.row_norms();
+  Tensor n2 = a.mul_scalar(-2.0f).row_norms();
+  for (std::size_t i = 0; i < r; ++i) {
+    EXPECT_GE(n1(i, 0), 0.0f);
+    EXPECT_NEAR(n2(i, 0), 2.0f * n1(i, 0), 1e-4f);
+  }
+}
+
+TEST_P(TensorPropertyTest, PermutationPreservesMultiset) {
+  const std::size_t r = 2 + dim(), c = dim();
+  Tensor a = Tensor::normal(r, c, 0, 1, rng_);
+  auto perm = rng_.permutation(r);
+  Tensor shuffled = a.gather_rows(perm);
+  EXPECT_NEAR(shuffled.sum(), a.sum(), 1e-3f);
+  EXPECT_FLOAT_EQ(shuffled.max(), a.max());
+  EXPECT_FLOAT_EQ(shuffled.min(), a.min());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TensorPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace gtv

@@ -1,0 +1,234 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gtv {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(t(r, c), 0.0f);
+}
+
+TEST(TensorTest, OfLiteral) {
+  Tensor t = Tensor::of({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_FLOAT_EQ(t(1, 2), 6.0f);
+}
+
+TEST(TensorTest, OfRaggedThrows) {
+  EXPECT_THROW(Tensor::of({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(TensorTest, ValuesSizeMismatchThrows) {
+  EXPECT_THROW(Tensor(2, 3, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  Tensor a = Tensor::of({{1, 2}, {3, 4}});
+  Tensor b = Tensor::of({{10, 20}, {30, 40}});
+  EXPECT_FLOAT_EQ((a + b)(1, 1), 44.0f);
+  EXPECT_FLOAT_EQ((b - a)(0, 0), 9.0f);
+  EXPECT_FLOAT_EQ((a * b)(0, 1), 40.0f);
+  EXPECT_FLOAT_EQ((b / a)(1, 0), 10.0f);
+  EXPECT_FLOAT_EQ((-a)(0, 0), -1.0f);
+}
+
+TEST(TensorTest, RowBroadcast) {
+  Tensor a = Tensor::of({{1, 2}, {3, 4}});
+  Tensor row = Tensor::of({{10, 100}});
+  Tensor sum = a + row;
+  EXPECT_FLOAT_EQ(sum(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(sum(1, 1), 104.0f);
+}
+
+TEST(TensorTest, ColBroadcast) {
+  Tensor a = Tensor::of({{1, 2}, {3, 4}});
+  Tensor col = Tensor::of({{10}, {100}});
+  Tensor prod = a * col;
+  EXPECT_FLOAT_EQ(prod(0, 1), 20.0f);
+  EXPECT_FLOAT_EQ(prod(1, 0), 300.0f);
+}
+
+TEST(TensorTest, ScalarBroadcastBothSides) {
+  Tensor a = Tensor::of({{1, 2}, {3, 4}});
+  Tensor s = Tensor::scalar(2.0f);
+  EXPECT_FLOAT_EQ((a * s)(1, 1), 8.0f);
+  EXPECT_FLOAT_EQ((s - a)(0, 0), 1.0f);  // lhs broadcast
+}
+
+TEST(TensorTest, LhsRowBroadcast) {
+  Tensor row = Tensor::of({{1, 2}});
+  Tensor a = Tensor::of({{10, 20}, {30, 40}});
+  Tensor diff = row - a;
+  EXPECT_FLOAT_EQ(diff(0, 0), -9.0f);
+  EXPECT_FLOAT_EQ(diff(1, 1), -38.0f);
+}
+
+TEST(TensorTest, IncompatibleShapesThrow) {
+  Tensor a(2, 3);
+  Tensor b(3, 2);
+  EXPECT_THROW(a + b, std::invalid_argument);
+}
+
+TEST(TensorTest, Matmul) {
+  Tensor a = Tensor::of({{1, 2}, {3, 4}});
+  Tensor b = Tensor::of({{5, 6}, {7, 8}});
+  Tensor c = a.matmul(b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(TensorTest, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(Tensor(2, 3).matmul(Tensor(2, 3)), std::invalid_argument);
+}
+
+TEST(TensorTest, MatmulLargeThreadedMatchesNaive) {
+  Rng rng(42);
+  Tensor a = Tensor::normal(150, 90, 0.0f, 1.0f, rng);
+  Tensor b = Tensor::normal(90, 110, 0.0f, 1.0f, rng);
+  Tensor c = a.matmul(b);
+  // Naive reference at a few sampled positions.
+  for (auto [i, j] : {std::pair<std::size_t, std::size_t>{0, 0}, {149, 109}, {75, 55}}) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < 90; ++k)
+      acc += static_cast<double>(a(i, k)) * b(k, j);
+    EXPECT_NEAR(c(i, j), acc, 1e-3);
+  }
+}
+
+TEST(TensorTest, Transpose) {
+  Tensor a = Tensor::of({{1, 2, 3}, {4, 5, 6}});
+  Tensor t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_FLOAT_EQ(t(2, 1), 6.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor a = Tensor::of({{1, 2}, {3, 4}});
+  EXPECT_FLOAT_EQ(a.sum(), 10.0f);
+  EXPECT_FLOAT_EQ(a.mean(), 2.5f);
+  EXPECT_FLOAT_EQ(a.min(), 1.0f);
+  EXPECT_FLOAT_EQ(a.max(), 4.0f);
+  Tensor sr = a.sum_rows();
+  EXPECT_EQ(sr.rows(), 1u);
+  EXPECT_FLOAT_EQ(sr(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(sr(0, 1), 6.0f);
+  Tensor sc = a.sum_cols();
+  EXPECT_EQ(sc.cols(), 1u);
+  EXPECT_FLOAT_EQ(sc(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(sc(1, 0), 7.0f);
+}
+
+TEST(TensorTest, RowNorms) {
+  Tensor a = Tensor::of({{3, 4}, {0, 0}});
+  Tensor n = a.row_norms();
+  EXPECT_FLOAT_EQ(n(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(n(1, 0), 0.0f);
+}
+
+TEST(TensorTest, SliceCols) {
+  Tensor a = Tensor::of({{1, 2, 3, 4}, {5, 6, 7, 8}});
+  Tensor s = a.slice_cols(1, 3);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_FLOAT_EQ(s(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s(1, 1), 7.0f);
+  EXPECT_THROW(a.slice_cols(3, 5), std::out_of_range);
+}
+
+TEST(TensorTest, SliceRows) {
+  Tensor a = Tensor::of({{1, 2}, {3, 4}, {5, 6}});
+  Tensor s = a.slice_rows(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_FLOAT_EQ(s(0, 0), 3.0f);
+}
+
+TEST(TensorTest, GatherRows) {
+  Tensor a = Tensor::of({{1, 2}, {3, 4}, {5, 6}});
+  Tensor g = a.gather_rows({2, 0, 2});
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_FLOAT_EQ(g(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g(2, 1), 6.0f);
+  EXPECT_THROW(a.gather_rows({3}), std::out_of_range);
+}
+
+TEST(TensorTest, ConcatCols) {
+  Tensor a = Tensor::of({{1}, {2}});
+  Tensor b = Tensor::of({{3, 4}, {5, 6}});
+  Tensor c = Tensor::concat_cols({a, b});
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_FLOAT_EQ(c(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c(1, 2), 6.0f);
+}
+
+TEST(TensorTest, ConcatRows) {
+  Tensor a = Tensor::of({{1, 2}});
+  Tensor b = Tensor::of({{3, 4}, {5, 6}});
+  Tensor c = Tensor::concat_rows({a, b});
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_FLOAT_EQ(c(2, 1), 6.0f);
+}
+
+TEST(TensorTest, ConcatMismatchThrows) {
+  EXPECT_THROW(Tensor::concat_cols({Tensor(2, 1), Tensor(3, 1)}), std::invalid_argument);
+  EXPECT_THROW(Tensor::concat_rows({Tensor(1, 2), Tensor(1, 3)}), std::invalid_argument);
+}
+
+TEST(TensorTest, PadCols) {
+  Tensor a = Tensor::of({{1, 2}});
+  Tensor p = a.pad_cols(1, 2);
+  EXPECT_EQ(p.cols(), 5u);
+  EXPECT_FLOAT_EQ(p(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(p(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(p(0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(p(0, 4), 0.0f);
+}
+
+TEST(TensorTest, SlicePadRoundTrip) {
+  Rng rng(7);
+  Tensor a = Tensor::uniform(4, 9, -1.0f, 1.0f, rng);
+  Tensor padded = a.slice_cols(2, 7).pad_cols(2, 2);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 2; c < 7; ++c) EXPECT_FLOAT_EQ(padded(r, c), a(r, c));
+}
+
+TEST(TensorTest, Reshape) {
+  Tensor a = Tensor::of({{1, 2, 3, 4}});
+  Tensor r = a.reshape(2, 2);
+  EXPECT_FLOAT_EQ(r(1, 0), 3.0f);
+  EXPECT_THROW(a.reshape(3, 2), std::invalid_argument);
+}
+
+TEST(TensorTest, MaxAbsDiffAndFinite) {
+  Tensor a = Tensor::of({{1, 2}});
+  Tensor b = Tensor::of({{1.5, 2}});
+  EXPECT_FLOAT_EQ(a.max_abs_diff(b), 0.5f);
+  EXPECT_TRUE(a.all_finite());
+  Tensor c = Tensor::of({{std::numeric_limits<float>::infinity(), 0}});
+  EXPECT_FALSE(c.all_finite());
+}
+
+TEST(TensorTest, SplitConcatIdentity) {
+  // The VFL Split/Concat pair must be a lossless round trip.
+  Rng rng(3);
+  Tensor x = Tensor::uniform(5, 10, -2.0f, 2.0f, rng);
+  Tensor a = x.slice_cols(0, 3);
+  Tensor b = x.slice_cols(3, 7);
+  Tensor c = x.slice_cols(7, 10);
+  Tensor back = Tensor::concat_cols({a, b, c});
+  EXPECT_FLOAT_EQ(x.max_abs_diff(back), 0.0f);
+}
+
+}  // namespace
+}  // namespace gtv
