@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_datapart_g02.dir/fig11_datapart_g02.cpp.o"
+  "CMakeFiles/fig11_datapart_g02.dir/fig11_datapart_g02.cpp.o.d"
+  "fig11_datapart_g02"
+  "fig11_datapart_g02.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_datapart_g02.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

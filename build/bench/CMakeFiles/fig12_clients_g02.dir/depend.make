@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_clients_g02.
+# This may be replaced when dependencies are built.

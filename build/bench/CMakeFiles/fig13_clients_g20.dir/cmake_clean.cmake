@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_clients_g20.dir/fig13_clients_g20.cpp.o"
+  "CMakeFiles/fig13_clients_g20.dir/fig13_clients_g20.cpp.o.d"
+  "fig13_clients_g20"
+  "fig13_clients_g20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_clients_g20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

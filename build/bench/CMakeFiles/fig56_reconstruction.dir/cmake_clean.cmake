@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig56_reconstruction.dir/fig56_reconstruction.cpp.o"
+  "CMakeFiles/fig56_reconstruction.dir/fig56_reconstruction.cpp.o.d"
+  "fig56_reconstruction"
+  "fig56_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig56_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/gtv_bench_common.dir/bench_common.cpp.o.d"
+  "CMakeFiles/gtv_bench_common.dir/experiments.cpp.o"
+  "CMakeFiles/gtv_bench_common.dir/experiments.cpp.o.d"
+  "libgtv_bench_common.a"
+  "libgtv_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_ecommerce.dir/bank_ecommerce.cpp.o"
+  "CMakeFiles/bank_ecommerce.dir/bank_ecommerce.cpp.o.d"
+  "bank_ecommerce"
+  "bank_ecommerce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_ecommerce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_client_scaling.dir/multi_client_scaling.cpp.o"
+  "CMakeFiles/multi_client_scaling.dir/multi_client_scaling.cpp.o.d"
+  "multi_client_scaling"
+  "multi_client_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_client_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

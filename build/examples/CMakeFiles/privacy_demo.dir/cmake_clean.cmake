@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_demo.dir/privacy_demo.cpp.o"
+  "CMakeFiles/privacy_demo.dir/privacy_demo.cpp.o.d"
+  "privacy_demo"
+  "privacy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_alignment.dir/psi_alignment.cpp.o"
+  "CMakeFiles/psi_alignment.dir/psi_alignment.cpp.o.d"
+  "psi_alignment"
+  "psi_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_autograd.dir/autograd.cpp.o"
+  "CMakeFiles/gtv_autograd.dir/autograd.cpp.o.d"
+  "libgtv_autograd.a"
+  "libgtv_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

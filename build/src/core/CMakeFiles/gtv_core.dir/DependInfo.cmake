@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack.cpp" "src/core/CMakeFiles/gtv_core.dir/attack.cpp.o" "gcc" "src/core/CMakeFiles/gtv_core.dir/attack.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/gtv_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/gtv_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/gtv.cpp" "src/core/CMakeFiles/gtv_core.dir/gtv.cpp.o" "gcc" "src/core/CMakeFiles/gtv_core.dir/gtv.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/gtv_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/gtv_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/gtv_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/gtv_core.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gan/CMakeFiles/gtv_gan.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gtv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gtv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/gtv_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/gtv_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gtv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gtv_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

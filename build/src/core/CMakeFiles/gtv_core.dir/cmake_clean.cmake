@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_core.dir/attack.cpp.o"
+  "CMakeFiles/gtv_core.dir/attack.cpp.o.d"
+  "CMakeFiles/gtv_core.dir/client.cpp.o"
+  "CMakeFiles/gtv_core.dir/client.cpp.o.d"
+  "CMakeFiles/gtv_core.dir/gtv.cpp.o"
+  "CMakeFiles/gtv_core.dir/gtv.cpp.o.d"
+  "CMakeFiles/gtv_core.dir/partition.cpp.o"
+  "CMakeFiles/gtv_core.dir/partition.cpp.o.d"
+  "CMakeFiles/gtv_core.dir/server.cpp.o"
+  "CMakeFiles/gtv_core.dir/server.cpp.o.d"
+  "libgtv_core.a"
+  "libgtv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_data.dir/datasets.cpp.o"
+  "CMakeFiles/gtv_data.dir/datasets.cpp.o.d"
+  "CMakeFiles/gtv_data.dir/table.cpp.o"
+  "CMakeFiles/gtv_data.dir/table.cpp.o.d"
+  "libgtv_data.a"
+  "libgtv_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encode/cond.cpp" "src/encode/CMakeFiles/gtv_encode.dir/cond.cpp.o" "gcc" "src/encode/CMakeFiles/gtv_encode.dir/cond.cpp.o.d"
+  "/root/repo/src/encode/encoder.cpp" "src/encode/CMakeFiles/gtv_encode.dir/encoder.cpp.o" "gcc" "src/encode/CMakeFiles/gtv_encode.dir/encoder.cpp.o.d"
+  "/root/repo/src/encode/gmm.cpp" "src/encode/CMakeFiles/gtv_encode.dir/gmm.cpp.o" "gcc" "src/encode/CMakeFiles/gtv_encode.dir/gmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/gtv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gtv_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

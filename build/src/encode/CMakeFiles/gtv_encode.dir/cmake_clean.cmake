@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_encode.dir/cond.cpp.o"
+  "CMakeFiles/gtv_encode.dir/cond.cpp.o.d"
+  "CMakeFiles/gtv_encode.dir/encoder.cpp.o"
+  "CMakeFiles/gtv_encode.dir/encoder.cpp.o.d"
+  "CMakeFiles/gtv_encode.dir/gmm.cpp.o"
+  "CMakeFiles/gtv_encode.dir/gmm.cpp.o.d"
+  "libgtv_encode.a"
+  "libgtv_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

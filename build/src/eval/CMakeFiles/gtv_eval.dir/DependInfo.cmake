@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/classifiers.cpp" "src/eval/CMakeFiles/gtv_eval.dir/classifiers.cpp.o" "gcc" "src/eval/CMakeFiles/gtv_eval.dir/classifiers.cpp.o.d"
+  "/root/repo/src/eval/features.cpp" "src/eval/CMakeFiles/gtv_eval.dir/features.cpp.o" "gcc" "src/eval/CMakeFiles/gtv_eval.dir/features.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/gtv_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/gtv_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/mia.cpp" "src/eval/CMakeFiles/gtv_eval.dir/mia.cpp.o" "gcc" "src/eval/CMakeFiles/gtv_eval.dir/mia.cpp.o.d"
+  "/root/repo/src/eval/ml_utility.cpp" "src/eval/CMakeFiles/gtv_eval.dir/ml_utility.cpp.o" "gcc" "src/eval/CMakeFiles/gtv_eval.dir/ml_utility.cpp.o.d"
+  "/root/repo/src/eval/shapley.cpp" "src/eval/CMakeFiles/gtv_eval.dir/shapley.cpp.o" "gcc" "src/eval/CMakeFiles/gtv_eval.dir/shapley.cpp.o.d"
+  "/root/repo/src/eval/similarity.cpp" "src/eval/CMakeFiles/gtv_eval.dir/similarity.cpp.o" "gcc" "src/eval/CMakeFiles/gtv_eval.dir/similarity.cpp.o.d"
+  "/root/repo/src/eval/tree.cpp" "src/eval/CMakeFiles/gtv_eval.dir/tree.cpp.o" "gcc" "src/eval/CMakeFiles/gtv_eval.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/gtv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gtv_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_eval.dir/classifiers.cpp.o"
+  "CMakeFiles/gtv_eval.dir/classifiers.cpp.o.d"
+  "CMakeFiles/gtv_eval.dir/features.cpp.o"
+  "CMakeFiles/gtv_eval.dir/features.cpp.o.d"
+  "CMakeFiles/gtv_eval.dir/metrics.cpp.o"
+  "CMakeFiles/gtv_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/gtv_eval.dir/mia.cpp.o"
+  "CMakeFiles/gtv_eval.dir/mia.cpp.o.d"
+  "CMakeFiles/gtv_eval.dir/ml_utility.cpp.o"
+  "CMakeFiles/gtv_eval.dir/ml_utility.cpp.o.d"
+  "CMakeFiles/gtv_eval.dir/shapley.cpp.o"
+  "CMakeFiles/gtv_eval.dir/shapley.cpp.o.d"
+  "CMakeFiles/gtv_eval.dir/similarity.cpp.o"
+  "CMakeFiles/gtv_eval.dir/similarity.cpp.o.d"
+  "CMakeFiles/gtv_eval.dir/tree.cpp.o"
+  "CMakeFiles/gtv_eval.dir/tree.cpp.o.d"
+  "libgtv_eval.a"
+  "libgtv_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_gan.dir/ctabgan.cpp.o"
+  "CMakeFiles/gtv_gan.dir/ctabgan.cpp.o.d"
+  "CMakeFiles/gtv_gan.dir/losses.cpp.o"
+  "CMakeFiles/gtv_gan.dir/losses.cpp.o.d"
+  "libgtv_gan.a"
+  "libgtv_gan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_gan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_net.dir/wire.cpp.o"
+  "CMakeFiles/gtv_net.dir/wire.cpp.o.d"
+  "libgtv_net.a"
+  "libgtv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_nn.dir/adam.cpp.o"
+  "CMakeFiles/gtv_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/gtv_nn.dir/module.cpp.o"
+  "CMakeFiles/gtv_nn.dir/module.cpp.o.d"
+  "CMakeFiles/gtv_nn.dir/serialize.cpp.o"
+  "CMakeFiles/gtv_nn.dir/serialize.cpp.o.d"
+  "libgtv_nn.a"
+  "libgtv_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

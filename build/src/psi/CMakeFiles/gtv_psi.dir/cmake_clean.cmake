@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_psi.dir/psi.cpp.o"
+  "CMakeFiles/gtv_psi.dir/psi.cpp.o.d"
+  "libgtv_psi.a"
+  "libgtv_psi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_psi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

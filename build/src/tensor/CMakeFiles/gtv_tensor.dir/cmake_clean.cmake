@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_tensor.dir/rng.cpp.o"
+  "CMakeFiles/gtv_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/gtv_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/gtv_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/gtv_tensor.dir/thread_pool.cpp.o"
+  "CMakeFiles/gtv_tensor.dir/thread_pool.cpp.o.d"
+  "libgtv_tensor.a"
+  "libgtv_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_second_order_test.dir/autograd_second_order_test.cpp.o"
+  "CMakeFiles/autograd_second_order_test.dir/autograd_second_order_test.cpp.o.d"
+  "autograd_second_order_test"
+  "autograd_second_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_second_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

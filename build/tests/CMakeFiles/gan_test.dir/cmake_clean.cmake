@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gan_test.dir/gan_test.cpp.o"
+  "CMakeFiles/gan_test.dir/gan_test.cpp.o.d"
+  "gan_test"
+  "gan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gtv_features_test.cpp" "tests/CMakeFiles/gtv_features_test.dir/gtv_features_test.cpp.o" "gcc" "tests/CMakeFiles/gtv_features_test.dir/gtv_features_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gtv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gtv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/gan/CMakeFiles/gtv_gan.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gtv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/gtv_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/gtv_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gtv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gtv_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_features_test.dir/gtv_features_test.cpp.o"
+  "CMakeFiles/gtv_features_test.dir/gtv_features_test.cpp.o.d"
+  "gtv_features_test"
+  "gtv_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtv_integration_test.dir/gtv_integration_test.cpp.o"
+  "CMakeFiles/gtv_integration_test.dir/gtv_integration_test.cpp.o.d"
+  "gtv_integration_test"
+  "gtv_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtv_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

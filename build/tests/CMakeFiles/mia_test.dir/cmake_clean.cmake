@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mia_test.dir/mia_test.cpp.o"
+  "CMakeFiles/mia_test.dir/mia_test.cpp.o.d"
+  "mia_test"
+  "mia_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

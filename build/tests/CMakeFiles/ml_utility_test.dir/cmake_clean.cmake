@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_utility_test.dir/ml_utility_test.cpp.o"
+  "CMakeFiles/ml_utility_test.dir/ml_utility_test.cpp.o.d"
+  "ml_utility_test"
+  "ml_utility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_utility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_test.dir/psi_test.cpp.o"
+  "CMakeFiles/psi_test.dir/psi_test.cpp.o.d"
+  "psi_test"
+  "psi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
