@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace gtv::bench {
 
 namespace {
@@ -199,6 +201,18 @@ void write_csv(const std::string& out_dir, const std::string& file,
       out << row[i] << (i + 1 < row.size() ? "," : "\n");
     }
   }
+  // Every figure records the phase/traffic breakdown it was produced under.
+  const std::string stem = file.substr(0, file.find_last_of('.'));
+  write_telemetry_json(out_dir, stem + ".telemetry.json");
+}
+
+void write_telemetry_json(const std::string& out_dir, const std::string& file) {
+  std::filesystem::create_directories(out_dir);
+  std::ofstream out(out_dir + "/" + file);
+  if (!out) {
+    throw std::runtime_error("write_telemetry_json: cannot open " + out_dir + "/" + file);
+  }
+  out << obs::MetricsRegistry::instance().to_json() << "\n";
 }
 
 void parallel_tasks(std::vector<std::function<void()>> tasks) {

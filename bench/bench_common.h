@@ -10,6 +10,16 @@
 //   GTV_BENCH_SCALE    multiplies rows & rounds       (default 1.0)
 //   GTV_BENCH_DATASETS comma list                     (default all five)
 //   GTV_BENCH_OUT      output directory for CSVs      (default bench_results)
+//
+// Observability (gtv::obs; see README "Observability"):
+//   GTV_TRACE=<path>   write a chrome://tracing-compatible JSONL span
+//                      trace of every training phase to <path>
+//   GTV_METRICS=1      enable clock-sampling instrumentation (per-call
+//                      client/server forward/backward histograms,
+//                      thread-pool busy/idle accounting)
+// Every write_csv() also drops a `<name>.telemetry.json` snapshot of the
+// process-wide MetricsRegistry (phase-duration percentiles + per-link
+// traffic) next to the CSV, so each figure records its phase breakdown.
 #pragma once
 
 #include <functional>
@@ -103,10 +113,15 @@ gan::GanOptions default_gan_options(const BenchConfig& config);
 data::Table run_gtv(const std::vector<data::Table>& shards, const core::GtvOptions& options,
                     std::size_t rounds, std::size_t synth_rows, std::uint64_t seed);
 
-// CSV emission: writes header + rows into <out_dir>/<file>.
+// CSV emission: writes header + rows into <out_dir>/<file>, plus a
+// MetricsRegistry snapshot into <out_dir>/<stem>.telemetry.json.
 void write_csv(const std::string& out_dir, const std::string& file,
                const std::vector<std::string>& header,
                const std::vector<std::vector<std::string>>& rows);
+
+// Writes the process-wide MetricsRegistry snapshot (counters, gauges,
+// phase-duration histograms) as one JSON object to <out_dir>/<file>.
+void write_telemetry_json(const std::string& out_dir, const std::string& file);
 
 // Runs the tasks on up to GTV_BENCH_PARALLEL threads (default: half the
 // hardware threads, capped at 8). Tasks must be independent; results keep

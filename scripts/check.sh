@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus an observability smoke test.
+#
+#   scripts/check.sh [build-dir]
+#
+# 1. configure + build + ctest (the repo's tier-1 gate)
+# 2. one small benchmark run with GTV_TRACE enabled
+# 3. assert the trace parses as JSONL and the telemetry.json exists
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# --- observability smoke: tiny bench run with tracing on -------------------
+SMOKE_OUT="$(mktemp -d)"
+TRACE="$SMOKE_OUT/trace.jsonl"
+trap 'rm -rf "$SMOKE_OUT"' EXIT
+
+GTV_TRACE="$TRACE" GTV_BENCH_ROWS=80 GTV_BENCH_ROUNDS=3 GTV_BENCH_DATASETS=loan \
+  GTV_BENCH_OUT="$SMOKE_OUT" "$BUILD_DIR/bench/comm_overhead"
+
+[ -s "$TRACE" ] || { echo "FAIL: $TRACE is empty"; exit 1; }
+ls "$SMOKE_OUT"/*.telemetry.json > /dev/null 2>&1 \
+  || { echo "FAIL: no telemetry.json next to the bench CSV"; exit 1; }
+
+# Every line must be one JSON object with the Chrome trace-event fields.
+awk '!/^\{.*"ph":"X".*"ts":.*"dur":.*"tid":.*\}$/ { bad = 1; print "bad line " NR ": " $0 }
+     END { exit bad }' "$TRACE"
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$TRACE" <<'EOF'
+import json, sys
+names = set()
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        rec = json.loads(line)
+        assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(rec), f"line {n}: {rec}"
+        names.add(rec["name"])
+phases = {"cv_generation", "fake_forward", "real_forward", "critic_backward",
+          "generator_step", "round"}
+missing = phases - names
+assert not missing, f"trace is missing phases: {missing}"
+print(f"trace OK: {n} events, {len(names)} distinct span names")
+EOF
+fi
+
+echo "check.sh: all green"

@@ -3,10 +3,24 @@
 #include <stdexcept>
 
 #include "gan/losses.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gtv::core {
 
 using ag::Var;
+
+namespace {
+
+// Gated instrumentation (only samples the clock under GTV_METRICS /
+// GTV_TRACE): per-call duration histograms for the client-side hot paths.
+// Aggregated across clients — per-client breakdown lives in the trace.
+obs::Histogram& client_histogram(const char* name) {
+  return obs::MetricsRegistry::instance().histogram(std::string("gtv.client.") + name +
+                                                    "_ms");
+}
+
+}  // namespace
 
 GtvClient::GtvClient(std::size_t id, data::Table local, const GtvOptions& options,
                      std::size_t g_slice_width, std::size_t d_out_width, std::uint64_t seed)
@@ -50,6 +64,8 @@ Var GtvClient::run_generator_bottom(const Var& slice_in, Var* raw_logits) {
 }
 
 Tensor GtvClient::forward_fake(const Tensor& g_slice, bool train_generator) {
+  static obs::Histogram& hist = client_histogram("forward_fake");
+  obs::ScopedTimer timer("client.forward_fake", &hist);
   if (train_generator) {
     if (pending_generator_) {
       throw std::logic_error("GtvClient::forward_fake: generator backward still pending");
@@ -77,6 +93,8 @@ Tensor GtvClient::forward_fake(const Tensor& g_slice, bool train_generator) {
 }
 
 Tensor GtvClient::backward_generator(const Tensor& grad_d_out) {
+  static obs::Histogram& hist = client_histogram("backward_generator");
+  obs::ScopedTimer timer("client.backward_generator", &hist);
   if (!pending_generator_) {
     throw std::logic_error("GtvClient::backward_generator: no pending forward");
   }
@@ -93,6 +111,8 @@ Tensor GtvClient::backward_generator(const Tensor& grad_d_out) {
 }
 
 void GtvClient::backward_fake_discriminator(const Tensor& grad_d_out) {
+  static obs::Histogram& hist = client_histogram("backward_fake_discriminator");
+  obs::ScopedTimer timer("client.backward_fake_discriminator", &hist);
   if (!pending_fake_d_) {
     throw std::logic_error("GtvClient::backward_fake_discriminator: no pending forward");
   }
@@ -102,6 +122,8 @@ void GtvClient::backward_fake_discriminator(const Tensor& grad_d_out) {
 }
 
 Tensor GtvClient::forward_real_all() {
+  static obs::Histogram& hist = client_histogram("forward_real");
+  obs::ScopedTimer timer("client.forward_real_all", &hist);
   if (pending_real_) {
     throw std::logic_error("GtvClient::forward_real_all: real backward still pending");
   }
@@ -110,6 +132,8 @@ Tensor GtvClient::forward_real_all() {
 }
 
 Tensor GtvClient::forward_real_selected(const std::vector<std::size_t>& idx) {
+  static obs::Histogram& hist = client_histogram("forward_real");
+  obs::ScopedTimer timer("client.forward_real_selected", &hist);
   if (pending_real_) {
     throw std::logic_error("GtvClient::forward_real_selected: real backward still pending");
   }
@@ -118,6 +142,8 @@ Tensor GtvClient::forward_real_selected(const std::vector<std::size_t>& idx) {
 }
 
 void GtvClient::backward_real(const Tensor& grad_d_out) {
+  static obs::Histogram& hist = client_histogram("backward_real");
+  obs::ScopedTimer timer("client.backward_real", &hist);
   if (!pending_real_) {
     throw std::logic_error("GtvClient::backward_real: no pending forward");
   }

@@ -1,12 +1,43 @@
 #include "core/gtv.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "gan/losses.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gtv::core {
 
 using ag::Var;
+
+namespace {
+
+// Phase-duration histograms (milliseconds). Looked up once; recording is a
+// couple of relaxed atomics per round, so the phases are always measured —
+// that is what RoundTelemetry and the benchmark reports are built from.
+obs::Histogram& phase_histogram(const char* phase) {
+  return obs::MetricsRegistry::instance().histogram(std::string("gtv.phase.") + phase +
+                                                    "_ms");
+}
+
+struct PhaseHistograms {
+  obs::Histogram& round = phase_histogram("round");
+  obs::Histogram& cv_generation = phase_histogram("cv_generation");
+  obs::Histogram& fake_forward = phase_histogram("fake_forward");
+  obs::Histogram& real_forward = phase_histogram("real_forward");
+  obs::Histogram& critic_backward = phase_histogram("critic_backward");
+  obs::Histogram& gradient_penalty = phase_histogram("gradient_penalty");
+  obs::Histogram& generator_step = phase_histogram("generator_step");
+  obs::Histogram& shuffle = phase_histogram("shuffle");
+
+  static PhaseHistograms& get() {
+    static PhaseHistograms h;
+    return h;
+  }
+};
+
+}  // namespace
 
 GtvTrainer::GtvTrainer(std::vector<data::Table> client_tables, GtvOptions options,
                        std::uint64_t seed)
@@ -71,11 +102,15 @@ Tensor GtvTrainer::privatize(Tensor activations) {
   return activations;
 }
 
-gan::RoundLosses GtvTrainer::critic_step(std::size_t batch) {
+gan::RoundLosses GtvTrainer::critic_step(std::size_t batch, obs::RoundTelemetry& telemetry) {
   const std::size_t n = clients_.size();
   gan::RoundLosses losses;
+  auto& phases = PhaseHistograms::get();
+  std::optional<obs::ScopedTimer> span;
 
   // --- CVGeneration (Algorithm 1, step 4) ------------------------------------
+  span.emplace("cv_generation", &phases.cv_generation, &telemetry.cv_generation_ms,
+               /*always=*/true);
   const bool p2p = options_.index_sharing == IndexSharing::kPeerToPeer;
   const std::size_t p = server_->select_cv_client();
   auto sample = clients_[p]->sample_cv(batch);
@@ -97,11 +132,14 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch) {
   }
   const Tensor global_cv = server_->assemble_global_cv(p, cv_p, batch);
   if (!p2p) attack_.observe(idx, global_cv);  // semi-honest server curiosity
+  span.reset();
 
   server_->zero_grad_discriminator();
   for (auto& client : clients_) client->zero_grad_discriminator();
 
   // --- fake path (steps 5-8): G frozen, D^b graphs retained per client -------
+  span.emplace("fake_forward", &phases.fake_forward, &telemetry.fake_forward_ms,
+               /*always=*/true);
   const auto slices = server_->generator_forward(global_cv, /*retain_graph=*/false);
   std::vector<Var> fake_vars;
   fake_vars.reserve(n);
@@ -111,8 +149,11 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch) {
         meter_.transfer(link_up(i), privatize(clients_[i]->forward_fake(slice, false)));
     fake_vars.emplace_back(d_out, /*requires_grad=*/true);
   }
+  span.reset();
 
   // --- real path (steps 9-15) --------------------------------------------------
+  span.emplace("real_forward", &phases.real_forward, &telemetry.real_forward_ms,
+               /*always=*/true);
   std::vector<Var> real_vars;
   real_vars.reserve(n);
   std::vector<std::size_t> real_full_rows(n, 0);  // rows each client forwarded
@@ -133,14 +174,19 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch) {
       real_vars.emplace_back(d_out_full.gather_rows(idx), /*requires_grad=*/true);
     }
   }
+  span.reset();
 
   // --- top loss (step 16) -----------------------------------------------------------
+  obs::ScopedTimer backward_span("critic_backward", &phases.critic_backward,
+                                 &telemetry.critic_backward_ms, /*always=*/true);
   Var cv_var = ag::constant(global_cv);
   Var d_fake = server_->critic_top(fake_vars, cv_var);
   Var d_real = server_->critic_top(real_vars, cv_var);
   Var critic = gan::wasserstein_critic_loss(d_real, d_fake);
 
   Var gp;
+  span.emplace("gradient_penalty", &phases.gradient_penalty,
+               &telemetry.gradient_penalty_ms, /*always=*/true);
   if (options_.gan.critic_mode == gan::CriticMode::kWeightClipping) {
     gp = ag::constant(Tensor::scalar(0.0f));
   } else if (options_.exact_gradient_penalty) {
@@ -188,6 +234,7 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch) {
     gp = gan::gradient_penalty(critic_fn, Tensor::concat_cols(real_logits),
                                Tensor::concat_cols(fake_logits), server_->rng());
   }
+  span.reset();
 
   Var loss = ag::add(critic, ag::mul_scalar(gp, options_.gan.gp_lambda));
   ag::backward(loss);
@@ -226,8 +273,10 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch) {
   return losses;
 }
 
-float GtvTrainer::generator_step(std::size_t batch) {
+float GtvTrainer::generator_step(std::size_t batch, obs::RoundTelemetry& telemetry) {
   const std::size_t n = clients_.size();
+  obs::ScopedTimer span("generator_step", &PhaseHistograms::get().generator_step,
+                        &telemetry.generator_step_ms, /*always=*/true);
 
   // CVGeneration (step 18). The index list is transferred for protocol
   // fidelity even though the generator update does not consume it (in the
@@ -276,17 +325,39 @@ float GtvTrainer::generator_step(std::size_t batch) {
 gan::RoundLosses GtvTrainer::train_round() {
   const std::size_t batch = std::min(options_.gan.batch_size, clients_.front()->n_rows());
   gan::RoundLosses losses;
-  for (std::size_t step = 0; step < options_.gan.d_steps_per_round; ++step) {
-    losses = critic_step(batch);
-  }
-  losses.g_loss = generator_step(batch);
+  obs::RoundTelemetry telemetry;
+  telemetry.round = telemetry_.size();
+  const std::map<std::string, net::LinkStats> traffic_before = meter_.all();
+  {
+    obs::ScopedTimer round_span("round", &PhaseHistograms::get().round,
+                                &telemetry.total_ms, /*always=*/true);
+    for (std::size_t step = 0; step < options_.gan.d_steps_per_round; ++step) {
+      losses = critic_step(batch, telemetry);
+    }
+    losses.g_loss = generator_step(batch, telemetry);
 
-  if (options_.training_with_shuffling) {
-    // Step 23: all clients shuffle with the same secret per-round seed.
-    const std::uint64_t round_seed = shuffle_stream_.next_u64();
-    for (auto& client : clients_) client->shuffle_local_data(round_seed);
+    if (options_.training_with_shuffling) {
+      // Step 23: all clients shuffle with the same secret per-round seed.
+      obs::ScopedTimer shuffle_span("shuffle", &PhaseHistograms::get().shuffle,
+                                    &telemetry.shuffle_ms, /*always=*/true);
+      const std::uint64_t round_seed = shuffle_stream_.next_u64();
+      for (auto& client : clients_) client->shuffle_local_data(round_seed);
+    }
+  }
+  telemetry.d_loss = losses.d_loss;
+  telemetry.g_loss = losses.g_loss;
+  telemetry.gp = losses.gp;
+  telemetry.wasserstein = losses.wasserstein;
+  // Per-link deltas charged by this round (links can appear mid-run).
+  for (const auto& [link, stats] : meter_.all()) {
+    const auto it = traffic_before.find(link);
+    const net::LinkStats before = it == traffic_before.end() ? net::LinkStats{} : it->second;
+    if (stats.bytes == before.bytes && stats.messages == before.messages) continue;
+    telemetry.links.push_back(
+        {link, stats.bytes - before.bytes, stats.messages - before.messages});
   }
   history_.push_back(losses);
+  telemetry_.push_back(std::move(telemetry));
   return losses;
 }
 
@@ -295,6 +366,16 @@ void GtvTrainer::train(
   for (std::size_t r = 0; r < rounds; ++r) {
     gan::RoundLosses losses = train_round();
     if (on_round) on_round(r, losses);
+  }
+}
+
+void GtvTrainer::train(
+    std::size_t rounds,
+    const std::function<void(std::size_t, const gan::RoundLosses&, const obs::RoundTelemetry&)>&
+        on_round) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    gan::RoundLosses losses = train_round();
+    if (on_round) on_round(r, losses, telemetry_.back());
   }
 }
 

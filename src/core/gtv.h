@@ -32,6 +32,7 @@
 #include "core/options.h"
 #include "core/server.h"
 #include "net/wire.h"
+#include "obs/telemetry.h"
 
 namespace gtv::core {
 
@@ -43,6 +44,11 @@ class GtvTrainer {
   gan::RoundLosses train_round();
   void train(std::size_t rounds,
              const std::function<void(std::size_t, const gan::RoundLosses&)>& on_round = {});
+  // Timed variant: the callback additionally receives the round's
+  // telemetry record (phase durations, losses, per-link traffic deltas).
+  void train(std::size_t rounds,
+             const std::function<void(std::size_t, const gan::RoundLosses&,
+                                      const obs::RoundTelemetry&)>& on_round);
 
   // Secure publication (§3.1.7): per-client synthesis, then all clients
   // apply the same secret shuffle before releasing. Shards stay row-aligned.
@@ -57,6 +63,16 @@ class GtvTrainer {
   net::TrafficMeter& traffic() { return meter_; }
   const std::vector<gan::RoundLosses>& history() const { return history_; }
   const GtvOptions& options() const { return options_; }
+
+  // --- round telemetry (gtv::obs) ---------------------------------------------
+  // One record per completed train_round(), parallel to history(). The
+  // per-link byte/message deltas are exact: summed over all records they
+  // equal the TrafficMeter totals accumulated by training.
+  const std::vector<obs::RoundTelemetry>& telemetry() const { return telemetry_; }
+  // Phase/loss/traffic sums over all recorded rounds (losses averaged).
+  obs::RoundTelemetry telemetry_snapshot() const { return obs::aggregate(telemetry_); }
+  // JSON array with one object per round (RoundTelemetry::to_json).
+  std::string telemetry_json() const { return obs::telemetry_to_json(telemetry_); }
 
   // --- semi-honest server curiosity (evaluation) ------------------------------
   const ServerInferenceAttack& attack() const { return attack_; }
@@ -73,8 +89,8 @@ class GtvTrainer {
   PeerSelectionFrequencyAttack::Evaluation peer_attack_evaluation(std::size_t joined_column) const;
 
  private:
-  gan::RoundLosses critic_step(std::size_t batch);
-  float generator_step(std::size_t batch);
+  gan::RoundLosses critic_step(std::size_t batch, obs::RoundTelemetry& telemetry);
+  float generator_step(std::size_t batch, obs::RoundTelemetry& telemetry);
   // Client-side DP noise on outgoing activations (no-op when disabled).
   Tensor privatize(Tensor activations);
   std::string link_up(std::size_t client) const;    // client -> server
@@ -91,6 +107,7 @@ class GtvTrainer {
   Rng dp_rng_;           // Gaussian noise stream for the optional DP mode
   data::Table initial_joined_;  // evaluation-only ground truth snapshot
   std::vector<gan::RoundLosses> history_;
+  std::vector<obs::RoundTelemetry> telemetry_;  // parallel to history_
 };
 
 }  // namespace gtv::core

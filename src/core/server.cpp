@@ -2,9 +2,23 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gtv::core {
 
 using ag::Var;
+
+namespace {
+
+// Gated instrumentation (only samples the clock under GTV_METRICS /
+// GTV_TRACE): per-call duration histograms for the server-side hot paths.
+obs::Histogram& server_histogram(const char* name) {
+  return obs::MetricsRegistry::instance().histogram(std::string("gtv.server.") + name +
+                                                    "_ms");
+}
+
+}  // namespace
 
 GtvServer::GtvServer(const GtvOptions& options, std::vector<ClientInfo> clients,
                      std::uint64_t seed)
@@ -59,6 +73,8 @@ Tensor GtvServer::assemble_global_cv(std::size_t p, const Tensor& cv_p,
 }
 
 std::vector<Tensor> GtvServer::generator_forward(const Tensor& global_cv, bool retain_graph) {
+  static obs::Histogram& hist = server_histogram("generator_forward");
+  obs::ScopedTimer timer("server.generator_forward", &hist);
   if (pending_slices_) {
     throw std::logic_error("GtvServer::generator_forward: backward still pending");
   }
@@ -91,6 +107,8 @@ std::vector<Tensor> GtvServer::generator_forward(const Tensor& global_cv, bool r
 }
 
 void GtvServer::generator_backward(const std::vector<Tensor>& slice_grads) {
+  static obs::Histogram& hist = server_histogram("generator_backward");
+  obs::ScopedTimer timer("server.generator_backward", &hist);
   if (!pending_slices_) {
     throw std::logic_error("GtvServer::generator_backward: no pending forward");
   }
@@ -105,6 +123,8 @@ void GtvServer::generator_backward(const std::vector<Tensor>& slice_grads) {
 }
 
 Var GtvServer::critic_top(const std::vector<Var>& client_logits, const Var& global_cv) {
+  static obs::Histogram& hist = server_histogram("critic_top");
+  obs::ScopedTimer timer("server.critic_top", &hist);
   if (client_logits.size() != clients_.size()) {
     throw std::invalid_argument("critic_top: expected one logits block per client");
   }

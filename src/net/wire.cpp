@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace gtv::net {
 
 namespace {
@@ -67,20 +69,30 @@ std::vector<std::size_t> deserialize_indices(const std::vector<std::uint8_t>& by
   return out;
 }
 
+void TrafficMeter::charge(const std::string& link, std::size_t bytes) {
+  auto& stats = links_[link];
+  stats.bytes += bytes;
+  stats.messages += 1;
+  auto& counters = counters_[link];
+  if (counters.bytes == nullptr) {
+    auto& registry = obs::MetricsRegistry::instance();
+    counters.bytes = &registry.counter("net." + link + ".bytes");
+    counters.messages = &registry.counter("net." + link + ".messages");
+  }
+  counters.bytes->add(bytes);
+  counters.messages->add();
+}
+
 Tensor TrafficMeter::transfer(const std::string& link, const Tensor& t) {
   auto bytes = serialize_tensor(t);
-  auto& stats = links_[link];
-  stats.bytes += bytes.size();
-  stats.messages += 1;
+  charge(link, bytes.size());
   return deserialize_tensor(bytes);
 }
 
 std::vector<std::size_t> TrafficMeter::transfer(const std::string& link,
                                                 const std::vector<std::size_t>& indices) {
   auto bytes = serialize_indices(indices);
-  auto& stats = links_[link];
-  stats.bytes += bytes.size();
-  stats.messages += 1;
+  charge(link, bytes.size());
   return deserialize_indices(bytes);
 }
 

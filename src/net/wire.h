@@ -17,6 +17,10 @@
 
 #include "tensor/tensor.h"
 
+namespace gtv::obs {
+class Counter;
+}  // namespace gtv::obs
+
 namespace gtv::net {
 
 // --- serialization ---------------------------------------------------------------
@@ -30,6 +34,11 @@ struct LinkStats {
   std::uint64_t messages = 0;
 };
 
+// Besides the local per-meter accounting, every transfer is published to
+// the process-wide obs::MetricsRegistry as `net.<link>.bytes` /
+// `net.<link>.messages` counters (cumulative across meters; reset() does
+// not rewind them), so traffic lands in the same report as the timing
+// instrumentation.
 class TrafficMeter {
  public:
   // Simulates sending `t` over `link`: serializes, counts, deserializes.
@@ -43,7 +52,15 @@ class TrafficMeter {
   void reset();
 
  private:
+  // Charges `bytes` + one message to the link, locally and in the registry.
+  void charge(const std::string& link, std::size_t bytes);
+
+  struct LinkCounters {
+    obs::Counter* bytes = nullptr;
+    obs::Counter* messages = nullptr;
+  };
   std::map<std::string, LinkStats> links_;
+  std::map<std::string, LinkCounters> counters_;  // registry handles per link
 };
 
 }  // namespace gtv::net

@@ -1,0 +1,192 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace gtv::obs {
+
+namespace {
+
+// -1 = uninitialised, 0 = off, 1 = on.
+std::atomic<int> g_timing_state{-1};
+
+int timing_state_from_env() {
+  const char* v = std::getenv("GTV_METRICS");
+  if (v == nullptr || v[0] == '\0' || std::string(v) == "0") return 0;
+  return 1;
+}
+
+}  // namespace
+
+bool timing_enabled() {
+  int state = g_timing_state.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = timing_state_from_env();
+    g_timing_state.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void set_timing_enabled(bool enabled) {
+  g_timing_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Gauge::add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::record(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+  double mx = max_.load(std::memory_order_relaxed);
+  while (v > mx && !max_.compare_exchange_weak(mx, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative + in_bucket >= rank) {
+      if (b == bounds_.size()) return max();  // overflow bucket
+      const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+      const double upper = bounds_[b];
+      const double frac =
+          static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+      return lower + frac * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_latency_bounds_ms() {
+  static const std::vector<double> kBounds = {
+      0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1,    2,    5,     10,
+      20,   50,   100,  200, 500, 1e3, 2e3,  5e3,  1e4,   3e4, 6e4};
+  return kBounds;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (upper_bounds.empty()) upper_bounds = default_latency_bounds_ms();
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << '"' << json_escape(name) << "\":" << c->value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << '"' << json_escape(name) << "\":" << g->value();
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << '"' << json_escape(name) << "\":{"
+       << "\"count\":" << h->count() << ",\"sum\":" << h->sum()
+       << ",\"p50\":" << h->percentile(50) << ",\"p90\":" << h->percentile(90)
+       << ",\"p99\":" << h->percentile(99) << ",\"max\":" << h->max() << '}';
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace gtv::obs

@@ -1,0 +1,122 @@
+// gtv::obs — process-wide metrics for the VFL training stack.
+//
+// A MetricsRegistry holds named counters, gauges, and fixed-bucket
+// histograms. Registration/lookup takes a mutex; the returned handles are
+// stable for the life of the process and every update on them is a relaxed
+// atomic, so instrumented hot paths never contend on the registry lock.
+//
+// Cost model (the "near-zero when disabled" contract):
+//   - Counter/Gauge updates are single relaxed atomics and are always on
+//     (the TrafficMeter publishes through them unconditionally).
+//   - Anything that needs a clock — ScopedTimer, thread-pool busy/idle
+//     accounting — is gated by timing_enabled(): off by default, switched
+//     on by the GTV_METRICS environment variable (any value except "0"),
+//     by an active GTV_TRACE sink, or programmatically for tests. When
+//     off, a gated ScopedTimer never reads the clock and never touches
+//     its histogram.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gtv::obs {
+
+// Global switch for clock-reading instrumentation (see file comment).
+bool timing_enabled();
+void set_timing_enabled(bool enabled);
+
+// Escapes `"`, `\` and control characters for embedding in a JSON string.
+std::string json_escape(const std::string& s);
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram for non-negative samples (durations, sizes).
+// Bucket i counts samples in (bounds[i-1], bounds[i]]; one overflow bucket
+// catches everything above the last bound. Percentiles are reconstructed
+// from the bucket counts with linear interpolation inside the bucket, so a
+// sample set that lands exactly on bucket upper bounds yields exact
+// percentiles (obs_test relies on this).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void record(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  // p in [0, 100]. Returns 0 when empty.
+  double percentile(double p) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// Default histogram bounds for millisecond durations: 10us .. 60s,
+// roughly 1-2-5 per decade.
+const std::vector<double>& default_latency_bounds_ms();
+
+class MetricsRegistry {
+ public:
+  // Process-wide registry; all instrumentation publishes here.
+  static MetricsRegistry& instance();
+
+  // Find-or-create by name. Handles stay valid for the process lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // `upper_bounds` is only consulted on first creation; empty means
+  // default_latency_bounds_ms().
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds = {});
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  // Histograms report count/sum/p50/p90/p99/max.
+  std::string to_json() const;
+
+  // Zeroes every registered metric; handles stay valid. For tests and for
+  // benchmark repeats that want per-run deltas.
+  void reset();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace gtv::obs

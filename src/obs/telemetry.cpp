@@ -1,0 +1,89 @@
+#include "obs/telemetry.h"
+
+#include <map>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace gtv::obs {
+
+std::uint64_t RoundTelemetry::bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& l : links) total += l.bytes;
+  return total;
+}
+
+std::uint64_t RoundTelemetry::messages_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& l : links) total += l.messages;
+  return total;
+}
+
+std::string RoundTelemetry::to_json() const {
+  std::ostringstream os;
+  os << "{\"round\":" << round << ",\"phases_ms\":{"
+     << "\"total\":" << total_ms << ",\"cv_generation\":" << cv_generation_ms
+     << ",\"fake_forward\":" << fake_forward_ms
+     << ",\"real_forward\":" << real_forward_ms
+     << ",\"critic_backward\":" << critic_backward_ms
+     << ",\"gradient_penalty\":" << gradient_penalty_ms
+     << ",\"generator_step\":" << generator_step_ms << ",\"shuffle\":" << shuffle_ms
+     << "},\"losses\":{\"d_loss\":" << d_loss << ",\"g_loss\":" << g_loss
+     << ",\"gp\":" << gp << ",\"wasserstein\":" << wasserstein << "},\"links\":[";
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "{\"link\":\"" << json_escape(links[i].link)
+       << "\",\"bytes\":" << links[i].bytes << ",\"messages\":" << links[i].messages
+       << '}';
+  }
+  os << "],\"bytes_sent\":" << bytes_sent() << ",\"messages_sent\":" << messages_sent()
+     << '}';
+  return os.str();
+}
+
+RoundTelemetry aggregate(const std::vector<RoundTelemetry>& rounds) {
+  RoundTelemetry out;
+  out.round = rounds.size();
+  std::map<std::string, LinkDelta> links;
+  for (const auto& r : rounds) {
+    out.total_ms += r.total_ms;
+    out.cv_generation_ms += r.cv_generation_ms;
+    out.fake_forward_ms += r.fake_forward_ms;
+    out.real_forward_ms += r.real_forward_ms;
+    out.critic_backward_ms += r.critic_backward_ms;
+    out.gradient_penalty_ms += r.gradient_penalty_ms;
+    out.generator_step_ms += r.generator_step_ms;
+    out.shuffle_ms += r.shuffle_ms;
+    out.d_loss += r.d_loss;
+    out.g_loss += r.g_loss;
+    out.gp += r.gp;
+    out.wasserstein += r.wasserstein;
+    for (const auto& l : r.links) {
+      auto& slot = links[l.link];
+      slot.link = l.link;
+      slot.bytes += l.bytes;
+      slot.messages += l.messages;
+    }
+  }
+  if (!rounds.empty()) {
+    const float n = static_cast<float>(rounds.size());
+    out.d_loss /= n;
+    out.g_loss /= n;
+    out.gp /= n;
+    out.wasserstein /= n;
+  }
+  out.links.reserve(links.size());
+  for (auto& [name, delta] : links) out.links.push_back(std::move(delta));
+  return out;
+}
+
+std::string telemetry_to_json(const std::vector<RoundTelemetry>& rounds) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    os << (i == 0 ? "" : ",") << rounds[i].to_json();
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace gtv::obs

@@ -1,0 +1,66 @@
+// gtv::obs — per-round telemetry for the GTV training loop.
+//
+// One RoundTelemetry record is captured by GtvTrainer::train_round() per
+// round: where the wall-clock time went inside the split-training pipeline
+// (the paper's §3.1 phases), the round's loss components, and the byte /
+// message deltas charged to every TrafficMeter link during the round. The
+// per-link deltas are exact: summed over a run they reproduce
+// TrafficMeter::total().
+//
+// The struct is plain data so it can be serialized (`to_json`), aggregated
+// (`aggregate`), and shipped by benchmarks without dragging in the core
+// types.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gtv::obs {
+
+struct LinkDelta {
+  std::string link;
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+struct RoundTelemetry {
+  std::size_t round = 0;  // 0-based round index (aggregate: number of rounds)
+
+  // --- phase durations (wall-clock milliseconds) -----------------------------
+  // Accumulated over the round's d_steps_per_round critic steps; the
+  // gradient-penalty time is a sub-span of critic_backward_ms.
+  double total_ms = 0;
+  double cv_generation_ms = 0;
+  double fake_forward_ms = 0;
+  double real_forward_ms = 0;
+  double critic_backward_ms = 0;
+  double gradient_penalty_ms = 0;
+  double generator_step_ms = 0;
+  double shuffle_ms = 0;
+
+  // --- loss components (mirrors gan::RoundLosses) ----------------------------
+  float d_loss = 0;
+  float g_loss = 0;
+  float gp = 0;
+  float wasserstein = 0;
+
+  // --- communication charged during this round -------------------------------
+  std::vector<LinkDelta> links;
+
+  std::uint64_t bytes_sent() const;
+  std::uint64_t messages_sent() const;
+
+  // One JSON object (single line, no trailing newline).
+  std::string to_json() const;
+};
+
+// Element-wise sum of phases/losses/links over a run; `round` becomes the
+// number of rounds aggregated and losses are averaged.
+RoundTelemetry aggregate(const std::vector<RoundTelemetry>& rounds);
+
+// JSON array of RoundTelemetry::to_json records.
+std::string telemetry_to_json(const std::vector<RoundTelemetry>& rounds);
+
+}  // namespace gtv::obs

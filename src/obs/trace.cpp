@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace gtv::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto kEpoch = std::chrono::steady_clock::now();
+  return kEpoch;
+}
+
+std::uint32_t this_thread_trace_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+TraceSink::TraceSink() {
+  trace_epoch();  // pin the epoch no later than first sink use
+  if (const char* path = std::getenv("GTV_TRACE")) {
+    if (path[0] != '\0') open(path);
+  }
+}
+
+TraceSink& TraceSink::instance() {
+  static TraceSink sink;
+  return sink;
+}
+
+void TraceSink::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_.is_open()) out_.close();
+  out_.open(path, std::ios::out | std::ios::trunc);
+  active_.store(out_.is_open(), std::memory_order_relaxed);
+}
+
+void TraceSink::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.store(false, std::memory_order_relaxed);
+  if (out_.is_open()) out_.close();
+}
+
+void TraceSink::emit_complete(const char* name, std::uint64_t ts_us,
+                              std::uint64_t dur_us) {
+  const std::uint32_t tid = this_thread_trace_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
+  out_ << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"X\",\"ts\":" << ts_us
+       << ",\"dur\":" << dur_us << ",\"pid\":1,\"tid\":" << tid << "}\n";
+}
+
+std::uint64_t TraceSink::now_us() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - trace_epoch())
+                                        .count());
+}
+
+ScopedTimer::ScopedTimer(const char* name, Histogram* hist, double* out_ms, bool always)
+    : name_(name),
+      hist_(hist),
+      out_ms_(out_ms),
+      active_(always || out_ms != nullptr || timing_enabled() ||
+              TraceSink::instance().active()) {
+  if (active_) start_us_ = TraceSink::now_us();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!active_) return;
+  const std::uint64_t end_us = TraceSink::now_us();
+  const std::uint64_t dur_us = end_us - start_us_;
+  const double dur_ms = static_cast<double>(dur_us) / 1000.0;
+  if (out_ms_ != nullptr) *out_ms_ += dur_ms;
+  if (hist_ != nullptr) hist_->record(dur_ms);
+  TraceSink& sink = TraceSink::instance();
+  if (sink.active()) sink.emit_complete(name_, start_us_, dur_us);
+}
+
+}  // namespace gtv::obs

@@ -1,0 +1,78 @@
+// gtv::obs — span tracing.
+//
+// TraceSink writes one JSON object per line ("JSONL"), each a Chrome
+// trace-event "complete" record {name, ph:"X", ts, dur, pid, tid} with
+// microsecond timestamps, so a capture loads directly into
+// chrome://tracing / Perfetto after wrapping the lines in a JSON array
+// (both tools also accept the newline-delimited form).
+//
+// The sink is opened from the GTV_TRACE environment variable
+// (GTV_TRACE=/path/to/trace.jsonl) on first use, or programmatically via
+// open(). While no sink is active and timing is disabled, a gated
+// ScopedTimer is a no-op that never reads the clock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace gtv::obs {
+
+class TraceSink {
+ public:
+  static TraceSink& instance();
+
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+  // Opens `path` for writing (truncates). Replaces any active sink.
+  void open(const std::string& path);
+  void close();
+
+  // Emits one complete-span record. `ts_us` is microseconds since the
+  // process trace epoch (see now_us).
+  void emit_complete(const char* name, std::uint64_t ts_us, std::uint64_t dur_us);
+
+  // Monotonic microseconds since the process trace epoch.
+  static std::uint64_t now_us();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+ private:
+  TraceSink();
+  ~TraceSink() { close(); }
+
+  std::atomic<bool> active_{false};
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+// RAII span timer. On destruction it (a) accumulates the elapsed
+// milliseconds into `*out_ms` when given, (b) records the duration into
+// `hist` when given, and (c) emits a trace event when a sink is active.
+//
+// Gating: the timer arms itself when `always` is set or `out_ms` is given
+// (the caller needs the number — e.g. RoundTelemetry), or when
+// timing_enabled() / an active trace sink ask for instrumentation.
+// Otherwise construction and destruction do no work at all.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name, Histogram* hist = nullptr,
+                       double* out_ms = nullptr, bool always = false);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  double* out_ms_;
+  std::uint64_t start_us_ = 0;
+  bool active_;
+};
+
+}  // namespace gtv::obs

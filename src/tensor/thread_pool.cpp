@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gtv {
 
 struct ThreadPool::Impl {
@@ -21,7 +24,20 @@ struct ThreadPool::Impl {
     std::atomic<std::size_t> remaining{0};
   };
 
+  // Per-worker busy/idle accounting (obs). Slot 0 belongs to whichever
+  // caller thread participates in parallel_for; slots 1..N are the pool
+  // workers. Counter bumps are relaxed atomics (always on); the clock reads
+  // behind them only happen while obs::timing_enabled().
+  struct WorkerStats {
+    obs::Counter* busy_us = nullptr;
+    obs::Counter* idle_us = nullptr;
+    obs::Counter* chunks = nullptr;
+  };
+
   std::vector<std::thread> threads;
+  std::vector<WorkerStats> stats;  // size workers (spawned + caller slot 0)
+  obs::Counter* calls = nullptr;       // parallel_for invocations
+  obs::Counter* dispatched = nullptr;  // invocations that woke the pool
   std::mutex mu;
   std::condition_variable cv_work;
   std::condition_variable cv_done;
@@ -29,27 +45,34 @@ struct ThreadPool::Impl {
   std::uint64_t job_serial = 0;
   bool shutdown = false;
 
-  void worker_loop() {
+  void worker_loop(std::size_t slot) {
     std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Job> local;
       {
+        const bool timed = obs::timing_enabled();
+        const std::uint64_t wait_start = timed ? obs::TraceSink::now_us() : 0;
         std::unique_lock<std::mutex> lock(mu);
         cv_work.wait(lock, [&] { return shutdown || job_serial != seen; });
+        if (timed) stats[slot].idle_us->add(obs::TraceSink::now_us() - wait_start);
         if (shutdown) return;
         seen = job_serial;
         local = job;
       }
-      if (local) run_chunks(*local);
+      if (local) run_chunks(*local, slot);
     }
   }
 
-  void run_chunks(Job& j) {
+  void run_chunks(Job& j, std::size_t slot) {
+    const bool timed = obs::timing_enabled();
     for (;;) {
       const std::size_t begin = j.next.fetch_add(j.chunk);
       if (begin >= j.n) break;
       const std::size_t end = std::min(j.n, begin + j.chunk);
+      const std::uint64_t start = timed ? obs::TraceSink::now_us() : 0;
       (*j.fn)(begin, end);
+      if (timed) stats[slot].busy_us->add(obs::TraceSink::now_us() - start);
+      stats[slot].chunks->add();
       if (j.remaining.fetch_sub(end - begin) == end - begin) {
         std::lock_guard<std::mutex> lock(mu);
         cv_done.notify_all();
@@ -62,9 +85,20 @@ ThreadPool::ThreadPool() : impl_(new Impl) {
   const unsigned hw = std::thread::hardware_concurrency();
   workers_ = std::min<std::size_t>(hw == 0 ? 4 : hw, 16);
   const std::size_t spawned = workers_ > 1 ? workers_ - 1 : 0;
+  auto& registry = obs::MetricsRegistry::instance();
+  impl_->calls = &registry.counter("threadpool.parallel_for");
+  impl_->dispatched = &registry.counter("threadpool.dispatched");
+  impl_->stats.resize(spawned + 1);
+  for (std::size_t slot = 0; slot <= spawned; ++slot) {
+    const std::string prefix =
+        slot == 0 ? "threadpool.caller" : "threadpool.worker" + std::to_string(slot);
+    impl_->stats[slot].busy_us = &registry.counter(prefix + ".busy_us");
+    impl_->stats[slot].idle_us = &registry.counter(prefix + ".idle_us");
+    impl_->stats[slot].chunks = &registry.counter(prefix + ".chunks");
+  }
   impl_->threads.reserve(spawned);
   for (std::size_t i = 0; i < spawned; ++i) {
-    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+    impl_->threads.emplace_back([this, i] { impl_->worker_loop(i + 1); });
   }
 }
 
@@ -86,11 +120,13 @@ ThreadPool& ThreadPool::instance() {
 void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  impl_->calls->add();
   grain = std::max<std::size_t>(grain, 1);
   if (n <= grain || workers_ <= 1) {
     fn(0, n);
     return;
   }
+  impl_->dispatched->add();
   auto job = std::make_shared<Impl::Job>();
   job->fn = &fn;
   job->n = n;
@@ -103,7 +139,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
     ++impl_->job_serial;
   }
   impl_->cv_work.notify_all();
-  impl_->run_chunks(*job);  // caller participates
+  impl_->run_chunks(*job, /*slot=*/0);  // caller participates
   std::unique_lock<std::mutex> lock(impl_->mu);
   impl_->cv_done.wait(lock, [&] { return job->remaining.load() == 0; });
   impl_->job.reset();

@@ -69,6 +69,52 @@ TEST(GtvTrainerTest, OneRoundFiniteLossesAndTraffic) {
   EXPECT_GT(trainer.traffic().stats("server->client1").bytes, 0u);
 }
 
+TEST(GtvTrainerTest, RoundTelemetryMatchesTrafficMeter) {
+  Rng rng(9);
+  auto shards = split_two(two_party_source(80, rng));
+  GtvTrainer trainer(std::move(shards), small_options(), 6);
+
+  std::size_t callbacks = 0;
+  trainer.train(3, [&](std::size_t round, const gan::RoundLosses& losses,
+                       const obs::RoundTelemetry& telemetry) {
+    ++callbacks;
+    EXPECT_EQ(telemetry.round, round);
+    EXPECT_FLOAT_EQ(telemetry.d_loss, losses.d_loss);
+    EXPECT_FLOAT_EQ(telemetry.g_loss, losses.g_loss);
+    EXPECT_GT(telemetry.total_ms, 0.0);
+    // Every paper phase was timed (shuffling is on in small_options()).
+    EXPECT_GT(telemetry.cv_generation_ms, 0.0);
+    EXPECT_GT(telemetry.fake_forward_ms, 0.0);
+    EXPECT_GT(telemetry.real_forward_ms, 0.0);
+    EXPECT_GT(telemetry.critic_backward_ms, 0.0);
+    EXPECT_GT(telemetry.generator_step_ms, 0.0);
+    EXPECT_GT(telemetry.shuffle_ms, 0.0);
+    EXPECT_GE(telemetry.total_ms,
+              telemetry.cv_generation_ms + telemetry.fake_forward_ms +
+                  telemetry.real_forward_ms + telemetry.generator_step_ms);
+    EXPECT_GT(telemetry.bytes_sent(), 0u);
+  });
+  EXPECT_EQ(callbacks, 3u);
+  ASSERT_EQ(trainer.telemetry().size(), 3u);
+
+  // The per-round link deltas are exact: summed over the run they
+  // reproduce the TrafficMeter's totals, link by link.
+  const obs::RoundTelemetry sum = trainer.telemetry_snapshot();
+  EXPECT_EQ(sum.round, 3u);
+  EXPECT_EQ(sum.bytes_sent(), trainer.traffic().total().bytes);
+  EXPECT_EQ(sum.messages_sent(), trainer.traffic().total().messages);
+  for (const auto& link : sum.links) {
+    EXPECT_EQ(link.bytes, trainer.traffic().stats(link.link).bytes) << link.link;
+    EXPECT_EQ(link.messages, trainer.traffic().stats(link.link).messages) << link.link;
+  }
+
+  const std::string json = trainer.telemetry_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"round\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"link\":\"client0->server\""), std::string::npos);
+}
+
 class PartitionParamTest : public ::testing::TestWithParam<PartitionSpec> {};
 
 TEST_P(PartitionParamTest, TrainsAndSamplesUnderEveryPartition) {

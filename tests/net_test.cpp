@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace gtv::net {
 namespace {
 
@@ -66,6 +68,37 @@ TEST(TrafficMeterTest, ResetClears) {
   meter.reset();
   EXPECT_EQ(meter.total().bytes, 0u);
   EXPECT_TRUE(meter.all().empty());
+}
+
+TEST(TrafficMeterTest, PublishesPerLinkCountersToRegistry) {
+  auto& registry = obs::MetricsRegistry::instance();
+  // The registry counters are cumulative across meters, so assert deltas.
+  const auto bytes_before = registry.counter("net.meter-test->peer.bytes").value();
+  const auto msgs_before = registry.counter("net.meter-test->peer.messages").value();
+
+  TrafficMeter meter;
+  Tensor t(4, 8);
+  meter.transfer("meter-test->peer", t);
+  meter.transfer("meter-test->peer", std::vector<std::size_t>{1, 2, 3});
+
+  const auto& local = meter.stats("meter-test->peer");
+  EXPECT_EQ(registry.counter("net.meter-test->peer.bytes").value() - bytes_before,
+            local.bytes);
+  EXPECT_EQ(registry.counter("net.meter-test->peer.messages").value() - msgs_before,
+            local.messages);
+}
+
+TEST(TrafficMeterTest, RegistryCountersSurviveMeterReset) {
+  auto& registry = obs::MetricsRegistry::instance();
+  const auto before = registry.counter("net.reset-test->peer.bytes").value();
+  TrafficMeter meter;
+  meter.transfer("reset-test->peer", Tensor(2, 2));
+  const auto charged = meter.stats("reset-test->peer").bytes;
+  meter.reset();
+  meter.transfer("reset-test->peer", Tensor(2, 2));
+  // Local stats rewound; the registry keeps the cumulative total.
+  EXPECT_EQ(meter.stats("reset-test->peer").bytes, charged);
+  EXPECT_EQ(registry.counter("net.reset-test->peer.bytes").value() - before, 2 * charged);
 }
 
 }  // namespace

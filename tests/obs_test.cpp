@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "tensor/thread_pool.h"
+
+namespace gtv::obs {
+namespace {
+
+// Restores the timing switch so tests cannot leak state into each other.
+class TimingGuard {
+ public:
+  TimingGuard() : was_(timing_enabled()) {}
+  ~TimingGuard() { set_timing_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(HistogramTest, ExactPercentilesOnKnownDistribution) {
+  // Bounds 1..100, samples 1..100: every sample sits exactly on its bucket's
+  // upper bound, so interpolated percentiles are exact.
+  std::vector<double> bounds(100);
+  for (std::size_t i = 0; i < 100; ++i) bounds[i] = static_cast<double>(i + 1);
+  Histogram h(bounds);
+  for (int v = 100; v >= 1; --v) h.record(v);
+
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(90), 90.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);  // clamped to rank 1
+}
+
+TEST(HistogramTest, OverflowBucketReportsMax) {
+  Histogram h({1.0, 2.0});
+  h.record(0.5);
+  h.record(1.5);
+  h.record(77.0);  // above the last bound
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(h.percentile(99), 77.0);
+}
+
+TEST(HistogramTest, InterpolatesWithinBucket) {
+  Histogram h({10.0});
+  for (int i = 0; i < 4; ++i) h.record(3.0);
+  // All four samples in (0, 10]; rank 2 of 4 interpolates to 10 * 2/4.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(RegistryTest, HandlesAreStableAndNamed) {
+  auto& registry = MetricsRegistry::instance();
+  Counter& a = registry.counter("obs_test.stable");
+  a.add(7);
+  EXPECT_EQ(&registry.counter("obs_test.stable"), &a);
+  EXPECT_EQ(registry.counter("obs_test.stable").value(), 7u);
+  Histogram& h = registry.histogram("obs_test.hist", {1.0, 2.0});
+  EXPECT_EQ(h.bounds().size(), 2u);
+  // Second lookup ignores the (different) bounds argument.
+  EXPECT_EQ(&registry.histogram("obs_test.hist", {5.0}), &h);
+}
+
+TEST(RegistryTest, ToJsonContainsRegisteredMetrics) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("obs_test.json_counter").add(3);
+  registry.gauge("obs_test.json_gauge").set(1.25);
+  registry.histogram("obs_test.json_hist").record(0.5);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"obs_test.json_counter\":"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json_gauge\":"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json_hist\":{\"count\":"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(RegistryTest, ThreadSafeUnderParallelForHammering) {
+  auto& registry = MetricsRegistry::instance();
+  Counter& c = registry.counter("obs_test.hammer_counter");
+  Histogram& h = registry.histogram("obs_test.hammer_hist", {0.5, 1.5, 2.5});
+  c.reset();
+  h.reset();
+  constexpr std::size_t kN = 100000;
+  gtv::parallel_for(kN, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      c.add();
+      h.record(static_cast<double>(i % 3));
+      // Registration from multiple threads must also be safe.
+      registry.counter("obs_test.hammer_counter2").add();
+    }
+  });
+  EXPECT_EQ(c.value(), kN);
+  EXPECT_EQ(registry.counter("obs_test.hammer_counter2").value(), kN);
+  EXPECT_EQ(h.count(), kN);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0] + buckets[1] + buckets[2] + buckets[3], kN);
+  EXPECT_EQ(buckets[3], 0u);
+}
+
+TEST(ScopedTimerTest, MeasuresElapsedMonotonically) {
+  TimingGuard guard;
+  set_timing_enabled(true);
+  double first_ms = 0, second_ms = 0, outer_ms = 0;
+  {
+    ScopedTimer outer("obs_test.outer", nullptr, &outer_ms);
+    {
+      ScopedTimer t("obs_test.first", nullptr, &first_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    {
+      ScopedTimer t("obs_test.second", nullptr, &second_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_GE(first_ms, 4.0);  // sleep_for guarantees at-least semantics
+  EXPECT_GT(second_ms, 0.0);
+  // The enclosing span covers both nested spans: durations nest monotonically.
+  EXPECT_GE(outer_ms, first_ms + second_ms);
+}
+
+TEST(ScopedTimerTest, AccumulatesAcrossScopes) {
+  double total_ms = 0;
+  for (int i = 0; i < 3; ++i) {
+    ScopedTimer t("obs_test.accumulate", nullptr, &total_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(total_ms, 2.0);
+}
+
+TEST(ScopedTimerTest, DisabledModeIsNoOp) {
+  TimingGuard guard;
+  set_timing_enabled(false);
+  ASSERT_FALSE(TraceSink::instance().active());
+  Histogram& h = MetricsRegistry::instance().histogram("obs_test.noop_hist");
+  h.reset();
+  {
+    ScopedTimer t("obs_test.noop", &h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(h.count(), 0u);  // never recorded: the timer stayed disarmed
+
+  // `always` overrides the gate even while timing is disabled.
+  {
+    ScopedTimer t("obs_test.noop", &h, nullptr, /*always=*/true);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(TraceSinkTest, WritesParseableJsonlSpans) {
+  const std::string path = ::testing::TempDir() + "obs_trace_test.jsonl";
+  TraceSink& sink = TraceSink::instance();
+  sink.open(path);
+  ASSERT_TRUE(sink.active());
+  {
+    ScopedTimer t("span_a");
+    ScopedTimer u("span \"b\"\\");  // exercises escaping
+  }
+  sink.close();
+  ASSERT_FALSE(sink.active());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_a = false, saw_b = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(line.find("\"ts\":"), std::string::npos);
+    EXPECT_NE(line.find("\"dur\":"), std::string::npos);
+    EXPECT_NE(line.find("\"tid\":"), std::string::npos);
+    if (line.find("\"name\":\"span_a\"") != std::string::npos) saw_a = true;
+    if (line.find("\"name\":\"span \\\"b\\\"\\\\\"") != std::string::npos) saw_b = true;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryTest, JsonAndAggregation) {
+  RoundTelemetry a;
+  a.round = 0;
+  a.total_ms = 10.0;
+  a.fake_forward_ms = 4.0;
+  a.d_loss = 2.0f;
+  a.links = {{"client0->server", 100, 2}, {"server->client0", 50, 1}};
+  RoundTelemetry b;
+  b.round = 1;
+  b.total_ms = 20.0;
+  b.fake_forward_ms = 6.0;
+  b.d_loss = 4.0f;
+  b.links = {{"client0->server", 10, 1}};
+
+  EXPECT_EQ(a.bytes_sent(), 150u);
+  EXPECT_EQ(a.messages_sent(), 3u);
+
+  const RoundTelemetry sum = aggregate({a, b});
+  EXPECT_EQ(sum.round, 2u);
+  EXPECT_DOUBLE_EQ(sum.total_ms, 30.0);
+  EXPECT_DOUBLE_EQ(sum.fake_forward_ms, 10.0);
+  EXPECT_FLOAT_EQ(sum.d_loss, 3.0f);  // losses are averaged
+  EXPECT_EQ(sum.bytes_sent(), 160u);
+  ASSERT_EQ(sum.links.size(), 2u);
+  EXPECT_EQ(sum.links[0].link, "client0->server");
+  EXPECT_EQ(sum.links[0].bytes, 110u);
+
+  const std::string json = a.to_json();
+  EXPECT_NE(json.find("\"phases_ms\":{\"total\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"link\":\"client0->server\",\"bytes\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_sent\":150"), std::string::npos);
+  const std::string arr = telemetry_to_json({a, b});
+  EXPECT_EQ(arr.front(), '[');
+  EXPECT_EQ(arr.back(), ']');
+  EXPECT_NE(arr.find("},{"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace gtv::obs
