@@ -9,7 +9,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace gtv::bench {
 
@@ -204,6 +206,14 @@ void write_csv(const std::string& out_dir, const std::string& file,
   // Every figure records the phase/traffic breakdown it was produced under.
   const std::string stem = file.substr(0, file.find_last_of('.'));
   write_telemetry_json(out_dir, stem + ".telemetry.json");
+  if (obs::profiling_enabled()) {
+    std::ofstream prof(out_dir + "/" + stem + ".profile.json");
+    if (!prof) {
+      throw std::runtime_error("write_csv: cannot open " + out_dir + "/" + stem +
+                               ".profile.json");
+    }
+    prof << obs::Profiler::instance().to_json() << "\n";
+  }
 }
 
 void write_telemetry_json(const std::string& out_dir, const std::string& file) {
@@ -212,7 +222,12 @@ void write_telemetry_json(const std::string& out_dir, const std::string& file) {
   if (!out) {
     throw std::runtime_error("write_telemetry_json: cannot open " + out_dir + "/" + file);
   }
-  out << obs::MetricsRegistry::instance().to_json() << "\n";
+  obs::publish_memory_gauges();
+  const obs::MemStats mem = obs::memory_stats();
+  out << "{\"schema_version\":2,\"memory\":{\"live_bytes\":" << mem.live_bytes
+      << ",\"peak_bytes\":" << mem.peak_bytes << ",\"alloc_count\":" << mem.alloc_count
+      << ",\"free_count\":" << mem.free_count
+      << "},\"metrics\":" << obs::MetricsRegistry::instance().to_json() << "}\n";
 }
 
 void parallel_tasks(std::vector<std::function<void()>> tasks) {

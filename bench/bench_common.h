@@ -17,9 +17,13 @@
 //   GTV_METRICS=1      enable clock-sampling instrumentation (per-call
 //                      client/server forward/backward histograms,
 //                      thread-pool busy/idle accounting)
-// Every write_csv() also drops a `<name>.telemetry.json` snapshot of the
-// process-wide MetricsRegistry (phase-duration percentiles + per-link
-// traffic) next to the CSV, so each figure records its phase breakdown.
+//   GTV_PROFILE=1      enable the op-level autograd profiler
+// Every write_csv() also drops a `<name>.telemetry.json` snapshot next to
+// the CSV: a schema_version-stamped envelope holding the tensor-memory
+// ledger plus the process-wide MetricsRegistry (phase-duration percentiles
+// + per-link traffic), so each figure records its phase breakdown. Under
+// GTV_PROFILE=1 a `<name>.profile.json` per-op table is written as well;
+// merge the artefacts with tools/gtv-prof.
 #pragma once
 
 #include <functional>
@@ -119,8 +123,10 @@ void write_csv(const std::string& out_dir, const std::string& file,
                const std::vector<std::string>& header,
                const std::vector<std::vector<std::string>>& rows);
 
-// Writes the process-wide MetricsRegistry snapshot (counters, gauges,
-// phase-duration histograms) as one JSON object to <out_dir>/<file>.
+// Writes one JSON object to <out_dir>/<file>:
+//   {"schema_version":2,"memory":{<tensor ledger>},"metrics":{<registry>}}
+// where metrics is the process-wide MetricsRegistry snapshot (counters,
+// gauges, phase-duration histograms).
 void write_telemetry_json(const std::string& out_dir, const std::string& file);
 
 // Runs the tasks on up to GTV_BENCH_PARALLEL threads (default: half the

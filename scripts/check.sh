@@ -4,8 +4,10 @@
 #   scripts/check.sh [build-dir]
 #
 # 1. configure + build + ctest (the repo's tier-1 gate)
-# 2. one small benchmark run with GTV_TRACE enabled
-# 3. assert the trace parses as JSONL and the telemetry.json exists
+# 2. one small benchmark run with GTV_TRACE + GTV_PROFILE enabled
+# 3. assert the trace parses as JSONL with party rows + send/recv flow
+#    pairs, the telemetry/profile JSON exist and carry schema_version,
+#    and gtv-prof merges all three artefacts
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,32 +22,58 @@ SMOKE_OUT="$(mktemp -d)"
 TRACE="$SMOKE_OUT/trace.jsonl"
 trap 'rm -rf "$SMOKE_OUT"' EXIT
 
-GTV_TRACE="$TRACE" GTV_BENCH_ROWS=80 GTV_BENCH_ROUNDS=3 GTV_BENCH_DATASETS=loan \
-  GTV_BENCH_OUT="$SMOKE_OUT" "$BUILD_DIR/bench/comm_overhead"
+GTV_TRACE="$TRACE" GTV_PROFILE=1 GTV_BENCH_ROWS=80 GTV_BENCH_ROUNDS=3 \
+  GTV_BENCH_DATASETS=loan GTV_BENCH_OUT="$SMOKE_OUT" "$BUILD_DIR/bench/comm_overhead"
 
 [ -s "$TRACE" ] || { echo "FAIL: $TRACE is empty"; exit 1; }
 ls "$SMOKE_OUT"/*.telemetry.json > /dev/null 2>&1 \
   || { echo "FAIL: no telemetry.json next to the bench CSV"; exit 1; }
+ls "$SMOKE_OUT"/*.profile.json > /dev/null 2>&1 \
+  || { echo "FAIL: no profile.json despite GTV_PROFILE=1"; exit 1; }
+grep -q '"schema_version"' "$SMOKE_OUT"/*.telemetry.json \
+  || { echo "FAIL: telemetry.json missing schema_version"; exit 1; }
+grep -q '"schema_version"' "$SMOKE_OUT"/*.profile.json \
+  || { echo "FAIL: profile.json missing schema_version"; exit 1; }
 
-# Every line must be one JSON object with the Chrome trace-event fields.
-awk '!/^\{.*"ph":"X".*"ts":.*"dur":.*"tid":.*\}$/ { bad = 1; print "bad line " NR ": " $0 }
+# Every line must be one JSON object with the Chrome trace-event fields:
+# complete spans (ph:"X"), flow events (ph:"s"/"f"), process metadata (ph:"M").
+awk '!/^\{.*"ph":"X".*"ts":.*"dur":.*"tid":.*\}$/ \
+     && !/^\{.*"ph":"[sf]".*"id":.*"ts":.*"pid":.*\}$/ \
+     && !/^\{.*"ph":"M".*"pid":.*\}$/ { bad = 1; print "bad line " NR ": " $0 }
      END { exit bad }' "$TRACE"
 
 if command -v python3 > /dev/null 2>&1; then
   python3 - "$TRACE" <<'EOF'
 import json, sys
-names = set()
+names, span_pids, starts, finishes = set(), set(), {}, {}
 with open(sys.argv[1]) as f:
     for n, line in enumerate(f, 1):
         rec = json.loads(line)
-        assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(rec), f"line {n}: {rec}"
-        names.add(rec["name"])
+        if rec["ph"] == "X":
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(rec), f"line {n}: {rec}"
+            names.add(rec["name"])
+            span_pids.add(rec["pid"])
+        elif rec["ph"] in ("s", "f"):
+            (starts if rec["ph"] == "s" else finishes)[rec["id"]] = rec["pid"]
 phases = {"cv_generation", "fake_forward", "real_forward", "critic_backward",
           "generator_step", "round"}
 missing = phases - names
 assert not missing, f"trace is missing phases: {missing}"
-print(f"trace OK: {n} events, {len(names)} distinct span names")
+assert len(span_pids) >= 3, f"expected >=3 party rows (server/clients/driver): {span_pids}"
+assert starts and set(starts) == set(finishes), "unpaired flow ids"
+crossing = sum(1 for i, pid in starts.items() if finishes[i] != pid)
+assert crossing > 0, "no flow crosses parties"
+print(f"trace OK: {n} events, {len(names)} span names, "
+      f"{len(span_pids)} party rows, {len(starts)} flow pairs ({crossing} cross-party)")
 EOF
 fi
+
+# gtv-prof must merge all three artefacts without error.
+"$BUILD_DIR/tools/gtv-prof" \
+  --profile "$SMOKE_OUT"/comm_overhead.profile.json \
+  --telemetry "$SMOKE_OUT"/comm_overhead.telemetry.json \
+  --trace "$TRACE" > "$SMOKE_OUT/prof_report.txt"
+grep -q "== coverage ==" "$SMOKE_OUT/prof_report.txt" \
+  || { echo "FAIL: gtv-prof produced no coverage section"; exit 1; }
 
 echo "check.sh: all green"

@@ -1,5 +1,7 @@
 #include "autograd/autograd.h"
 
+#include "obs/profiler.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -16,6 +18,12 @@ using detail::Node;
 
 Var make_op(Tensor value, std::vector<Var> parents, const char* op,
             std::function<std::vector<Var>(const Var&)> backward_fn) {
+  if (obs::profiling_enabled()) {
+    // Operand + result bytes, charged to the calling op's open scope.
+    std::uint64_t elems = value.size();
+    for (const auto& p : parents) elems += p.value().size();
+    obs::OpScope::charge_bytes(elems * sizeof(float));
+  }
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
   bool needs_grad = false;
@@ -147,6 +155,7 @@ std::unordered_map<Node*, Var> propagate(const Var& root, bool create_graph,
     seed = Var(Tensor::ones(1, 1));
   }
 
+  obs::OpScope prof("autograd.backward");
   std::vector<Node*> order = topo_order(root_node);
   std::unordered_map<Node*, Var> grads;
   grads.emplace(root_node, seed);
@@ -158,7 +167,14 @@ std::unordered_map<Node*, Var> propagate(const Var& root, bool create_graph,
     if (found == grads.end()) continue;  // unreachable from root
     if (!node->backward) continue;       // leaf
     const Var upstream = found->second;
-    std::vector<Var> contribs = node->backward(upstream);
+    std::vector<Var> contribs;
+    {
+      // Charged as "<op>.bwd" so each op's backward shares its forward's
+      // label space in the profile; ops invoked inside the closure nest as
+      // children and keep self times disjoint.
+      obs::OpScope bwd(node->op, ".bwd");
+      contribs = node->backward(upstream);
+    }
     if (contribs.size() != node->parents.size()) {
       throw std::logic_error(std::string("autograd: op '") + node->op +
                              "' backward returned wrong arity");
@@ -212,6 +228,7 @@ Var constant(Tensor value) { return Var(std::move(value), /*requires_grad=*/fals
 Var stop_gradient(const Var& a) { return constant(a.value()); }
 
 Var add(const Var& a, const Var& b) {
+  obs::OpScope prof("add");
   Tensor v = a.value() + b.value();
   const auto ar = a.rows(), ac = a.cols(), br = b.rows(), bc = b.cols();
   return make_op(std::move(v), {a, b}, "add", [ar, ac, br, bc](const Var& g) {
@@ -220,6 +237,7 @@ Var add(const Var& a, const Var& b) {
 }
 
 Var sub(const Var& a, const Var& b) {
+  obs::OpScope prof("sub");
   Tensor v = a.value() - b.value();
   const auto ar = a.rows(), ac = a.cols(), br = b.rows(), bc = b.cols();
   return make_op(std::move(v), {a, b}, "sub", [ar, ac, br, bc](const Var& g) {
@@ -228,6 +246,7 @@ Var sub(const Var& a, const Var& b) {
 }
 
 Var mul(const Var& a, const Var& b) {
+  obs::OpScope prof("mul");
   Tensor v = a.value() * b.value();
   return make_op(std::move(v), {a, b}, "mul", [a, b](const Var& g) {
     return std::vector<Var>{sum_to(mul(g, b), a.rows(), a.cols()),
@@ -236,6 +255,7 @@ Var mul(const Var& a, const Var& b) {
 }
 
 Var div(const Var& a, const Var& b) {
+  obs::OpScope prof("div");
   Tensor v = a.value() / b.value();
   return make_op(std::move(v), {a, b}, "div", [a, b](const Var& g) {
     Var ga = div(g, b);
@@ -245,21 +265,25 @@ Var div(const Var& a, const Var& b) {
 }
 
 Var neg(const Var& a) {
+  obs::OpScope prof("neg");
   return make_op(-a.value(), {a}, "neg",
                  [](const Var& g) { return std::vector<Var>{neg(g)}; });
 }
 
 Var add_scalar(const Var& a, float s) {
+  obs::OpScope prof("add_scalar");
   return make_op(a.value().add_scalar(s), {a}, "add_scalar",
                  [](const Var& g) { return std::vector<Var>{g}; });
 }
 
 Var mul_scalar(const Var& a, float s) {
+  obs::OpScope prof("mul_scalar");
   return make_op(a.value().mul_scalar(s), {a}, "mul_scalar",
                  [s](const Var& g) { return std::vector<Var>{mul_scalar(g, s)}; });
 }
 
 Var matmul(const Var& a, const Var& b) {
+  obs::OpScope prof("matmul");
   Tensor v = a.value().matmul(b.value());
   return make_op(std::move(v), {a, b}, "matmul", [a, b](const Var& g) {
     return std::vector<Var>{matmul(g, transpose(b)), matmul(transpose(a), g)};
@@ -267,11 +291,13 @@ Var matmul(const Var& a, const Var& b) {
 }
 
 Var transpose(const Var& a) {
+  obs::OpScope prof("transpose");
   return make_op(a.value().transpose(), {a}, "transpose",
                  [](const Var& g) { return std::vector<Var>{transpose(g)}; });
 }
 
 Var exp(const Var& a) {
+  obs::OpScope prof("exp");
   Tensor v = a.value().map([](float x) { return std::exp(x); });
   return make_op(std::move(v), {a}, "exp", [a](const Var& g) {
     return std::vector<Var>{mul(g, exp(a))};
@@ -279,6 +305,7 @@ Var exp(const Var& a) {
 }
 
 Var log(const Var& a) {
+  obs::OpScope prof("log");
   Tensor v = a.value().map([](float x) { return std::log(x); });
   return make_op(std::move(v), {a}, "log", [a](const Var& g) {
     return std::vector<Var>{div(g, a)};
@@ -286,6 +313,7 @@ Var log(const Var& a) {
 }
 
 Var sqrt(const Var& a) {
+  obs::OpScope prof("sqrt");
   Tensor v = a.value().map([](float x) { return std::sqrt(x); });
   return make_op(std::move(v), {a}, "sqrt", [a](const Var& g) {
     return std::vector<Var>{div(mul_scalar(g, 0.5f), sqrt(a))};
@@ -293,6 +321,7 @@ Var sqrt(const Var& a) {
 }
 
 Var square(const Var& a) {
+  obs::OpScope prof("square");
   Tensor v = a.value().map([](float x) { return x * x; });
   return make_op(std::move(v), {a}, "square", [a](const Var& g) {
     return std::vector<Var>{mul(mul_scalar(g, 2.0f), a)};
@@ -300,6 +329,7 @@ Var square(const Var& a) {
 }
 
 Var tanh(const Var& a) {
+  obs::OpScope prof("tanh");
   Tensor v = a.value().map([](float x) { return std::tanh(x); });
   return make_op(std::move(v), {a}, "tanh", [a](const Var& g) {
     Var t = tanh(a);
@@ -308,6 +338,7 @@ Var tanh(const Var& a) {
 }
 
 Var sigmoid(const Var& a) {
+  obs::OpScope prof("sigmoid");
   Tensor v = a.value().map([](float x) { return 1.0f / (1.0f + std::exp(-x)); });
   return make_op(std::move(v), {a}, "sigmoid", [a](const Var& g) {
     Var s = sigmoid(a);
@@ -318,6 +349,7 @@ Var sigmoid(const Var& a) {
 Var relu(const Var& a) { return leaky_relu(a, 0.0f); }
 
 Var leaky_relu(const Var& a, float negative_slope) {
+  obs::OpScope prof("leaky_relu");
   Tensor v = a.value().map(
       [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; });
   // The mask is constant w.r.t. differentiation (d2/dx2 of leaky-relu is 0
@@ -331,6 +363,7 @@ Var leaky_relu(const Var& a, float negative_slope) {
 }
 
 Var sum_all(const Var& a) {
+  obs::OpScope prof("sum_all");
   const auto rows = a.rows(), cols = a.cols();
   return make_op(Tensor::scalar(a.value().sum()), {a}, "sum_all",
                  [rows, cols](const Var& g) {
@@ -339,6 +372,7 @@ Var sum_all(const Var& a) {
 }
 
 Var sum_rows(const Var& a) {
+  obs::OpScope prof("sum_rows");
   const auto rows = a.rows(), cols = a.cols();
   return make_op(a.value().sum_rows(), {a}, "sum_rows", [rows, cols](const Var& g) {
     return std::vector<Var>{broadcast_to(g, rows, cols)};
@@ -346,6 +380,7 @@ Var sum_rows(const Var& a) {
 }
 
 Var sum_cols(const Var& a) {
+  obs::OpScope prof("sum_cols");
   const auto rows = a.rows(), cols = a.cols();
   return make_op(a.value().sum_cols(), {a}, "sum_cols", [rows, cols](const Var& g) {
     return std::vector<Var>{broadcast_to(g, rows, cols)};
@@ -358,6 +393,7 @@ Var mean_all(const Var& a) {
 }
 
 Var broadcast_to(const Var& a, std::size_t rows, std::size_t cols) {
+  obs::OpScope prof("broadcast_to");
   const auto ar = a.rows(), ac = a.cols();
   if (ar == rows && ac == cols) return a;
   Tensor v;
@@ -381,6 +417,7 @@ Var broadcast_to(const Var& a, std::size_t rows, std::size_t cols) {
 }
 
 Var slice_cols(const Var& a, std::size_t c0, std::size_t c1) {
+  obs::OpScope prof("slice_cols");
   const std::size_t total = a.cols();
   return make_op(a.value().slice_cols(c0, c1), {a}, "slice_cols",
                  [c0, c1, total](const Var& g) {
@@ -389,6 +426,7 @@ Var slice_cols(const Var& a, std::size_t c0, std::size_t c1) {
 }
 
 Var pad_cols(const Var& a, std::size_t left, std::size_t right) {
+  obs::OpScope prof("pad_cols");
   const std::size_t c0 = left, c1 = left + a.cols();
   return make_op(a.value().pad_cols(left, right), {a}, "pad_cols",
                  [c0, c1](const Var& g) {
@@ -399,6 +437,7 @@ Var pad_cols(const Var& a, std::size_t left, std::size_t right) {
 namespace {
 
 Var pad_rows(const Var& a, std::size_t top, std::size_t bottom) {
+  obs::OpScope prof("pad_rows");
   Tensor v(top + a.rows() + bottom, a.cols());
   const Tensor& src = a.value();
   for (std::size_t r = 0; r < src.rows(); ++r)
@@ -412,6 +451,7 @@ Var pad_rows(const Var& a, std::size_t top, std::size_t bottom) {
 }  // namespace
 
 Var slice_rows(const Var& a, std::size_t r0, std::size_t r1) {
+  obs::OpScope prof("slice_rows");
   const std::size_t total = a.rows();
   return make_op(a.value().slice_rows(r0, r1), {a}, "slice_rows",
                  [r0, r1, total](const Var& g) {
@@ -420,6 +460,7 @@ Var slice_rows(const Var& a, std::size_t r0, std::size_t r1) {
 }
 
 Var concat_cols(const std::vector<Var>& parts) {
+  obs::OpScope prof("concat_cols");
   if (parts.empty()) throw std::invalid_argument("autograd::concat_cols: empty");
   if (parts.size() == 1) return parts.front();
   std::vector<Tensor> values;
@@ -443,6 +484,7 @@ Var concat_cols(const std::vector<Var>& parts) {
 }
 
 Var concat_rows(const std::vector<Var>& parts) {
+  obs::OpScope prof("concat_rows");
   if (parts.empty()) throw std::invalid_argument("autograd::concat_rows: empty");
   if (parts.size() == 1) return parts.front();
   std::vector<Tensor> values;
@@ -480,6 +522,7 @@ Tensor row_max(const Tensor& t) {
 }  // namespace
 
 Var softmax_rows(const Var& a) {
+  obs::OpScope prof("softmax_rows");
   // Shifting by the (constant) row max is exact: softmax is shift-invariant.
   Var shifted = sub(a, constant(row_max(a.value())));
   Var e = exp(shifted);
@@ -488,12 +531,14 @@ Var softmax_rows(const Var& a) {
 }
 
 Var log_softmax_rows(const Var& a) {
+  obs::OpScope prof("log_softmax_rows");
   Var shifted = sub(a, constant(row_max(a.value())));
   Var s = sum_cols(exp(shifted));
   return sub(shifted, log(s));
 }
 
 Var row_norms(const Var& a, float epsilon) {
+  obs::OpScope prof("row_norms");
   return sqrt(add_scalar(sum_cols(square(a)), epsilon));
 }
 

@@ -64,6 +64,7 @@ Var GtvClient::run_generator_bottom(const Var& slice_in, Var* raw_logits) {
 }
 
 Tensor GtvClient::forward_fake(const Tensor& g_slice, bool train_generator) {
+  obs::PartyScope party(static_cast<int>(id_) + 1);
   static obs::Histogram& hist = client_histogram("forward_fake");
   obs::ScopedTimer timer("client.forward_fake", &hist);
   if (train_generator) {
@@ -93,6 +94,7 @@ Tensor GtvClient::forward_fake(const Tensor& g_slice, bool train_generator) {
 }
 
 Tensor GtvClient::backward_generator(const Tensor& grad_d_out) {
+  obs::PartyScope party(static_cast<int>(id_) + 1);
   static obs::Histogram& hist = client_histogram("backward_generator");
   obs::ScopedTimer timer("client.backward_generator", &hist);
   if (!pending_generator_) {
@@ -111,6 +113,7 @@ Tensor GtvClient::backward_generator(const Tensor& grad_d_out) {
 }
 
 void GtvClient::backward_fake_discriminator(const Tensor& grad_d_out) {
+  obs::PartyScope party(static_cast<int>(id_) + 1);
   static obs::Histogram& hist = client_histogram("backward_fake_discriminator");
   obs::ScopedTimer timer("client.backward_fake_discriminator", &hist);
   if (!pending_fake_d_) {
@@ -122,6 +125,7 @@ void GtvClient::backward_fake_discriminator(const Tensor& grad_d_out) {
 }
 
 Tensor GtvClient::forward_real_all() {
+  obs::PartyScope party(static_cast<int>(id_) + 1);
   static obs::Histogram& hist = client_histogram("forward_real");
   obs::ScopedTimer timer("client.forward_real_all", &hist);
   if (pending_real_) {
@@ -132,6 +136,7 @@ Tensor GtvClient::forward_real_all() {
 }
 
 Tensor GtvClient::forward_real_selected(const std::vector<std::size_t>& idx) {
+  obs::PartyScope party(static_cast<int>(id_) + 1);
   static obs::Histogram& hist = client_histogram("forward_real");
   obs::ScopedTimer timer("client.forward_real_selected", &hist);
   if (pending_real_) {
@@ -142,6 +147,7 @@ Tensor GtvClient::forward_real_selected(const std::vector<std::size_t>& idx) {
 }
 
 void GtvClient::backward_real(const Tensor& grad_d_out) {
+  obs::PartyScope party(static_cast<int>(id_) + 1);
   static obs::Histogram& hist = client_histogram("backward_real");
   obs::ScopedTimer timer("client.backward_real", &hist);
   if (!pending_real_) {

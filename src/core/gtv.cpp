@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "gan/losses.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -70,6 +71,15 @@ GtvTrainer::GtvTrainer(std::vector<data::Table> client_tables, GtvOptions option
   }
   server_ = std::make_unique<GtvServer>(options_, std::move(infos), seeder.next_u64());
 
+  // Name the Perfetto rows up front (remembered even if the sink opens
+  // later): server = pid 0, client k = pid k + 1, trainer loop = driver.
+  obs::TraceSink& sink = obs::TraceSink::instance();
+  sink.declare_party(0, "server");
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    sink.declare_party(static_cast<int>(i) + 1, "client" + std::to_string(i));
+  }
+  sink.declare_party(obs::kDriverPid, "trainer");
+
   // Attack layout: global CV bit -> (joined-table column, category). The
   // paper argues the server can infer this structure from the one-hot
   // patterns; we hand it over for evaluation.
@@ -107,10 +117,12 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch, obs::RoundTelemetry&
   gan::RoundLosses losses;
   auto& phases = PhaseHistograms::get();
   std::optional<obs::ScopedTimer> span;
+  std::optional<obs::MemPeakScope> mem;
 
   // --- CVGeneration (Algorithm 1, step 4) ------------------------------------
   span.emplace("cv_generation", &phases.cv_generation, &telemetry.cv_generation_ms,
                /*always=*/true);
+  mem.emplace(&telemetry.mem_peak_bytes.cv_generation);
   const bool p2p = options_.index_sharing == IndexSharing::kPeerToPeer;
   const std::size_t p = server_->select_cv_client();
   auto sample = clients_[p]->sample_cv(batch);
@@ -132,6 +144,7 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch, obs::RoundTelemetry&
   }
   const Tensor global_cv = server_->assemble_global_cv(p, cv_p, batch);
   if (!p2p) attack_.observe(idx, global_cv);  // semi-honest server curiosity
+  mem.reset();
   span.reset();
 
   server_->zero_grad_discriminator();
@@ -140,6 +153,7 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch, obs::RoundTelemetry&
   // --- fake path (steps 5-8): G frozen, D^b graphs retained per client -------
   span.emplace("fake_forward", &phases.fake_forward, &telemetry.fake_forward_ms,
                /*always=*/true);
+  mem.emplace(&telemetry.mem_peak_bytes.fake_forward);
   const auto slices = server_->generator_forward(global_cv, /*retain_graph=*/false);
   std::vector<Var> fake_vars;
   fake_vars.reserve(n);
@@ -149,11 +163,13 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch, obs::RoundTelemetry&
         meter_.transfer(link_up(i), privatize(clients_[i]->forward_fake(slice, false)));
     fake_vars.emplace_back(d_out, /*requires_grad=*/true);
   }
+  mem.reset();
   span.reset();
 
   // --- real path (steps 9-15) --------------------------------------------------
   span.emplace("real_forward", &phases.real_forward, &telemetry.real_forward_ms,
                /*always=*/true);
+  mem.emplace(&telemetry.mem_peak_bytes.real_forward);
   std::vector<Var> real_vars;
   real_vars.reserve(n);
   std::vector<std::size_t> real_full_rows(n, 0);  // rows each client forwarded
@@ -174,11 +190,13 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch, obs::RoundTelemetry&
       real_vars.emplace_back(d_out_full.gather_rows(idx), /*requires_grad=*/true);
     }
   }
+  mem.reset();
   span.reset();
 
   // --- top loss (step 16) -----------------------------------------------------------
   obs::ScopedTimer backward_span("critic_backward", &phases.critic_backward,
                                  &telemetry.critic_backward_ms, /*always=*/true);
+  obs::MemPeakScope backward_mem(&telemetry.mem_peak_bytes.critic_backward);
   Var cv_var = ag::constant(global_cv);
   Var d_fake = server_->critic_top(fake_vars, cv_var);
   Var d_real = server_->critic_top(real_vars, cv_var);
@@ -187,6 +205,7 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch, obs::RoundTelemetry&
   Var gp;
   span.emplace("gradient_penalty", &phases.gradient_penalty,
                &telemetry.gradient_penalty_ms, /*always=*/true);
+  mem.emplace(&telemetry.mem_peak_bytes.gradient_penalty);
   if (options_.gan.critic_mode == gan::CriticMode::kWeightClipping) {
     gp = ag::constant(Tensor::scalar(0.0f));
   } else if (options_.exact_gradient_penalty) {
@@ -234,6 +253,7 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch, obs::RoundTelemetry&
     gp = gan::gradient_penalty(critic_fn, Tensor::concat_cols(real_logits),
                                Tensor::concat_cols(fake_logits), server_->rng());
   }
+  mem.reset();
   span.reset();
 
   Var loss = ag::add(critic, ag::mul_scalar(gp, options_.gan.gp_lambda));
@@ -277,6 +297,7 @@ float GtvTrainer::generator_step(std::size_t batch, obs::RoundTelemetry& telemet
   const std::size_t n = clients_.size();
   obs::ScopedTimer span("generator_step", &PhaseHistograms::get().generator_step,
                         &telemetry.generator_step_ms, /*always=*/true);
+  obs::MemPeakScope mem(&telemetry.mem_peak_bytes.generator_step);
 
   // CVGeneration (step 18). The index list is transferred for protocol
   // fidelity even though the generator update does not consume it (in the
@@ -331,6 +352,7 @@ gan::RoundLosses GtvTrainer::train_round() {
   {
     obs::ScopedTimer round_span("round", &PhaseHistograms::get().round,
                                 &telemetry.total_ms, /*always=*/true);
+    obs::MemPeakScope round_mem(&telemetry.mem_peak_bytes.total);
     for (std::size_t step = 0; step < options_.gan.d_steps_per_round; ++step) {
       losses = critic_step(batch, telemetry);
     }
@@ -340,10 +362,12 @@ gan::RoundLosses GtvTrainer::train_round() {
       // Step 23: all clients shuffle with the same secret per-round seed.
       obs::ScopedTimer shuffle_span("shuffle", &PhaseHistograms::get().shuffle,
                                     &telemetry.shuffle_ms, /*always=*/true);
+      obs::MemPeakScope shuffle_mem(&telemetry.mem_peak_bytes.shuffle);
       const std::uint64_t round_seed = shuffle_stream_.next_u64();
       for (auto& client : clients_) client->shuffle_local_data(round_seed);
     }
   }
+  obs::publish_memory_gauges();
   telemetry.d_loss = losses.d_loss;
   telemetry.g_loss = losses.g_loss;
   telemetry.gp = losses.gp;

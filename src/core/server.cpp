@@ -73,6 +73,7 @@ Tensor GtvServer::assemble_global_cv(std::size_t p, const Tensor& cv_p,
 }
 
 std::vector<Tensor> GtvServer::generator_forward(const Tensor& global_cv, bool retain_graph) {
+  obs::PartyScope party(0);
   static obs::Histogram& hist = server_histogram("generator_forward");
   obs::ScopedTimer timer("server.generator_forward", &hist);
   if (pending_slices_) {
@@ -107,6 +108,7 @@ std::vector<Tensor> GtvServer::generator_forward(const Tensor& global_cv, bool r
 }
 
 void GtvServer::generator_backward(const std::vector<Tensor>& slice_grads) {
+  obs::PartyScope party(0);
   static obs::Histogram& hist = server_histogram("generator_backward");
   obs::ScopedTimer timer("server.generator_backward", &hist);
   if (!pending_slices_) {
@@ -123,6 +125,7 @@ void GtvServer::generator_backward(const std::vector<Tensor>& slice_grads) {
 }
 
 Var GtvServer::critic_top(const std::vector<Var>& client_logits, const Var& global_cv) {
+  obs::PartyScope party(0);
   static obs::Histogram& hist = server_histogram("critic_top");
   obs::ScopedTimer timer("server.critic_top", &hist);
   if (client_logits.size() != clients_.size()) {

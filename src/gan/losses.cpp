@@ -1,5 +1,7 @@
 #include "gan/losses.h"
 
+#include "obs/profiler.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -7,6 +9,7 @@
 namespace gtv::gan {
 
 Var gumbel_softmax(const Var& logits, float tau, Rng& rng) {
+  obs::OpScope prof("gan.gumbel_softmax");
   if (tau <= 0.0f) throw std::invalid_argument("gumbel_softmax: tau must be positive");
   Tensor noise(logits.rows(), logits.cols());
   for (std::size_t r = 0; r < noise.rows(); ++r) {
@@ -63,6 +66,7 @@ Var conditional_loss(const Var& logits, const Tensor& target_mask,
 
 Var gradient_penalty(const std::function<Var(const Var&)>& critic, const Tensor& real_input,
                      const Tensor& fake_input, Rng& rng) {
+  obs::OpScope prof("gan.gradient_penalty");
   if (!real_input.same_shape(fake_input)) {
     throw std::invalid_argument("gradient_penalty: real/fake shape mismatch " +
                                 real_input.shape_str() + " vs " + fake_input.shape_str());

@@ -1,9 +1,12 @@
 #include "net/wire.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gtv::net {
 
@@ -26,6 +29,21 @@ T read(const std::vector<std::uint8_t>& bytes, std::size_t& offset) {
   return value;
 }
 
+// Trace pid for a link endpoint name: "server" = 0, "clientK" = K + 1.
+// Unrecognised endpoints land on the driver row.
+int endpoint_pid(const std::string& endpoint) {
+  if (endpoint == "server") return 0;
+  if (endpoint.rfind("client", 0) == 0) {
+    const char* digits = endpoint.c_str() + 6;
+    if (digits[0] != '\0') {
+      char* end = nullptr;
+      const long k = std::strtol(digits, &end, 10);
+      if (end != nullptr && *end == '\0' && k >= 0) return static_cast<int>(k) + 1;
+    }
+  }
+  return obs::kDriverPid;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> serialize_tensor(const Tensor& t) {
@@ -45,7 +63,7 @@ Tensor deserialize_tensor(const std::vector<std::uint8_t>& bytes) {
   if (bytes.size() != offset + rows * cols * sizeof(float)) {
     throw std::runtime_error("wire: tensor payload size mismatch");
   }
-  std::vector<float> values(rows * cols);
+  FloatVec values(rows * cols);
   std::memcpy(values.data(), bytes.data() + offset, values.size() * sizeof(float));
   return Tensor(rows, cols, std::move(values));
 }
@@ -83,17 +101,68 @@ void TrafficMeter::charge(const std::string& link, std::size_t bytes) {
   counters.messages->add();
 }
 
+const TrafficMeter::FlowInfo& TrafficMeter::flow_info(const std::string& link) {
+  auto it = flows_.find(link);
+  if (it != flows_.end()) return it->second;
+  FlowInfo info;
+  const std::size_t arrow = link.find("->");
+  if (arrow != std::string::npos) {
+    info.from_pid = endpoint_pid(link.substr(0, arrow));
+    info.to_pid = endpoint_pid(link.substr(arrow + 2));
+  } else {
+    info.from_pid = info.to_pid = obs::kDriverPid;
+  }
+  info.send_label = "send " + link;
+  info.recv_label = "recv " + link;
+  return flows_.emplace(link, std::move(info)).first->second;
+}
+
+void TrafficMeter::emit_transfer_trace(const FlowInfo& info, std::uint64_t flow_id,
+                                       std::uint64_t t0, std::uint64_t t1,
+                                       std::uint64_t t2) {
+  obs::TraceSink& sink = obs::TraceSink::instance();
+  // Give zero-length spans 1us so viewers render a slice the flow arrow can
+  // anchor to; the flow timestamps sit at the spans' starts so "s" precedes
+  // "f" and each lands inside its slice.
+  {
+    obs::PartyScope sender(info.from_pid);
+    sink.emit_complete(info.send_label.c_str(), t0, std::max<std::uint64_t>(1, t1 - t0));
+  }
+  sink.emit_flow(info.send_label.c_str(), flow_id, 's', info.from_pid, t0);
+  {
+    obs::PartyScope receiver(info.to_pid);
+    sink.emit_complete(info.recv_label.c_str(), t1, std::max<std::uint64_t>(1, t2 - t1));
+  }
+  sink.emit_flow(info.recv_label.c_str(), flow_id, 'f', info.to_pid, t1);
+}
+
 Tensor TrafficMeter::transfer(const std::string& link, const Tensor& t) {
+  const bool traced = obs::TraceSink::instance().active();
+  std::uint64_t t0 = 0;
+  if (traced) t0 = obs::TraceSink::now_us();
   auto bytes = serialize_tensor(t);
   charge(link, bytes.size());
-  return deserialize_tensor(bytes);
+  if (!traced) return deserialize_tensor(bytes);
+  const std::uint64_t t1 = obs::TraceSink::now_us();
+  Tensor out = deserialize_tensor(bytes);
+  const std::uint64_t t2 = obs::TraceSink::now_us();
+  emit_transfer_trace(flow_info(link), obs::TraceSink::next_flow_id(), t0, t1, t2);
+  return out;
 }
 
 std::vector<std::size_t> TrafficMeter::transfer(const std::string& link,
                                                 const std::vector<std::size_t>& indices) {
+  const bool traced = obs::TraceSink::instance().active();
+  std::uint64_t t0 = 0;
+  if (traced) t0 = obs::TraceSink::now_us();
   auto bytes = serialize_indices(indices);
   charge(link, bytes.size());
-  return deserialize_indices(bytes);
+  if (!traced) return deserialize_indices(bytes);
+  const std::uint64_t t1 = obs::TraceSink::now_us();
+  auto out = deserialize_indices(bytes);
+  const std::uint64_t t2 = obs::TraceSink::now_us();
+  emit_transfer_trace(flow_info(link), obs::TraceSink::next_flow_id(), t0, t1, t2);
+  return out;
 }
 
 const LinkStats& TrafficMeter::stats(const std::string& link) const {

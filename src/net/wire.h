@@ -39,6 +39,14 @@ struct LinkStats {
 // `net.<link>.messages` counters (cumulative across meters; reset() does
 // not rewind them), so traffic lands in the same report as the timing
 // instrumentation.
+//
+// When a trace sink is active, each transfer additionally emits a
+// "send <link>" span on the sending party's trace row, a "recv <link>"
+// span on the receiving party's row, and a flow-event pair (ph:"s"/"f")
+// carrying a fresh monotonic flow id, so Perfetto draws a causality arrow
+// across the party boundary. Party pids are parsed from the link name
+// ("server" = 0, "clientK" = K + 1) and cached per link alongside the
+// counter handles, so the traced hot path does no string building.
 class TrafficMeter {
  public:
   // Simulates sending `t` over `link`: serializes, counts, deserializes.
@@ -52,8 +60,20 @@ class TrafficMeter {
   void reset();
 
  private:
+  struct FlowInfo {
+    int from_pid = 0;
+    int to_pid = 0;
+    std::string send_label;  // "send <link>"
+    std::string recv_label;  // "recv <link>"
+  };
+
   // Charges `bytes` + one message to the link, locally and in the registry.
   void charge(const std::string& link, std::size_t bytes);
+  const FlowInfo& flow_info(const std::string& link);
+  // Emits the send/recv spans + flow pair for one transfer whose serialize
+  // phase was [t0, t1) and deserialize phase [t1, t2).
+  void emit_transfer_trace(const FlowInfo& info, std::uint64_t flow_id,
+                           std::uint64_t t0, std::uint64_t t1, std::uint64_t t2);
 
   struct LinkCounters {
     obs::Counter* bytes = nullptr;
@@ -61,6 +81,7 @@ class TrafficMeter {
   };
   std::map<std::string, LinkStats> links_;
   std::map<std::string, LinkCounters> counters_;  // registry handles per link
+  std::map<std::string, FlowInfo> flows_;         // cached trace labels per link
 };
 
 }  // namespace gtv::net

@@ -1,5 +1,7 @@
 #include "nn/module.h"
 
+#include "obs/profiler.h"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -30,6 +32,7 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
 }
 
 Var Linear::forward(const Var& x) {
+  obs::OpScope prof("nn.linear");
   if (x.cols() != in_) {
     throw std::invalid_argument("Linear(" + std::to_string(in_) + "->" + std::to_string(out_) +
                                 "): input has " + std::to_string(x.cols()) + " features");
@@ -49,6 +52,7 @@ BatchNorm1d::BatchNorm1d(std::size_t features, float eps, float momentum)
       running_var_(Tensor::ones(1, features)) {}
 
 Var BatchNorm1d::forward(const Var& x) {
+  obs::OpScope prof("nn.batchnorm");
   if (x.cols() != features_) {
     throw std::invalid_argument("BatchNorm1d(" + std::to_string(features_) + "): input has " +
                                 std::to_string(x.cols()) + " features");
@@ -85,6 +89,7 @@ Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {
 }
 
 Var Dropout::forward(const Var& x) {
+  obs::OpScope prof("nn.dropout");
   if (!training_ || p_ == 0.0f) return x;
   const float keep = 1.0f - p_;
   Tensor mask(x.rows(), x.cols());

@@ -63,7 +63,7 @@ void load_parameters(Module& module, const std::string& path) {
     if (rows != p.value().rows() || cols != p.value().cols()) {
       throw std::runtime_error("load_parameters: shape mismatch");
     }
-    std::vector<float> values(rows * cols);
+    FloatVec values(rows * cols);
     in.read(reinterpret_cast<char*>(values.data()),
             static_cast<std::streamsize>(values.size() * sizeof(float)));
     if (!in) throw std::runtime_error("load_parameters: truncated payload");

@@ -1,0 +1,51 @@
+// gtv::obs — minimal JSON reader for the observability artefacts.
+//
+// The obs stack *emits* JSON by hand (metrics snapshots, profile tables,
+// trace JSONL); this is the matching reader used by tools/gtv-prof to merge
+// those artefacts and by tests to prove every emitted line parses back.
+// It is a strict recursive-descent parser over the JSON grammar (objects,
+// arrays, strings with escapes, numbers, true/false/null); it is not meant
+// as a general-purpose library — no streaming, no comments, doubles only.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gtv::obs::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  bool has(const std::string& key) const {
+    return is_object() && object.find(key) != object.end();
+  }
+  // Object member access; throws std::out_of_range when absent.
+  const Value& at(const std::string& key) const;
+  // Object member or `fallback` number/string when absent.
+  double num_or(const std::string& key, double fallback) const;
+  std::string str_or(const std::string& key, const std::string& fallback) const;
+};
+
+// Parses exactly one JSON document (trailing whitespace allowed). Throws
+// std::runtime_error with position info on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace gtv::obs::json

@@ -1,0 +1,93 @@
+// gtv::obs — tensor memory accounting.
+//
+// Every gtv::Tensor buffer is allocated through TrackingAllocator, which
+// charges the byte count to a process-wide ledger: live bytes, the
+// process-lifetime high-water mark, and allocation/free counts. Updates are
+// relaxed atomics, so the accounting is always on (same contract as the
+// TrafficMeter counters) and never contends on a lock.
+//
+// MemPeakScope layers phase attribution on top: while a scope is active,
+// the ledger also tracks the peak live bytes observed inside that scope, so
+// RoundTelemetry can say *which phase* of a training round owned the
+// allocation high-water mark. Scopes must strictly nest; attribution is
+// exact for a single training thread and process-global (conservative) when
+// several trainers run concurrently, because the live counter itself is
+// process-global.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace gtv::obs {
+
+struct MemStats {
+  std::uint64_t live_bytes = 0;
+  std::uint64_t peak_bytes = 0;  // process-lifetime high-water mark
+  std::uint64_t alloc_count = 0;
+  std::uint64_t free_count = 0;
+};
+
+MemStats memory_stats();
+// Rewinds the high-water mark to the current live bytes (benchmark repeats).
+void reset_memory_peak();
+
+// Charges/releases `bytes` on the ledger. Called by TrackingAllocator; also
+// usable by future non-vector buffers.
+void account_alloc(std::size_t bytes) noexcept;
+void account_free(std::size_t bytes) noexcept;
+
+// Copies the ledger into the MetricsRegistry as `tensor.mem.live_bytes`,
+// `tensor.mem.peak_bytes`, `tensor.mem.alloc_count`, `tensor.mem.free_count`
+// gauges so memory lands in the same telemetry snapshot as timing/traffic.
+void publish_memory_gauges();
+
+// RAII watermark: peak live tensor bytes while this scope was active.
+// On destruction, when `out_peak` was given, folds the observed peak in via
+// max (so a scope re-entered across critic steps keeps the round's worst).
+class MemPeakScope {
+ public:
+  explicit MemPeakScope(std::uint64_t* out_peak = nullptr);
+  ~MemPeakScope();
+
+  // Peak observed so far (valid while the scope is alive).
+  std::uint64_t peak_bytes() const;
+
+  MemPeakScope(const MemPeakScope&) = delete;
+  MemPeakScope& operator=(const MemPeakScope&) = delete;
+
+ private:
+  int slot_;
+  std::uint64_t* out_;
+};
+
+// Minimal allocator that routes byte accounting through the ledger. Used by
+// gtv::Tensor for its element storage (see gtv::FloatVec).
+template <typename T>
+struct TrackingAllocator {
+  using value_type = T;
+
+  TrackingAllocator() noexcept = default;
+  template <typename U>
+  TrackingAllocator(const TrackingAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    account_alloc(n * sizeof(T));
+    return std::allocator<T>().allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    std::allocator<T>().deallocate(p, n);
+    account_free(n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const TrackingAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const TrackingAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+}  // namespace gtv::obs

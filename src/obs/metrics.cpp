@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 namespace gtv::obs {
@@ -64,7 +65,9 @@ void Gauge::add(double delta) {
 }
 
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()) {
   std::sort(bounds_.begin(), bounds_.end());
 }
 
@@ -79,6 +82,13 @@ void Histogram::record(double v) {
   double mx = max_.load(std::memory_order_relaxed);
   while (v > mx && !max_.compare_exchange_weak(mx, v, std::memory_order_relaxed)) {
   }
+  double mn = min_.load(std::memory_order_relaxed);
+  while (v < mn && !min_.compare_exchange_weak(mn, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
 }
 
 double Histogram::percentile(double p) const {
@@ -96,7 +106,10 @@ double Histogram::percentile(double p) const {
       const double upper = bounds_[b];
       const double frac =
           static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
-      return lower + frac * (upper - lower);
+      // Interpolation assumes samples are spread across the bucket; when they
+      // cluster at an edge the raw estimate can leave the observed range
+      // entirely (four samples of 3.0 in (0,10] would report p100 = 10.0).
+      return std::clamp(lower + frac * (upper - lower), min(), max());
     }
     cumulative += in_bucket;
   }
@@ -115,6 +128,7 @@ void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
 }
 
 const std::vector<double>& default_latency_bounds_ms() {
@@ -175,7 +189,8 @@ std::string MetricsRegistry::to_json() const {
     os << (first ? "" : ",") << '"' << json_escape(name) << "\":{"
        << "\"count\":" << h->count() << ",\"sum\":" << h->sum()
        << ",\"p50\":" << h->percentile(50) << ",\"p90\":" << h->percentile(90)
-       << ",\"p99\":" << h->percentile(99) << ",\"max\":" << h->max() << '}';
+       << ",\"p99\":" << h->percentile(99) << ",\"min\":" << h->min()
+       << ",\"max\":" << h->max() << '}';
     first = false;
   }
   os << "}}";

@@ -58,9 +58,11 @@ class Gauge {
 // Fixed-bucket histogram for non-negative samples (durations, sizes).
 // Bucket i counts samples in (bounds[i-1], bounds[i]]; one overflow bucket
 // catches everything above the last bound. Percentiles are reconstructed
-// from the bucket counts with linear interpolation inside the bucket, so a
-// sample set that lands exactly on bucket upper bounds yields exact
-// percentiles (obs_test relies on this).
+// from the bucket counts with linear interpolation inside the bucket, then
+// clamped into the observed [min, max] range — without the clamp, samples
+// sitting at or near a bucket's lower edge interpolate toward the upper
+// bound and p99/p100 can exceed the largest value ever recorded
+// (obs_test pins this boundary behaviour).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
@@ -69,6 +71,8 @@ class Histogram {
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double max() const { return max_.load(std::memory_order_relaxed); }
+  // Smallest recorded sample; 0 when empty.
+  double min() const;
   // p in [0, 100]. Returns 0 when empty.
   double percentile(double p) const;
   const std::vector<double>& bounds() const { return bounds_; }
@@ -81,6 +85,9 @@ class Histogram {
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> max_{0.0};
+  // Seeded to +inf so the first record() always captures it; min() reports
+  // 0 while empty.
+  std::atomic<double> min_;
 };
 
 // Default histogram bounds for millisecond durations: 10us .. 60s,
@@ -100,7 +107,7 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, std::vector<double> upper_bounds = {});
 
   // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
-  // Histograms report count/sum/p50/p90/p99/max.
+  // Histograms report count/sum/p50/p90/p99/min/max.
   std::string to_json() const;
 
   // Zeroes every registered metric; handles stay valid. For tests and for

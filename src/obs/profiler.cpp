@@ -1,0 +1,156 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gtv::obs {
+
+namespace {
+
+// -1 = uninitialised, 0 = off, 1 = on (same lazy-env pattern as GTV_METRICS).
+std::atomic<int> g_profile_state{-1};
+
+int profile_state_from_env() {
+  const char* v = std::getenv("GTV_PROFILE");
+  if (v == nullptr || v[0] == '\0' || std::string(v) == "0") return 0;
+  return 1;
+}
+
+// Per-thread scope stack state: time spent in completed child scopes of the
+// innermost open scope, bytes charged to it, and whether one is open at all.
+thread_local std::uint64_t t_child_us = 0;
+thread_local std::uint64_t t_scope_bytes = 0;
+thread_local int t_scope_depth = 0;
+
+std::string op_key(const char* name, const char* suffix) {
+  std::string key(name);
+  if (suffix != nullptr) key += suffix;
+  return key;
+}
+
+}  // namespace
+
+bool profiling_enabled() {
+  int state = g_profile_state.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = profile_state_from_env();
+    g_profile_state.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void set_profiling_enabled(bool enabled) {
+  g_profile_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::record(const char* name, const char* suffix, std::uint64_t total_us,
+                      std::uint64_t self_us, std::uint64_t bytes) {
+  const std::string key = op_key(name, suffix);
+  std::lock_guard<std::mutex> lock(mu_);
+  OpStats& s = stats_[key];
+  s.calls += 1;
+  s.total_us += total_us;
+  s.self_us += self_us;
+  s.bytes += bytes;
+}
+
+std::map<std::string, OpStats> Profiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string Profiler::report() const {
+  const auto stats = snapshot();
+  std::vector<std::pair<std::string, OpStats>> rows(stats.begin(), stats.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.self_us > b.second.self_us;
+  });
+  OpStats total;
+  for (const auto& [name, s] : rows) {
+    total.calls += s.calls;
+    total.total_us += s.total_us;
+    total.self_us += s.self_us;
+    total.bytes += s.bytes;
+  }
+  std::ostringstream os;
+  char line[192];
+  std::snprintf(line, sizeof(line), "%-28s %10s %12s %12s %7s %10s\n", "op", "calls",
+                "total_ms", "self_ms", "self%", "MB");
+  os << line;
+  const double self_total = std::max<double>(1, static_cast<double>(total.self_us));
+  for (const auto& [name, s] : rows) {
+    std::snprintf(line, sizeof(line), "%-28s %10llu %12.3f %12.3f %6.1f%% %10.2f\n",
+                  name.c_str(), static_cast<unsigned long long>(s.calls),
+                  static_cast<double>(s.total_us) / 1e3,
+                  static_cast<double>(s.self_us) / 1e3,
+                  100.0 * static_cast<double>(s.self_us) / self_total,
+                  static_cast<double>(s.bytes) / (1024.0 * 1024.0));
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "%-28s %10llu %12s %12.3f %6.1f%% %10.2f\n", "TOTAL",
+                static_cast<unsigned long long>(total.calls), "-",
+                static_cast<double>(total.self_us) / 1e3, 100.0,
+                static_cast<double>(total.bytes) / (1024.0 * 1024.0));
+  os << line;
+  return os.str();
+}
+
+std::string Profiler::to_json() const {
+  const auto stats = snapshot();
+  std::ostringstream os;
+  os << "{\"schema_version\":1,\"ops\":{";
+  bool first = true;
+  for (const auto& [name, s] : stats) {
+    os << (first ? "" : ",") << '"' << json_escape(name) << "\":{"
+       << "\"calls\":" << s.calls << ",\"total_us\":" << s.total_us
+       << ",\"self_us\":" << s.self_us << ",\"bytes\":" << s.bytes << '}';
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+}
+
+OpScope::OpScope(const char* name, const char* suffix)
+    : name_(name), suffix_(suffix), active_(profiling_enabled()) {
+  if (!active_) return;
+  saved_child_us_ = t_child_us;
+  saved_bytes_ = t_scope_bytes;
+  t_child_us = 0;
+  t_scope_bytes = 0;
+  ++t_scope_depth;
+  start_us_ = TraceSink::now_us();
+}
+
+OpScope::~OpScope() {
+  if (!active_) return;
+  const std::uint64_t total_us = TraceSink::now_us() - start_us_;
+  const std::uint64_t child_us = std::min(t_child_us, total_us);
+  Profiler::instance().record(name_, suffix_, total_us, total_us - child_us,
+                              t_scope_bytes);
+  --t_scope_depth;
+  // This scope's full duration counts as child time of the enclosing scope.
+  t_child_us = saved_child_us_ + total_us;
+  t_scope_bytes = saved_bytes_;
+}
+
+void OpScope::charge_bytes(std::uint64_t bytes) {
+  if (t_scope_depth > 0) t_scope_bytes += bytes;
+}
+
+}  // namespace gtv::obs

@@ -1,5 +1,6 @@
 #include "obs/telemetry.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
@@ -29,7 +30,16 @@ std::string RoundTelemetry::to_json() const {
      << ",\"gradient_penalty\":" << gradient_penalty_ms
      << ",\"generator_step\":" << generator_step_ms << ",\"shuffle\":" << shuffle_ms
      << "},\"losses\":{\"d_loss\":" << d_loss << ",\"g_loss\":" << g_loss
-     << ",\"gp\":" << gp << ",\"wasserstein\":" << wasserstein << "},\"links\":[";
+     << ",\"gp\":" << gp << ",\"wasserstein\":" << wasserstein
+     << "},\"mem_peak_bytes\":{"
+     << "\"total\":" << mem_peak_bytes.total
+     << ",\"cv_generation\":" << mem_peak_bytes.cv_generation
+     << ",\"fake_forward\":" << mem_peak_bytes.fake_forward
+     << ",\"real_forward\":" << mem_peak_bytes.real_forward
+     << ",\"critic_backward\":" << mem_peak_bytes.critic_backward
+     << ",\"gradient_penalty\":" << mem_peak_bytes.gradient_penalty
+     << ",\"generator_step\":" << mem_peak_bytes.generator_step
+     << ",\"shuffle\":" << mem_peak_bytes.shuffle << "},\"links\":[";
   for (std::size_t i = 0; i < links.size(); ++i) {
     os << (i == 0 ? "" : ",") << "{\"link\":\"" << json_escape(links[i].link)
        << "\",\"bytes\":" << links[i].bytes << ",\"messages\":" << links[i].messages
@@ -57,6 +67,16 @@ RoundTelemetry aggregate(const std::vector<RoundTelemetry>& rounds) {
     out.g_loss += r.g_loss;
     out.gp += r.gp;
     out.wasserstein += r.wasserstein;
+    auto& peaks = out.mem_peak_bytes;
+    const auto& rp = r.mem_peak_bytes;
+    peaks.total = std::max(peaks.total, rp.total);
+    peaks.cv_generation = std::max(peaks.cv_generation, rp.cv_generation);
+    peaks.fake_forward = std::max(peaks.fake_forward, rp.fake_forward);
+    peaks.real_forward = std::max(peaks.real_forward, rp.real_forward);
+    peaks.critic_backward = std::max(peaks.critic_backward, rp.critic_backward);
+    peaks.gradient_penalty = std::max(peaks.gradient_penalty, rp.gradient_penalty);
+    peaks.generator_step = std::max(peaks.generator_step, rp.generator_step);
+    peaks.shuffle = std::max(peaks.shuffle, rp.shuffle);
     for (const auto& l : r.links) {
       auto& slot = links[l.link];
       slot.link = l.link;

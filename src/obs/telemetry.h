@@ -46,6 +46,22 @@ struct RoundTelemetry {
   float gp = 0;
   float wasserstein = 0;
 
+  // --- tensor-memory high-water marks (bytes) --------------------------------
+  // Peak live tensor bytes observed while each phase ran (MemPeakScope);
+  // 0 when memory accounting attribution was not captured. `total` covers
+  // the whole round. aggregate() takes the max, not the sum.
+  struct PhasePeaks {
+    std::uint64_t total = 0;
+    std::uint64_t cv_generation = 0;
+    std::uint64_t fake_forward = 0;
+    std::uint64_t real_forward = 0;
+    std::uint64_t critic_backward = 0;
+    std::uint64_t gradient_penalty = 0;
+    std::uint64_t generator_step = 0;
+    std::uint64_t shuffle = 0;
+  };
+  PhasePeaks mem_peak_bytes;
+
   // --- communication charged during this round -------------------------------
   std::vector<LinkDelta> links;
 

@@ -18,6 +18,8 @@ std::uint32_t this_thread_trace_id() {
   return id;
 }
 
+thread_local int t_current_party = kDriverPid;
+
 }  // namespace
 
 TraceSink::TraceSink() {
@@ -28,8 +30,15 @@ TraceSink::TraceSink() {
 }
 
 TraceSink& TraceSink::instance() {
-  static TraceSink sink;
-  return sink;
+  // Leaked on purpose — see the shutdown note in trace.h. The atexit hook
+  // flushes the file; emits that happen later find active_ == false and
+  // a still-alive mutex, so they are dropped instead of racing teardown.
+  static TraceSink* sink = [] {
+    auto* s = new TraceSink();
+    std::atexit([] { TraceSink::instance().close(); });
+    return s;
+  }();
+  return *sink;
 }
 
 void TraceSink::open(const std::string& path) {
@@ -37,6 +46,9 @@ void TraceSink::open(const std::string& path) {
   if (out_.is_open()) out_.close();
   out_.open(path, std::ios::out | std::ios::trunc);
   active_.store(out_.is_open(), std::memory_order_relaxed);
+  if (out_.is_open()) {
+    for (const auto& [pid, name] : parties_) write_party_metadata_locked(pid, name);
+  }
 }
 
 void TraceSink::close() {
@@ -45,13 +57,48 @@ void TraceSink::close() {
   if (out_.is_open()) out_.close();
 }
 
+void TraceSink::declare_party(int pid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = parties_.emplace(pid, name);
+  if (!inserted) {
+    if (it->second == name) return;  // already declared, nothing new to emit
+    it->second = name;
+  }
+  if (out_.is_open()) write_party_metadata_locked(pid, name);
+}
+
+void TraceSink::write_party_metadata_locked(int pid, const std::string& name) {
+  out_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}\n";
+}
+
 void TraceSink::emit_complete(const char* name, std::uint64_t ts_us,
                               std::uint64_t dur_us) {
   const std::uint32_t tid = this_thread_trace_id();
+  const int pid = t_current_party;
   std::lock_guard<std::mutex> lock(mu_);
   if (!out_.is_open()) return;
   out_ << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"X\",\"ts\":" << ts_us
-       << ",\"dur\":" << dur_us << ",\"pid\":1,\"tid\":" << tid << "}\n";
+       << ",\"dur\":" << dur_us << ",\"pid\":" << pid << ",\"tid\":" << tid << "}\n";
+}
+
+void TraceSink::emit_flow(const char* name, std::uint64_t flow_id, char phase,
+                          int pid, std::uint64_t ts_us) {
+  const std::uint32_t tid = this_thread_trace_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
+  out_ << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"" << phase
+       << "\",\"id\":" << flow_id << ",\"ts\":" << ts_us << ",\"pid\":" << pid
+       << ",\"tid\":" << tid;
+  // bp:"e" binds the finish to its enclosing slice so viewers draw the
+  // arrow into the receive span rather than the next slice on the track.
+  if (phase == 'f') out_ << ",\"bp\":\"e\"";
+  out_ << "}\n";
+}
+
+std::uint64_t TraceSink::next_flow_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t TraceSink::now_us() {
@@ -59,6 +106,12 @@ std::uint64_t TraceSink::now_us() {
                                         std::chrono::steady_clock::now() - trace_epoch())
                                         .count());
 }
+
+int TraceSink::current_party() { return t_current_party; }
+
+PartyScope::PartyScope(int pid) : prev_(t_current_party) { t_current_party = pid; }
+
+PartyScope::~PartyScope() { t_current_party = prev_; }
 
 ScopedTimer::ScopedTimer(const char* name, Histogram* hist, double* out_ms, bool always)
     : name_(name),

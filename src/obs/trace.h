@@ -1,20 +1,40 @@
-// gtv::obs — span tracing.
+// gtv::obs — span tracing with cross-party flow correlation.
 //
 // TraceSink writes one JSON object per line ("JSONL"), each a Chrome
-// trace-event "complete" record {name, ph:"X", ts, dur, pid, tid} with
-// microsecond timestamps, so a capture loads directly into
-// chrome://tracing / Perfetto after wrapping the lines in a JSON array
-// (both tools also accept the newline-delimited form).
+// trace-event record with microsecond timestamps, so a capture loads
+// directly into chrome://tracing / Perfetto after wrapping the lines in a
+// JSON array (both tools also accept the newline-delimited form). Three
+// record kinds are emitted:
+//
+//   - complete spans   {name, ph:"X", ts, dur, pid, tid}
+//   - flow events      {name, ph:"s"|"f", id, ts, pid, tid} — one "s"
+//     (start) on the sending party and one "f" (finish, bp:"e") on the
+//     receiving party per wire transfer, sharing a monotonic flow id, so
+//     Perfetto draws an arrow from sender to receiver.
+//   - process metadata {ph:"M", name:"process_name", pid, args:{name}}
+//     naming each party's row (declare_party).
+//
+// Parties map to trace pids: server = 0, client k = k + 1. The thread's
+// current party (PartyScope) decides which row its spans land on; code
+// outside any PartyScope emits on the driver pid (kDriverPid).
 //
 // The sink is opened from the GTV_TRACE environment variable
 // (GTV_TRACE=/path/to/trace.jsonl) on first use, or programmatically via
 // open(). While no sink is active and timing is disabled, a gated
 // ScopedTimer is a no-op that never reads the clock.
+//
+// Shutdown: the singleton is intentionally leaked and the file is flushed
+// by an atexit hook instead of a destructor. A destructor would race
+// instrumentation that runs during static destruction (a ScopedTimer in
+// another translation unit's teardown could emit into a half-destroyed
+// sink). With the leak, late emits hit a still-alive object and are
+// dropped cleanly once the atexit close has run.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <string>
 
@@ -22,32 +42,68 @@
 
 namespace gtv::obs {
 
+// Trace pid for code running outside any PartyScope (bench drivers, tests).
+inline constexpr int kDriverPid = 99;
+
 class TraceSink {
  public:
   static TraceSink& instance();
 
   bool active() const { return active_.load(std::memory_order_relaxed); }
   // Opens `path` for writing (truncates). Replaces any active sink.
+  // Replays process_name metadata for every party declared so far.
   void open(const std::string& path);
   void close();
 
-  // Emits one complete-span record. `ts_us` is microseconds since the
-  // process trace epoch (see now_us).
+  // Names the Perfetto process row for `pid` (see party pid mapping above).
+  // Remembered across open()/close() so late sinks still get the metadata.
+  void declare_party(int pid, const std::string& name);
+
+  // Emits one complete-span record on the calling thread's current party.
+  // `ts_us` is microseconds since the process trace epoch (see now_us).
   void emit_complete(const char* name, std::uint64_t ts_us, std::uint64_t dur_us);
+
+  // Emits one flow event: phase 's' (start) or 'f' (finish). The finish
+  // record carries bp:"e" so viewers bind the arrow to the enclosing slice.
+  void emit_flow(const char* name, std::uint64_t flow_id, char phase, int pid,
+                 std::uint64_t ts_us);
+
+  // Monotonic process-wide flow id for correlating send/receive pairs.
+  static std::uint64_t next_flow_id();
 
   // Monotonic microseconds since the process trace epoch.
   static std::uint64_t now_us();
+
+  // The calling thread's current trace pid (kDriverPid outside PartyScope).
+  static int current_party();
 
   TraceSink(const TraceSink&) = delete;
   TraceSink& operator=(const TraceSink&) = delete;
 
  private:
   TraceSink();
-  ~TraceSink() { close(); }
+  ~TraceSink() = default;  // never runs: instance is leaked (see file comment)
+
+  void write_party_metadata_locked(int pid, const std::string& name);
 
   std::atomic<bool> active_{false};
   std::mutex mu_;
   std::ofstream out_;
+  std::map<int, std::string> parties_;
+};
+
+// Scopes the calling thread to a party's trace row: spans emitted while a
+// PartyScope is alive carry its pid. Nests; restores the previous pid.
+class PartyScope {
+ public:
+  explicit PartyScope(int pid);
+  ~PartyScope();
+
+  PartyScope(const PartyScope&) = delete;
+  PartyScope& operator=(const PartyScope&) = delete;
+
+ private:
+  int prev_;
 };
 
 // RAII span timer. On destruction it (a) accumulates the elapsed

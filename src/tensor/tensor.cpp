@@ -27,13 +27,16 @@ Tensor::Tensor(std::size_t rows, std::size_t cols)
 Tensor::Tensor(std::size_t rows, std::size_t cols, float fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
-Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<float> values)
+Tensor::Tensor(std::size_t rows, std::size_t cols, FloatVec values)
     : rows_(rows), cols_(cols), data_(std::move(values)) {
   if (data_.size() != rows_ * cols_) {
     throw std::invalid_argument("Tensor: values size " + std::to_string(data_.size()) +
                                 " does not match shape " + shape_str());
   }
 }
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, const std::vector<float>& values)
+    : Tensor(rows, cols, FloatVec(values.begin(), values.end())) {}
 
 Tensor Tensor::zeros(std::size_t rows, std::size_t cols) { return Tensor(rows, cols); }
 Tensor Tensor::ones(std::size_t rows, std::size_t cols) { return Tensor(rows, cols, 1.0f); }
@@ -45,7 +48,7 @@ Tensor Tensor::scalar(float value) { return Tensor(1, 1, value); }
 Tensor Tensor::of(std::initializer_list<std::initializer_list<float>> rows) {
   const std::size_t r = rows.size();
   const std::size_t c = r == 0 ? 0 : rows.begin()->size();
-  std::vector<float> values;
+  FloatVec values;
   values.reserve(r * c);
   for (const auto& row : rows) {
     if (row.size() != c) throw std::invalid_argument("Tensor::of: ragged rows");

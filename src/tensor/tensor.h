@@ -16,9 +16,16 @@
 #include <string>
 #include <vector>
 
+#include "obs/memory.h"
 #include "tensor/rng.h"
 
 namespace gtv {
+
+// Element storage for Tensor. The tracking allocator charges every buffer
+// to the gtv::obs memory ledger (live/peak/alloc-count gauges); build
+// buffers as FloatVec when handing them to Tensor so the move constructor
+// applies.
+using FloatVec = std::vector<float, obs::TrackingAllocator<float>>;
 
 class Tensor {
  public:
@@ -27,7 +34,9 @@ class Tensor {
   Tensor(std::size_t rows, std::size_t cols);
   Tensor(std::size_t rows, std::size_t cols, float fill);
   // Takes ownership of `values`; values.size() must equal rows * cols.
-  Tensor(std::size_t rows, std::size_t cols, std::vector<float> values);
+  Tensor(std::size_t rows, std::size_t cols, FloatVec values);
+  // Convenience overload for plain vectors; copies into tracked storage.
+  Tensor(std::size_t rows, std::size_t cols, const std::vector<float>& values);
 
   static Tensor zeros(std::size_t rows, std::size_t cols);
   static Tensor ones(std::size_t rows, std::size_t cols);
@@ -50,7 +59,7 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  const std::vector<float>& values() const { return data_; }
+  const FloatVec& values() const { return data_; }
 
   // --- elementwise / broadcasting arithmetic -------------------------------
   Tensor operator+(const Tensor& rhs) const;
@@ -116,7 +125,7 @@ class Tensor {
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  FloatVec data_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Tensor& t);

@@ -1,0 +1,53 @@
+// Regression test for the TraceSink static-destruction hazard.
+//
+// A ScopedTimer (or raw emit) firing during static destruction used to race
+// the sink's destructor: the function-local singleton was constructed inside
+// main() — so destroyed *before* globals constructed earlier — and the dying
+// emit touched a destroyed mutex/ofstream. The fix leaks the singleton and
+// flushes via std::atexit, so late emits find a still-alive object with the
+// sink closed and are dropped.
+//
+// This is deliberately not a gtest binary: the assertion is the process
+// itself — construct a global whose destructor emits after main() returns,
+// and exit 0 without crashing.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace {
+
+struct LateEmitter {
+  ~LateEmitter() {
+    // Runs during static destruction, after the atexit flush has closed the
+    // sink. Both paths must be safe no-ops, not use-after-destroy.
+    gtv::obs::ScopedTimer span("shutdown.late_span", nullptr, nullptr,
+                               /*always=*/true);
+    gtv::obs::TraceSink::instance().emit_complete(
+        "shutdown.late_emit", gtv::obs::TraceSink::now_us(), 1);
+  }
+};
+
+// Constructed before main() (and before the sink singleton, which is first
+// touched inside main), so this destructor runs after the sink's atexit hook.
+LateEmitter g_late;
+
+}  // namespace
+
+int main() {
+  gtv::obs::TraceSink& sink = gtv::obs::TraceSink::instance();
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string path =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/obs_shutdown_trace.jsonl";
+  sink.open(path);
+  if (!sink.active()) {
+    std::fprintf(stderr, "failed to open trace sink at %s\n", path.c_str());
+    return 1;
+  }
+  { gtv::obs::ScopedTimer span("shutdown.main_span"); }
+  // Intentionally no close(): the atexit hook flushes, then g_late emits
+  // into the closed sink. A crash here fails the test via the exit code.
+  std::printf("ok\n");
+  return 0;
+}

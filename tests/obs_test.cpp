@@ -73,9 +73,55 @@ TEST(HistogramTest, OverflowBucketReportsMax) {
 
 TEST(HistogramTest, InterpolatesWithinBucket) {
   Histogram h({10.0});
-  for (int i = 0; i < 4; ++i) h.record(3.0);
-  // All four samples in (0, 10]; rank 2 of 4 interpolates to 10 * 2/4.
+  h.record(2.0);
+  h.record(4.0);
+  h.record(6.0);
+  h.record(8.0);
+  // Rank 2 of 4 in (0, 10] interpolates to 10 * 2/4 = 5, inside [min, max].
   EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+}
+
+TEST(HistogramTest, PercentileClampedToObservedRangeAtBucketEdges) {
+  // Identical samples near a bucket's lower edge: raw interpolation would
+  // report p100 = 10.0 (the bucket's upper bound) for values that never
+  // exceeded 3.0. The estimate must stay inside [min, max].
+  Histogram h({10.0});
+  for (int i = 0; i < 4; ++i) h.record(3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 3.0);
+  // And the low side: p0 (clamped to rank 1) must not undershoot min.
+  Histogram g({10.0, 20.0});
+  g.record(19.0);
+  g.record(19.5);
+  EXPECT_DOUBLE_EQ(g.percentile(0), 19.0);
+  EXPECT_DOUBLE_EQ(g.min(), 19.0);
+}
+
+TEST(HistogramTest, SampleExactlyOnTopBoundStaysExact) {
+  // A sample landing exactly on the last finite bound belongs to that
+  // bucket, not the overflow bucket, and percentiles report it exactly.
+  Histogram h({1.0, 2.0, 5.0});
+  h.record(5.0);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
+}
+
+TEST(HistogramTest, MinResetsWithHistogram) {
+  Histogram h({10.0});
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty
+  h.record(7.0);
+  EXPECT_DOUBLE_EQ(h.min(), 7.0);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  h.record(9.0);
+  EXPECT_DOUBLE_EQ(h.min(), 9.0);
 }
 
 TEST(HistogramTest, EmptyIsZero) {
@@ -216,6 +262,39 @@ TEST(TraceSinkTest, WritesParseableJsonlSpans) {
   std::remove(path.c_str());
 }
 
+TEST(TraceSinkTest, CloseIsIdempotentAndEmitsAfterCloseAreDropped) {
+  const std::string path = ::testing::TempDir() + "obs_trace_close_test.jsonl";
+  TraceSink& sink = TraceSink::instance();
+  sink.open(path);
+  ASSERT_TRUE(sink.active());
+  { ScopedTimer t("before_close"); }
+  sink.close();
+  sink.close();  // double-close must be safe (atexit + explicit close)
+  ASSERT_FALSE(sink.active());
+  // An emit racing shutdown (e.g. a ScopedTimer destroyed during static
+  // destruction) must be dropped cleanly, not crash or reopen the file.
+  sink.emit_complete("after_close", TraceSink::now_us(), 1);
+  sink.emit_flow("after_close_flow", TraceSink::next_flow_id(), 's', 0,
+                 TraceSink::now_us());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.find("after_close"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSinkTest, FlowIdsAreMonotonic) {
+  const std::uint64_t a = TraceSink::next_flow_id();
+  const std::uint64_t b = TraceSink::next_flow_id();
+  EXPECT_LT(a, b);
+}
+
 TEST(TelemetryTest, JsonAndAggregation) {
   RoundTelemetry a;
   a.round = 0;
@@ -223,12 +302,16 @@ TEST(TelemetryTest, JsonAndAggregation) {
   a.fake_forward_ms = 4.0;
   a.d_loss = 2.0f;
   a.links = {{"client0->server", 100, 2}, {"server->client0", 50, 1}};
+  a.mem_peak_bytes.total = 4096;
+  a.mem_peak_bytes.fake_forward = 2048;
   RoundTelemetry b;
   b.round = 1;
   b.total_ms = 20.0;
   b.fake_forward_ms = 6.0;
   b.d_loss = 4.0f;
   b.links = {{"client0->server", 10, 1}};
+  b.mem_peak_bytes.total = 1024;
+  b.mem_peak_bytes.fake_forward = 3072;
 
   EXPECT_EQ(a.bytes_sent(), 150u);
   EXPECT_EQ(a.messages_sent(), 3u);
@@ -242,9 +325,13 @@ TEST(TelemetryTest, JsonAndAggregation) {
   ASSERT_EQ(sum.links.size(), 2u);
   EXPECT_EQ(sum.links[0].link, "client0->server");
   EXPECT_EQ(sum.links[0].bytes, 110u);
+  // Memory high-water marks aggregate by max, not sum.
+  EXPECT_EQ(sum.mem_peak_bytes.total, 4096u);
+  EXPECT_EQ(sum.mem_peak_bytes.fake_forward, 3072u);
 
   const std::string json = a.to_json();
   EXPECT_NE(json.find("\"phases_ms\":{\"total\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"mem_peak_bytes\":{\"total\":4096"), std::string::npos);
   EXPECT_NE(json.find("\"link\":\"client0->server\",\"bytes\":100"), std::string::npos);
   EXPECT_NE(json.find("\"bytes_sent\":150"), std::string::npos);
   const std::string arr = telemetry_to_json({a, b});

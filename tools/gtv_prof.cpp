@@ -1,0 +1,267 @@
+// gtv-prof — merges the observability artefacts a GTV run leaves behind
+// into one human-readable report:
+//
+//   gtv-prof [--profile <stem>.profile.json]     (GTV_PROFILE=1 op table)
+//            [--telemetry <stem>.telemetry.json] (metrics + memory snapshot)
+//            [--trace <trace.jsonl>]             (GTV_TRACE span/flow stream)
+//
+// Any subset of the three may be given; each present artefact adds a
+// section. When both a profile and a telemetry snapshot are supplied the
+// report also computes *coverage*: the fraction of the training rounds'
+// wall clock (the gtv.phase.round_ms histogram) that the profiled op self
+// times account for — the acceptance gauge for the op instrumentation.
+//
+// Only artefacts whose schema_version this tool knows (profile v1,
+// telemetry v2) are accepted; unknown versions fail loudly rather than
+// misreport.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using gtv::obs::json::Value;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string human_bytes(double b) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  int u = 0;
+  while (b >= 1024.0 && u < 3) {
+    b /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), u == 0 ? "%.0f %s" : "%.1f %s", b, units[u]);
+  return buf;
+}
+
+void require_schema(const Value& doc, double expected, const std::string& what) {
+  const double got = doc.num_or("schema_version", -1);
+  if (got != expected) {
+    throw std::runtime_error(what + ": unsupported schema_version " +
+                             std::to_string(got) + " (expected " +
+                             std::to_string(expected) + ")");
+  }
+}
+
+// --- profile ---------------------------------------------------------------
+
+struct OpRow {
+  std::string name;
+  std::uint64_t calls = 0;
+  double total_us = 0;
+  double self_us = 0;
+  double bytes = 0;
+};
+
+// Parses <stem>.profile.json; returns rows sorted by self time descending.
+std::vector<OpRow> load_profile(const std::string& path, double* total_self_us) {
+  const Value doc = gtv::obs::json::parse(read_file(path));
+  require_schema(doc, 1, path);
+  std::vector<OpRow> rows;
+  for (const auto& [name, op] : doc.at("ops").object) {
+    OpRow row;
+    row.name = name;
+    row.calls = static_cast<std::uint64_t>(op.num_or("calls", 0));
+    row.total_us = op.num_or("total_us", 0);
+    row.self_us = op.num_or("self_us", 0);
+    row.bytes = op.num_or("bytes", 0);
+    *total_self_us += row.self_us;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const OpRow& a, const OpRow& b) { return a.self_us > b.self_us; });
+  return rows;
+}
+
+void print_profile(const std::vector<OpRow>& rows, double total_self_us) {
+  std::printf("== op profile (%zu ops, sorted by self time) ==\n", rows.size());
+  std::printf("%-28s %10s %12s %12s %7s %12s\n", "op", "calls", "total_ms",
+              "self_ms", "self%", "bytes");
+  for (const auto& r : rows) {
+    const double share = total_self_us > 0 ? 100.0 * r.self_us / total_self_us : 0;
+    std::printf("%-28s %10llu %12.3f %12.3f %6.1f%% %12s\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.calls), r.total_us / 1000.0,
+                r.self_us / 1000.0, share, human_bytes(r.bytes).c_str());
+  }
+  std::printf("%-28s %10s %12s %12.3f %6.1f%%\n\n", "TOTAL", "", "",
+              total_self_us / 1000.0, 100.0);
+}
+
+// --- telemetry -------------------------------------------------------------
+
+void print_telemetry(const Value& doc) {
+  const Value& mem = doc.at("memory");
+  std::printf("== tensor memory ==\n");
+  std::printf("  live %s   peak %s   allocs %.0f   frees %.0f\n\n",
+              human_bytes(mem.num_or("live_bytes", 0)).c_str(),
+              human_bytes(mem.num_or("peak_bytes", 0)).c_str(),
+              mem.num_or("alloc_count", 0), mem.num_or("free_count", 0));
+
+  const Value& hists = doc.at("metrics").at("histograms");
+  std::printf("== training phases (gtv.phase.*) ==\n");
+  std::printf("%-36s %8s %12s %10s %10s\n", "phase", "count", "sum_ms", "p50_ms",
+              "p99_ms");
+  for (const auto& [name, h] : hists.object) {
+    if (name.rfind("gtv.phase.", 0) != 0) continue;
+    std::printf("%-36s %8.0f %12.3f %10.3f %10.3f\n", name.c_str(),
+                h.num_or("count", 0), h.num_or("sum", 0), h.num_or("p50", 0),
+                h.num_or("p99", 0));
+  }
+  std::printf("\n");
+
+  const Value& counters = doc.at("metrics").at("counters");
+  double traffic = 0;
+  std::printf("== wire traffic (net.*) ==\n");
+  for (const auto& [name, c] : counters.object) {
+    if (name.rfind("net.", 0) != 0) continue;
+    if (name.size() > 6 && name.compare(name.size() - 6, 6, ".bytes") == 0) {
+      traffic += c.number;
+      std::printf("%-36s %12s\n", name.c_str(), human_bytes(c.number).c_str());
+    }
+  }
+  std::printf("%-36s %12s\n\n", "TOTAL", human_bytes(traffic).c_str());
+}
+
+// Sum of round wall time in microseconds, from the phase histogram.
+double round_wall_us(const Value& doc) {
+  const Value& hists = doc.at("metrics").at("histograms");
+  if (!hists.has("gtv.phase.round_ms")) return 0;
+  return hists.at("gtv.phase.round_ms").num_or("sum", 0) * 1000.0;
+}
+
+// --- trace -----------------------------------------------------------------
+
+struct PartyRow {
+  std::string name;
+  std::uint64_t spans = 0;
+  double span_us = 0;
+};
+
+void print_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::map<int, PartyRow> parties;
+  // flow id -> start/finish timestamps (0 = not seen yet)
+  std::map<std::uint64_t, std::pair<double, double>> flows;
+  std::map<std::string, std::uint64_t> flow_names;
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const Value rec = gtv::obs::json::parse(line);
+    const std::string ph = rec.str_or("ph", "");
+    const int pid = static_cast<int>(rec.num_or("pid", -1));
+    if (ph == "M") {
+      if (rec.str_or("name", "") == "process_name" && rec.has("args")) {
+        parties[pid].name = rec.at("args").str_or("name", "");
+      }
+    } else if (ph == "X") {
+      parties[pid].spans += 1;
+      parties[pid].span_us += rec.num_or("dur", 0);
+    } else if (ph == "s" || ph == "f") {
+      const auto id = static_cast<std::uint64_t>(rec.num_or("id", 0));
+      auto& slot = flows[id];
+      (ph == "s" ? slot.first : slot.second) = rec.num_or("ts", 0);
+      if (ph == "s") flow_names[rec.str_or("name", "?")] += 1;
+    }
+  }
+
+  std::printf("== trace: %s (%zu records) ==\n", path.c_str(), lines);
+  std::printf("%-4s %-16s %10s %14s\n", "pid", "party", "spans", "span_ms");
+  for (const auto& [pid, row] : parties) {
+    std::printf("%-4d %-16s %10llu %14.3f\n", pid,
+                row.name.empty() ? "?" : row.name.c_str(),
+                static_cast<unsigned long long>(row.spans), row.span_us / 1000.0);
+  }
+
+  std::uint64_t paired = 0;
+  double latency_us = 0;
+  for (const auto& [id, ts] : flows) {
+    if (ts.first > 0 && ts.second > 0) {
+      ++paired;
+      latency_us += ts.second - ts.first;
+    }
+  }
+  std::printf("flows: %zu ids, %llu send/recv pairs", flows.size(),
+              static_cast<unsigned long long>(paired));
+  if (paired > 0) {
+    std::printf(", mean send->recv gap %.1f us", latency_us / static_cast<double>(paired));
+  }
+  std::printf("\n");
+  for (const auto& [name, count] : flow_names) {
+    std::printf("  %-34s x%llu\n", name.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, profile_path, telemetry_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--trace" && has_value) {
+      trace_path = argv[++i];
+    } else if (arg == "--profile" && has_value) {
+      profile_path = argv[++i];
+    } else if (arg == "--telemetry" && has_value) {
+      telemetry_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: gtv-prof [--profile <stem>.profile.json]"
+                   " [--telemetry <stem>.telemetry.json] [--trace <trace.jsonl>]\n");
+      return 2;
+    }
+  }
+  if (trace_path.empty() && profile_path.empty() && telemetry_path.empty()) {
+    std::fprintf(stderr, "gtv-prof: nothing to do (pass --profile/--telemetry/--trace)\n");
+    return 2;
+  }
+
+  try {
+    double total_self_us = 0;
+    bool have_profile = false;
+    if (!profile_path.empty()) {
+      const std::vector<OpRow> rows = load_profile(profile_path, &total_self_us);
+      print_profile(rows, total_self_us);
+      have_profile = true;
+    }
+    double wall_us = 0;
+    if (!telemetry_path.empty()) {
+      const Value doc = gtv::obs::json::parse(read_file(telemetry_path));
+      require_schema(doc, 2, telemetry_path);
+      print_telemetry(doc);
+      wall_us = round_wall_us(doc);
+    }
+    if (!trace_path.empty()) print_trace(trace_path);
+    if (have_profile && wall_us > 0) {
+      std::printf("== coverage ==\n");
+      std::printf("op self time %.3f ms of %.3f ms round wall clock (%.1f%%)\n",
+                  total_self_us / 1000.0, wall_us / 1000.0,
+                  100.0 * total_self_us / wall_us);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gtv-prof: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
