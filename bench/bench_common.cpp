@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/health.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -214,6 +215,9 @@ void write_csv(const std::string& out_dir, const std::string& file,
     }
     prof << obs::Profiler::instance().to_json() << "\n";
   }
+  if (obs::health_enabled()) {
+    obs::write_health_json(out_dir + "/" + stem + ".health.json");
+  }
 }
 
 void write_telemetry_json(const std::string& out_dir, const std::string& file) {
@@ -224,10 +228,11 @@ void write_telemetry_json(const std::string& out_dir, const std::string& file) {
   }
   obs::publish_memory_gauges();
   const obs::MemStats mem = obs::memory_stats();
-  out << "{\"schema_version\":2,\"memory\":{\"live_bytes\":" << mem.live_bytes
+  out << "{\"schema_version\":3,\"memory\":{\"live_bytes\":" << mem.live_bytes
       << ",\"peak_bytes\":" << mem.peak_bytes << ",\"alloc_count\":" << mem.alloc_count
       << ",\"free_count\":" << mem.free_count
-      << "},\"metrics\":" << obs::MetricsRegistry::instance().to_json() << "}\n";
+      << "},\"metrics\":" << obs::MetricsRegistry::instance().to_json()
+      << ",\"health\":" << obs::HealthLog::instance().summary_json() << "}\n";
 }
 
 void parallel_tasks(std::vector<std::function<void()>> tasks) {

@@ -18,12 +18,15 @@
 //                      client/server forward/backward histograms,
 //                      thread-pool busy/idle accounting)
 //   GTV_PROFILE=1      enable the op-level autograd profiler
+//   GTV_HEALTH=1       enable training-health monitoring (gradient stats,
+//                      WGAN-GP divergence detectors, sample-quality probes)
 // Every write_csv() also drops a `<name>.telemetry.json` snapshot next to
 // the CSV: a schema_version-stamped envelope holding the tensor-memory
-// ledger plus the process-wide MetricsRegistry (phase-duration percentiles
-// + per-link traffic), so each figure records its phase breakdown. Under
-// GTV_PROFILE=1 a `<name>.profile.json` per-op table is written as well;
-// merge the artefacts with tools/gtv-prof.
+// ledger, the process-wide MetricsRegistry (phase-duration percentiles +
+// per-link traffic) and the HealthLog summary, so each figure records its
+// phase breakdown. Under GTV_PROFILE=1 a `<name>.profile.json` per-op table
+// is written as well; under GTV_HEALTH=1 a `<name>.health.json` alert log.
+// Merge the artefacts with tools/gtv-prof / tools/gtv-health.
 #pragma once
 
 #include <functional>
@@ -124,9 +127,11 @@ void write_csv(const std::string& out_dir, const std::string& file,
                const std::vector<std::vector<std::string>>& rows);
 
 // Writes one JSON object to <out_dir>/<file>:
-//   {"schema_version":2,"memory":{<tensor ledger>},"metrics":{<registry>}}
+//   {"schema_version":3,"memory":{<tensor ledger>},"metrics":{<registry>},
+//    "health":{<HealthLog summary>}}
 // where metrics is the process-wide MetricsRegistry snapshot (counters,
-// gauges, phase-duration histograms).
+// gauges, phase-duration histograms) and health the alert-count summary
+// (all-zero when GTV_HEALTH is unset).
 void write_telemetry_json(const std::string& out_dir, const std::string& file);
 
 // Runs the tasks on up to GTV_BENCH_PARALLEL threads (default: half the

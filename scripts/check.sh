@@ -1,49 +1,63 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus an observability smoke test.
+# Tier-1 verification plus observability + training-health smoke tests.
 #
 #   scripts/check.sh [build-dir]
 #
-# 1. configure + build + ctest (the repo's tier-1 gate)
-# 2. one small benchmark run with GTV_TRACE + GTV_PROFILE enabled
-# 3. assert the trace parses as JSONL with party rows + send/recv flow
-#    pairs, the telemetry/profile JSON exist and carry schema_version,
-#    and gtv-prof merges all three artefacts
+# Stages (select with GTV_CHECK_STAGE, default "all"):
+#   all    1. configure + build + ctest (the repo's tier-1 gate)
+#          2. one small benchmark run with GTV_TRACE + GTV_PROFILE enabled;
+#             assert the trace parses as JSONL with party rows + send/recv
+#             flow pairs, the telemetry/profile JSON exist and carry
+#             schema_version, and gtv-prof merges all three artefacts
+#          3. the health stage below
+#   health incremental build, then the training-health smoke: a healthy
+#          GTV_HEALTH=1 run must stay alert-free and emit the schema v3
+#          telemetry envelope + <fig>.health.json (feeding the
+#          BENCH_health_smoke.json baseline), a destabilized-LR run must
+#          turn fatal and emit health.* trace instants, the divergence-test
+#          JSONL artefact must hold well-formed alerts, and gtv-prof /
+#          gtv-health must render it all.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
+STAGE="${GTV_CHECK_STAGE:-all}"
 
-cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
-
-# --- observability smoke: tiny bench run with tracing on -------------------
 SMOKE_OUT="$(mktemp -d)"
-TRACE="$SMOKE_OUT/trace.jsonl"
 trap 'rm -rf "$SMOKE_OUT"' EXIT
 
-GTV_TRACE="$TRACE" GTV_PROFILE=1 GTV_BENCH_ROWS=80 GTV_BENCH_ROUNDS=3 \
-  GTV_BENCH_DATASETS=loan GTV_BENCH_OUT="$SMOKE_OUT" "$BUILD_DIR/bench/comm_overhead"
+if [ "$STAGE" = "all" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-[ -s "$TRACE" ] || { echo "FAIL: $TRACE is empty"; exit 1; }
-ls "$SMOKE_OUT"/*.telemetry.json > /dev/null 2>&1 \
-  || { echo "FAIL: no telemetry.json next to the bench CSV"; exit 1; }
-ls "$SMOKE_OUT"/*.profile.json > /dev/null 2>&1 \
-  || { echo "FAIL: no profile.json despite GTV_PROFILE=1"; exit 1; }
-grep -q '"schema_version"' "$SMOKE_OUT"/*.telemetry.json \
-  || { echo "FAIL: telemetry.json missing schema_version"; exit 1; }
-grep -q '"schema_version"' "$SMOKE_OUT"/*.profile.json \
-  || { echo "FAIL: profile.json missing schema_version"; exit 1; }
+  # --- observability smoke: tiny bench run with tracing on -----------------
+  TRACE="$SMOKE_OUT/trace.jsonl"
 
-# Every line must be one JSON object with the Chrome trace-event fields:
-# complete spans (ph:"X"), flow events (ph:"s"/"f"), process metadata (ph:"M").
-awk '!/^\{.*"ph":"X".*"ts":.*"dur":.*"tid":.*\}$/ \
-     && !/^\{.*"ph":"[sf]".*"id":.*"ts":.*"pid":.*\}$/ \
-     && !/^\{.*"ph":"M".*"pid":.*\}$/ { bad = 1; print "bad line " NR ": " $0 }
-     END { exit bad }' "$TRACE"
+  GTV_TRACE="$TRACE" GTV_PROFILE=1 GTV_BENCH_ROWS=80 GTV_BENCH_ROUNDS=3 \
+    GTV_BENCH_DATASETS=loan GTV_BENCH_OUT="$SMOKE_OUT" "$BUILD_DIR/bench/comm_overhead"
 
-if command -v python3 > /dev/null 2>&1; then
-  python3 - "$TRACE" <<'EOF'
+  [ -s "$TRACE" ] || { echo "FAIL: $TRACE is empty"; exit 1; }
+  ls "$SMOKE_OUT"/*.telemetry.json > /dev/null 2>&1 \
+    || { echo "FAIL: no telemetry.json next to the bench CSV"; exit 1; }
+  ls "$SMOKE_OUT"/*.profile.json > /dev/null 2>&1 \
+    || { echo "FAIL: no profile.json despite GTV_PROFILE=1"; exit 1; }
+  grep -q '"schema_version"' "$SMOKE_OUT"/*.telemetry.json \
+    || { echo "FAIL: telemetry.json missing schema_version"; exit 1; }
+  grep -q '"schema_version"' "$SMOKE_OUT"/*.profile.json \
+    || { echo "FAIL: profile.json missing schema_version"; exit 1; }
+
+  # Every line must be one JSON object with the Chrome trace-event fields:
+  # complete spans (ph:"X"), flow events (ph:"s"/"f"), instant events
+  # (ph:"i", health alerts), process metadata (ph:"M").
+  awk '!/^\{.*"ph":"X".*"ts":.*"dur":.*"tid":.*\}$/ \
+       && !/^\{.*"ph":"[sf]".*"id":.*"ts":.*"pid":.*\}$/ \
+       && !/^\{.*"ph":"i".*"s":"p".*"ts":.*"pid":.*\}$/ \
+       && !/^\{.*"ph":"M".*"pid":.*\}$/ { bad = 1; print "bad line " NR ": " $0 }
+       END { exit bad }' "$TRACE"
+
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$TRACE" <<'EOF'
 import json, sys
 names, span_pids, starts, finishes = set(), set(), {}, {}
 with open(sys.argv[1]) as f:
@@ -66,14 +80,145 @@ assert crossing > 0, "no flow crosses parties"
 print(f"trace OK: {n} events, {len(names)} span names, "
       f"{len(span_pids)} party rows, {len(starts)} flow pairs ({crossing} cross-party)")
 EOF
+  fi
+
+  # gtv-prof must merge all three artefacts without error.
+  "$BUILD_DIR/tools/gtv-prof" \
+    --profile "$SMOKE_OUT"/comm_overhead.profile.json \
+    --telemetry "$SMOKE_OUT"/comm_overhead.telemetry.json \
+    --trace "$TRACE" > "$SMOKE_OUT/prof_report.txt"
+  grep -q "== coverage ==" "$SMOKE_OUT/prof_report.txt" \
+    || { echo "FAIL: gtv-prof produced no coverage section"; exit 1; }
 fi
 
-# gtv-prof must merge all three artefacts without error.
-"$BUILD_DIR/tools/gtv-prof" \
-  --profile "$SMOKE_OUT"/comm_overhead.profile.json \
-  --telemetry "$SMOKE_OUT"/comm_overhead.telemetry.json \
-  --trace "$TRACE" > "$SMOKE_OUT/prof_report.txt"
-grep -q "== coverage ==" "$SMOKE_OUT/prof_report.txt" \
-  || { echo "FAIL: gtv-prof produced no coverage section"; exit 1; }
+# --- training-health smoke (stages: all, health) ----------------------------
+if [ "$STAGE" != "all" ] && [ "$STAGE" != "health" ]; then
+  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health)"
+  exit 2
+fi
 
-echo "check.sh: all green"
+if [ "$STAGE" = "health" ]; then
+  # Standalone health stage: incremental build + regenerate the divergence
+  # artefact (cheap; the test binary owns the deterministic scenario).
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" -R health_divergence_test --output-on-failure
+fi
+
+HEALTH_OUT="$SMOKE_OUT/health"
+mkdir -p "$HEALTH_OUT"
+
+# 1. Healthy seed-config run: health armed, zero alerts expected; its
+#    telemetry feeds the BENCH_health_smoke.json baseline.
+GTV_HEALTH=1 GTV_METRICS_DUMP="$HEALTH_OUT/metrics.prom" \
+  GTV_BENCH_ROWS=80 GTV_BENCH_ROUNDS=5 GTV_BENCH_DATASETS=loan \
+  GTV_BENCH_OUT="$HEALTH_OUT" "$BUILD_DIR/bench/comm_overhead"
+
+ls "$HEALTH_OUT"/*.health.json > /dev/null 2>&1 \
+  || { echo "FAIL: no health.json despite GTV_HEALTH=1"; exit 1; }
+grep -q '"schema_version":1' "$HEALTH_OUT"/comm_overhead.health.json \
+  || { echo "FAIL: health.json missing schema_version 1"; exit 1; }
+grep -q '"schema_version":3' "$HEALTH_OUT"/comm_overhead.telemetry.json \
+  || { echo "FAIL: telemetry.json is not the schema_version 3 envelope"; exit 1; }
+grep -q '"health":{' "$HEALTH_OUT"/comm_overhead.telemetry.json \
+  || { echo "FAIL: v3 telemetry envelope missing the health block"; exit 1; }
+[ -s "$HEALTH_OUT/metrics.prom" ] \
+  || { echo "FAIL: GTV_METRICS_DUMP wrote nothing"; exit 1; }
+grep -q '# TYPE' "$HEALTH_OUT/metrics.prom" \
+  || { echo "FAIL: metrics.prom is not Prometheus text exposition"; exit 1; }
+
+# 2. Destabilized run (absurd LR): must record fatal alerts, and with a
+#    trace open the alerts must appear as ph:"i" instant events.
+HEALTH_TRACE="$HEALTH_OUT/divergence_trace.jsonl"
+GTV_HEALTH=1 GTV_TRACE="$HEALTH_TRACE" GTV_BENCH_LR=100 \
+  GTV_BENCH_ROWS=80 GTV_BENCH_ROUNDS=5 GTV_BENCH_DATASETS=loan \
+  GTV_BENCH_OUT="$HEALTH_OUT/diverged" "$BUILD_DIR/bench/comm_overhead"
+
+grep -q '"ph":"i"' "$HEALTH_TRACE" \
+  || { echo "FAIL: destabilized run emitted no health instant events"; exit 1; }
+awk '!/^\{.*"ph":"X".*"ts":.*"dur":.*"tid":.*\}$/ \
+     && !/^\{.*"ph":"[sf]".*"id":.*"ts":.*"pid":.*\}$/ \
+     && !/^\{.*"ph":"i".*"s":"p".*"ts":.*"pid":.*\}$/ \
+     && !/^\{.*"ph":"M".*"pid":.*\}$/ { bad = 1; print "bad line " NR ": " $0 }
+     END { exit bad }' "$HEALTH_TRACE"
+
+# 3. Validate artefact shapes + BENCH baseline with python3.
+ALERT_JSONL="$BUILD_DIR/tests/health_divergence_alerts.jsonl"
+[ -s "$ALERT_JSONL" ] \
+  || { echo "FAIL: $ALERT_JSONL missing (health_divergence_test not run?)"; exit 1; }
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$HEALTH_OUT" "$ALERT_JSONL" <<'EOF'
+import json, sys
+out, alert_jsonl = sys.argv[1], sys.argv[2]
+
+# Healthy seed config: armed but silent.
+healthy = json.load(open(f"{out}/comm_overhead.health.json"))
+assert healthy["schema_version"] == 1, healthy
+assert healthy["summary"]["enabled"] is True
+assert healthy["summary"]["total"] == 0, \
+    f"seed config fired alerts: {healthy['summary']}"
+
+tele = json.load(open(f"{out}/comm_overhead.telemetry.json"))
+assert tele["schema_version"] == 3
+assert tele["health"]["fatal"] == 0
+
+# Destabilized run: >=1 fatal alert, every alert record well-formed.
+diverged = json.load(open(f"{out}/diverged/comm_overhead.health.json"))
+assert diverged["summary"]["fatal"] >= 1, \
+    f"destabilized run stayed healthy: {diverged['summary']}"
+for alert in diverged["alerts"]:
+    assert {"severity", "rule", "round", "value", "threshold"} <= set(alert), alert
+    assert alert["severity"] in ("info", "warn", "fatal"), alert
+
+# Divergence-test artefact: JSONL of alerts, >=1 fatal within 10 rounds.
+fatal_rounds = []
+with open(alert_jsonl) as f:
+    for line in f:
+        if not line.strip():
+            continue
+        alert = json.loads(line)
+        assert {"severity", "rule", "round", "value", "threshold"} <= set(alert), alert
+        if alert["severity"] == "fatal":
+            fatal_rounds.append(alert["round"])
+assert fatal_rounds and min(fatal_rounds) < 10, \
+    f"no fatal alert within 10 rounds: {fatal_rounds}"
+
+# Seed perf baseline for the health smoke.
+hists = tele["metrics"]["histograms"]
+counters = tele["metrics"]["counters"]
+rounds = hists["gtv.phase.round_ms"]["count"]
+wall_ms = hists["gtv.phase.round_ms"]["sum"]
+wire = sum(v for k, v in counters.items()
+           if k.startswith("net.") and k.endswith(".bytes"))
+baseline = {
+    "schema_version": 1,
+    "rounds": rounds,
+    "wall_ms_per_round": round(wall_ms / rounds, 3) if rounds else 0,
+    "bytes_per_round": round(wire / rounds) if rounds else 0,
+    "peak_tensor_bytes": tele["memory"]["peak_bytes"],
+}
+with open("BENCH_health_smoke.json", "w") as f:
+    json.dump(baseline, f, indent=1)
+    f.write("\n")
+print(f"health smoke OK: seed silent, divergence fatal at round "
+      f"{min(fatal_rounds)}, baseline {baseline}")
+EOF
+fi
+
+# 4. The health tooling must render the artefacts without error.
+"$BUILD_DIR/tools/gtv-prof" \
+  --telemetry "$HEALTH_OUT"/diverged/comm_overhead.telemetry.json \
+  > "$HEALTH_OUT/prof_health.txt"
+grep -q "== health alerts" "$HEALTH_OUT/prof_health.txt" \
+  || { echo "FAIL: gtv-prof did not pick up the sibling health.json"; exit 1; }
+"$BUILD_DIR/tools/gtv-health" \
+  --health "$HEALTH_OUT"/diverged/comm_overhead.health.json \
+  --telemetry "$HEALTH_OUT"/diverged/comm_overhead.telemetry.json \
+  > "$HEALTH_OUT/health_report.txt"
+grep -q "== per-round timeline" "$HEALTH_OUT/health_report.txt" \
+  || { echo "FAIL: gtv-health produced no timeline"; exit 1; }
+grep -q "== run context" "$HEALTH_OUT/health_report.txt" \
+  || { echo "FAIL: gtv-health produced no merged run context"; exit 1; }
+
+echo "check.sh: all green (stage $STAGE)"

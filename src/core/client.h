@@ -75,6 +75,12 @@ class GtvClient {
   std::vector<std::size_t> original_rows(const std::vector<std::size_t>& idx) const;
   const data::Table& local_table() const { return table_; }
   const encode::TableEncoder& encoder() const { return encoder_; }
+  // Optimizer handles for health monitoring (last_step_stats of G^b / D^b).
+  nn::Adam& adam_generator() { return *adam_g_; }
+  nn::Adam& adam_discriminator() { return *adam_d_; }
+  // Local RNG, exposed so the trainer's sample-quality probe can snapshot
+  // and restore it (probes must not perturb the training stream).
+  Rng& rng() { return rng_; }
   std::size_t generator_parameter_count();
   std::size_t discriminator_parameter_count();
 

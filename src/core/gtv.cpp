@@ -1,9 +1,12 @@
 #include "core/gtv.h"
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 #include <stdexcept>
 
 #include "gan/losses.h"
+#include "obs/health.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -45,7 +48,8 @@ GtvTrainer::GtvTrainer(std::vector<data::Table> client_tables, GtvOptions option
     : options_(options),
       shuffle_stream_(options.shuffle_seed),
       publish_stream_(options.shuffle_seed ^ 0x9e3779b97f4a7c15ULL),
-      dp_rng_(seed ^ 0xd9b0a5e5ULL) {
+      dp_rng_(seed ^ 0xd9b0a5e5ULL),
+      health_monitor_(options.health.thresholds) {
   if (client_tables.empty()) throw std::invalid_argument("GtvTrainer: no clients");
   const std::size_t rows = client_tables.front().n_rows();
   std::vector<std::size_t> feature_counts;
@@ -382,7 +386,147 @@ gan::RoundLosses GtvTrainer::train_round() {
   }
   history_.push_back(losses);
   telemetry_.push_back(std::move(telemetry));
+  if (obs::health_enabled()) collect_health(losses);
   return losses;
+}
+
+std::vector<obs::HealthAlert> GtvTrainer::health_alerts() const {
+  std::vector<obs::HealthAlert> out;
+  for (const auto& t : telemetry_) {
+    out.insert(out.end(), t.health.alerts.begin(), t.health.alerts.end());
+  }
+  return out;
+}
+
+void GtvTrainer::collect_health(const gan::RoundLosses& losses) {
+  obs::RoundHealth& health = telemetry_.back().health;
+  health.collected = true;
+  const std::size_t round = telemetry_.back().round;
+
+  // Tier 1: optimizer-step statistics. The discriminator stats describe the
+  // round's last critic step, the generator stats its single generator step
+  // (same convention RoundLosses uses for d_loss/g_loss).
+  const auto add = [&health](const std::string& module, const nn::AdamStepStats& s) {
+    if (!s.collected) return;
+    health.modules.push_back(
+        {module, s.grad_norm, s.weight_norm, s.update_norm, s.grad_max_abs, s.nonfinite});
+  };
+  add("server.G", server_->adam_generator().last_step_stats());
+  add("server.D", server_->adam_discriminator().last_step_stats());
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const std::string prefix = "client" + std::to_string(i);
+    add(prefix + ".G", clients_[i]->adam_generator().last_step_stats());
+    add(prefix + ".D", clients_[i]->adam_discriminator().last_step_stats());
+  }
+
+  // Tier 3 collection (rule evaluation for it is warmup-gated downstream).
+  if (options_.health.probe_interval > 0 &&
+      (round + 1) % options_.health.probe_interval == 0) {
+    run_probe(health);
+  }
+
+  health_monitor_.evaluate(round, losses.d_loss, losses.g_loss, losses.gp,
+                           losses.wasserstein, health);
+
+  if (on_alert_) {
+    for (const auto& alert : health.alerts) on_alert_(alert);
+  }
+  if (options_.health.abort_on_fatal && health.has_fatal()) {
+    for (const auto& alert : health.alerts) {
+      if (alert.severity == obs::Severity::kFatal) throw FatalHealthError(alert);
+    }
+  }
+}
+
+void GtvTrainer::run_probe(obs::RoundHealth& health) {
+  const std::size_t n = clients_.size();
+  const std::size_t rows = std::max<std::size_t>(options_.health.probe_rows, 1);
+
+  if (probe_reference_.empty()) {
+    probe_reference_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const data::Table& real = clients_[i]->local_table();
+      probe_reference_[i].reserve(real.n_cols());
+      for (std::size_t c = 0; c < real.n_cols(); ++c) {
+        ColumnReference ref;
+        const auto& col = real.column(c);
+        if (real.spec(c).type == data::ColumnType::kCategorical) {
+          ref.categorical = true;
+          ref.freq.assign(real.spec(c).cardinality(), 0.0);
+          for (double v : col) {
+            const auto k = static_cast<std::size_t>(v);
+            if (k < ref.freq.size()) ref.freq[k] += 1.0;
+          }
+        } else {
+          double sum = 0.0, sq = 0.0;
+          for (double v : col) {
+            sum += v;
+            sq += v * v;
+          }
+          const double inv = col.empty() ? 0.0 : 1.0 / static_cast<double>(col.size());
+          ref.mean = sum * inv;
+          const double var = std::max(0.0, sq * inv - ref.mean * ref.mean);
+          ref.stddev = std::sqrt(var);
+        }
+        probe_reference_[i].push_back(std::move(ref));
+      }
+    }
+  }
+
+  // Synthesis perturbs the server/client RNG streams (noise, CV sampling,
+  // decode); snapshot and restore them so a probed run follows the exact
+  // training trajectory of an unprobed one. The probe tensors also bypass
+  // the TrafficMeter: this is local introspection, not protocol traffic,
+  // and telemetry's per-round link deltas must keep summing to the meter
+  // totals.
+  const Rng server_rng = server_->rng();
+  std::vector<Rng> client_rngs;
+  client_rngs.reserve(n);
+  for (auto& client : clients_) client_rngs.push_back(client->rng());
+
+  server_->set_training(false);
+  const std::size_t p = server_->select_cv_client();
+  const Tensor cv_p = clients_[p]->sample_cv_original(rows);
+  const Tensor global_cv = server_->assemble_global_cv(p, cv_p, rows);
+  const auto slices = server_->generator_forward(global_cv, /*retain_graph=*/false);
+  std::vector<data::Table> shards;
+  shards.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards.push_back(clients_[i]->synthesize(slices[i]));
+  server_->set_training(true);
+
+  server_->rng() = server_rng;
+  for (std::size_t i = 0; i < n; ++i) clients_[i]->rng() = client_rngs[i];
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const data::Table& fake = shards[i];
+    for (std::size_t c = 0; c < fake.n_cols(); ++c) {
+      const ColumnReference& ref = probe_reference_[i][c];
+      obs::ColumnProbe probe;
+      probe.column = "client" + std::to_string(i) + "." + fake.spec(c).name;
+      const auto& col = fake.column(c);
+      if (ref.categorical) {
+        std::vector<double> freq(ref.freq.size(), 0.0);
+        for (double v : col) {
+          const auto k = static_cast<std::size_t>(v);
+          if (k < freq.size()) freq[k] += 1.0;
+        }
+        probe.jsd = obs::jensen_shannon(ref.freq, freq);
+      } else {
+        double sum = 0.0, sq = 0.0;
+        for (double v : col) {
+          sum += v;
+          sq += v * v;
+        }
+        const double inv = col.empty() ? 0.0 : 1.0 / static_cast<double>(col.size());
+        const double mean = sum * inv;
+        const double stddev = std::sqrt(std::max(0.0, sq * inv - mean * mean));
+        const double scale = std::max(ref.stddev, 1e-6);
+        probe.mean_drift = (mean - ref.mean) / scale;
+        probe.std_drift = (stddev - ref.stddev) / scale;
+      }
+      health.probes.push_back(std::move(probe));
+    }
+  }
 }
 
 void GtvTrainer::train(

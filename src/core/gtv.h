@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/attack.h"
@@ -32,9 +33,25 @@
 #include "core/options.h"
 #include "core/server.h"
 #include "net/wire.h"
+#include "obs/health.h"
 #include "obs/telemetry.h"
 
 namespace gtv::core {
+
+// Thrown by train_round() when options.health.abort_on_fatal is set and a
+// fatal health alert fired. The round's history/telemetry records are fully
+// written before the throw, so callers can inspect what went wrong.
+class FatalHealthError : public std::runtime_error {
+ public:
+  explicit FatalHealthError(obs::HealthAlert alert)
+      : std::runtime_error("fatal health alert: " + alert.rule + " (round " +
+                           std::to_string(alert.round) + ")"),
+        alert_(std::move(alert)) {}
+  const obs::HealthAlert& alert() const { return alert_; }
+
+ private:
+  obs::HealthAlert alert_;
+};
 
 class GtvTrainer {
  public:
@@ -74,6 +91,18 @@ class GtvTrainer {
   // JSON array with one object per round (RoundTelemetry::to_json).
   std::string telemetry_json() const { return obs::telemetry_to_json(telemetry_); }
 
+  // --- training health (gtv::obs::health) -------------------------------------
+  // Health records are collected only when obs::health_enabled()
+  // (GTV_HEALTH=1); they ride in telemetry()[r].health. The callback fires
+  // once per alert, after the round's records are written; it is invoked
+  // regardless of severity. abort_on_fatal (GtvOptions::health) escalates
+  // fatal alerts to FatalHealthError.
+  void set_on_alert(std::function<void(const obs::HealthAlert&)> cb) {
+    on_alert_ = std::move(cb);
+  }
+  // All alerts fired so far, in round order (flattened from telemetry()).
+  std::vector<obs::HealthAlert> health_alerts() const;
+
   // --- semi-honest server curiosity (evaluation) ------------------------------
   const ServerInferenceAttack& attack() const { return attack_; }
   // Scores the attack against the clients' *initial* data order (what a
@@ -91,6 +120,15 @@ class GtvTrainer {
  private:
   gan::RoundLosses critic_step(std::size_t batch, obs::RoundTelemetry& telemetry);
   float generator_step(std::size_t batch, obs::RoundTelemetry& telemetry);
+  // Health collection for the just-finished round (telemetry_.back()):
+  // harvests AdamStepStats from all four optimizers per party, runs the
+  // sample-quality probe every probe_interval rounds, feeds the rule
+  // engine, and dispatches alerts. Only called when obs::health_enabled().
+  void collect_health(const gan::RoundLosses& losses);
+  // Draws a small generated batch (set_training(false), RNG streams
+  // snapshotted/restored so training trajectories are unaffected) and fills
+  // `health.probes` with per-column marginal comparisons vs the real shards.
+  void run_probe(obs::RoundHealth& health);
   // Client-side DP noise on outgoing activations (no-op when disabled).
   Tensor privatize(Tensor activations);
   std::string link_up(std::size_t client) const;    // client -> server
@@ -108,6 +146,19 @@ class GtvTrainer {
   data::Table initial_joined_;  // evaluation-only ground truth snapshot
   std::vector<gan::RoundLosses> history_;
   std::vector<obs::RoundTelemetry> telemetry_;  // parallel to history_
+
+  // --- health state -----------------------------------------------------------
+  obs::HealthMonitor health_monitor_;
+  std::function<void(const obs::HealthAlert&)> on_alert_;
+  // Real-shard reference marginals for the probe, computed lazily at the
+  // first probe (marginals are invariant under the per-round shuffles).
+  struct ColumnReference {
+    bool categorical = false;
+    std::vector<double> freq;  // categorical: per-category frequencies
+    double mean = 0.0;
+    double stddev = 0.0;
+  };
+  std::vector<std::vector<ColumnReference>> probe_reference_;  // [client][col]
 };
 
 }  // namespace gtv::core

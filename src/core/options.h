@@ -5,6 +5,7 @@
 
 #include "core/partition.h"
 #include "gan/ctabgan.h"
+#include "obs/health.h"
 
 namespace gtv::core {
 
@@ -50,6 +51,11 @@ struct GtvOptions {
   // protection because of its accuracy cost; the ablation bench measures
   // that cost.
   float dp_noise_std = 0.0f;
+  // Training-health monitoring (gtv::obs::health). Collection itself is
+  // armed by GTV_HEALTH=1 (or obs::set_health_enabled); these options only
+  // tune what armed collection does — detector thresholds, how often the
+  // sample-quality probe runs, and whether a fatal alert aborts training.
+  obs::HealthOptions health;
 };
 
 }  // namespace gtv::core

@@ -62,6 +62,10 @@ class GtvServer {
 
   void set_training(bool training);
 
+  // Optimizer handles for health monitoring (last_step_stats of G^t / D^t+D^s).
+  nn::Adam& adam_generator() { return *adam_g_; }
+  nn::Adam& adam_discriminator() { return *adam_d_; }
+
   std::size_t noise_dim() const { return options_.gan.noise_dim; }
   Rng& rng() { return rng_; }
   std::size_t generator_parameter_count() { return g_top_->parameter_count(); }

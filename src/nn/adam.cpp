@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/health.h"
+
 namespace gtv::nn {
 
 Adam::Adam(std::vector<ag::Var> params, AdamOptions options)
@@ -15,9 +17,21 @@ Adam::Adam(std::vector<ag::Var> params, AdamOptions options)
 }
 
 void Adam::step() {
+  if (obs::health_enabled()) {
+    step_impl<true>();
+  } else {
+    stats_.collected = false;
+    step_impl<false>();
+  }
+}
+
+template <bool Collect>
+void Adam::step_impl() {
   ++step_count_;
   const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_count_));
   const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_count_));
+  double grad_sq = 0.0, weight_sq = 0.0, update_sq = 0.0, grad_max = 0.0;
+  std::uint64_t nonfinite = 0;
   for (std::size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
     const Tensor& g = p.grad();
@@ -33,9 +47,29 @@ void Adam::step() {
       v[k] = options_.beta2 * v[k] + (1.0f - options_.beta2) * gk * gk;
       const float m_hat = m[k] / bc1;
       const float v_hat = v[k] / bc2;
-      w[k] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+      const float delta = options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+      w[k] -= delta;
+      if constexpr (Collect) {
+        const double gd = grad[k];
+        if (!std::isfinite(gd)) {
+          ++nonfinite;
+        } else {
+          grad_sq += gd * gd;
+          grad_max = std::max(grad_max, std::abs(gd));
+        }
+        weight_sq += static_cast<double>(w[k]) * w[k];
+        update_sq += static_cast<double>(delta) * delta;
+      }
     }
     p.set_value(std::move(value));
+  }
+  if constexpr (Collect) {
+    stats_.collected = true;
+    stats_.grad_norm = std::sqrt(grad_sq);
+    stats_.weight_norm = std::sqrt(weight_sq);
+    stats_.update_norm = std::sqrt(update_sq);
+    stats_.grad_max_abs = grad_max;
+    stats_.nonfinite = nonfinite;
   }
 }
 

@@ -1,8 +1,16 @@
 // Adam optimizer (Kingma & Ba) with optional decoupled weight decay.
 // Defaults follow CT-GAN's training configuration: lr 2e-4, betas (0.5, 0.9),
 // eps 1e-8, weight decay 1e-6.
+//
+// Health hook: when gtv::obs::health_enabled() (GTV_HEALTH=1), step()
+// additionally accumulates per-step statistics over all parameters —
+// gradient / weight / update L2 norms, max-abs gradient, and a NaN/Inf
+// sentinel count — into last_step_stats(). Disarmed cost is one relaxed
+// atomic load per step() call; the stat-collecting loop is a separate code
+// path, so the plain update loop is untouched.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "autograd/autograd.h"
@@ -17,6 +25,17 @@ struct AdamOptions {
   float weight_decay = 1e-6f;
 };
 
+// Per-step health statistics (see file comment). `collected` is false when
+// the last step ran disarmed — consumers must check it before reading.
+struct AdamStepStats {
+  bool collected = false;
+  double grad_norm = 0.0;     // L2 over all parameter gradients (finite ones)
+  double weight_norm = 0.0;   // L2 over all parameter values after the step
+  double update_norm = 0.0;   // L2 over the applied deltas
+  double grad_max_abs = 0.0;
+  std::uint64_t nonfinite = 0;  // NaN/Inf gradient elements encountered
+};
+
 class Adam {
  public:
   explicit Adam(std::vector<ag::Var> params, AdamOptions options = {});
@@ -27,12 +46,18 @@ class Adam {
 
   const AdamOptions& options() const { return options_; }
   std::size_t parameter_count() const;
+  // Statistics of the most recent step(); collected only under GTV_HEALTH.
+  const AdamStepStats& last_step_stats() const { return stats_; }
 
  private:
+  template <bool Collect>
+  void step_impl();
+
   std::vector<ag::Var> params_;
   std::vector<Tensor> m_;
   std::vector<Tensor> v_;
   AdamOptions options_;
+  AdamStepStats stats_;
   long step_count_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <sstream>
 
@@ -138,8 +139,46 @@ const std::vector<double>& default_latency_bounds_ms() {
   return kBounds;
 }
 
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:] only.
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+// GTV_METRICS_DUMP=<path>: write the final registry state on exit so health
+// gauges and traffic counters are scrapeable without the JSON tooling.
+void install_metrics_dump() {
+  static const std::string path = [] {
+    const char* p = std::getenv("GTV_METRICS_DUMP");
+    return std::string(p != nullptr ? p : "");
+  }();
+  if (path.empty()) return;
+  static const bool installed = [] {
+    // Registered after the registry's function-local static is constructed,
+    // so this handler runs before the registry is destroyed.
+    std::atexit([] {
+      std::ofstream out(path);
+      if (out) out << MetricsRegistry::instance().to_prometheus();
+    });
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
+  install_metrics_dump();
   return registry;
 }
 
@@ -194,6 +233,34 @@ std::string MetricsRegistry::to_json() const {
     first = false;
   }
   os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = prometheus_name(name);
+    os << "# TYPE " << pn << " counter\n" << pn << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = prometheus_name(name);
+    os << "# TYPE " << pn << " gauge\n" << pn << ' ' << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pn = prometheus_name(name);
+    os << "# TYPE " << pn << " histogram\n";
+    const auto& bounds = h->bounds();
+    const auto counts = h->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      cumulative += counts[b];
+      os << pn << "_bucket{le=\"" << bounds[b] << "\"} " << cumulative << '\n';
+    }
+    os << pn << "_bucket{le=\"+Inf\"} " << h->count() << '\n';
+    os << pn << "_sum " << h->sum() << '\n';
+    os << pn << "_count " << h->count() << '\n';
+  }
   return os.str();
 }
 

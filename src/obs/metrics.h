@@ -110,6 +110,13 @@ class MetricsRegistry {
   // Histograms report count/sum/p50/p90/p99/min/max.
   std::string to_json() const;
 
+  // Prometheus text exposition format (version 0.0.4): counters and gauges
+  // as single samples, histograms as cumulative `_bucket{le="..."}` series
+  // plus `_sum`/`_count`. Metric names are sanitized to [a-zA-Z0-9_:]
+  // ('.', '-', '>' etc. become '_'), so `gtv.health.server.D.grad_norm`
+  // scrapes as `gtv_health_server_D_grad_norm`.
+  std::string to_prometheus() const;
+
   // Zeroes every registered metric; handles stay valid. For tests and for
   // benchmark repeats that want per-run deltas.
   void reset();

@@ -39,7 +39,9 @@ std::string RoundTelemetry::to_json() const {
      << ",\"critic_backward\":" << mem_peak_bytes.critic_backward
      << ",\"gradient_penalty\":" << mem_peak_bytes.gradient_penalty
      << ",\"generator_step\":" << mem_peak_bytes.generator_step
-     << ",\"shuffle\":" << mem_peak_bytes.shuffle << "},\"links\":[";
+     << ",\"shuffle\":" << mem_peak_bytes.shuffle << "},";
+  if (health.collected) os << "\"health\":" << health.to_json() << ',';
+  os << "\"links\":[";
   for (std::size_t i = 0; i < links.size(); ++i) {
     os << (i == 0 ? "" : ",") << "{\"link\":\"" << json_escape(links[i].link)
        << "\",\"bytes\":" << links[i].bytes << ",\"messages\":" << links[i].messages

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/health.h"
+
 namespace gtv::obs {
 
 struct LinkDelta {
@@ -61,6 +63,14 @@ struct RoundTelemetry {
     std::uint64_t shuffle = 0;
   };
   PhasePeaks mem_peak_bytes;
+
+  // --- training health (gtv::obs::health) ------------------------------------
+  // Populated only under GTV_HEALTH: per-module gradient stats, probe
+  // results, and the alerts that fired this round. When not collected the
+  // JSON omits the block, keeping disarmed output byte-identical.
+  // aggregate() does not fold health (per-round records stay the source of
+  // truth; the run-level summary lives in HealthLog).
+  RoundHealth health;
 
   // --- communication charged during this round -------------------------------
   std::vector<LinkDelta> links;

@@ -96,6 +96,18 @@ void TraceSink::emit_flow(const char* name, std::uint64_t flow_id, char phase,
   out_ << "}\n";
 }
 
+void TraceSink::emit_instant(const char* name, std::uint64_t ts_us,
+                             const char* severity, double value, double threshold) {
+  const std::uint32_t tid = this_thread_trace_id();
+  const int pid = t_current_party;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
+  out_ << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"i\",\"s\":\"p\",\"ts\":"
+       << ts_us << ",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"args\":{\"severity\":\"" << json_escape(severity)
+       << "\",\"value\":" << value << ",\"threshold\":" << threshold << "}}\n";
+}
+
 std::uint64_t TraceSink::next_flow_id() {
   static std::atomic<std::uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);

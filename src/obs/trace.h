@@ -68,6 +68,12 @@ class TraceSink {
   void emit_flow(const char* name, std::uint64_t flow_id, char phase, int pid,
                  std::uint64_t ts_us);
 
+  // Emits one process-scoped instant event (ph:"i", s:"p") on the calling
+  // thread's current party. Used by gtv::obs::health to pin alerts onto the
+  // timeline; `severity`/`value`/`threshold` ride in args.
+  void emit_instant(const char* name, std::uint64_t ts_us, const char* severity,
+                    double value, double threshold);
+
   // Monotonic process-wide flow id for correlating send/receive pairs.
   static std::uint64_t next_flow_id();
 

@@ -1,0 +1,346 @@
+// Unit tests for gtv::obs::health: the JSD probe math, the HealthMonitor
+// rule engine, gated AdamStepStats collection, HealthLog serialization, and
+// the Prometheus exposition of the registry the alerts publish into.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "nn/adam.h"
+#include "obs/health.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace gtv::obs {
+namespace {
+
+// Restores the health switch and drains the process-wide HealthLog so tests
+// cannot leak alerts into each other.
+class HealthGuard {
+ public:
+  HealthGuard() : was_(health_enabled()) { HealthLog::instance().reset(); }
+  ~HealthGuard() {
+    set_health_enabled(was_);
+    HealthLog::instance().reset();
+  }
+
+ private:
+  bool was_;
+};
+
+// --- Jensen-Shannon ----------------------------------------------------------
+
+TEST(JensenShannonTest, IdenticalMarginalsAreZero) {
+  const std::vector<double> p = {10, 20, 30, 40};
+  EXPECT_NEAR(jensen_shannon(p, p), 0.0, 1e-12);
+  // Normalization-invariant: same distribution at a different total mass.
+  const std::vector<double> q = {1, 2, 3, 4};
+  EXPECT_NEAR(jensen_shannon(p, q), 0.0, 1e-12);
+}
+
+TEST(JensenShannonTest, DisjointSupportIsOne) {
+  EXPECT_NEAR(jensen_shannon({1, 0}, {0, 1}), 1.0, 1e-12);
+  EXPECT_NEAR(jensen_shannon({5, 5, 0, 0}, {0, 0, 3, 3}), 1.0, 1e-12);
+}
+
+TEST(JensenShannonTest, SymmetricAndBounded) {
+  const std::vector<double> p = {0.7, 0.2, 0.1};
+  const std::vector<double> q = {0.1, 0.3, 0.6};
+  const double pq = jensen_shannon(p, q);
+  EXPECT_DOUBLE_EQ(pq, jensen_shannon(q, p));
+  EXPECT_GT(pq, 0.0);
+  EXPECT_LT(pq, 1.0);
+}
+
+TEST(JensenShannonTest, RejectsBadInput) {
+  EXPECT_THROW(jensen_shannon({1, 2}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(jensen_shannon({1, -1}, {1, 1}), std::invalid_argument);
+}
+
+// --- HealthAlert / RoundHealth JSON ------------------------------------------
+
+TEST(HealthAlertTest, JsonParsesBack) {
+  HealthAlert alert{Severity::kFatal, "critic_grad_norm", 7, 1234.5, 1000.0,
+                    "server.D: gradient L2 norm exploded"};
+  const json::Value v = json::parse(alert.to_json());
+  EXPECT_EQ(v.str_or("severity", ""), "fatal");
+  EXPECT_EQ(v.str_or("rule", ""), "critic_grad_norm");
+  EXPECT_DOUBLE_EQ(v.num_or("round", -1), 7.0);
+  EXPECT_DOUBLE_EQ(v.num_or("value", 0), 1234.5);
+  EXPECT_DOUBLE_EQ(v.num_or("threshold", 0), 1000.0);
+  EXPECT_EQ(v.str_or("detail", ""), "server.D: gradient L2 norm exploded");
+}
+
+TEST(HealthAlertTest, NonFiniteValuesSerializeAsFiniteJson) {
+  HealthAlert alert;
+  alert.rule = "nonfinite_loss";
+  alert.value = std::numeric_limits<double>::quiet_NaN();
+  alert.threshold = std::numeric_limits<double>::infinity();
+  // Must parse: JSON has no NaN/Inf literals, the emitter sanitizes them.
+  const json::Value v = json::parse(alert.to_json());
+  EXPECT_TRUE(std::isfinite(v.num_or("value", -1)));
+  EXPECT_TRUE(std::isfinite(v.num_or("threshold", -1)));
+}
+
+TEST(RoundHealthTest, JsonRoundTripsAllSections) {
+  RoundHealth health;
+  health.collected = true;
+  health.modules.push_back({"server.D", 3.0, 10.0, 0.05, 1.5, 0});
+  health.probes.push_back({"client0.cat", 0.25, 0.0, 0.0});
+  health.probes.push_back({"client1.amount", -1.0, 0.4, -0.1});
+  health.alerts.push_back({Severity::kWarn, "update_ratio", 3, 0.7, 0.5, "x"});
+  const json::Value v = json::parse(health.to_json());
+  ASSERT_EQ(v.at("modules").array.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.at("modules").array[0].num_or("update_ratio", 0), 0.005);
+  ASSERT_EQ(v.at("probes").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.at("probes").array[0].num_or("jsd", 0), 0.25);
+  ASSERT_EQ(v.at("alerts").array.size(), 1u);
+  EXPECT_FALSE(health.has_fatal());
+  health.modules.push_back({"client0.G", 1.0, 1.0, 0.001, 0.2, 4});
+  EXPECT_EQ(health.nonfinite_grads(), 4u);
+}
+
+// --- HealthMonitor rules -----------------------------------------------------
+
+RoundHealth module_round(const std::string& module, double grad_norm,
+                         double weight_norm, double update_norm,
+                         std::uint64_t nonfinite = 0) {
+  RoundHealth health;
+  health.collected = true;
+  health.modules.push_back(
+      {module, grad_norm, weight_norm, update_norm, grad_norm, nonfinite});
+  return health;
+}
+
+bool fired(const RoundHealth& health, const std::string& rule) {
+  for (const auto& a : health.alerts) {
+    if (a.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(HealthMonitorTest, HealthyRoundIsSilent) {
+  HealthGuard guard;
+  HealthMonitor monitor;
+  for (std::size_t round = 0; round < 30; ++round) {
+    RoundHealth health = module_round("server.D", 2.0, 50.0, 0.05);
+    monitor.evaluate(round, /*d_loss=*/1.0f + 0.01f * round, /*g_loss=*/-0.5f,
+                     /*gp=*/0.2f, /*wasserstein=*/1.0f, health);
+    EXPECT_TRUE(health.alerts.empty()) << "round " << round;
+  }
+  EXPECT_EQ(HealthLog::instance().total(), 0u);
+}
+
+TEST(HealthMonitorTest, NonFiniteGradientIsFatal) {
+  HealthGuard guard;
+  HealthMonitor monitor;
+  RoundHealth health = module_round("client0.G", 1.0, 1.0, 0.001, /*nonfinite=*/3);
+  monitor.evaluate(0, 1.0f, 1.0f, 0.1f, 1.0f, health);
+  EXPECT_TRUE(fired(health, "nonfinite_grad"));
+  EXPECT_TRUE(health.has_fatal());
+  EXPECT_EQ(HealthLog::instance().count(Severity::kFatal), 1u);
+}
+
+TEST(HealthMonitorTest, ExplodingCriticGradientIsFatalGeneratorWarns) {
+  HealthGuard guard;
+  HealthMonitor monitor;
+  RoundHealth health;
+  health.collected = true;
+  health.modules.push_back({"server.D", 5e3, 10.0, 0.01, 5e3, 0});
+  health.modules.push_back({"client0.G", 5e3, 10.0, 0.01, 5e3, 0});
+  monitor.evaluate(0, 1.0f, 1.0f, 0.1f, 1.0f, health);
+  ASSERT_TRUE(fired(health, "critic_grad_norm"));
+  ASSERT_TRUE(fired(health, "generator_grad_norm"));
+  for (const auto& a : health.alerts) {
+    if (a.rule == "critic_grad_norm") EXPECT_EQ(a.severity, Severity::kFatal);
+    if (a.rule == "generator_grad_norm") EXPECT_EQ(a.severity, Severity::kWarn);
+  }
+}
+
+TEST(HealthMonitorTest, UpdateRatioWarns) {
+  HealthGuard guard;
+  HealthMonitor monitor;
+  // ||update|| / ||weights|| = 0.8 > 0.5 default threshold.
+  RoundHealth health = module_round("server.G", 1.0, 1.0, 0.8);
+  monitor.evaluate(0, 1.0f, 1.0f, 0.1f, 1.0f, health);
+  EXPECT_TRUE(fired(health, "update_ratio"));
+}
+
+TEST(HealthMonitorTest, GradNormGrowthNeedsPrimedBaseline) {
+  HealthGuard guard;
+  HealthMonitor monitor;
+  // Two quiet rounds do not prime the EWMA (needs 3 samples) — a jump on
+  // round 2 stays silent; after priming the same jump fires.
+  for (std::size_t round = 0; round < 3; ++round) {
+    RoundHealth health = module_round("server.D", 1.0, 10.0, 0.01);
+    monitor.evaluate(round, 1.0f, 1.0f, 0.1f, 1.0f, health);
+    EXPECT_FALSE(fired(health, "grad_norm_growth"));
+  }
+  RoundHealth spike = module_round("server.D", 100.0, 10.0, 0.01);
+  monitor.evaluate(3, 1.0f, 1.0f, 0.1f, 1.0f, spike);
+  EXPECT_TRUE(fired(spike, "grad_norm_growth"));
+}
+
+TEST(HealthMonitorTest, NonFiniteLossIsFatal) {
+  HealthGuard guard;
+  HealthMonitor monitor;
+  RoundHealth health;
+  health.collected = true;
+  monitor.evaluate(0, std::numeric_limits<float>::quiet_NaN(), 1.0f, 0.1f, 1.0f,
+                   health);
+  EXPECT_TRUE(fired(health, "nonfinite_loss"));
+  EXPECT_TRUE(health.has_fatal());
+}
+
+TEST(HealthMonitorTest, WassersteinSignFlipAfterWarmup) {
+  HealthGuard guard;
+  HealthThresholds t;
+  t.detector_warmup_rounds = 0;  // isolate the flip rule from the warmup
+  HealthMonitor monitor(t);
+  RoundHealth last;
+  for (std::size_t round = 0; round < t.sign_flip_window + 2; ++round) {
+    RoundHealth health;
+    health.collected = true;
+    const float w = (round % 2 == 0) ? 0.5f : -0.5f;
+    monitor.evaluate(round, 1.0f, 1.0f, 0.1f, w, health);
+    last = health;
+  }
+  EXPECT_TRUE(fired(last, "wasserstein_sign_flip"));
+}
+
+TEST(HealthMonitorTest, ProbeRulesRespectWarmup) {
+  HealthGuard guard;
+  HealthThresholds t;
+  HealthMonitor monitor(t);
+  RoundHealth early;
+  early.collected = true;
+  early.probes.push_back({"client0.cat", 0.95, 0.0, 0.0});  // terrible marginal
+  monitor.evaluate(0, 1.0f, 1.0f, 0.1f, 1.0f, early);
+  EXPECT_FALSE(fired(early, "probe_jsd")) << "early training is exempt";
+
+  HealthMonitor monitor2(t);
+  RoundHealth late;
+  late.collected = true;
+  late.probes.push_back({"client0.cat", 0.95, 0.0, 0.0});
+  late.probes.push_back({"client0.amount", -1.0, 5.0, -0.95});
+  monitor2.evaluate(t.probe_warmup_rounds, 1.0f, 1.0f, 0.1f, 1.0f, late);
+  EXPECT_TRUE(fired(late, "probe_jsd"));
+  EXPECT_TRUE(fired(late, "probe_mean_drift"));
+  EXPECT_TRUE(fired(late, "probe_std_drift"));
+}
+
+// --- gated Adam collection ---------------------------------------------------
+
+TEST(AdamStepStatsTest, DisarmedStepCollectsNothing) {
+  HealthGuard guard;
+  set_health_enabled(false);
+  ag::Var x(Tensor::ones(1, 4), true);
+  nn::Adam optimizer({x});
+  optimizer.zero_grad();
+  ag::backward(ag::sum_all(ag::square(x)));
+  optimizer.step();
+  EXPECT_FALSE(optimizer.last_step_stats().collected);
+}
+
+TEST(AdamStepStatsTest, ArmedStepCollectsNorms) {
+  HealthGuard guard;
+  set_health_enabled(true);
+  ag::Var x(Tensor::ones(1, 4), true);
+  nn::AdamOptions opts;
+  opts.weight_decay = 0.0f;
+  nn::Adam optimizer({x}, opts);
+  optimizer.zero_grad();
+  ag::backward(ag::sum_all(ag::square(x)));  // d/dx = 2x = 2 per element
+  optimizer.step();
+  const nn::AdamStepStats& s = optimizer.last_step_stats();
+  ASSERT_TRUE(s.collected);
+  EXPECT_NEAR(s.grad_norm, std::sqrt(4.0 * 4.0), 1e-6);  // ||(2,2,2,2)||
+  EXPECT_NEAR(s.grad_max_abs, 2.0, 1e-6);
+  EXPECT_GT(s.weight_norm, 0.0);
+  EXPECT_GT(s.update_norm, 0.0);
+  EXPECT_EQ(s.nonfinite, 0u);
+
+  // Disarming again drops straight back to the uncollected state.
+  set_health_enabled(false);
+  optimizer.zero_grad();
+  ag::backward(ag::sum_all(ag::square(x)));
+  optimizer.step();
+  EXPECT_FALSE(optimizer.last_step_stats().collected);
+}
+
+TEST(AdamStepStatsTest, CountsNonFiniteGradients) {
+  HealthGuard guard;
+  set_health_enabled(true);
+  ag::Var x(Tensor::ones(1, 2), true);
+  nn::Adam optimizer({x});
+  optimizer.zero_grad();
+  // Seed the backward pass with a NaN (as a diverged upstream loss would).
+  Tensor seed = Tensor::ones(1, 2);
+  seed(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  ag::backward(x, ag::constant(seed));
+  optimizer.step();
+  EXPECT_EQ(optimizer.last_step_stats().nonfinite, 1u);
+}
+
+// --- HealthLog ---------------------------------------------------------------
+
+TEST(HealthLogTest, SummaryAndJsonlShapes) {
+  HealthGuard guard;
+  HealthLog& log = HealthLog::instance();
+  log.record({Severity::kWarn, "gp_magnitude", 1, 150.0, 100.0, ""});
+  log.record({Severity::kFatal, "critic_grad_norm", 2, 2e3, 1e3, "server.D"});
+  log.record({Severity::kWarn, "gp_magnitude", 3, 180.0, 100.0, ""});
+
+  EXPECT_EQ(log.total(), 3u);
+  EXPECT_EQ(log.count(Severity::kWarn), 2u);
+  EXPECT_EQ(log.count(Severity::kFatal), 1u);
+
+  const json::Value summary = json::parse(log.summary_json());
+  EXPECT_DOUBLE_EQ(summary.num_or("total", 0), 3.0);
+  EXPECT_DOUBLE_EQ(summary.num_or("fatal", 0), 1.0);
+  EXPECT_DOUBLE_EQ(summary.at("rules").num_or("gp_magnitude", 0), 2.0);
+
+  // JSONL: one parseable alert object per line.
+  std::istringstream lines(log.alerts_jsonl());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const json::Value v = json::parse(line);
+    EXPECT_FALSE(v.str_or("rule", "").empty());
+    ++n;
+  }
+  EXPECT_EQ(n, 3u);
+
+  const json::Value arr = json::parse(log.alerts_json());
+  ASSERT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.array.size(), 3u);
+}
+
+// --- Prometheus exposition ---------------------------------------------------
+
+TEST(PrometheusTest, ExposesCountersGaugesHistograms) {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  registry.counter("health_test.prom.counter").add(7);
+  registry.gauge("gtv.health.server.D.grad_norm").set(3.5);
+  Histogram& h = registry.histogram("health_test.prom.hist", {1.0, 10.0});
+  h.record(0.5);
+  h.record(5.0);
+  h.record(50.0);
+
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE health_test_prom_counter counter\n"), std::string::npos);
+  EXPECT_NE(text.find("health_test_prom_counter 7\n"), std::string::npos);
+  // '.' sanitized to '_'; the metric name survives otherwise.
+  EXPECT_NE(text.find("gtv_health_server_D_grad_norm 3.5\n"), std::string::npos);
+  // Cumulative buckets: le="1" holds 1 sample, le="10" holds 2, +Inf all 3.
+  EXPECT_NE(text.find("health_test_prom_hist_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("health_test_prom_hist_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("health_test_prom_hist_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("health_test_prom_hist_count 3\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gtv::obs

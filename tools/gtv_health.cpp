@@ -1,0 +1,204 @@
+// gtv-health — renders the training-health artefacts a GTV_HEALTH=1 run
+// leaves behind as a per-round report:
+//
+//   gtv-health --health <stem>.health.json        (HealthLog alert log)
+//              [--telemetry <stem>.telemetry.json] (registry snapshot; adds
+//                                                   the gtv.health.* gauges
+//                                                   and wall-clock context)
+//              [--rounds <rounds.json>]            (GtvTrainer::telemetry_json
+//                                                   array; adds per-round
+//                                                   losses/gradient norms)
+//
+// The report has three sections: the severity/rule summary (same line
+// gtv-prof prints), a per-round alert timeline grouped from the alert log,
+// and — when artefacts from the metrics side are supplied — the merged
+// gtv-prof context (final per-module gradient gauges, gradient-penalty
+// histogram, round wall clock), so one invocation answers both "what fired"
+// and "what did the run look like around it".
+//
+// Accepted schema_versions: health v1, telemetry v2/v3. Unknown versions
+// fail loudly rather than misreport.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using gtv::obs::json::Value;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void require_schema(const Value& doc, double lo, double hi, const std::string& what) {
+  const double got = doc.num_or("schema_version", -1);
+  if (got < lo || got > hi) {
+    throw std::runtime_error(what + ": unsupported schema_version " +
+                             std::to_string(got));
+  }
+}
+
+// --- health.json -----------------------------------------------------------
+
+void print_summary(const Value& summary) {
+  std::printf("== alert summary ==\n");
+  std::printf("alerts: %.0f total — %.0f fatal, %.0f warn, %.0f info\n",
+              summary.num_or("total", 0), summary.num_or("fatal", 0),
+              summary.num_or("warn", 0), summary.num_or("info", 0));
+  if (summary.has("rules")) {
+    for (const auto& [rule, count] : summary.at("rules").object) {
+      std::printf("  %-34s x%.0f\n", rule.c_str(), count.number);
+    }
+  }
+  std::printf("\n");
+}
+
+void print_timeline(const Value& alerts) {
+  // round -> alerts fired that round, preserving emission order.
+  std::map<std::size_t, std::vector<const Value*>> by_round;
+  for (const auto& a : alerts.array) {
+    by_round[static_cast<std::size_t>(a.num_or("round", 0))].push_back(&a);
+  }
+  std::printf("== per-round timeline (%zu alerts over %zu rounds) ==\n",
+              alerts.array.size(), by_round.size());
+  for (const auto& [round, fired] : by_round) {
+    std::printf("round %zu:\n", round);
+    for (const Value* a : fired) {
+      std::printf("  [%-5s] %-24s value %.6g vs threshold %.6g  %s\n",
+                  a->str_or("severity", "?").c_str(), a->str_or("rule", "?").c_str(),
+                  a->num_or("value", 0), a->num_or("threshold", 0),
+                  a->str_or("detail", "").c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+// --- telemetry snapshot (merged gtv-prof context) ---------------------------
+
+void print_telemetry_context(const Value& doc) {
+  const Value& metrics = doc.at("metrics");
+  const Value& hists = metrics.at("histograms");
+  std::printf("== run context (telemetry snapshot) ==\n");
+  if (hists.has("gtv.phase.round_ms")) {
+    const Value& round = hists.at("gtv.phase.round_ms");
+    const double count = round.num_or("count", 0);
+    std::printf("rounds: %.0f, wall %.3f ms total (%.3f ms/round p50 %.3f p99 %.3f)\n",
+                count, round.num_or("sum", 0),
+                count > 0 ? round.num_or("sum", 0) / count : 0.0,
+                round.num_or("p50", 0), round.num_or("p99", 0));
+  }
+  if (hists.has("gtv.health.gp")) {
+    const Value& gp = hists.at("gtv.health.gp");
+    std::printf("gradient penalty |gp|: %.0f samples, p50 %.4g p99 %.4g max %.4g\n",
+                gp.num_or("count", 0), gp.num_or("p50", 0), gp.num_or("p99", 0),
+                gp.num_or("max", 0));
+  }
+  // Final per-module gradient gauges (last evaluated round).
+  const Value& gauges = metrics.at("gauges");
+  bool header = false;
+  for (const auto& [name, g] : gauges.object) {
+    if (name.rfind("gtv.health.", 0) != 0) continue;
+    if (name.size() < 10 || name.compare(name.size() - 10, 10, ".grad_norm") != 0) {
+      continue;
+    }
+    if (!header) {
+      std::printf("final gradient norms (gtv.health.<module>.grad_norm):\n");
+      header = true;
+    }
+    std::printf("  %-34s %12.6g\n", name.c_str(), g.number);
+  }
+  if (doc.has("health")) {
+    const Value& h = doc.at("health");
+    const bool enabled = h.has("enabled") && h.at("enabled").boolean;
+    std::printf("envelope health block: enabled=%s total=%.0f fatal=%.0f\n",
+                enabled ? "true" : "false", h.num_or("total", 0),
+                h.num_or("fatal", 0));
+  }
+  std::printf("\n");
+}
+
+// --- per-round telemetry array (GtvTrainer::telemetry_json) -----------------
+
+void print_rounds(const Value& rounds) {
+  std::printf("== per-round losses & gradient norms (%zu rounds) ==\n",
+              rounds.array.size());
+  std::printf("%6s %12s %12s %10s %12s %8s %8s\n", "round", "d_loss", "g_loss",
+              "|gp|", "wasserstein", "modules", "alerts");
+  for (const auto& r : rounds.array) {
+    const Value& losses = r.at("losses");
+    std::size_t modules = 0, alerts = 0;
+    if (r.has("health")) {
+      modules = r.at("health").at("modules").array.size();
+      alerts = r.at("health").at("alerts").array.size();
+    }
+    std::printf("%6.0f %12.5g %12.5g %10.4g %12.5g %8zu %8zu\n", r.num_or("round", 0),
+                losses.num_or("d_loss", 0), losses.num_or("g_loss", 0),
+                std::abs(losses.num_or("gp", 0)), losses.num_or("wasserstein", 0),
+                modules, alerts);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string health_path, telemetry_path, rounds_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--health" && has_value) {
+      health_path = argv[++i];
+    } else if (arg == "--telemetry" && has_value) {
+      telemetry_path = argv[++i];
+    } else if (arg == "--rounds" && has_value) {
+      rounds_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: gtv-health --health <stem>.health.json"
+                   " [--telemetry <stem>.telemetry.json] [--rounds <rounds.json>]\n");
+      return 2;
+    }
+  }
+  if (health_path.empty() && telemetry_path.empty() && rounds_path.empty()) {
+    std::fprintf(stderr,
+                 "gtv-health: nothing to do (pass --health/--telemetry/--rounds)\n");
+    return 2;
+  }
+
+  try {
+    if (!health_path.empty()) {
+      const Value doc = gtv::obs::json::parse(read_file(health_path));
+      require_schema(doc, 1, 1, health_path);
+      print_summary(doc.at("summary"));
+      print_timeline(doc.at("alerts"));
+    }
+    if (!rounds_path.empty()) {
+      const Value rounds = gtv::obs::json::parse(read_file(rounds_path));
+      if (!rounds.is_array()) {
+        throw std::runtime_error(rounds_path + ": expected a JSON array of rounds");
+      }
+      print_rounds(rounds);
+    }
+    if (!telemetry_path.empty()) {
+      const Value doc = gtv::obs::json::parse(read_file(telemetry_path));
+      require_schema(doc, 2, 3, telemetry_path);
+      print_telemetry_context(doc);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gtv-health: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -4,16 +4,19 @@
 //   gtv-prof [--profile <stem>.profile.json]     (GTV_PROFILE=1 op table)
 //            [--telemetry <stem>.telemetry.json] (metrics + memory snapshot)
 //            [--trace <trace.jsonl>]             (GTV_TRACE span/flow stream)
+//            [--health <stem>.health.json]       (GTV_HEALTH=1 alert log)
 //
-// Any subset of the three may be given; each present artefact adds a
-// section. When both a profile and a telemetry snapshot are supplied the
-// report also computes *coverage*: the fraction of the training rounds'
-// wall clock (the gtv.phase.round_ms histogram) that the profiled op self
-// times account for — the acceptance gauge for the op instrumentation.
+// Any subset may be given; each present artefact adds a section. When a
+// telemetry snapshot is supplied and a sibling `<stem>.health.json` exists,
+// it is picked up automatically (no --health needed). When both a profile
+// and a telemetry snapshot are supplied the report also computes
+// *coverage*: the fraction of the training rounds' wall clock (the
+// gtv.phase.round_ms histogram) that the profiled op self times account for
+// — the acceptance gauge for the op instrumentation.
 //
 // Only artefacts whose schema_version this tool knows (profile v1,
-// telemetry v2) are accepted; unknown versions fail loudly rather than
-// misreport.
+// telemetry v2/v3, health v1) are accepted; unknown versions fail loudly
+// rather than misreport.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -138,6 +141,26 @@ void print_telemetry(const Value& doc) {
   std::printf("%-36s %12s\n\n", "TOTAL", human_bytes(traffic).c_str());
 }
 
+// --- health ----------------------------------------------------------------
+
+// Prints the alert summary of a `<stem>.health.json` artefact: one line of
+// severity counts plus the per-rule breakdown.
+void print_health(const std::string& path) {
+  const Value doc = gtv::obs::json::parse(read_file(path));
+  require_schema(doc, 1, path);
+  const Value& summary = doc.at("summary");
+  std::printf("== health alerts (%s) ==\n", path.c_str());
+  std::printf("alerts: %.0f total — %.0f fatal, %.0f warn, %.0f info\n",
+              summary.num_or("total", 0), summary.num_or("fatal", 0),
+              summary.num_or("warn", 0), summary.num_or("info", 0));
+  if (summary.has("rules")) {
+    for (const auto& [rule, count] : summary.at("rules").object) {
+      std::printf("  %-34s x%.0f\n", rule.c_str(), count.number);
+    }
+  }
+  std::printf("\n");
+}
+
 // Sum of round wall time in microseconds, from the phase histogram.
 double round_wall_us(const Value& doc) {
   const Value& hists = doc.at("metrics").at("histograms");
@@ -215,7 +238,7 @@ void print_trace(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path, profile_path, telemetry_path;
+  std::string trace_path, profile_path, telemetry_path, health_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -225,16 +248,32 @@ int main(int argc, char** argv) {
       profile_path = argv[++i];
     } else if (arg == "--telemetry" && has_value) {
       telemetry_path = argv[++i];
+    } else if (arg == "--health" && has_value) {
+      health_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: gtv-prof [--profile <stem>.profile.json]"
-                   " [--telemetry <stem>.telemetry.json] [--trace <trace.jsonl>]\n");
+                   " [--telemetry <stem>.telemetry.json] [--trace <trace.jsonl>]"
+                   " [--health <stem>.health.json]\n");
       return 2;
     }
   }
-  if (trace_path.empty() && profile_path.empty() && telemetry_path.empty()) {
-    std::fprintf(stderr, "gtv-prof: nothing to do (pass --profile/--telemetry/--trace)\n");
+  if (trace_path.empty() && profile_path.empty() && telemetry_path.empty() &&
+      health_path.empty()) {
+    std::fprintf(stderr,
+                 "gtv-prof: nothing to do (pass --profile/--telemetry/--trace/--health)\n");
     return 2;
+  }
+  // Auto-pickup: a run that wrote <stem>.telemetry.json under GTV_HEALTH=1
+  // left <stem>.health.json next to it.
+  const std::string kTelemetrySuffix = ".telemetry.json";
+  if (health_path.empty() && telemetry_path.size() > kTelemetrySuffix.size() &&
+      telemetry_path.compare(telemetry_path.size() - kTelemetrySuffix.size(),
+                             kTelemetrySuffix.size(), kTelemetrySuffix) == 0) {
+    const std::string candidate =
+        telemetry_path.substr(0, telemetry_path.size() - kTelemetrySuffix.size()) +
+        ".health.json";
+    if (std::ifstream(candidate).good()) health_path = candidate;
   }
 
   try {
@@ -248,10 +287,15 @@ int main(int argc, char** argv) {
     double wall_us = 0;
     if (!telemetry_path.empty()) {
       const Value doc = gtv::obs::json::parse(read_file(telemetry_path));
-      require_schema(doc, 2, telemetry_path);
+      const double schema = doc.num_or("schema_version", -1);
+      if (schema != 2 && schema != 3) {
+        throw std::runtime_error(telemetry_path + ": unsupported schema_version " +
+                                 std::to_string(schema) + " (expected 2 or 3)");
+      }
       print_telemetry(doc);
       wall_us = round_wall_us(doc);
     }
+    if (!health_path.empty()) print_health(health_path);
     if (!trace_path.empty()) print_trace(trace_path);
     if (have_profile && wall_us > 0) {
       std::printf("== coverage ==\n");
