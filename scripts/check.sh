@@ -17,6 +17,13 @@
 #          turn fatal and emit health.* trace instants, the divergence-test
 #          JSONL artefact must hold well-formed alerts, and gtv-prof /
 #          gtv-health must render it all.
+#   transport incremental build + transport tests, then the distributed
+#          smoke: gtv-node trains a 2-client split as 4 OS processes over
+#          TCP-localhost and the per-round losses must match the in-proc
+#          reference to 1e-5; a chaos run (>=10% drop + corruption) must
+#          complete with nonzero retries, every injected corruption caught
+#          by CRC, and losses identical to the clean run. Emits
+#          BENCH_transport_smoke.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +32,108 @@ STAGE="${GTV_CHECK_STAGE:-all}"
 
 SMOKE_OUT="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_OUT"' EXIT
+
+# --- distributed transport smoke (stages: all, transport) --------------------
+# Trains the same tiny config three ways — in-process, as 4 OS processes
+# over TCP-localhost, and in-process through a chaos transport — and
+# asserts the loss trajectories agree.
+run_transport_stage() {
+  local TOUT="$SMOKE_OUT/transport"
+  mkdir -p "$TOUT"
+  local NODE="$BUILD_DIR/tools/gtv-node"
+  local ARGS="--clients 2 --rounds 2 --rows 96 --batch 32 --d-steps 2 --seed 7"
+  local PORT=47661 DPORT=47662
+  command -v python3 > /dev/null 2>&1 \
+    || { echo "FAIL: the transport stage needs python3 to compare losses"; exit 1; }
+
+  # 1. In-process reference (single process, loopback transport).
+  "$NODE" --role inproc $ARGS > "$TOUT/inproc.json"
+
+  # 2. The same training as four real OS processes over TCP.
+  "$NODE" --role server $ARGS --port "$PORT" --driver-port "$DPORT" \
+    > "$TOUT/server.json" 2>&1 &
+  local SERVER_PID=$!
+  "$NODE" --role client0 $ARGS --port "$PORT" --driver-port "$DPORT" \
+    > "$TOUT/client0.json" 2>&1 &
+  local C0_PID=$!
+  "$NODE" --role client1 $ARGS --port "$PORT" --driver-port "$DPORT" \
+    > "$TOUT/client1.json" 2>&1 &
+  local C1_PID=$!
+  "$NODE" --role driver $ARGS --port "$PORT" --driver-port "$DPORT" \
+    > "$TOUT/driver.json" 2>&1 &
+  local DRIVER_PID=$!
+  local PID FAILED=0
+  for PID in "$SERVER_PID" "$C0_PID" "$C1_PID" "$DRIVER_PID"; do
+    wait "$PID" || FAILED=1
+  done
+  if [ "$FAILED" -ne 0 ]; then
+    echo "FAIL: a gtv-node process exited nonzero"
+    cat "$TOUT"/*.json
+    exit 1
+  fi
+
+  # 3. Chaos smoke: >=10% drops plus duplication and corruption; must
+  #    complete, retry, catch every corruption by CRC, and land on the
+  #    exact same losses + model hash as the clean in-proc run.
+  "$NODE" --role inproc $ARGS --chaos-drop 0.15 --chaos-dup 0.05 \
+    --chaos-corrupt 0.05 --chaos-seed 3 > "$TOUT/chaos.json"
+
+  python3 - "$TOUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+inproc = json.load(open(f"{out}/inproc.json"))
+driver = json.load(open(f"{out}/driver.json"))
+chaos = json.load(open(f"{out}/chaos.json"))
+
+# TCP run must reproduce the in-proc loss trajectory to float tolerance.
+assert len(driver["rounds"]) == len(inproc["rounds"]), \
+    f"round count mismatch: {len(driver['rounds'])} vs {len(inproc['rounds'])}"
+worst = 0.0
+for r, (d, i) in enumerate(zip(driver["rounds"], inproc["rounds"])):
+    for field in ("d_loss", "g_loss", "gp", "wasserstein"):
+        delta = abs(d[field] - i[field])
+        worst = max(worst, delta)
+        assert delta <= 1e-5, \
+            f"round {r} {field}: tcp {d[field]} vs inproc {i[field]}"
+
+# Per-party traffic flowed over the sockets.
+for party in ("server", "client0", "client1"):
+    stats = json.load(open(f"{out}/{party}.json"))["traffic"]
+    assert stats["bytes"] > 0, f"{party} moved no bytes: {stats}"
+
+# Chaos run: drops recovered by retransmit, corruption always CRC-caught,
+# and the delivered payloads identical — same losses, same model.
+ct, cs = chaos["traffic"], chaos["chaos"]
+assert cs["drops"] > 0, f"chaos injected no drops: {cs}"
+assert ct["retries"] > 0, f"chaos run needed no retries: {ct}"
+assert ct["corrupt_frames"] == cs["corruptions"], \
+    f"undetected corrupt frames: injected {cs['corruptions']}, caught {ct['corrupt_frames']}"
+assert chaos["model_hash"] == inproc["model_hash"], \
+    f"chaos changed the model: {chaos['model_hash']} vs {inproc['model_hash']}"
+for r, (c, i) in enumerate(zip(chaos["rounds"], inproc["rounds"])):
+    for field in ("d_loss", "g_loss", "gp", "wasserstein"):
+        assert c[field] == i[field], f"chaos round {r} {field} drifted"
+
+baseline = {
+    "schema_version": 1,
+    "rounds": len(inproc["rounds"]),
+    "tcp_vs_inproc_max_loss_delta": worst,
+    "tcp_driver_bytes": driver["traffic"]["bytes"],
+    "chaos_drop_prob": 0.15,
+    "chaos_drops": cs["drops"],
+    "chaos_retries": ct["retries"],
+    "chaos_corruptions_injected": cs["corruptions"],
+    "chaos_corruptions_caught": ct["corrupt_frames"],
+    "model_hash": inproc["model_hash"],
+}
+with open("BENCH_transport_smoke.json", "w") as f:
+    json.dump(baseline, f, indent=1)
+    f.write("\n")
+print(f"transport smoke OK: tcp max loss delta {worst}, "
+      f"{ct['retries']} retries recovered {cs['drops']} drops, "
+      f"{cs['corruptions']}/{cs['corruptions']} corruptions CRC-caught")
+EOF
+}
 
 if [ "$STAGE" = "all" ]; then
   cmake -B "$BUILD_DIR" -S .
@@ -89,14 +198,28 @@ EOF
     --trace "$TRACE" > "$SMOKE_OUT/prof_report.txt"
   grep -q "== coverage ==" "$SMOKE_OUT/prof_report.txt" \
     || { echo "FAIL: gtv-prof produced no coverage section"; exit 1; }
+
+  run_transport_stage
 fi
 
-# --- training-health smoke (stages: all, health) ----------------------------
-if [ "$STAGE" != "all" ] && [ "$STAGE" != "health" ]; then
-  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health)"
+if [ "$STAGE" != "all" ] && [ "$STAGE" != "health" ] && [ "$STAGE" != "transport" ]; then
+  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health|transport)"
   exit 2
 fi
 
+# --- standalone transport stage ----------------------------------------------
+if [ "$STAGE" = "transport" ]; then
+  # Incremental build + the transport/node test binaries, then the
+  # distributed smoke above.
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" -R 'transport_test|node_test|net_test' --output-on-failure
+  run_transport_stage
+  echo "check.sh: all green (stage $STAGE)"
+  exit 0
+fi
+
+# --- training-health smoke (stages: all, health) ----------------------------
 if [ "$STAGE" = "health" ]; then
   # Standalone health stage: incremental build + regenerate the divergence
   # artefact (cheap; the test binary owns the deterministic scenario).

@@ -1,0 +1,392 @@
+#include "core/node.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "gan/losses.h"
+
+namespace gtv::core {
+
+using ag::Var;
+
+void NodeConfig::validate() const {
+  if (n_clients == 0) throw std::invalid_argument("NodeConfig: no clients");
+  if (train_rows == 0) throw std::invalid_argument("NodeConfig: train_rows is 0");
+  if (options.exact_gradient_penalty) {
+    throw std::invalid_argument(
+        "NodeConfig: exact_gradient_penalty differentiates through all parties' "
+        "bottom models in one graph — impossible across processes; use the "
+        "server-local penalty (exact_gradient_penalty=false)");
+  }
+  if (options.index_sharing == IndexSharing::kPeerToPeer) {
+    throw std::invalid_argument(
+        "NodeConfig: peer-to-peer index sharing needs client<->client links; "
+        "the node topology is star-shaped (use IndexSharing::kServer)");
+  }
+  if (options.dp_noise_std > 0.0f) {
+    throw std::invalid_argument(
+        "NodeConfig: DP noise draws from the trainer's own RNG stream, which "
+        "no single party owns in a distributed run");
+  }
+}
+
+std::vector<std::uint64_t> party_seeds(std::uint64_t seed, std::size_t n_clients) {
+  Rng seeder(seed);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(n_clients + 1);
+  for (std::size_t i = 0; i <= n_clients; ++i) seeds.push_back(seeder.next_u64());
+  return seeds;  // [0..n-1] clients, [n] server
+}
+
+namespace {
+
+std::vector<std::size_t> recv_command(net::TrafficMeter& meter, const std::string& link) {
+  auto cmd = meter.recv_indices(link);
+  if (cmd.empty()) throw net::WireError("node: empty command on " + link);
+  return cmd;
+}
+
+// Losses travel server -> driver as a 1x4 tensor in RoundLosses field order.
+Tensor pack_losses(float d_loss, float g_loss, float gp, float wasserstein) {
+  Tensor t(1, 4);
+  t(0, 0) = d_loss;
+  t(0, 1) = g_loss;
+  t(0, 2) = gp;
+  t(0, 3) = wasserstein;
+  return t;
+}
+
+}  // namespace
+
+// --- ServerNode ------------------------------------------------------------------
+
+ServerNode::ServerNode(NodeConfig config, std::vector<std::size_t> g_widths,
+                       std::vector<std::size_t> d_widths)
+    : config_(std::move(config)), g_widths_(std::move(g_widths)), d_widths_(std::move(d_widths)) {
+  config_.validate();
+  if (g_widths_.size() != config_.n_clients || d_widths_.size() != config_.n_clients) {
+    throw std::invalid_argument("ServerNode: width vectors must have one entry per client");
+  }
+}
+
+std::string ServerNode::link_up(std::size_t client) const {
+  return "client" + std::to_string(client) + "->server";
+}
+
+std::string ServerNode::link_down(std::size_t client) const {
+  return "server->client" + std::to_string(client);
+}
+
+void ServerNode::run() {
+  const std::size_t n = config_.n_clients;
+  // Setup: each client reports its CV width; the split widths are public
+  // (derived from feature counts), so this completes the ClientInfo table.
+  std::vector<GtvServer::ClientInfo> infos;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto widths = meter_.recv_indices(link_up(i));
+    if (widths.size() != 1) throw net::WireError("node: bad setup frame from client");
+    infos.push_back({widths[0], g_widths_[i], d_widths_[i]});
+  }
+  // Same seeder position GtvTrainer gives the server: after all clients.
+  server_ = std::make_unique<GtvServer>(config_.options, std::move(infos),
+                                        party_seeds(config_.seed, n)[n]);
+
+  for (;;) {
+    const auto cmd = recv_command(meter_, "driver->server");
+    switch (cmd[0]) {
+      case kCmdCriticStep:
+        critic_step(cmd.at(1));
+        break;
+      case kCmdGeneratorStep:
+        generator_step(cmd.at(1));
+        break;
+      case kCmdFinish:
+        meter_.send_indices("server->driver", {kCmdFinish});
+        return;
+      default:
+        throw net::WireError("node: unknown server command " + std::to_string(cmd[0]));
+    }
+  }
+}
+
+void ServerNode::critic_step(std::size_t batch) {
+  const std::size_t n = config_.n_clients;
+  const GtvOptions& options = config_.options;
+
+  // --- CVGeneration: pick p, tell everyone, collect p's CV + indices --------
+  const std::size_t p = server_->select_cv_client();
+  for (std::size_t i = 0; i < n; ++i) meter_.send_indices(link_down(i), {p});
+  const Tensor cv_p = meter_.recv_tensor(link_up(p));
+  const std::vector<std::size_t> idx = meter_.recv_indices(link_up(p));
+  const Tensor global_cv = server_->assemble_global_cv(p, cv_p, batch);
+
+  server_->zero_grad_discriminator();
+
+  // --- fake path: split slices down, bottom-critic logits back up -----------
+  const auto slices = server_->generator_forward(global_cv, /*retain_graph=*/false);
+  std::vector<Var> fake_vars;
+  fake_vars.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    meter_.send_tensor(link_down(i), slices[i]);
+    fake_vars.emplace_back(meter_.recv_tensor(link_up(i)), /*requires_grad=*/true);
+  }
+
+  // --- real path -------------------------------------------------------------
+  std::vector<Var> real_vars;
+  real_vars.reserve(n);
+  std::vector<std::size_t> real_full_rows(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor d_out = meter_.recv_tensor(link_up(i));
+    real_full_rows[i] = d_out.rows();
+    if (i == p) {
+      real_vars.emplace_back(d_out, /*requires_grad=*/true);
+    } else {
+      real_vars.emplace_back(d_out.gather_rows(idx), /*requires_grad=*/true);
+    }
+  }
+
+  // --- top loss (identical op order to GtvTrainer::critic_step) --------------
+  Var cv_var = ag::constant(global_cv);
+  Var d_fake = server_->critic_top(fake_vars, cv_var);
+  Var d_real = server_->critic_top(real_vars, cv_var);
+  Var critic = gan::wasserstein_critic_loss(d_real, d_fake);
+
+  Var gp;
+  if (options.gan.critic_mode == gan::CriticMode::kWeightClipping) {
+    gp = ag::constant(Tensor::scalar(0.0f));
+  } else {
+    // Server-local penalty on D^t's concatenated input logits — the only
+    // penalty mode that never needs another party's autograd graph.
+    std::vector<Tensor> fake_logits, real_logits;
+    std::vector<std::size_t> widths;
+    for (std::size_t i = 0; i < n; ++i) {
+      fake_logits.push_back(fake_vars[i].value());
+      real_logits.push_back(real_vars[i].value());
+      widths.push_back(fake_vars[i].cols());
+    }
+    auto critic_fn = [&](const Var& x) {
+      std::vector<Var> parts;
+      std::size_t offset = 0;
+      for (std::size_t w : widths) {
+        parts.push_back(ag::slice_cols(x, offset, offset + w));
+        offset += w;
+      }
+      return server_->critic_top(parts, cv_var);
+    };
+    gp = gan::gradient_penalty(critic_fn, Tensor::concat_cols(real_logits),
+                               Tensor::concat_cols(fake_logits), server_->rng());
+  }
+
+  Var loss = ag::add(critic, ag::mul_scalar(gp, options.gan.gp_lambda));
+  ag::backward(loss);
+
+  // --- gradient return --------------------------------------------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    meter_.send_tensor(link_down(i), fake_vars[i].grad());
+    Tensor real_grad = real_vars[i].grad();
+    if (i != p) {
+      Tensor full(real_full_rows[i], real_grad.cols());
+      for (std::size_t b = 0; b < idx.size(); ++b) {
+        for (std::size_t c = 0; c < real_grad.cols(); ++c) {
+          full(idx[b], c) += real_grad(b, c);
+        }
+      }
+      real_grad = std::move(full);
+    }
+    meter_.send_tensor(link_down(i), real_grad);
+  }
+  server_->step_discriminator();
+  if (options.gan.critic_mode == gan::CriticMode::kWeightClipping) {
+    gan::clip_parameters(server_->discriminator_parameters(), options.gan.clip_value);
+  }
+
+  meter_.send_tensor("server->driver",
+                     pack_losses(loss.value()(0, 0), 0.0f, gp.value()(0, 0),
+                                 -critic.value()(0, 0)));
+}
+
+void ServerNode::generator_step(std::size_t batch) {
+  const std::size_t n = config_.n_clients;
+
+  const std::size_t p = server_->select_cv_client();
+  for (std::size_t i = 0; i < n; ++i) meter_.send_indices(link_down(i), {p});
+  const Tensor cv_p = meter_.recv_tensor(link_up(p));
+  if (config_.options.index_sharing == IndexSharing::kServer) {
+    meter_.recv_indices(link_up(p));  // protocol fidelity: indices still flow
+  }
+  const Tensor global_cv = server_->assemble_global_cv(p, cv_p, batch);
+
+  server_->zero_grad_generator();
+
+  const auto slices = server_->generator_forward(global_cv, /*retain_graph=*/true);
+  std::vector<Var> fake_vars;
+  fake_vars.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    meter_.send_tensor(link_down(i), slices[i]);
+    fake_vars.emplace_back(meter_.recv_tensor(link_up(i)), /*requires_grad=*/true);
+  }
+
+  Var cv_var = ag::constant(global_cv);
+  Var d_fake = server_->critic_top(fake_vars, cv_var);
+  Var adv = gan::wasserstein_generator_loss(d_fake);
+  ag::backward(adv);
+
+  std::vector<Tensor> slice_grads;
+  slice_grads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    meter_.send_tensor(link_down(i), fake_vars[i].grad());
+    slice_grads.push_back(meter_.recv_tensor(link_up(i)));
+  }
+  server_->generator_backward(slice_grads);
+  server_->step_generator();
+
+  meter_.send_tensor("server->driver", pack_losses(0.0f, adv.value()(0, 0), 0.0f, 0.0f));
+}
+
+// --- ClientNode ------------------------------------------------------------------
+
+ClientNode::ClientNode(NodeConfig config, std::size_t id, data::Table local_table,
+                       std::size_t g_width, std::size_t d_width)
+    : config_(std::move(config)), id_(id) {
+  config_.validate();
+  if (id_ >= config_.n_clients) throw std::invalid_argument("ClientNode: id out of range");
+  client_ = std::make_unique<GtvClient>(id_, std::move(local_table), config_.options,
+                                        g_width, d_width,
+                                        party_seeds(config_.seed, config_.n_clients)[id_]);
+}
+
+std::string ClientNode::link_up() const {
+  return "client" + std::to_string(id_) + "->server";
+}
+
+std::string ClientNode::link_down() const {
+  return "server->client" + std::to_string(id_);
+}
+
+void ClientNode::run() {
+  meter_.send_indices(link_up(), {client_->cv_width()});
+  const std::string cmd_link = "driver->client" + std::to_string(id_);
+  const std::string ack_link = "client" + std::to_string(id_) + "->driver";
+  for (;;) {
+    const auto cmd = recv_command(meter_, cmd_link);
+    switch (cmd[0]) {
+      case kCmdCriticStep:
+        critic_step(cmd.at(1));
+        break;
+      case kCmdGeneratorStep:
+        generator_step(cmd.at(1));
+        break;
+      case kCmdShuffle:
+        client_->shuffle_local_data(static_cast<std::uint64_t>(cmd.at(1)));
+        break;
+      case kCmdFinish:
+        meter_.send_indices(ack_link, {kCmdFinish});
+        return;
+      default:
+        throw net::WireError("node: unknown client command " + std::to_string(cmd[0]));
+    }
+  }
+}
+
+void ClientNode::critic_step(std::size_t batch) {
+  const std::size_t p = recv_command(meter_, link_down())[0];
+
+  encode::ConditionalSampler::Sample sample;
+  if (p == id_) {
+    sample = client_->sample_cv(batch);
+    meter_.send_tensor(link_up(), sample.cv);
+    meter_.send_indices(link_up(), sample.rows);
+  }
+
+  client_->zero_grad_discriminator();
+
+  // Fake path: split slice down, D^b(G^b(slice)) back up.
+  const Tensor slice = meter_.recv_tensor(link_down());
+  meter_.send_tensor(link_up(), client_->forward_fake(slice, /*train_generator=*/false));
+
+  // Real path: the selected client forwards its chosen rows; everyone else
+  // forwards everything and lets the server select.
+  if (p == id_) {
+    meter_.send_tensor(link_up(), client_->forward_real_selected(sample.rows));
+  } else {
+    meter_.send_tensor(link_up(), client_->forward_real_all());
+  }
+
+  client_->backward_fake_discriminator(meter_.recv_tensor(link_down()));
+  client_->backward_real(meter_.recv_tensor(link_down()));
+  client_->step_discriminator();
+  if (config_.options.gan.critic_mode == gan::CriticMode::kWeightClipping) {
+    gan::clip_parameters(client_->discriminator_parameters(), config_.options.gan.clip_value);
+  }
+}
+
+void ClientNode::generator_step(std::size_t batch) {
+  const std::size_t p = recv_command(meter_, link_down())[0];
+
+  if (p == id_) {
+    auto sample = client_->sample_cv(batch);
+    meter_.send_tensor(link_up(), sample.cv);
+    if (config_.options.index_sharing == IndexSharing::kServer) {
+      meter_.send_indices(link_up(), sample.rows);
+    }
+    if (config_.options.gan.use_conditional_loss) client_->set_pending_condition(sample);
+  }
+
+  client_->zero_grad_generator();
+
+  const Tensor slice = meter_.recv_tensor(link_down());
+  meter_.send_tensor(link_up(), client_->forward_fake(slice, /*train_generator=*/true));
+
+  const Tensor d_out_grad = meter_.recv_tensor(link_down());
+  meter_.send_tensor(link_up(), client_->backward_generator(d_out_grad));
+  client_->step_generator();
+}
+
+// --- DriverNode ------------------------------------------------------------------
+
+DriverNode::DriverNode(NodeConfig config)
+    : config_(std::move(config)), shuffle_stream_(config_.options.shuffle_seed) {
+  config_.validate();
+}
+
+void DriverNode::broadcast(NodeCommand code, std::size_t arg, bool include_server) {
+  if (include_server) meter_.send_indices("driver->server", {code, arg});
+  for (std::size_t i = 0; i < config_.n_clients; ++i) {
+    meter_.send_indices("driver->client" + std::to_string(i), {code, arg});
+  }
+}
+
+std::vector<gan::RoundLosses> DriverNode::run() {
+  const std::size_t batch = std::min(config_.options.gan.batch_size, config_.train_rows);
+  std::vector<gan::RoundLosses> history;
+  for (std::size_t r = 0; r < config_.rounds; ++r) {
+    gan::RoundLosses losses;
+    for (std::size_t step = 0; step < config_.options.gan.d_steps_per_round; ++step) {
+      broadcast(kCmdCriticStep, batch, /*include_server=*/true);
+      const Tensor packed = meter_.recv_tensor("server->driver");
+      losses.d_loss = packed(0, 0);
+      losses.gp = packed(0, 2);
+      losses.wasserstein = packed(0, 3);
+    }
+    broadcast(kCmdGeneratorStep, batch, /*include_server=*/true);
+    losses.g_loss = meter_.recv_tensor("server->driver")(0, 1);
+
+    if (config_.options.training_with_shuffling) {
+      // The shuffle seed is the clients' shared secret: the driver plays
+      // the clients' side of that agreement and never tells the server.
+      const std::uint64_t round_seed = shuffle_stream_.next_u64();
+      broadcast(kCmdShuffle, static_cast<std::size_t>(round_seed),
+                /*include_server=*/false);
+    }
+    history.push_back(losses);
+  }
+  broadcast(kCmdFinish, 0, /*include_server=*/true);
+  meter_.recv_indices("server->driver");
+  for (std::size_t i = 0; i < config_.n_clients; ++i) {
+    meter_.recv_indices("client" + std::to_string(i) + "->driver");
+  }
+  return history;
+}
+
+}  // namespace gtv::core

@@ -1,0 +1,146 @@
+// Multi-process GTV: one party per OS process.
+//
+// GtvTrainer runs Algorithm 1 with every party in one address space, the
+// TrafficMeter looping each transfer back in-process. The node classes here
+// split that same algorithm across real processes: a ServerNode owns the
+// GtvServer, each ClientNode owns one GtvClient, and a DriverNode plays the
+// trainer loop (round scheduling, the clients' secret shuffle stream, loss
+// collection). All cross-party values travel through each node's
+// TrafficMeter over a caller-supplied Transport — TCP for separate
+// processes (tools/gtv-node), or loopback/chaos in tests.
+//
+// Loss parity: every party executes the exact op-and-RNG sequence its in-
+// process counterpart executes inside GtvTrainer::critic_step /
+// generator_step, so a distributed run reproduces the in-process losses
+// bit-for-bit given the same seed. That only holds for configurations whose
+// computation is already cleanly partitioned by party —
+// NodeConfig::validate() rejects the simulation-only modes (exact gradient
+// penalty, peer-to-peer index sharing, DP noise) whose RNG or autograd
+// state crosses the party boundary.
+//
+// Control plane: the driver broadcasts one command frame per step
+// ("driver->server", "driver->client<k>"); within a step the server tells
+// the clients which one was selected as the CV contributor; the server
+// reports per-step losses to the driver ("server->driver").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/options.h"
+#include "core/server.h"
+#include "gan/ctabgan.h"
+#include "net/wire.h"
+
+namespace gtv::core {
+
+// Step commands broadcast by the driver. Encoded as an index vector
+// {code, arg}: batch size for the step commands, the round's secret
+// shuffle seed for kShuffle (sent to clients only — the server must never
+// see it, same as in-process).
+enum NodeCommand : std::size_t {
+  kCmdCriticStep = 1,
+  kCmdGeneratorStep = 2,
+  kCmdShuffle = 3,
+  kCmdFinish = 4,
+};
+
+struct NodeConfig {
+  GtvOptions options;
+  std::size_t n_clients = 2;
+  std::size_t rounds = 3;
+  std::uint64_t seed = 7;
+  // Rows in the (row-aligned) training shards; the driver derives the batch
+  // size from it exactly like GtvTrainer::train_round does.
+  std::size_t train_rows = 0;
+
+  // Throws std::invalid_argument for configurations that cannot be
+  // partitioned by party (see file comment).
+  void validate() const;
+};
+
+// Seeds per party, drawn in GtvTrainer's construction order (clients in
+// index order, then the server) so every process agrees without talking.
+std::vector<std::uint64_t> party_seeds(std::uint64_t seed, std::size_t n_clients);
+
+class ServerNode {
+ public:
+  // `g_widths` / `d_widths` are the per-client split widths, computed from
+  // the public feature counts (core::proportional_widths) — every process
+  // derives them identically from the dataset spec.
+  ServerNode(NodeConfig config, std::vector<std::size_t> g_widths,
+             std::vector<std::size_t> d_widths);
+
+  void set_transport(std::shared_ptr<net::Transport> transport) {
+    meter_.set_transport(std::move(transport));
+  }
+  net::TrafficMeter& traffic() { return meter_; }
+
+  // Performs the setup handshake (clients report their CV widths), then
+  // serves driver commands until kCmdFinish.
+  void run();
+
+ private:
+  void critic_step(std::size_t batch);
+  void generator_step(std::size_t batch);
+  std::string link_up(std::size_t client) const;
+  std::string link_down(std::size_t client) const;
+
+  NodeConfig config_;
+  std::vector<std::size_t> g_widths_;
+  std::vector<std::size_t> d_widths_;
+  std::unique_ptr<GtvServer> server_;
+  net::TrafficMeter meter_;
+};
+
+class ClientNode {
+ public:
+  ClientNode(NodeConfig config, std::size_t id, data::Table local_table,
+             std::size_t g_width, std::size_t d_width);
+
+  void set_transport(std::shared_ptr<net::Transport> transport) {
+    meter_.set_transport(std::move(transport));
+  }
+  net::TrafficMeter& traffic() { return meter_; }
+
+  // Reports this client's CV width to the server, then serves driver
+  // commands until kCmdFinish.
+  void run();
+
+ private:
+  void critic_step(std::size_t batch);
+  void generator_step(std::size_t batch);
+  std::string link_up() const;    // client<id> -> server
+  std::string link_down() const;  // server -> client<id>
+
+  NodeConfig config_;
+  std::size_t id_;
+  std::unique_ptr<GtvClient> client_;
+  net::TrafficMeter meter_;
+};
+
+class DriverNode {
+ public:
+  explicit DriverNode(NodeConfig config);
+
+  void set_transport(std::shared_ptr<net::Transport> transport) {
+    meter_.set_transport(std::move(transport));
+  }
+  net::TrafficMeter& traffic() { return meter_; }
+
+  // Runs the full schedule (rounds x (d_steps x critic + generator +
+  // shuffle)), then broadcasts kCmdFinish. Returns one RoundLosses per
+  // round, field-for-field what GtvTrainer::train_round returns.
+  std::vector<gan::RoundLosses> run();
+
+ private:
+  void broadcast(NodeCommand code, std::size_t arg, bool include_server);
+
+  NodeConfig config_;
+  Rng shuffle_stream_;
+  net::TrafficMeter meter_;
+};
+
+}  // namespace gtv::core

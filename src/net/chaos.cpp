@@ -1,0 +1,104 @@
+#include "net/chaos.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace gtv::net {
+
+ChaosTransport::ChaosTransport(std::shared_ptr<Transport> inner, ChaosOptions options)
+    : inner_(std::move(inner)), options_(options), rng_(options.seed) {
+  if (!inner_) throw TransportError("chaos: null inner transport");
+}
+
+void ChaosTransport::note(const std::string& link, char action, std::uint64_t value) {
+  auto mix = [this](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      digest_ ^= (v >> (8 * i)) & 0xffu;
+      digest_ *= 0x100000001b3ULL;  // FNV prime
+    }
+  };
+  for (char c : link) {
+    digest_ ^= static_cast<std::uint8_t>(c);
+    digest_ *= 0x100000001b3ULL;
+  }
+  digest_ ^= static_cast<std::uint8_t>(action);
+  digest_ *= 0x100000001b3ULL;
+  mix(value);
+}
+
+void ChaosTransport::deliver_frame(const std::string& link,
+                                   std::vector<std::uint8_t> frame) {
+  int delay_us = 0;
+  bool drop = false, dup = false, corrupt = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sends;
+    // Fixed draw order per send keeps the schedule a pure function of the
+    // seed and the traffic sequence.
+    const double u_drop = rng_.uniform();
+    const double u_dup = rng_.uniform();
+    const double u_corrupt = rng_.uniform();
+    if (options_.latency_max_us > options_.latency_min_us) {
+      delay_us = options_.latency_min_us +
+                 static_cast<int>(rng_.uniform_index(static_cast<std::size_t>(
+                     options_.latency_max_us - options_.latency_min_us + 1)));
+    } else {
+      delay_us = options_.latency_max_us;
+    }
+    drop = u_drop < options_.drop_prob;
+    dup = !drop && u_dup < options_.dup_prob;
+    corrupt = !drop && u_corrupt < options_.corrupt_prob;
+    std::size_t corrupt_at = 0;
+    if (corrupt && frame.size() > kFrameHeaderBytes) {
+      corrupt_at = kFrameHeaderBytes + rng_.uniform_index(frame.size() - kFrameHeaderBytes);
+      // XOR with a fixed nonzero mask: guaranteed to change the byte, so
+      // the CRC over link+payload must mismatch.
+      frame[corrupt_at] ^= 0xa5;
+      ++stats_.corruptions;
+    } else {
+      corrupt = false;
+    }
+    if (delay_us > 0) {
+      ++stats_.delays;
+      stats_.delay_us_total += static_cast<std::uint64_t>(delay_us);
+      note(link, 'l', static_cast<std::uint64_t>(delay_us));
+    }
+    if (drop) {
+      ++stats_.drops;
+      note(link, 'x', 0);
+    }
+    if (dup) ++stats_.dups;
+    if (corrupt) note(link, 'c', static_cast<std::uint64_t>(corrupt_at));
+    if (dup) note(link, '2', 0);
+    if (!drop && !dup && !corrupt) note(link, '.', 0);
+  }
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  if (drop) return;
+  if (dup) {
+    // Both copies carry the same bytes (and seq), corrupted or not, so the
+    // receiver's duplicate suppression collapses them cleanly.
+    std::vector<std::uint8_t> copy = frame;
+    inner_->deliver_frame(link, std::move(copy));
+  }
+  inner_->deliver_frame(link, std::move(frame));
+}
+
+std::vector<std::uint8_t> ChaosTransport::fetch_frame(const std::string& link,
+                                                      int timeout_ms) {
+  return inner_->fetch_frame(link, timeout_ms);
+}
+
+ChaosTransport::Stats ChaosTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t ChaosTransport::schedule_digest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return digest_;
+}
+
+}  // namespace gtv::net

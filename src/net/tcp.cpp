@@ -1,0 +1,342 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace gtv::net {
+
+namespace {
+
+// HELLO frames travel on this pseudo-link; the payload is the sender's
+// party name. The frame header itself carries (and validates) the
+// protocol version.
+constexpr const char* kHelloLink = "@hello";
+
+bool read_full(int fd, std::uint8_t* buf, std::size_t n, int timeout_ms) {
+  std::size_t got = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+  while (got < n) {
+    if (timeout_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      const int wait_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count());
+      pollfd pfd{fd, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, wait_ms > 0 ? wait_ms : 1);
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) return false;
+    }
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) return false;  // EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_full(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Reads exactly one frame off `fd` (header, then body). Returns an empty
+// vector on EOF/timeout/error.
+std::vector<std::uint8_t> read_frame(int fd, int timeout_ms) {
+  std::vector<std::uint8_t> bytes(kFrameHeaderBytes);
+  if (!read_full(fd, bytes.data(), kFrameHeaderBytes, timeout_ms)) return {};
+  const FrameHeader header = decode_frame_header(bytes.data(), bytes.size());
+  bytes.resize(header.total_bytes());
+  if (header.total_bytes() > kFrameHeaderBytes &&
+      !read_full(fd, bytes.data() + kFrameHeaderBytes,
+                 header.total_bytes() - kFrameHeaderBytes, timeout_ms)) {
+    return {};
+  }
+  return bytes;
+}
+
+void send_hello(int fd, const std::string& self) {
+  Frame hello;
+  hello.link = kHelloLink;
+  hello.payload.assign(self.begin(), self.end());
+  const auto bytes = encode_frame(hello);
+  if (!write_full(fd, bytes.data(), bytes.size())) {
+    throw TransportError("tcp: handshake write failed");
+  }
+}
+
+std::string recv_hello(int fd, int timeout_ms) {
+  const auto bytes = read_frame(fd, timeout_ms);
+  if (bytes.empty()) throw TransportError("tcp: handshake read failed");
+  const Frame frame = decode_frame(bytes);  // VersionError on mismatch
+  if (frame.link != kHelloLink) throw TransportError("tcp: expected HELLO frame");
+  return std::string(frame.payload.begin(), frame.payload.end());
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::string self_name, TcpOptions options)
+    : self_(std::move(self_name)), options_(options) {}
+
+TcpTransport::~TcpTransport() {
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [peer, conn] : conns_) {
+      conn->closed.store(true);
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  // Readers exit once their socket is shut down.
+  for (auto& [peer, conn] : conns_) {
+    if (conn->reader.joinable()) conn->reader.join();
+    ::close(conn->fd);
+  }
+  queues_cv_.notify_all();
+}
+
+std::uint16_t TcpTransport::listen(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw TransportError("tcp: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw TransportError("tcp: bind 127.0.0.1:" + std::to_string(port) + " failed: " +
+                         std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) != 0) throw TransportError("tcp: listen() failed");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw TransportError("tcp: getsockname() failed");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return ntohs(addr.sin_port);
+}
+
+void TcpTransport::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    try {
+      const std::string peer = recv_hello(fd, options_.handshake_timeout_ms);
+      send_hello(fd, self_);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      add_conn(fd, peer);
+    } catch (const TransportError&) {
+      ::close(fd);  // bad handshake: reject the connection, keep listening
+    }
+  }
+}
+
+void TcpTransport::connect_peer(const std::string& peer, const std::string& host,
+                                std::uint16_t port) {
+  int backoff_ms = options_.connect_backoff_ms;
+  for (int attempt = 0; attempt < options_.connect_attempts; ++attempt) {
+    if (attempt > 0) {
+      connect_retries_.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.connect_backoff_max_ms);
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) continue;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      throw TransportError("tcp: bad host " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      continue;
+    }
+    try {
+      send_hello(fd, self_);
+      const std::string name = recv_hello(fd, options_.handshake_timeout_ms);
+      if (name != peer) {
+        ::close(fd);
+        throw TransportError("tcp: expected peer '" + peer + "', got '" + name + "'");
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      add_conn(fd, peer);
+      return;
+    } catch (const VersionError&) {
+      ::close(fd);
+      throw;  // wrong protocol version is not retryable
+    } catch (const TransportError&) {
+      ::close(fd);
+      // handshake raced a dying peer: retry within the attempt budget
+    }
+  }
+  throw TransportError("tcp: connect to " + peer + " at " + host + ":" +
+                       std::to_string(port) + " failed after " +
+                       std::to_string(options_.connect_attempts) + " attempts");
+}
+
+void TcpTransport::add_conn(int fd, const std::string& peer) {
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->peer = peer;
+  Conn* raw = conn.get();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (conns_.count(peer)) {
+      ::close(fd);
+      return;  // duplicate dial from the same peer; keep the first
+    }
+    conns_[peer] = std::move(conn);
+  }
+  raw->reader = std::thread([this, raw] { reader_loop(raw); });
+  conns_cv_.notify_all();
+}
+
+void TcpTransport::reader_loop(Conn* conn) {
+  while (!stopping_.load() && !conn->closed.load()) {
+    std::vector<std::uint8_t> bytes;
+    try {
+      bytes = read_frame(conn->fd, /*timeout_ms=*/0);  // block until EOF
+    } catch (const TransportError&) {
+      break;  // stream desync (bad magic/version): drop the connection
+    }
+    if (bytes.empty()) break;  // EOF
+    std::string link;
+    try {
+      const FrameHeader header = decode_frame_header(bytes.data(), bytes.size());
+      link.assign(reinterpret_cast<const char*>(bytes.data()) + kFrameHeaderBytes,
+                  header.link_len);
+    } catch (const TransportError&) {
+      break;
+    }
+    push_frame(link, std::move(bytes));
+  }
+  conn->closed.store(true);
+  queues_cv_.notify_all();  // wake waiters so they can fail fast
+}
+
+void TcpTransport::push_frame(const std::string& link, std::vector<std::uint8_t> frame) {
+  {
+    std::lock_guard<std::mutex> lock(queues_mu_);
+    queues_[link].push_back(std::move(frame));
+  }
+  queues_cv_.notify_all();
+}
+
+std::string TcpTransport::link_destination(const std::string& link) {
+  const std::size_t arrow = link.find("->");
+  if (arrow == std::string::npos) {
+    throw TransportError("tcp: link '" + link + "' has no '->' destination");
+  }
+  return link.substr(arrow + 2);
+}
+
+std::string TcpTransport::link_source(const std::string& link) {
+  const std::size_t arrow = link.find("->");
+  return arrow == std::string::npos ? std::string() : link.substr(0, arrow);
+}
+
+void TcpTransport::deliver_frame(const std::string& link,
+                                 std::vector<std::uint8_t> frame) {
+  const std::string dest = link_destination(link);
+  if (dest == self_) {
+    throw TransportError("tcp: refusing to send '" + link + "' to self");
+  }
+  Conn* conn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = conns_.find(dest);
+    if (it != conns_.end()) conn = it->second.get();
+  }
+  if (conn == nullptr) {
+    throw TransportError("tcp: no connection to '" + dest + "' for link " + link);
+  }
+  std::lock_guard<std::mutex> wlock(conn->write_mu);
+  if (conn->closed.load() || !write_full(conn->fd, frame.data(), frame.size())) {
+    conn->closed.store(true);
+    throw TransportError("tcp: write on " + link + " failed (peer gone?)");
+  }
+}
+
+std::vector<std::uint8_t> TcpTransport::fetch_frame(const std::string& link,
+                                                    int timeout_ms) {
+  const std::string src = link_source(link);
+  auto source_gone = [&] {
+    if (src.empty()) return false;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = conns_.find(src);
+    return it != conns_.end() && it->second->closed.load();
+  };
+  std::unique_lock<std::mutex> lock(queues_mu_);
+  auto ready = [&] {
+    auto it = queues_.find(link);
+    return it != queues_.end() && !it->second.empty();
+  };
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+  while (!ready()) {
+    if (source_gone()) {
+      throw TransportError("tcp: peer '" + src + "' disconnected while waiting on " +
+                           link);
+    }
+    if (timeout_ms <= 0) throw TimeoutError("tcp: no frame on " + link);
+    // Wake periodically to re-check peer liveness.
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) throw TimeoutError("tcp: no frame on " + link);
+    const auto slice = std::min(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                    deadline - now),
+                                std::chrono::milliseconds(200));
+    queues_cv_.wait_for(lock, slice);
+  }
+  auto& queue = queues_[link];
+  std::vector<std::uint8_t> frame = std::move(queue.front());
+  queue.pop_front();
+  return frame;
+}
+
+bool TcpTransport::wait_for_peer(const std::string& peer, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(conns_mu_);
+  return conns_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                            [&] { return conns_.count(peer) > 0; });
+}
+
+std::vector<std::string> TcpTransport::peers() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  std::vector<std::string> out;
+  for (const auto& [peer, conn] : conns_) out.push_back(peer);
+  return out;
+}
+
+}  // namespace gtv::net

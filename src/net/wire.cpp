@@ -1,9 +1,11 @@
 #include "net/wire.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
-#include <stdexcept>
+#include <limits>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -12,21 +14,35 @@ namespace gtv::net {
 
 namespace {
 
-template <typename T>
-void append(std::vector<std::uint8_t>& out, const T& value) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
-  out.insert(out.end(), p, p + sizeof(T));
+// --- little-endian primitives ----------------------------------------------------
+// The wire layouts are pinned little-endian so files/streams produced on one
+// host parse identically on another (and on big-endian hosts, should one
+// ever appear).
+
+void append_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
-template <typename T>
-T read(const std::vector<std::uint8_t>& bytes, std::size_t& offset) {
-  if (offset + sizeof(T) > bytes.size()) {
-    throw std::runtime_error("wire: truncated payload");
-  }
-  T value;
-  std::memcpy(&value, bytes.data() + offset, sizeof(T));
-  offset += sizeof(T);
-  return value;
+std::uint64_t read_u64_le(const std::vector<std::uint8_t>& bytes, std::size_t& offset) {
+  if (offset + 8 > bytes.size()) throw WireError("wire: truncated payload");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | bytes[offset + i];
+  offset += 8;
+  return v;
+}
+
+void append_f32_le(std::vector<std::uint8_t>& out, float f) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, 4);
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+float read_f32_le(const std::uint8_t* p) {
+  std::uint32_t bits = 0;
+  for (int i = 3; i >= 0; --i) bits = (bits << 8) | p[i];
+  float f;
+  std::memcpy(&f, &bits, 4);
+  return f;
 }
 
 // Trace pid for a link endpoint name: "server" = 0, "clientK" = K + 1.
@@ -44,47 +60,93 @@ int endpoint_pid(const std::string& endpoint) {
   return obs::kDriverPid;
 }
 
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
 }  // namespace
+
+// --- serialization ---------------------------------------------------------------
 
 std::vector<std::uint8_t> serialize_tensor(const Tensor& t) {
   std::vector<std::uint8_t> out;
   out.reserve(16 + t.size() * sizeof(float));
-  append<std::uint64_t>(out, t.rows());
-  append<std::uint64_t>(out, t.cols());
-  const auto* p = reinterpret_cast<const std::uint8_t*>(t.data());
-  out.insert(out.end(), p, p + t.size() * sizeof(float));
+  append_u64_le(out, t.rows());
+  append_u64_le(out, t.cols());
+  const float* p = t.data();
+  for (std::size_t i = 0; i < t.size(); ++i) append_f32_le(out, p[i]);
   return out;
 }
 
 Tensor deserialize_tensor(const std::vector<std::uint8_t>& bytes) {
   std::size_t offset = 0;
-  const auto rows = static_cast<std::size_t>(read<std::uint64_t>(bytes, offset));
-  const auto cols = static_cast<std::size_t>(read<std::uint64_t>(bytes, offset));
-  if (bytes.size() != offset + rows * cols * sizeof(float)) {
-    throw std::runtime_error("wire: tensor payload size mismatch");
+  const std::uint64_t rows64 = read_u64_le(bytes, offset);
+  const std::uint64_t cols64 = read_u64_le(bytes, offset);
+  // Element count must fit size_t and the byte count must match exactly —
+  // an attacker-sized header cannot force a huge allocation or hide
+  // trailing garbage.
+  constexpr std::uint64_t kMaxElems =
+      std::numeric_limits<std::size_t>::max() / sizeof(float);
+  if (cols64 != 0 && rows64 > kMaxElems / cols64) {
+    throw WireError("wire: tensor dimensions overflow");
   }
-  FloatVec values(rows * cols);
-  std::memcpy(values.data(), bytes.data() + offset, values.size() * sizeof(float));
+  const std::uint64_t elems = rows64 * cols64;
+  if (bytes.size() != offset + elems * sizeof(float)) {
+    throw WireError("wire: tensor payload size mismatch");
+  }
+  const auto rows = static_cast<std::size_t>(rows64);
+  const auto cols = static_cast<std::size_t>(cols64);
+  FloatVec values(static_cast<std::size_t>(elems));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = read_f32_le(bytes.data() + offset + i * 4);
+  }
   return Tensor(rows, cols, std::move(values));
 }
 
 std::vector<std::uint8_t> serialize_indices(const std::vector<std::size_t>& idx) {
   std::vector<std::uint8_t> out;
   out.reserve(8 + idx.size() * 8);
-  append<std::uint64_t>(out, idx.size());
-  for (std::size_t v : idx) append<std::uint64_t>(out, static_cast<std::uint64_t>(v));
+  append_u64_le(out, idx.size());
+  for (std::size_t v : idx) append_u64_le(out, static_cast<std::uint64_t>(v));
   return out;
 }
 
 std::vector<std::size_t> deserialize_indices(const std::vector<std::uint8_t>& bytes) {
   std::size_t offset = 0;
-  const auto n = static_cast<std::size_t>(read<std::uint64_t>(bytes, offset));
+  const std::uint64_t n = read_u64_le(bytes, offset);
+  if (n > (std::numeric_limits<std::size_t>::max() - offset) / 8 ||
+      bytes.size() != offset + n * 8) {
+    throw WireError("wire: indices payload size mismatch");
+  }
   std::vector<std::size_t> out;
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out.push_back(static_cast<std::size_t>(read<std::uint64_t>(bytes, offset)));
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<std::size_t>(read_u64_le(bytes, offset)));
   }
   return out;
+}
+
+// --- TrafficMeter ----------------------------------------------------------------
+
+Transport& TrafficMeter::transport() {
+  if (!transport_) transport_ = std::make_shared<InProcTransport>();
+  return *transport_;
+}
+
+void TrafficMeter::set_transport(std::shared_ptr<Transport> transport) {
+  if (!transport) throw TransportError("meter: null transport");
+  transport_ = std::move(transport);
 }
 
 void TrafficMeter::charge(const std::string& link, std::size_t bytes) {
@@ -101,7 +163,25 @@ void TrafficMeter::charge(const std::string& link, std::size_t bytes) {
   counters.messages->add();
 }
 
-const TrafficMeter::FlowInfo& TrafficMeter::flow_info(const std::string& link) {
+void TrafficMeter::note_fault(const std::string& link, const char* what,
+                              std::uint64_t LinkStats::*field) {
+  links_[link].*field += 1;
+  // Faults are rare; building the metric name inline keeps the clean path
+  // free of these counters entirely (they only exist once observed).
+  obs::MetricsRegistry::instance().counter("net." + link + "." + what).add();
+}
+
+void TrafficMeter::record_timing(const std::string& link, const char* half, double ms) {
+  auto& counters = counters_[link];
+  obs::Histogram*& slot =
+      std::strcmp(half, "send_ms") == 0 ? counters.send_ms : counters.recv_ms;
+  if (slot == nullptr) {
+    slot = &obs::MetricsRegistry::instance().histogram("net." + link + "." + half);
+  }
+  slot->record(ms);
+}
+
+TrafficMeter::FlowInfo& TrafficMeter::flow_info(const std::string& link) {
   auto it = flows_.find(link);
   if (it != flows_.end()) return it->second;
   FlowInfo info;
@@ -112,6 +192,9 @@ const TrafficMeter::FlowInfo& TrafficMeter::flow_info(const std::string& link) {
   } else {
     info.from_pid = info.to_pid = obs::kDriverPid;
   }
+  // Deterministic flow-id namespace for this link. Kept under 2^52 (32 hash
+  // bits + 20 ordinal bits) so ids survive JSON number (double) round-trips.
+  info.flow_base = (fnv1a64(link) & 0xFFFFFFFFULL) << 20;
   info.send_label = "send " + link;
   info.recv_label = "recv " + link;
   return flows_.emplace(link, std::move(info)).first->second;
@@ -136,33 +219,155 @@ void TrafficMeter::emit_transfer_trace(const FlowInfo& info, std::uint64_t flow_
   sink.emit_flow(info.recv_label.c_str(), flow_id, 'f', info.to_pid, t1);
 }
 
+std::vector<std::uint8_t> TrafficMeter::roundtrip(const std::string& link,
+                                                  const std::vector<std::uint8_t>& payload) {
+  Transport& t = transport();
+  t.send(link, payload);
+  int backoff_ms = retry_.backoff_base_ms;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return t.recv(link, retry_.loopback_recv_timeout_ms);
+    } catch (const CorruptFrameError&) {
+      note_fault(link, "corrupt_frames", &LinkStats::corrupt_frames);
+      if (attempt >= retry_.max_attempts) throw;
+    } catch (const TimeoutError&) {
+      note_fault(link, "timeouts", &LinkStats::timeouts);
+      if (attempt >= retry_.max_attempts) throw;
+    }
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, retry_.backoff_max_ms);
+    }
+    note_fault(link, "retries", &LinkStats::retries);
+    t.send(link, payload, /*retransmit=*/true);
+  }
+}
+
+std::vector<std::uint8_t> TrafficMeter::recv_with_retry(const std::string& link) {
+  Transport& t = transport();
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return t.recv(link, retry_.recv_timeout_ms);
+    } catch (const CorruptFrameError&) {
+      // A stream peer will not retransmit on its own; surface the typed
+      // error after counting it.
+      note_fault(link, "corrupt_frames", &LinkStats::corrupt_frames);
+      throw;
+    } catch (const TimeoutError&) {
+      note_fault(link, "timeouts", &LinkStats::timeouts);
+      if (attempt >= retry_.max_attempts) throw;
+      note_fault(link, "retries", &LinkStats::retries);
+    }
+  }
+}
+
 Tensor TrafficMeter::transfer(const std::string& link, const Tensor& t) {
   const bool traced = obs::TraceSink::instance().active();
-  std::uint64_t t0 = 0;
-  if (traced) t0 = obs::TraceSink::now_us();
+  const bool timed = obs::timing_enabled();
+  const std::uint64_t t0 = traced ? obs::TraceSink::now_us() : 0;
+  Clock::time_point c0;
+  if (timed) c0 = Clock::now();
   auto bytes = serialize_tensor(t);
   charge(link, bytes.size());
-  if (!traced) return deserialize_tensor(bytes);
-  const std::uint64_t t1 = obs::TraceSink::now_us();
-  Tensor out = deserialize_tensor(bytes);
-  const std::uint64_t t2 = obs::TraceSink::now_us();
-  emit_transfer_trace(flow_info(link), obs::TraceSink::next_flow_id(), t0, t1, t2);
+  auto back = roundtrip(link, bytes);
+  const std::uint64_t t1 = traced ? obs::TraceSink::now_us() : 0;
+  Clock::time_point c1;
+  if (timed) {
+    c1 = Clock::now();
+    record_timing(link, "send_ms", ms_since(c0));
+  }
+  Tensor out = deserialize_tensor(back);
+  if (traced) {
+    FlowInfo& info = flow_info(link);
+    const std::uint64_t id = info.flow_base | (info.ordinal++ & 0xFFFFFULL);
+    emit_transfer_trace(info, id, t0, t1, obs::TraceSink::now_us());
+  }
+  if (timed) record_timing(link, "recv_ms", ms_since(c1));
   return out;
 }
 
 std::vector<std::size_t> TrafficMeter::transfer(const std::string& link,
                                                 const std::vector<std::size_t>& indices) {
   const bool traced = obs::TraceSink::instance().active();
-  std::uint64_t t0 = 0;
-  if (traced) t0 = obs::TraceSink::now_us();
+  const bool timed = obs::timing_enabled();
+  const std::uint64_t t0 = traced ? obs::TraceSink::now_us() : 0;
+  Clock::time_point c0;
+  if (timed) c0 = Clock::now();
   auto bytes = serialize_indices(indices);
   charge(link, bytes.size());
-  if (!traced) return deserialize_indices(bytes);
-  const std::uint64_t t1 = obs::TraceSink::now_us();
-  auto out = deserialize_indices(bytes);
-  const std::uint64_t t2 = obs::TraceSink::now_us();
-  emit_transfer_trace(flow_info(link), obs::TraceSink::next_flow_id(), t0, t1, t2);
+  auto back = roundtrip(link, bytes);
+  const std::uint64_t t1 = traced ? obs::TraceSink::now_us() : 0;
+  Clock::time_point c1;
+  if (timed) {
+    c1 = Clock::now();
+    record_timing(link, "send_ms", ms_since(c0));
+  }
+  auto out = deserialize_indices(back);
+  if (traced) {
+    FlowInfo& info = flow_info(link);
+    const std::uint64_t id = info.flow_base | (info.ordinal++ & 0xFFFFFULL);
+    emit_transfer_trace(info, id, t0, t1, obs::TraceSink::now_us());
+  }
+  if (timed) record_timing(link, "recv_ms", ms_since(c1));
   return out;
+}
+
+void TrafficMeter::send_payload(const std::string& link,
+                                const std::vector<std::uint8_t>& bytes) {
+  const bool traced = obs::TraceSink::instance().active();
+  const bool timed = obs::timing_enabled();
+  const std::uint64_t t0 = traced ? obs::TraceSink::now_us() : 0;
+  Clock::time_point c0;
+  if (timed) c0 = Clock::now();
+  charge(link, bytes.size());
+  transport().send(link, bytes);
+  if (timed) record_timing(link, "send_ms", ms_since(c0));
+  if (traced) {
+    FlowInfo& info = flow_info(link);
+    const std::uint64_t id = info.flow_base | (info.ordinal++ & 0xFFFFFULL);
+    const std::uint64_t t1 = obs::TraceSink::now_us();
+    obs::TraceSink& sink = obs::TraceSink::instance();
+    obs::PartyScope sender(info.from_pid);
+    sink.emit_complete(info.send_label.c_str(), t0, std::max<std::uint64_t>(1, t1 - t0));
+    sink.emit_flow(info.send_label.c_str(), id, 's', info.from_pid, t0);
+  }
+}
+
+std::vector<std::uint8_t> TrafficMeter::recv_payload(const std::string& link) {
+  const bool traced = obs::TraceSink::instance().active();
+  const bool timed = obs::timing_enabled();
+  const std::uint64_t t0 = traced ? obs::TraceSink::now_us() : 0;
+  Clock::time_point c0;
+  if (timed) c0 = Clock::now();
+  auto bytes = recv_with_retry(link);
+  if (timed) record_timing(link, "recv_ms", ms_since(c0));
+  if (traced) {
+    FlowInfo& info = flow_info(link);
+    const std::uint64_t id = info.flow_base | (info.ordinal++ & 0xFFFFFULL);
+    const std::uint64_t t1 = obs::TraceSink::now_us();
+    obs::TraceSink& sink = obs::TraceSink::instance();
+    obs::PartyScope receiver(info.to_pid);
+    sink.emit_complete(info.recv_label.c_str(), t0, std::max<std::uint64_t>(1, t1 - t0));
+    sink.emit_flow(info.recv_label.c_str(), id, 'f', info.to_pid, t0);
+  }
+  return bytes;
+}
+
+void TrafficMeter::send_tensor(const std::string& link, const Tensor& t) {
+  send_payload(link, serialize_tensor(t));
+}
+
+Tensor TrafficMeter::recv_tensor(const std::string& link) {
+  return deserialize_tensor(recv_payload(link));
+}
+
+void TrafficMeter::send_indices(const std::string& link,
+                                const std::vector<std::size_t>& idx) {
+  send_payload(link, serialize_indices(idx));
+}
+
+std::vector<std::size_t> TrafficMeter::recv_indices(const std::string& link) {
+  return deserialize_indices(recv_payload(link));
 }
 
 const LinkStats& TrafficMeter::stats(const std::string& link) const {
@@ -176,6 +381,9 @@ LinkStats TrafficMeter::total() const {
   for (const auto& [name, stats] : links_) {
     total.bytes += stats.bytes;
     total.messages += stats.messages;
+    total.retries += stats.retries;
+    total.timeouts += stats.timeouts;
+    total.corrupt_frames += stats.corrupt_frames;
   }
   return total;
 }

@@ -1,4 +1,4 @@
-// Simulated network boundary between GTV parties.
+// Network boundary between GTV parties.
 //
 // The VFL privacy argument rests on *what* crosses the server/client
 // boundary, so every cross-party value in this codebase is passed through a
@@ -7,23 +7,39 @@
 // the "other side". This both enforces that only serializable plain data
 // crosses (no shared object graphs, no autograd history) and reproduces the
 // paper's communication-overhead accounting.
+//
+// Underneath, the bytes now travel through a pluggable net::Transport
+// (net/transport.h). The default InProcTransport is a loopback queue —
+// transfer() pushes a frame and immediately pops it, byte-identical to the
+// historical simulated boundary — but the same meter drives real TCP links
+// between OS processes (net/tcp.h) via the split send_*/recv_* endpoints,
+// and tolerates injected faults (net/chaos.h) through a bounded
+// retransmit/backoff loop.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "net/transport.h"
 #include "tensor/tensor.h"
 
 namespace gtv::obs {
 class Counter;
+class Histogram;
 }  // namespace gtv::obs
 
 namespace gtv::net {
 
 // --- serialization ---------------------------------------------------------------
+// Byte layouts (all integers and float bits little-endian):
+//   tensor : u64 rows | u64 cols | rows*cols f32 (row-major)
+//   indices: u64 n    | n x u64
+// Deserializers validate sizes exactly — truncated or trailing bytes, or a
+// rows*cols product that overflows, raise WireError (a std::runtime_error).
 std::vector<std::uint8_t> serialize_tensor(const Tensor& t);
 Tensor deserialize_tensor(const std::vector<std::uint8_t>& bytes);
 std::vector<std::uint8_t> serialize_indices(const std::vector<std::size_t>& idx);
@@ -32,53 +48,113 @@ std::vector<std::size_t> deserialize_indices(const std::vector<std::uint8_t>& by
 struct LinkStats {
   std::uint64_t bytes = 0;
   std::uint64_t messages = 0;
+  // Reliability counters (all zero on a clean transport).
+  std::uint64_t retries = 0;         // retransmits after a timeout/corruption
+  std::uint64_t timeouts = 0;        // recv attempts that expired
+  std::uint64_t corrupt_frames = 0;  // frames rejected by the CRC check
+};
+
+// Bounded retry/backoff for one logical transfer. On the loopback path a
+// frame is either already queued or lost (chaos), so the recv wait is 0 and
+// a miss immediately retransmits; distributed receivers wait recv_timeout_ms
+// per attempt instead (the peer is a real process that may be mid-compute).
+struct RetryPolicy {
+  int max_attempts = 12;             // total tries per logical message
+  int recv_timeout_ms = 2000;        // per-attempt wait, distributed recv_*
+  int loopback_recv_timeout_ms = 0;  // per-attempt wait inside transfer()
+  int backoff_base_ms = 1;           // doubled per retry ...
+  int backoff_max_ms = 100;          // ... up to this cap
 };
 
 // Besides the local per-meter accounting, every transfer is published to
 // the process-wide obs::MetricsRegistry as `net.<link>.bytes` /
-// `net.<link>.messages` counters (cumulative across meters; reset() does
-// not rewind them), so traffic lands in the same report as the timing
-// instrumentation.
+// `net.<link>.messages` counters, with `net.<link>.retries` / `.timeouts` /
+// `.corrupt_frames` appearing as soon as the first fault is observed
+// (cumulative across meters; reset() does not rewind them). When timing is
+// enabled, per-link `net.<link>.send_ms` / `net.<link>.recv_ms` histograms
+// record the two halves of each transfer.
 //
 // When a trace sink is active, each transfer additionally emits a
 // "send <link>" span on the sending party's trace row, a "recv <link>"
-// span on the receiving party's row, and a flow-event pair (ph:"s"/"f")
-// carrying a fresh monotonic flow id, so Perfetto draws a causality arrow
-// across the party boundary. Party pids are parsed from the link name
-// ("server" = 0, "clientK" = K + 1) and cached per link alongside the
-// counter handles, so the traced hot path does no string building.
+// span on the receiving party's row, and a flow-event pair (ph:"s"/"f").
+// Flow ids are *deterministic* — hash(link) in the high bits, the link's
+// message ordinal in the low 20 — so the send half emitted by one OS
+// process pairs with the recv half emitted by another when their trace
+// files are merged (gtv-prof --trace a.jsonl --trace b.jsonl). Ids stay
+// below 2^53 so JSON double parsing cannot lose precision. Party pids are
+// parsed from the link name ("server" = 0, "clientK" = K + 1) and cached
+// per link alongside the counter handles, so the traced hot path does no
+// string building.
 class TrafficMeter {
  public:
-  // Simulates sending `t` over `link`: serializes, counts, deserializes.
+  // Loopback round-trip: sends `t` over `link` and immediately receives it
+  // on the same meter — serializes, charges, frames, unframes,
+  // deserializes. Lost or corrupted deliveries (ChaosTransport) are
+  // recovered by retransmitting under the RetryPolicy; the payload bytes
+  // are charged once per logical transfer, not per retry.
   Tensor transfer(const std::string& link, const Tensor& t);
   std::vector<std::size_t> transfer(const std::string& link,
                                     const std::vector<std::size_t>& indices);
 
+  // Split endpoints for real multi-process runs: the sending process calls
+  // send_*, the process at the other end of `link` calls recv_*. Traffic is
+  // charged on the sending side only. recv_* waits recv_timeout_ms per
+  // attempt; corrupted frames surface as CorruptFrameError after being
+  // counted (a stream transport cannot retransmit without a reverse
+  // channel — recovery there is the transport's job).
+  void send_tensor(const std::string& link, const Tensor& t);
+  Tensor recv_tensor(const std::string& link);
+  void send_indices(const std::string& link, const std::vector<std::size_t>& idx);
+  std::vector<std::size_t> recv_indices(const std::string& link);
+  void send_payload(const std::string& link, const std::vector<std::uint8_t>& bytes);
+  std::vector<std::uint8_t> recv_payload(const std::string& link);
+
+  // The transport carrying this meter's frames. Defaults to a private
+  // InProcTransport, created lazily on first use.
+  Transport& transport();
+  void set_transport(std::shared_ptr<Transport> transport);
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
   const LinkStats& stats(const std::string& link) const;
   LinkStats total() const;
   const std::map<std::string, LinkStats>& all() const { return links_; }
+  // Clears the local per-link stats. Registry counters are cumulative and
+  // deliberately unaffected.
   void reset();
 
  private:
   struct FlowInfo {
     int from_pid = 0;
     int to_pid = 0;
-    std::string send_label;  // "send <link>"
-    std::string recv_label;  // "recv <link>"
+    std::uint64_t flow_base = 0;  // hash(link) << 20
+    std::uint64_t ordinal = 0;    // logical messages seen on this link
+    std::string send_label;       // "send <link>"
+    std::string recv_label;       // "recv <link>"
   };
 
   // Charges `bytes` + one message to the link, locally and in the registry.
   void charge(const std::string& link, std::size_t bytes);
-  const FlowInfo& flow_info(const std::string& link);
+  void note_fault(const std::string& link, const char* what, std::uint64_t LinkStats::*field);
+  FlowInfo& flow_info(const std::string& link);
   // Emits the send/recv spans + flow pair for one transfer whose serialize
   // phase was [t0, t1) and deserialize phase [t1, t2).
   void emit_transfer_trace(const FlowInfo& info, std::uint64_t flow_id,
                            std::uint64_t t0, std::uint64_t t1, std::uint64_t t2);
+  void record_timing(const std::string& link, const char* half, double ms);
+  // send + recv with bounded retransmit (loopback path).
+  std::vector<std::uint8_t> roundtrip(const std::string& link,
+                                      const std::vector<std::uint8_t>& payload);
+  std::vector<std::uint8_t> recv_with_retry(const std::string& link);
 
   struct LinkCounters {
     obs::Counter* bytes = nullptr;
     obs::Counter* messages = nullptr;
+    obs::Histogram* send_ms = nullptr;  // resolved only when timing is on
+    obs::Histogram* recv_ms = nullptr;
   };
+  std::shared_ptr<Transport> transport_;
+  RetryPolicy retry_;
   std::map<std::string, LinkStats> links_;
   std::map<std::string, LinkCounters> counters_;  // registry handles per link
   std::map<std::string, FlowInfo> flows_;         // cached trace labels per link

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "net/chaos.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
 namespace gtv::eval {
 namespace {
 
@@ -49,6 +55,60 @@ TEST(MetricsTest, MacroAucSkipsAbsentClasses) {
   Tensor scores = Tensor::of(
       {{0.8, 0.1, 0.1}, {0.2, 0.7, 0.1}, {0.9, 0.05, 0.05}, {0.1, 0.8, 0.1}});
   EXPECT_DOUBLE_EQ(macro_auc(truth, scores), 1.0);
+}
+
+// TrafficMeter::reset() rewinds only the meter's local view; the registry
+// counters are cumulative across meters and resets — including the
+// reliability counters (retries/timeouts/corrupt_frames) introduced with
+// the transport layer.
+TEST(TrafficCountersTest, MeterResetKeepsCumulativeRegistryCounters) {
+  auto& registry = obs::MetricsRegistry::instance();
+  const std::string link = "metrics-reset-test->peer";
+  const auto bytes_before = registry.counter("net." + link + ".bytes").value();
+  const auto retries_before = registry.counter("net." + link + ".retries").value();
+  const auto timeouts_before = registry.counter("net." + link + ".timeouts").value();
+
+  net::ChaosOptions chaos;
+  chaos.drop_prob = 0.5;
+  chaos.seed = 17;
+  net::TrafficMeter meter;
+  meter.set_transport(std::make_shared<net::ChaosTransport>(
+      std::make_shared<net::InProcTransport>(), chaos));
+  net::RetryPolicy policy;
+  policy.backoff_base_ms = 0;
+  meter.set_retry_policy(policy);
+
+  const std::vector<std::size_t> idx = {1, 2, 3, 4};
+  for (int i = 0; i < 30; ++i) meter.transfer(link, idx);
+  const net::LinkStats first = meter.stats(link);
+  ASSERT_GT(first.retries, 0u);
+  ASSERT_EQ(first.retries, first.timeouts);  // drops surface as recv timeouts
+
+  meter.reset();
+  EXPECT_EQ(meter.stats(link).bytes, 0u);
+  EXPECT_EQ(meter.stats(link).retries, 0u);
+  // Registry still carries the pre-reset totals...
+  EXPECT_EQ(registry.counter("net." + link + ".bytes").value() - bytes_before,
+            first.bytes);
+  EXPECT_EQ(registry.counter("net." + link + ".retries").value() - retries_before,
+            first.retries);
+  EXPECT_EQ(registry.counter("net." + link + ".timeouts").value() - timeouts_before,
+            first.timeouts);
+
+  // ...and keeps accumulating across the reset while the local stats start
+  // from zero again.
+  for (int i = 0; i < 30; ++i) meter.transfer(link, idx);
+  const net::LinkStats second = meter.stats(link);
+  EXPECT_EQ(second.bytes, first.bytes);  // same traffic, fresh local count
+  // The chaos RNG continued across the reset, so second.retries need not
+  // equal first.retries — the invariant is that the registry delta equals
+  // the sum of both phases.
+  EXPECT_EQ(registry.counter("net." + link + ".bytes").value() - bytes_before,
+            first.bytes + second.bytes);
+  EXPECT_EQ(registry.counter("net." + link + ".retries").value() - retries_before,
+            first.retries + second.retries);
+  EXPECT_EQ(registry.counter("net." + link + ".timeouts").value() - timeouts_before,
+            first.timeouts + second.timeouts);
 }
 
 }  // namespace

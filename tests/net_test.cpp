@@ -38,6 +38,105 @@ TEST(WireTest, TruncatedPayloadThrows) {
   EXPECT_THROW(deserialize_indices(ibytes), std::runtime_error);
 }
 
+TEST(WireTest, MalformedBuffersThrowTypedWireError) {
+  // The typed error subclasses std::runtime_error, so existing catch sites
+  // keep working while new code can catch net::WireError specifically.
+  auto bytes = serialize_tensor(Tensor(2, 2, 1.0f));
+  bytes.pop_back();
+  EXPECT_THROW(deserialize_tensor(bytes), WireError);
+  EXPECT_THROW(deserialize_indices(std::vector<std::uint8_t>(3, 0)), WireError);
+}
+
+TEST(WireTest, TruncationAtEveryLengthThrows) {
+  const auto bytes = serialize_tensor(Tensor(3, 2, 0.5f));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + len);
+    EXPECT_THROW(deserialize_tensor(cut), WireError) << "len=" << len;
+  }
+  const auto ibytes = serialize_indices({9, 8, 7});
+  for (std::size_t len = 0; len < ibytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(ibytes.begin(), ibytes.begin() + len);
+    EXPECT_THROW(deserialize_indices(cut), WireError) << "len=" << len;
+  }
+}
+
+TEST(WireTest, TrailingBytesRejected) {
+  auto bytes = serialize_tensor(Tensor(2, 3, 1.0f));
+  bytes.push_back(0);
+  EXPECT_THROW(deserialize_tensor(bytes), WireError);
+  auto ibytes = serialize_indices({1, 2});
+  ibytes.push_back(0xff);
+  EXPECT_THROW(deserialize_indices(ibytes), WireError);
+}
+
+TEST(WireTest, OversizedHeaderCannotForceHugeAllocation) {
+  // Header claims 2^40 x 2^40 elements on a 16-byte buffer: the overflow
+  // check must reject it before any allocation is attempted.
+  std::vector<std::uint8_t> bytes(16, 0);
+  bytes[5] = 1;   // rows = 2^40 (little-endian byte 5)
+  bytes[13] = 1;  // cols = 2^40
+  EXPECT_THROW(deserialize_tensor(bytes), WireError);
+  // Same for an indices count far beyond the buffer.
+  std::vector<std::uint8_t> ibytes(8, 0xff);
+  EXPECT_THROW(deserialize_indices(ibytes), WireError);
+}
+
+TEST(WireTest, LayoutIsPinnedLittleEndian) {
+  // rows=1, cols=2, values {1.0f, -2.0f}: 16-byte header + 8 payload bytes.
+  Tensor t(1, 2);
+  t(0, 0) = 1.0f;
+  t(0, 1) = -2.0f;
+  const auto bytes = serialize_tensor(t);
+  ASSERT_EQ(bytes.size(), 24u);
+  EXPECT_EQ(bytes[0], 1u);   // rows LSB
+  EXPECT_EQ(bytes[8], 2u);   // cols LSB
+  // 1.0f = 0x3f800000 little-endian.
+  EXPECT_EQ(bytes[16], 0x00u);
+  EXPECT_EQ(bytes[19], 0x3fu);
+  // -2.0f = 0xc0000000.
+  EXPECT_EQ(bytes[23], 0xc0u);
+
+  const auto ibytes = serialize_indices({0x0102030405060708ULL});
+  ASSERT_EQ(ibytes.size(), 16u);
+  EXPECT_EQ(ibytes[0], 1u);     // count LSB
+  EXPECT_EQ(ibytes[8], 0x08u);  // value LSB first
+  EXPECT_EQ(ibytes[15], 0x01u);
+}
+
+TEST(WireTest, CorruptedBufferFuzzNeverCrashes) {
+  // Byte-level fuzz over header bytes and structural positions: every
+  // mutation must either round-trip to a well-formed value or throw a typed
+  // WireError — never crash or mis-size.
+  Rng rng(99);
+  const Tensor t = Tensor::uniform(4, 3, -2.0f, 2.0f, rng);
+  const auto base = serialize_tensor(t);
+  for (std::size_t pos = 0; pos < 16; ++pos) {  // header bytes
+    for (std::uint8_t mask : {0x01, 0x80, 0xff}) {
+      auto fuzzed = base;
+      fuzzed[pos] ^= mask;
+      try {
+        const Tensor out = deserialize_tensor(fuzzed);
+        // A surviving parse must describe exactly the bytes present.
+        EXPECT_EQ(16 + out.size() * 4, fuzzed.size());
+      } catch (const WireError&) {
+        // expected for most header mutations
+      }
+    }
+  }
+  const auto ibase = serialize_indices({5, 6, 7, 8});
+  for (std::size_t pos = 0; pos < 8; ++pos) {
+    for (std::uint8_t mask : {0x01, 0x80, 0xff}) {
+      auto fuzzed = ibase;
+      fuzzed[pos] ^= mask;
+      try {
+        const auto out = deserialize_indices(fuzzed);
+        EXPECT_EQ(8 + out.size() * 8, fuzzed.size());
+      } catch (const WireError&) {
+      }
+    }
+  }
+}
+
 TEST(TrafficMeterTest, CountsBytesAndMessagesPerLink) {
   TrafficMeter meter;
   Tensor t(4, 8);  // 16-byte header + 128 bytes payload

@@ -1,0 +1,213 @@
+// Multi-party node protocol (core/node.h): a four-party TCP run in threads
+// must reproduce GtvTrainer's losses exactly, and invalid configurations
+// must be rejected up front.
+#include "core/node.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "core/gtv.h"
+#include "core/partition.h"
+#include "data/datasets.h"
+#include "net/chaos.h"
+#include "net/tcp.h"
+
+namespace gtv::core {
+namespace {
+
+struct NodeSetup {
+  NodeConfig config;
+  std::vector<data::Table> shards;
+  std::vector<std::size_t> g_widths;
+  std::vector<std::size_t> d_widths;
+};
+
+NodeSetup make_setup(std::size_t rounds = 2) {
+  NodeSetup setup;
+  setup.config.options.exact_gradient_penalty = false;
+  setup.config.options.gan.batch_size = 24;
+  setup.config.options.gan.d_steps_per_round = 2;
+  setup.config.n_clients = 2;
+  setup.config.rounds = rounds;
+  setup.config.seed = 11;
+  setup.config.train_rows = 72;
+
+  Rng rng(setup.config.seed ^ 0xda7aULL);
+  const data::Table table = data::make_dataset("loan", setup.config.train_rows, rng);
+  std::vector<std::vector<std::size_t>> groups(2);
+  for (std::size_t c = 0; c < table.n_cols(); ++c) {
+    groups[c < (table.n_cols() + 1) / 2 ? 0 : 1].push_back(c);
+  }
+  setup.shards = data::vertical_split(table, groups);
+
+  std::vector<std::size_t> feature_counts;
+  for (const auto& shard : setup.shards) feature_counts.push_back(shard.n_cols());
+  const auto ratios = ratio_vector(feature_counts);
+  setup.g_widths = proportional_widths(setup.config.options.generator_hidden, ratios);
+  setup.d_widths = proportional_widths(setup.config.options.gan.hidden, ratios);
+  return setup;
+}
+
+net::RetryPolicy test_retry_policy() {
+  net::RetryPolicy policy;
+  policy.recv_timeout_ms = 2000;
+  policy.max_attempts = 30;
+  return policy;
+}
+
+TEST(NodeConfigTest, RejectsSimulationOnlyModes) {
+  NodeConfig config;
+  config.train_rows = 10;
+  config.options.exact_gradient_penalty = true;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.options.exact_gradient_penalty = false;
+  config.options.index_sharing = IndexSharing::kPeerToPeer;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.options.index_sharing = IndexSharing::kServer;
+  config.options.dp_noise_std = 0.5f;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.options.dp_noise_std = 0.0f;
+  EXPECT_NO_THROW(config.validate());
+  config.train_rows = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(NodeConfigTest, PartySeedsMatchTrainerSeederOrder) {
+  const auto seeds = party_seeds(123, 3);
+  Rng seeder(123);
+  ASSERT_EQ(seeds.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(seeds[i], seeder.next_u64());
+}
+
+// The tentpole parity property: 4 parties over real TCP sockets produce the
+// same per-round losses as the single-process trainer, same seed.
+TEST(NodeProtocolTest, TcpFourPartyRunMatchesInProcessTrainer) {
+  NodeSetup setup = make_setup();
+
+  // Reference: classic in-process trainer.
+  GtvTrainer trainer(setup.shards, setup.config.options, setup.config.seed);
+  trainer.train(setup.config.rounds);
+  const auto expected = trainer.history();
+
+  // Distributed: server + driver listen, clients dial both.
+  auto server_t = std::make_shared<net::TcpTransport>("server");
+  const std::uint16_t server_port = server_t->listen(0);
+  auto driver_t = std::make_shared<net::TcpTransport>("driver");
+  const std::uint16_t driver_port = driver_t->listen(0);
+
+  auto server_task = std::async(std::launch::async, [&] {
+    ServerNode node(setup.config, setup.g_widths, setup.d_widths);
+    node.set_transport(server_t);
+    node.traffic().set_retry_policy(test_retry_policy());
+    node.run();
+    return node.traffic().total();
+  });
+  std::vector<std::future<net::LinkStats>> client_tasks;
+  for (std::size_t i = 0; i < setup.config.n_clients; ++i) {
+    client_tasks.push_back(std::async(std::launch::async, [&, i] {
+      auto transport =
+          std::make_shared<net::TcpTransport>("client" + std::to_string(i));
+      transport->connect_peer("server", "127.0.0.1", server_port);
+      transport->connect_peer("driver", "127.0.0.1", driver_port);
+      ClientNode node(setup.config, i, setup.shards[i], setup.g_widths[i],
+                      setup.d_widths[i]);
+      node.set_transport(transport);
+      node.traffic().set_retry_policy(test_retry_policy());
+      node.run();
+      return node.traffic().total();
+    }));
+  }
+  driver_t->connect_peer("server", "127.0.0.1", server_port);
+  ASSERT_TRUE(driver_t->wait_for_peer("client0", 20000));
+  ASSERT_TRUE(driver_t->wait_for_peer("client1", 20000));
+
+  DriverNode driver(setup.config);
+  driver.set_transport(driver_t);
+  driver.traffic().set_retry_policy(test_retry_policy());
+  const auto history = driver.run();
+
+  const net::LinkStats server_traffic = server_task.get();
+  for (auto& task : client_tasks) {
+    const net::LinkStats client_traffic = task.get();
+    EXPECT_GT(client_traffic.bytes, 0u);
+  }
+  EXPECT_GT(server_traffic.bytes, 0u);
+
+  ASSERT_EQ(history.size(), expected.size());
+  for (std::size_t r = 0; r < history.size(); ++r) {
+    EXPECT_NEAR(history[r].d_loss, expected[r].d_loss, 1e-5) << "round " << r;
+    EXPECT_NEAR(history[r].g_loss, expected[r].g_loss, 1e-5) << "round " << r;
+    EXPECT_NEAR(history[r].gp, expected[r].gp, 1e-5) << "round " << r;
+    EXPECT_NEAR(history[r].wasserstein, expected[r].wasserstein, 1e-5) << "round " << r;
+  }
+}
+
+// Chaos determinism at the trainer level: a faulty transport changes the
+// delivery schedule but never the delivered payloads, so training converges
+// to the identical model — and equal chaos seeds give equal schedules.
+TEST(NodeProtocolTest, ChaosRunsAreDeterministicAndLossless) {
+  NodeSetup setup = make_setup(/*rounds=*/1);
+
+  GtvTrainer clean(setup.shards, setup.config.options, setup.config.seed);
+  clean.train(1);
+
+  const auto run_chaos = [&](std::uint64_t chaos_seed) {
+    net::ChaosOptions chaos;
+    chaos.drop_prob = 0.15;
+    chaos.dup_prob = 0.05;
+    chaos.corrupt_prob = 0.05;
+    chaos.seed = chaos_seed;
+    GtvTrainer trainer(setup.shards, setup.config.options, setup.config.seed);
+    auto transport = std::make_shared<net::ChaosTransport>(
+        std::make_shared<net::InProcTransport>(), chaos);
+    trainer.traffic().set_transport(transport);
+    net::RetryPolicy policy;
+    policy.backoff_base_ms = 0;
+    trainer.traffic().set_retry_policy(policy);
+    trainer.train(1);
+    return std::make_tuple(trainer.history(), transport->schedule_digest(),
+                           trainer.traffic().total());
+  };
+
+  const auto [history_a, digest_a, traffic_a] = run_chaos(21);
+  const auto [history_b, digest_b, traffic_b] = run_chaos(21);
+  const auto [history_c, digest_c, traffic_c] = run_chaos(22);
+
+  // Same chaos seed: identical schedule and identical retries.
+  EXPECT_EQ(digest_a, digest_b);
+  EXPECT_EQ(traffic_a.retries, traffic_b.retries);
+  // Different chaos seed: different schedule...
+  EXPECT_NE(digest_a, digest_c);
+  // ...but ALL runs (clean included) land on identical losses, because the
+  // recovery layer delivers every logical payload intact.
+  ASSERT_EQ(history_a.size(), 1u);
+  EXPECT_FLOAT_EQ(history_a[0].d_loss, clean.history()[0].d_loss);
+  EXPECT_FLOAT_EQ(history_a[0].g_loss, clean.history()[0].g_loss);
+  EXPECT_FLOAT_EQ(history_c[0].d_loss, clean.history()[0].d_loss);
+  EXPECT_FLOAT_EQ(history_c[0].g_loss, clean.history()[0].g_loss);
+  EXPECT_GT(traffic_a.retries, 0u);
+}
+
+// Drop-heavy chaos still completes: every message eventually gets through
+// within the bounded retransmit budget.
+TEST(NodeProtocolTest, DropHeavyChaosConvergesViaRetries) {
+  NodeSetup setup = make_setup(/*rounds=*/1);
+  net::ChaosOptions chaos;
+  chaos.drop_prob = 0.35;
+  chaos.seed = 4;
+  GtvTrainer trainer(setup.shards, setup.config.options, setup.config.seed);
+  trainer.traffic().set_transport(std::make_shared<net::ChaosTransport>(
+      std::make_shared<net::InProcTransport>(), chaos));
+  net::RetryPolicy policy;
+  policy.backoff_base_ms = 0;
+  trainer.traffic().set_retry_policy(policy);
+  EXPECT_NO_THROW(trainer.train(1));
+  EXPECT_GT(trainer.traffic().total().retries, 0u);
+  EXPECT_EQ(trainer.traffic().total().corrupt_frames, 0u);
+}
+
+}  // namespace
+}  // namespace gtv::core

@@ -1,0 +1,345 @@
+// gtv-node — run GTV training as real OS processes over TCP.
+//
+// Each invocation plays one party:
+//
+//   gtv-node --role server  --port 47531
+//   gtv-node --role client0 --port 47531 --driver-port 47532
+//   gtv-node --role client1 --port 47531 --driver-port 47532
+//   gtv-node --role driver  --port 47531 --driver-port 47532
+//
+// All processes must agree on --clients/--rounds/--seed/--rows/--dataset
+// (they derive the dataset, split and model widths independently from those
+// values). The driver prints a JSON summary with per-round losses that
+// match a single-process run bit-for-bit given the same seed; compare with
+//
+//   gtv-node --role inproc
+//
+// which runs the classic GtvTrainer loop in one process — optionally
+// through a ChaosTransport (--chaos-drop/-dup/-corrupt/-latency-us,
+// --chaos-seed) to exercise the retransmit path.
+//
+// Rendezvous is on localhost: the server listens on --port, the driver on
+// --driver-port; clients dial both, the driver dials the server. Dials
+// retry with bounded backoff, so start order does not matter.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gtv.h"
+#include "core/node.h"
+#include "core/partition.h"
+#include "data/datasets.h"
+#include "data/table.h"
+#include "net/chaos.h"
+#include "net/tcp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace gtv;
+
+struct Args {
+  std::string role;  // inproc | server | clientK | driver
+  std::string dataset = "credit";
+  std::size_t clients = 2;
+  std::size_t rounds = 2;
+  std::size_t rows = 96;
+  std::size_t batch = 32;
+  std::size_t d_steps = 2;
+  std::uint64_t seed = 7;
+  std::string host = "127.0.0.1";
+  int port = 47531;
+  int driver_port = 47532;
+  net::ChaosOptions chaos;
+  bool chaos_enabled = false;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "gtv-node: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: gtv-node --role inproc|server|client<k>|driver\n"
+               "  [--dataset name] [--clients N] [--rounds R] [--rows N]\n"
+               "  [--batch N] [--d-steps N] [--seed S]\n"
+               "  [--host H] [--port P] [--driver-port P]\n"
+               "  [--chaos-drop p] [--chaos-dup p] [--chaos-corrupt p]\n"
+               "  [--chaos-latency-us N] [--chaos-seed S]   (inproc only)\n");
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--role") {
+      args.role = value(i);
+    } else if (flag == "--dataset") {
+      args.dataset = value(i);
+    } else if (flag == "--clients") {
+      args.clients = std::strtoul(value(i), nullptr, 10);
+    } else if (flag == "--rounds") {
+      args.rounds = std::strtoul(value(i), nullptr, 10);
+    } else if (flag == "--rows") {
+      args.rows = std::strtoul(value(i), nullptr, 10);
+    } else if (flag == "--batch") {
+      args.batch = std::strtoul(value(i), nullptr, 10);
+    } else if (flag == "--d-steps") {
+      args.d_steps = std::strtoul(value(i), nullptr, 10);
+    } else if (flag == "--seed") {
+      args.seed = std::strtoull(value(i), nullptr, 10);
+    } else if (flag == "--host") {
+      args.host = value(i);
+    } else if (flag == "--port") {
+      args.port = std::atoi(value(i));
+    } else if (flag == "--driver-port") {
+      args.driver_port = std::atoi(value(i));
+    } else if (flag == "--chaos-drop") {
+      args.chaos.drop_prob = std::atof(value(i));
+      args.chaos_enabled = true;
+    } else if (flag == "--chaos-dup") {
+      args.chaos.dup_prob = std::atof(value(i));
+      args.chaos_enabled = true;
+    } else if (flag == "--chaos-corrupt") {
+      args.chaos.corrupt_prob = std::atof(value(i));
+      args.chaos_enabled = true;
+    } else if (flag == "--chaos-latency-us") {
+      args.chaos.latency_max_us = std::atoi(value(i));
+      args.chaos_enabled = true;
+    } else if (flag == "--chaos-seed") {
+      args.chaos.seed = std::strtoull(value(i), nullptr, 10);
+      args.chaos_enabled = true;
+    } else {
+      usage(("unknown option " + flag).c_str());
+    }
+  }
+  if (args.role.empty()) usage("--role is required");
+  return args;
+}
+
+// Everything all parties must agree on, derived deterministically from Args.
+struct Shared {
+  core::NodeConfig config;
+  std::vector<data::Table> shards;
+  std::vector<std::size_t> g_widths;
+  std::vector<std::size_t> d_widths;
+};
+
+Shared build_shared(const Args& args) {
+  Shared shared;
+  core::GtvOptions& options = shared.config.options;
+  // The exact gradient penalty differentiates through every party's bottom
+  // model in one autograd graph — a simulation-only concession. Node mode
+  // (and its in-process reference) always uses the server-local penalty so
+  // both paths run the identical per-party computation.
+  options.exact_gradient_penalty = false;
+  options.gan.batch_size = args.batch;
+  options.gan.d_steps_per_round = args.d_steps;
+  shared.config.n_clients = args.clients;
+  shared.config.rounds = args.rounds;
+  shared.config.seed = args.seed;
+  shared.config.train_rows = args.rows;
+  shared.config.validate();
+
+  Rng data_rng(args.seed ^ 0xda7aULL);
+  const data::Table table = data::make_dataset(args.dataset, args.rows, data_rng);
+  if (table.n_cols() < args.clients) usage("more clients than dataset columns");
+  // Contiguous even column split, client 0 first.
+  std::vector<std::vector<std::size_t>> groups(args.clients);
+  const std::size_t base = table.n_cols() / args.clients;
+  std::size_t extra = table.n_cols() % args.clients;
+  std::size_t cursor = 0;
+  for (std::size_t g = 0; g < args.clients; ++g) {
+    const std::size_t take = base + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    for (std::size_t c = 0; c < take; ++c) groups[g].push_back(cursor++);
+  }
+  shared.shards = data::vertical_split(table, groups);
+
+  std::vector<std::size_t> feature_counts;
+  for (const auto& shard : shared.shards) feature_counts.push_back(shard.n_cols());
+  const auto ratios = core::ratio_vector(feature_counts);
+  shared.g_widths = core::proportional_widths(options.generator_hidden, ratios);
+  shared.d_widths = core::proportional_widths(options.gan.hidden, ratios);
+  return shared;
+}
+
+void declare_parties(std::size_t n_clients) {
+  obs::TraceSink& sink = obs::TraceSink::instance();
+  sink.declare_party(0, "server");
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    sink.declare_party(static_cast<int>(i) + 1, "client" + std::to_string(i));
+  }
+  sink.declare_party(obs::kDriverPid, "driver");
+}
+
+std::uint64_t hash_table(const data::Table& table) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(table.n_rows());
+  mix(table.n_cols());
+  for (std::size_t r = 0; r < table.n_rows(); ++r) {
+    for (std::size_t c = 0; c < table.n_cols(); ++c) {
+      const double cell = table.cell(r, c);
+      std::uint64_t bits;
+      std::memcpy(&bits, &cell, 8);
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+void print_losses(const std::vector<gan::RoundLosses>& history) {
+  std::printf("  \"rounds\": [");
+  for (std::size_t r = 0; r < history.size(); ++r) {
+    std::printf("%s\n    {\"d_loss\": %.9g, \"g_loss\": %.9g, \"gp\": %.9g, "
+                "\"wasserstein\": %.9g}",
+                r == 0 ? "" : ",", history[r].d_loss, history[r].g_loss, history[r].gp,
+                history[r].wasserstein);
+  }
+  std::printf("\n  ],\n");
+}
+
+void print_traffic(const net::TrafficMeter& meter) {
+  const net::LinkStats total = meter.total();
+  std::printf("  \"traffic\": {\"bytes\": %llu, \"messages\": %llu, \"retries\": %llu, "
+              "\"timeouts\": %llu, \"corrupt_frames\": %llu}",
+              static_cast<unsigned long long>(total.bytes),
+              static_cast<unsigned long long>(total.messages),
+              static_cast<unsigned long long>(total.retries),
+              static_cast<unsigned long long>(total.timeouts),
+              static_cast<unsigned long long>(total.corrupt_frames));
+}
+
+// Node roles park longer per recv attempt than the loopback default: the
+// peer may legitimately be grinding through a whole critic step.
+net::RetryPolicy node_retry_policy() {
+  net::RetryPolicy policy;
+  policy.recv_timeout_ms = 5000;
+  policy.max_attempts = 24;  // ~2 minutes before giving up on a peer
+  return policy;
+}
+
+int run_inproc(const Args& args, const Shared& shared) {
+  core::GtvTrainer trainer(shared.shards, shared.config.options, args.seed);
+  std::shared_ptr<net::ChaosTransport> chaos;
+  if (args.chaos_enabled) {
+    chaos = std::make_shared<net::ChaosTransport>(std::make_shared<net::InProcTransport>(),
+                                                  args.chaos);
+    trainer.traffic().set_transport(chaos);
+  }
+  trainer.train(args.rounds);
+  const std::uint64_t model_hash = hash_table(trainer.sample(64));
+
+  std::printf("{\n  \"role\": \"inproc\",\n  \"transport\": \"%s\",\n",
+              args.chaos_enabled ? "chaos+inproc" : "inproc");
+  print_losses(trainer.history());
+  print_traffic(trainer.traffic());
+  std::printf(",\n  \"model_hash\": \"%016llx\"",
+              static_cast<unsigned long long>(model_hash));
+  if (chaos) {
+    const auto stats = chaos->stats();
+    std::printf(
+        ",\n  \"chaos\": {\"sends\": %llu, \"drops\": %llu, \"dups\": %llu, "
+        "\"corruptions\": %llu, \"delays\": %llu},\n"
+        "  \"schedule_digest\": \"%016llx\"",
+        static_cast<unsigned long long>(stats.sends),
+        static_cast<unsigned long long>(stats.drops),
+        static_cast<unsigned long long>(stats.dups),
+        static_cast<unsigned long long>(stats.corruptions),
+        static_cast<unsigned long long>(stats.delays),
+        static_cast<unsigned long long>(chaos->schedule_digest()));
+  }
+  std::printf("\n}\n");
+  return 0;
+}
+
+int run_server(const Args& args, Shared shared) {
+  obs::PartyScope scope(0);
+  auto transport = std::make_shared<net::TcpTransport>("server");
+  transport->listen(static_cast<std::uint16_t>(args.port));
+  core::ServerNode node(shared.config, shared.g_widths, shared.d_widths);
+  node.set_transport(transport);
+  node.traffic().set_retry_policy(node_retry_policy());
+  node.run();
+  std::printf("{\n  \"role\": \"server\",\n  \"transport\": \"tcp\",\n");
+  print_traffic(node.traffic());
+  std::printf("\n}\n");
+  return 0;
+}
+
+int run_client(const Args& args, Shared shared, std::size_t id) {
+  obs::PartyScope scope(static_cast<int>(id) + 1);
+  const std::string name = "client" + std::to_string(id);
+  auto transport = std::make_shared<net::TcpTransport>(name);
+  transport->connect_peer("server", args.host, static_cast<std::uint16_t>(args.port));
+  transport->connect_peer("driver", args.host,
+                          static_cast<std::uint16_t>(args.driver_port));
+  core::ClientNode node(shared.config, id, std::move(shared.shards[id]),
+                        shared.g_widths[id], shared.d_widths[id]);
+  node.set_transport(transport);
+  node.traffic().set_retry_policy(node_retry_policy());
+  node.run();
+  std::printf("{\n  \"role\": \"%s\",\n  \"transport\": \"tcp\",\n", name.c_str());
+  print_traffic(node.traffic());
+  std::printf("\n}\n");
+  return 0;
+}
+
+int run_driver(const Args& args, const Shared& shared) {
+  obs::PartyScope scope(obs::kDriverPid);
+  auto transport = std::make_shared<net::TcpTransport>("driver");
+  transport->listen(static_cast<std::uint16_t>(args.driver_port));
+  transport->connect_peer("server", args.host, static_cast<std::uint16_t>(args.port));
+  // The driver speaks first (command broadcast), so unlike the server it
+  // must wait for every client to finish the rendezvous.
+  for (std::size_t i = 0; i < args.clients; ++i) {
+    const std::string peer = "client" + std::to_string(i);
+    if (!transport->wait_for_peer(peer, 60000)) {
+      throw net::TransportError("driver: " + peer + " never connected");
+    }
+  }
+  core::DriverNode node(shared.config);
+  node.set_transport(transport);
+  node.traffic().set_retry_policy(node_retry_policy());
+  const auto history = node.run();
+  std::printf("{\n  \"role\": \"driver\",\n  \"transport\": \"tcp\",\n");
+  print_losses(history);
+  print_traffic(node.traffic());
+  std::printf("\n}\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    Shared shared = build_shared(args);
+    declare_parties(args.clients);
+    if (args.role == "inproc") return run_inproc(args, shared);
+    if (args.role == "server") return run_server(args, std::move(shared));
+    if (args.role == "driver") return run_driver(args, shared);
+    if (args.role.rfind("client", 0) == 0) {
+      const std::size_t id = std::strtoul(args.role.c_str() + 6, nullptr, 10);
+      if (id >= args.clients) usage("client id out of range");
+      return run_client(args, std::move(shared), id);
+    }
+    usage(("unknown role " + args.role).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gtv-node(%s): %s\n", args.role.c_str(), e.what());
+    return 1;
+  }
+}

@@ -3,8 +3,17 @@
 //
 //   gtv-prof [--profile <stem>.profile.json]     (GTV_PROFILE=1 op table)
 //            [--telemetry <stem>.telemetry.json] (metrics + memory snapshot)
-//            [--trace <trace.jsonl>]             (GTV_TRACE span/flow stream)
+//            [--trace <trace.jsonl>]...          (GTV_TRACE span/flow stream)
+//            [--merged-out <merged.jsonl>]       (write the merged trace)
 //            [--health <stem>.health.json]       (GTV_HEALTH=1 alert log)
+//
+// --trace may repeat: a multi-process gtv-node run leaves one trace file
+// per OS process, and this tool merges them into a single timeline. Party
+// pids are de-conflicted (two files claiming the same pid for different
+// parties get distinct pids in the merged view) and cross-party flow
+// arrows survive the merge because transfer flow ids are derived
+// deterministically from the link name on both sides — the send half in
+// one process's file pairs with the finish half in another's.
 //
 // Any subset may be given; each present artefact adds a section. When a
 // telemetry snapshot is supplied and a sibling `<stem>.health.json` exists,
@@ -18,6 +27,7 @@
 // telemetry v2/v3, health v1) are accepted; unknown versions fail loudly
 // rather than misreport.
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -176,37 +186,124 @@ struct PartyRow {
   double span_us = 0;
 };
 
-void print_trace(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+// Rewrites the number after `"pid":` in a raw trace line (string surgery —
+// the merged file must stay byte-faithful to the source except for the pid).
+std::string replace_pid(const std::string& line, int new_pid) {
+  const std::string key = "\"pid\":";
+  const std::size_t at = line.find(key);
+  if (at == std::string::npos) return line;
+  std::size_t start = at + key.size();
+  while (start < line.size() && line[start] == ' ') ++start;
+  std::size_t end = start;
+  while (end < line.size() && (std::isdigit(static_cast<unsigned char>(line[end])) ||
+                               line[end] == '-')) {
+    ++end;
+  }
+  return line.substr(0, start) + std::to_string(new_pid) + line.substr(end);
+}
+
+// Merges one or more per-process trace files into a single analysis (and
+// optionally a single merged JSONL). Two files claiming the same pid for
+// different party names get de-conflicted: the later file's records are
+// rewritten to a fresh pid. Flow ids are deterministic per link, so the
+// 's' half from one file pairs with the 'f' half from another.
+void print_traces(const std::vector<std::string>& paths,
+                  const std::string& merged_out) {
   std::map<int, PartyRow> parties;
-  // flow id -> start/finish timestamps (0 = not seen yet)
-  std::map<std::uint64_t, std::pair<double, double>> flows;
+  std::map<int, std::string> pid_owner;  // merged pid -> party name
+  // flow id -> (start ts, finish ts, start file, finish file); ts 0 = unseen.
+  struct FlowSlot {
+    double start_ts = 0, finish_ts = 0;
+    int start_file = -1, finish_file = -1;
+  };
+  std::map<std::uint64_t, FlowSlot> flows;
   std::map<std::string, std::uint64_t> flow_names;
-  std::string line;
-  std::size_t lines = 0;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    ++lines;
-    const Value rec = gtv::obs::json::parse(line);
-    const std::string ph = rec.str_or("ph", "");
-    const int pid = static_cast<int>(rec.num_or("pid", -1));
-    if (ph == "M") {
-      if (rec.str_or("name", "") == "process_name" && rec.has("args")) {
-        parties[pid].name = rec.at("args").str_or("name", "");
+  std::vector<std::size_t> file_records(paths.size(), 0);
+  std::vector<std::string> merged_lines;
+  int next_free_pid = 100;
+
+  for (std::size_t fi = 0; fi < paths.size(); ++fi) {
+    std::ifstream in(paths[fi]);
+    if (!in) throw std::runtime_error("cannot open " + paths[fi]);
+    // Pass 1: learn this file's pid -> party-name declarations so that
+    // collisions can be detected before any record is emitted.
+    std::map<int, std::string> local_names;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const Value rec = gtv::obs::json::parse(line);
+      if (rec.str_or("ph", "") == "M" &&
+          rec.str_or("name", "") == "process_name" && rec.has("args")) {
+        local_names[static_cast<int>(rec.num_or("pid", -1))] =
+            rec.at("args").str_or("name", "");
       }
-    } else if (ph == "X") {
-      parties[pid].spans += 1;
-      parties[pid].span_us += rec.num_or("dur", 0);
-    } else if (ph == "s" || ph == "f") {
-      const auto id = static_cast<std::uint64_t>(rec.num_or("id", 0));
-      auto& slot = flows[id];
-      (ph == "s" ? slot.first : slot.second) = rec.num_or("ts", 0);
-      if (ph == "s") flow_names[rec.str_or("name", "?")] += 1;
+    }
+    // Decide the remap: same pid + same party name = same logical party
+    // (share the pid); same pid + different name = collision (fresh pid).
+    std::map<int, int> remap;
+    for (const auto& [pid, name] : local_names) {
+      auto it = pid_owner.find(pid);
+      if (it == pid_owner.end()) {
+        pid_owner[pid] = name;
+      } else if (it->second != name) {
+        while (pid_owner.count(next_free_pid)) ++next_free_pid;
+        remap[pid] = next_free_pid;
+        pid_owner[next_free_pid] = name;
+      }
+    }
+    // Pass 2: aggregate + rewrite.
+    in.clear();
+    in.seekg(0);
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      ++file_records[fi];
+      const Value rec = gtv::obs::json::parse(line);
+      const std::string ph = rec.str_or("ph", "");
+      int pid = static_cast<int>(rec.num_or("pid", -1));
+      if (auto it = remap.find(pid); it != remap.end()) {
+        line = replace_pid(line, it->second);
+        pid = it->second;
+      }
+      if (!merged_out.empty()) merged_lines.push_back(line);
+      if (ph == "M") {
+        if (rec.str_or("name", "") == "process_name" && rec.has("args")) {
+          parties[pid].name = rec.at("args").str_or("name", "");
+        }
+      } else if (ph == "X") {
+        parties[pid].spans += 1;
+        parties[pid].span_us += rec.num_or("dur", 0);
+      } else if (ph == "s" || ph == "f") {
+        const auto id = static_cast<std::uint64_t>(rec.num_or("id", 0));
+        auto& slot = flows[id];
+        if (ph == "s") {
+          slot.start_ts = rec.num_or("ts", 0);
+          slot.start_file = static_cast<int>(fi);
+          flow_names[rec.str_or("name", "?")] += 1;
+        } else {
+          slot.finish_ts = rec.num_or("ts", 0);
+          slot.finish_file = static_cast<int>(fi);
+        }
+      }
     }
   }
 
-  std::printf("== trace: %s (%zu records) ==\n", path.c_str(), lines);
+  if (!merged_out.empty()) {
+    std::ofstream out(merged_out);
+    if (!out) throw std::runtime_error("cannot write " + merged_out);
+    for (const auto& l : merged_lines) out << l << "\n";
+  }
+
+  std::size_t total_records = 0;
+  for (const std::size_t n : file_records) total_records += n;
+  if (paths.size() == 1) {
+    std::printf("== trace: %s (%zu records) ==\n", paths[0].c_str(), total_records);
+  } else {
+    std::printf("== trace: %zu files merged (%zu records) ==\n", paths.size(),
+                total_records);
+    for (std::size_t fi = 0; fi < paths.size(); ++fi) {
+      std::printf("  %-40s %zu records\n", paths[fi].c_str(), file_records[fi]);
+    }
+  }
   std::printf("%-4s %-16s %10s %14s\n", "pid", "party", "spans", "span_ms");
   for (const auto& [pid, row] : parties) {
     std::printf("%-4d %-16s %10llu %14.3f\n", pid,
@@ -214,23 +311,38 @@ void print_trace(const std::string& path) {
                 static_cast<unsigned long long>(row.spans), row.span_us / 1000.0);
   }
 
-  std::uint64_t paired = 0;
+  // Mean gap is only meaningful for pairs within one file: each process
+  // stamps with its own monotonic clock, so cross-file deltas carry clock
+  // skew, not latency.
+  std::uint64_t paired = 0, cross_file = 0, gap_pairs = 0;
   double latency_us = 0;
-  for (const auto& [id, ts] : flows) {
-    if (ts.first > 0 && ts.second > 0) {
+  for (const auto& [id, slot] : flows) {
+    if (slot.start_ts > 0 && slot.finish_ts > 0) {
       ++paired;
-      latency_us += ts.second - ts.first;
+      if (slot.start_file != slot.finish_file) {
+        ++cross_file;
+      } else {
+        ++gap_pairs;
+        latency_us += slot.finish_ts - slot.start_ts;
+      }
     }
   }
   std::printf("flows: %zu ids, %llu send/recv pairs", flows.size(),
               static_cast<unsigned long long>(paired));
-  if (paired > 0) {
-    std::printf(", mean send->recv gap %.1f us", latency_us / static_cast<double>(paired));
+  if (paths.size() > 1) {
+    std::printf(" (%llu spanning files)", static_cast<unsigned long long>(cross_file));
+  }
+  if (gap_pairs > 0) {
+    std::printf(", mean send->recv gap %.1f us", latency_us / static_cast<double>(gap_pairs));
   }
   std::printf("\n");
   for (const auto& [name, count] : flow_names) {
     std::printf("  %-34s x%llu\n", name.c_str(),
                 static_cast<unsigned long long>(count));
+  }
+  if (!merged_out.empty()) {
+    std::printf("merged trace written to %s (%zu records)\n", merged_out.c_str(),
+                merged_lines.size());
   }
   std::printf("\n");
 }
@@ -238,12 +350,15 @@ void print_trace(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path, profile_path, telemetry_path, health_path;
+  std::vector<std::string> trace_paths;
+  std::string profile_path, telemetry_path, health_path, merged_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
     if (arg == "--trace" && has_value) {
-      trace_path = argv[++i];
+      trace_paths.push_back(argv[++i]);
+    } else if (arg == "--merged-out" && has_value) {
+      merged_out = argv[++i];
     } else if (arg == "--profile" && has_value) {
       profile_path = argv[++i];
     } else if (arg == "--telemetry" && has_value) {
@@ -253,12 +368,13 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: gtv-prof [--profile <stem>.profile.json]"
-                   " [--telemetry <stem>.telemetry.json] [--trace <trace.jsonl>]"
+                   " [--telemetry <stem>.telemetry.json]"
+                   " [--trace <trace.jsonl>]... [--merged-out <merged.jsonl>]"
                    " [--health <stem>.health.json]\n");
       return 2;
     }
   }
-  if (trace_path.empty() && profile_path.empty() && telemetry_path.empty() &&
+  if (trace_paths.empty() && profile_path.empty() && telemetry_path.empty() &&
       health_path.empty()) {
     std::fprintf(stderr,
                  "gtv-prof: nothing to do (pass --profile/--telemetry/--trace/--health)\n");
@@ -296,7 +412,7 @@ int main(int argc, char** argv) {
       wall_us = round_wall_us(doc);
     }
     if (!health_path.empty()) print_health(health_path);
-    if (!trace_path.empty()) print_trace(trace_path);
+    if (!trace_paths.empty()) print_traces(trace_paths, merged_out);
     if (have_profile && wall_us > 0) {
       std::printf("== coverage ==\n");
       std::printf("op self time %.3f ms of %.3f ms round wall clock (%.1f%%)\n",
