@@ -25,6 +25,33 @@ void BM_MatmulSquare(benchmark::State& state) {
 }
 BENCHMARK(BM_MatmulSquare)->Arg(64)->Arg(256)->Iterations(20);
 
+// The transpose-free backward variants (a·bT and aT·b) at the same square
+// shapes; parity with BM_MatmulSquare shows the backward pass no longer
+// pays a transpose copy on top of the contraction.
+void BM_MatmulNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::normal(n, n, 0.0f, 1.0f, rng);
+  Tensor b = Tensor::normal(n, n, 0.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.matmul_nt(b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_MatmulNT)->Arg(64)->Arg(256)->Iterations(20);
+
+void BM_MatmulTN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::normal(n, n, 0.0f, 1.0f, rng);
+  Tensor b = Tensor::normal(n, n, 0.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.matmul_tn(b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_MatmulTN)->Arg(64)->Arg(256)->Iterations(20);
+
 void BM_AutogradMlpBackward(benchmark::State& state) {
   Rng rng(2);
   nn::Sequential mlp;

@@ -24,6 +24,11 @@
 #          complete with nonzero retries, every injected corruption caught
 #          by CRC, and losses identical to the clean run. Emits
 #          BENCH_transport_smoke.json.
+#   kernels incremental build + the dense-kernel tests (bit-parity vs the
+#          naive reference, IEEE non-finite propagation, thread-pool
+#          reentrancy, 10-round loss-trajectory parity), then bench/kernels:
+#          the tiled gemm must beat the compiled-in seed kernel by >=2.5x at
+#          512^3 on this machine. Emits BENCH_kernels.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -135,6 +140,45 @@ print(f"transport smoke OK: tcp max loss delta {worst}, "
 EOF
 }
 
+# --- dense-kernel smoke (stages: all, kernels) -------------------------------
+# Runs bench/kernels (tiled gemm vs the compiled-in seed kernel) and gates
+# on the speedup + sanity of every reported number.
+run_kernels_stage() {
+  local KOUT="$SMOKE_OUT/kernels.json"
+  command -v python3 > /dev/null 2>&1 \
+    || { echo "FAIL: the kernels stage needs python3 to validate the bench"; exit 1; }
+  "$BUILD_DIR/bench/kernels" > "$KOUT"
+
+  python3 - "$KOUT" <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+assert bench["schema_version"] == 1, bench
+assert bench["isa"] in ("avx2", "portable"), bench["isa"]
+assert bench["threads"] >= 1
+
+for row in bench["matmul"]:
+    for field in ("seed_ms", "tiled_ms", "seed_gflops", "tiled_gflops", "speedup"):
+        assert row[field] > 0, f"n={row['n']}: nonpositive {field}: {row}"
+for field in ("nn_ms", "nt_ms", "tn_ms"):
+    assert bench["variants"][field] > 0, bench["variants"]
+assert 0 < bench["linear"]["fwd_ms"] < bench["linear"]["fwd_bwd_ms"]
+assert bench["train_round_ms"] > 0
+
+# The acceptance gate: >=2.5x over the seed kernel at 512^3, same machine,
+# same threading (the seed reference runs through the same thread pool).
+assert bench["speedup_512"] >= 2.5, \
+    f"tiled kernel only {bench['speedup_512']}x over seed at 512^3"
+
+with open("BENCH_kernels.json", "w") as f:
+    json.dump(bench, f, indent=1)
+    f.write("\n")
+n512 = next(r for r in bench["matmul"] if r["n"] == 512)
+print(f"kernels OK ({bench['isa']}, {bench['threads']} threads): "
+      f"512^3 {n512['tiled_ms']}ms ({n512['tiled_gflops']} GFLOP/s), "
+      f"{bench['speedup_512']}x over seed")
+EOF
+}
+
 if [ "$STAGE" = "all" ]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j
@@ -200,11 +244,25 @@ EOF
     || { echo "FAIL: gtv-prof produced no coverage section"; exit 1; }
 
   run_transport_stage
+  run_kernels_stage
 fi
 
-if [ "$STAGE" != "all" ] && [ "$STAGE" != "health" ] && [ "$STAGE" != "transport" ]; then
-  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health|transport)"
+if [ "$STAGE" != "all" ] && [ "$STAGE" != "health" ] && [ "$STAGE" != "transport" ] \
+   && [ "$STAGE" != "kernels" ]; then
+  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health|transport|kernels)"
   exit 2
+fi
+
+# --- standalone kernels stage -------------------------------------------------
+if [ "$STAGE" = "kernels" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" \
+    -R 'kernel_test|kernel_trajectory_test|thread_pool_stress_test|tensor_test|autograd_test' \
+    --output-on-failure
+  run_kernels_stage
+  echo "check.sh: all green (stage $STAGE)"
+  exit 0
 fi
 
 # --- standalone transport stage ----------------------------------------------

@@ -285,8 +285,29 @@ Var mul_scalar(const Var& a, float s) {
 Var matmul(const Var& a, const Var& b) {
   obs::OpScope prof("matmul");
   Tensor v = a.value().matmul(b.value());
+  // Transpose-free backward: g·B^T and A^T·g go straight through the _nt/_tn
+  // kernels instead of materializing transpose() copies of B and A — the
+  // biggest allocation + memory-traffic source in every backward pass.
   return make_op(std::move(v), {a, b}, "matmul", [a, b](const Var& g) {
-    return std::vector<Var>{matmul(g, transpose(b)), matmul(transpose(a), g)};
+    return std::vector<Var>{matmul_nt(g, b), matmul_tn(a, g)};
+  });
+}
+
+Var matmul_nt(const Var& a, const Var& b) {
+  obs::OpScope prof("matmul_nt");
+  Tensor v = a.value().matmul_nt(b.value());
+  // C = A·B^T with A (m x k), B (n x k): dA = G·B, dB = G^T·A.
+  return make_op(std::move(v), {a, b}, "matmul_nt", [a, b](const Var& g) {
+    return std::vector<Var>{matmul(g, b), matmul_tn(g, a)};
+  });
+}
+
+Var matmul_tn(const Var& a, const Var& b) {
+  obs::OpScope prof("matmul_tn");
+  Tensor v = a.value().matmul_tn(b.value());
+  // C = A^T·B with A (k x m), B (k x n): dA = B·G^T, dB = A·G.
+  return make_op(std::move(v), {a, b}, "matmul_tn", [a, b](const Var& g) {
+    return std::vector<Var>{matmul_nt(b, g), matmul(a, g)};
   });
 }
 

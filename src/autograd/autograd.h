@@ -117,6 +117,11 @@ Var add_scalar(const Var& a, float s);
 Var mul_scalar(const Var& a, float s);
 
 Var matmul(const Var& a, const Var& b);
+// a · b^T and a^T · b without materializing the transpose (tensor/gemm.h).
+// Backward passes are themselves expressed through the matmul family, so
+// both remain create_graph-differentiable (second-order WGAN-GP safe).
+Var matmul_nt(const Var& a, const Var& b);
+Var matmul_tn(const Var& a, const Var& b);
 Var transpose(const Var& a);
 
 Var exp(const Var& a);

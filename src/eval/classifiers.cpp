@@ -76,7 +76,7 @@ void LogisticRegression::fit(const Tensor& x, const std::vector<std::size_t>& y,
     Tensor probs = softmax_rows_plain(xb.matmul(weights_));
     // dL/dlogits = (p - onehot) / n
     for (std::size_t r = 0; r < probs.rows(); ++r) probs(r, y[r]) -= 1.0f;
-    Tensor grad = xb.transpose().matmul(probs).mul_scalar(1.0f / n);
+    Tensor grad = xb.matmul_tn(probs).mul_scalar(1.0f / n);
     grad += weights_.mul_scalar(l2_);
     weights_ -= grad.mul_scalar(lr_);
   }
@@ -157,12 +157,12 @@ void MlpClassifier::fit(const Tensor& x, const std::vector<std::size_t>& y,
       for (std::size_t r = 0; r < rows.size(); ++r) probs(r, y[rows[r]]) -= 1.0f;
       Tensor dlogits = probs.mul_scalar(1.0f / m);
 
-      Tensor gw2 = h.transpose().matmul(dlogits);
+      Tensor gw2 = h.matmul_tn(dlogits);
       Tensor gb2 = dlogits.sum_rows();
-      Tensor dh = dlogits.matmul(w2_.transpose());
+      Tensor dh = dlogits.matmul_nt(w2_);
       Tensor mask = pre.map([](float v) { return v > 0.0f ? 1.0f : 0.0f; });
       Tensor dpre = dh * mask;
-      Tensor gw1 = xb.transpose().matmul(dpre);
+      Tensor gw1 = xb.matmul_tn(dpre);
       Tensor gb1 = dpre.sum_rows();
 
       vw1 = vw1.mul_scalar(momentum) - gw1.mul_scalar(lr);

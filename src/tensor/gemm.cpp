@@ -1,0 +1,254 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "tensor/thread_pool.h"
+
+namespace gtv::detail {
+
+namespace {
+
+constexpr std::size_t kMR = 4;    // micro-tile rows (A rows per kernel call)
+constexpr std::size_t kNR = 16;   // packed sliver width (C cols per kernel call)
+constexpr std::size_t kKB = 256;  // k-block: packed panel depth
+constexpr std::size_t kNB = 128;  // j-panel width packed at a time
+// m*k*n above which packing + register tiling pays for itself; below it the
+// simple order-preserving loops win (no pack traffic, no dispatch).
+constexpr std::size_t kTiledThreshold = std::size_t{1} << 15;
+
+// The micro-kernels are stamped out twice: a portable build (whatever ISA
+// the TU is compiled for, SSE2 on stock x86-64) and an AVX2 build selected
+// at runtime via cpuid. Both compute identical bit patterns — the dispatch
+// only changes vector width, never accumulation order.
+namespace portable {
+#include "tensor/gemm_kernels.inc"
+}  // namespace portable
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && !defined(__AVX2__)
+#define GTV_GEMM_RUNTIME_AVX2 1
+#pragma GCC push_options
+#pragma GCC target("avx2")
+namespace avx2 {
+#include "tensor/gemm_kernels.inc"
+}  // namespace avx2
+#pragma GCC pop_options
+#endif
+
+using KernRows = void (*)(const float*, const float*, const float*, const float*, const float*,
+                          std::size_t, float*, float*, float*, float*, std::size_t);
+using KernCols = void (*)(const float*, std::size_t, const float*, std::size_t, float*, float*,
+                          float*, float*, std::size_t);
+using KernTail = void (*)(const float*, std::size_t, const float*, std::size_t, float*,
+                          std::size_t);
+
+struct Kernels {
+  KernRows rows;
+  KernCols cols;
+  KernTail tail;
+  const char* isa;
+};
+
+const Kernels& active_kernels() {
+  static const Kernels kernels = [] {
+#ifdef GTV_GEMM_RUNTIME_AVX2
+    if (__builtin_cpu_supports("avx2")) {
+      return Kernels{&avx2::kernel_rows, &avx2::kernel_cols, &avx2::kernel_tail_row, "avx2"};
+    }
+#endif
+    return Kernels{&portable::kernel_rows, &portable::kernel_cols, &portable::kernel_tail_row,
+#if defined(__AVX2__)
+                   "avx2"
+#else
+                   "portable"
+#endif
+    };
+  }();
+  return kernels;
+}
+
+// Packs rows [k0, k0+kn) x cols [j0, j0+jn) of row-major b (leading
+// dimension ldb) into kNR-wide zero-padded slivers: sliver s holds its kn
+// rows contiguously, so the micro-kernel streams it with unit stride.
+void pack_panel_nn(const float* b, std::size_t ldb, std::size_t k0, std::size_t kn,
+                   std::size_t j0, std::size_t jn, float* out) {
+  for (std::size_t s = 0; s * kNR < jn; ++s) {
+    const std::size_t jw = std::min(kNR, jn - s * kNR);
+    float* dst = out + s * kn * kNR;
+    const float* src = b + k0 * ldb + j0 + s * kNR;
+    for (std::size_t kk = 0; kk < kn; ++kk) {
+      std::memcpy(dst, src, jw * sizeof(float));
+      if (jw < kNR) std::memset(dst + jw, 0, (kNR - jw) * sizeof(float));
+      dst += kNR;
+      src += ldb;
+    }
+  }
+}
+
+// Same sliver layout, but the logical operand is b^T with b stored
+// (n x k, leading dimension ldb): sliver row kk holds b[j0+s*kNR+j][k0+kk].
+// This small transposing pack is the only transposition gemm_nt ever does.
+void pack_panel_nt(const float* b, std::size_t ldb, std::size_t k0, std::size_t kn,
+                   std::size_t j0, std::size_t jn, float* out) {
+  for (std::size_t s = 0; s * kNR < jn; ++s) {
+    float* dst = out + s * kn * kNR;
+    const std::size_t jw = std::min(kNR, jn - s * kNR);
+    for (std::size_t j = 0; j < jw; ++j) {
+      const float* src = b + (j0 + s * kNR + j) * ldb + k0;
+      for (std::size_t kk = 0; kk < kn; ++kk) dst[kk * kNR + j] = src[kk];
+    }
+    for (std::size_t j = jw; j < kNR; ++j) {
+      for (std::size_t kk = 0; kk < kn; ++kk) dst[kk * kNR + j] = 0.0f;
+    }
+  }
+}
+
+enum class AForm {
+  kRows,  // a is (m x k) row-major: micro-tile reads 4 rows
+  kCols,  // a is (k x m) row-major, logically a^T: micro-tile reads 4 adjacent columns
+};
+
+template <AForm AF, bool BTransposed>
+void gemm_tiled(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+                std::size_t n) {
+  const Kernels& kern = active_kernels();
+  // Per-thread scratch: the packed panel is written by the submitting thread
+  // and only read by pool workers during the dispatch below.
+  thread_local std::vector<float> pack_storage;
+  const std::size_t panel_cols = std::min(n, kNB);
+  pack_storage.resize(std::min(k, kKB) * ((panel_cols + kNR - 1) / kNR) * kNR);
+  const std::size_t groups = (m + kMR - 1) / kMR;
+
+  for (std::size_t j0 = 0; j0 < n; j0 += kNB) {
+    const std::size_t jn = std::min(n, j0 + kNB) - j0;
+    // k-blocks run in ascending order with a barrier between dispatches, so
+    // every C element sees its contributions in ascending-k order; the
+    // kernels preload C, which keeps the chain bit-identical to one pass.
+    for (std::size_t k0 = 0; k0 < k; k0 += kKB) {
+      const std::size_t kn = std::min(k, k0 + kKB) - k0;
+      if (BTransposed) {
+        pack_panel_nt(b, k, k0, kn, j0, jn, pack_storage.data());
+      } else {
+        pack_panel_nn(b, n, k0, kn, j0, jn, pack_storage.data());
+      }
+      const float* packed = pack_storage.data();
+      parallel_for(groups, 4, [&, packed](std::size_t g0, std::size_t g1) {
+        for (std::size_t g = g0; g < g1; ++g) {
+          const std::size_t i = g * kMR;
+          const std::size_t ilen = std::min(kMR, m - i);
+          for (std::size_t s = 0; s * kNR < jn; ++s) {
+            const std::size_t jw = std::min(kNR, jn - s * kNR);
+            const float* bp = packed + s * kn * kNR;
+            float* cr = c + i * n + j0 + s * kNR;
+            if (ilen == kMR) {
+              if (AF == AForm::kRows) {
+                const float* a0 = a + i * k + k0;
+                kern.rows(a0, a0 + k, a0 + 2 * k, a0 + 3 * k, bp, kn, cr, cr + n, cr + 2 * n,
+                          cr + 3 * n, jw);
+              } else {
+                kern.cols(a + k0 * m + i, m, bp, kn, cr, cr + n, cr + 2 * n, cr + 3 * n, jw);
+              }
+            } else {
+              for (std::size_t r = 0; r < ilen; ++r) {
+                if (AF == AForm::kRows) {
+                  kern.tail(a + (i + r) * k + k0, 1, bp, kn, cr + r * n, jw);
+                } else {
+                  kern.tail(a + k0 * m + i + r, m, bp, kn, cr + r * n, jw);
+                }
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+// --- small-shape paths: plain loops, same accumulation order ----------------
+
+void gemm_small_nn(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      const float* brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void gemm_small_nt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = crow[j];
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+void gemm_small_tn(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+                   std::size_t n) {
+  // Outer-product over k: unit-stride reads of both a and b rows, and every
+  // C element still accumulates in ascending-k order.
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+bool use_tiled(std::size_t m, std::size_t k, std::size_t n) {
+  return m * k * n >= kTiledThreshold && k > 0;
+}
+
+}  // namespace
+
+void gemm_nn(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n) {
+  if (m == 0 || n == 0 || k == 0) return;
+  if (use_tiled(m, k, n)) {
+    gemm_tiled<AForm::kRows, false>(a, b, c, m, k, n);
+  } else {
+    gemm_small_nn(a, b, c, m, k, n);
+  }
+}
+
+void gemm_nt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n) {
+  if (m == 0 || n == 0 || k == 0) return;
+  if (use_tiled(m, k, n)) {
+    gemm_tiled<AForm::kRows, true>(a, b, c, m, k, n);
+  } else {
+    gemm_small_nt(a, b, c, m, k, n);
+  }
+}
+
+void gemm_tn(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n) {
+  if (m == 0 || n == 0 || k == 0) return;
+  if (use_tiled(m, k, n)) {
+    gemm_tiled<AForm::kCols, false>(a, b, c, m, k, n);
+  } else {
+    gemm_small_tn(a, b, c, m, k, n);
+  }
+}
+
+bool gemm_uses_tiled_path(std::size_t m, std::size_t k, std::size_t n) {
+  return use_tiled(m, k, n);
+}
+
+const char* gemm_kernel_isa() { return active_kernels().isa; }
+
+}  // namespace gtv::detail

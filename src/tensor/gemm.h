@@ -1,0 +1,44 @@
+// Internal dense-matmul kernels behind Tensor::matmul / matmul_nt / matmul_tn.
+//
+// All matrices are row-major float32. Every kernel contracts over k in
+// ascending order with a single float accumulator per output element, which
+// makes the result bit-identical to the naive
+//
+//   for i: for kk: for j: c[i][j] += a[i][kk] * b[kk][j]
+//
+// loop regardless of tiling, packing, or thread count. IEEE semantics are
+// preserved exactly: a zero in either operand still multiplies (0 * Inf and
+// 0 * NaN contribute NaN), so non-finite values always propagate to the
+// output instead of being skipped.
+//
+// Large shapes take a register-tiled, cache-blocked path (4-row micro-tiles
+// over packed 16-column B slivers, AVX2 micro-kernel when the CPU has it);
+// small shapes use simple order-preserving loops. Both paths parallelize
+// across output rows through gtv::parallel_for.
+#pragma once
+
+#include <cstddef>
+
+namespace gtv::detail {
+
+// c (m x n) += a (m x k) * b (k x n).
+void gemm_nn(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n);
+
+// c (m x n) += a (m x k) * b^T, where b is stored (n x k). Transpose-free:
+// b is never materialized transposed, only packed in small slivers.
+void gemm_nt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n);
+
+// c (m x n) += a^T * b, where a is stored (k x m) and b (k x n).
+void gemm_tn(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n);
+
+// True when the packed/tiled path would be used for this shape (exposed for
+// tests so the parity suite can pin both paths).
+bool gemm_uses_tiled_path(std::size_t m, std::size_t k, std::size_t n);
+
+// "avx2" or "portable": which micro-kernel the running CPU selected.
+const char* gemm_kernel_isa();
+
+}  // namespace gtv::detail

@@ -8,7 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "tensor/thread_pool.h"
+#include "tensor/gemm.h"
 
 namespace gtv {
 
@@ -189,31 +189,22 @@ Tensor Tensor::map(const std::function<float(float)>& f) const {
 
 Tensor Tensor::matmul(const Tensor& rhs) const {
   if (cols_ != rhs.rows_) shape_error("matmul", *this, rhs);
-  const std::size_t m = rows_, k = cols_, n = rhs.cols_;
-  Tensor out(m, n);
-  const float* a = data_.data();
-  const float* b = rhs.data_.data();
-  float* c = out.data_.data();
-  // i-k-j loop order: unit-stride inner loop over both b and c.
-  auto body = [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      float* crow = c + i * n;
-      const float* arow = a + i * k;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float aik = arow[kk];
-        if (aik == 0.0f) continue;
-        const float* brow = b + kk * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  };
-  // Parallelize across output rows when there is enough work.
-  const std::size_t flops = m * n * k;
-  if (flops > 1u << 16) {
-    parallel_for(m, 8, body);
-  } else {
-    body(0, m);
-  }
+  Tensor out(rows_, rhs.cols_);
+  detail::gemm_nn(data_.data(), rhs.data_.data(), out.data_.data(), rows_, cols_, rhs.cols_);
+  return out;
+}
+
+Tensor Tensor::matmul_nt(const Tensor& rhs) const {
+  if (cols_ != rhs.cols_) shape_error("matmul_nt", *this, rhs);
+  Tensor out(rows_, rhs.rows_);
+  detail::gemm_nt(data_.data(), rhs.data_.data(), out.data_.data(), rows_, cols_, rhs.rows_);
+  return out;
+}
+
+Tensor Tensor::matmul_tn(const Tensor& rhs) const {
+  if (rows_ != rhs.rows_) shape_error("matmul_tn", *this, rhs);
+  Tensor out(cols_, rhs.cols_);
+  detail::gemm_tn(data_.data(), rhs.data_.data(), out.data_.data(), cols_, rows_, rhs.cols_);
   return out;
 }
 
@@ -246,9 +237,13 @@ float Tensor::max() const {
 }
 
 Tensor Tensor::sum_rows() const {
+  // Accumulates in double like sum_cols: float32 accumulation drifts at
+  // large row counts and skews the BatchNorm statistics built on top.
   Tensor out(1, cols_);
+  std::vector<double> acc(cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r)
-    for (std::size_t c = 0; c < cols_; ++c) out.data_[c] += (*this)(r, c);
+    for (std::size_t c = 0; c < cols_; ++c) acc[c] += (*this)(r, c);
+  for (std::size_t c = 0; c < cols_; ++c) out.data_[c] = static_cast<float>(acc[c]);
   return out;
 }
 

@@ -77,8 +77,15 @@ class Tensor {
   Tensor map(const std::function<float(float)>& f) const;
 
   // --- linear algebra -------------------------------------------------------
-  // Matrix product; this->cols() must equal rhs.rows(). Threaded.
+  // Matrix product; this->cols() must equal rhs.rows(). Tiled + threaded,
+  // bit-identical to the naive i-k-j reference (see tensor/gemm.h).
   Tensor matmul(const Tensor& rhs) const;
+  // this * rhs^T without materializing the transpose; cols() must match
+  // rhs.cols(). Bit-identical to matmul(rhs.transpose()).
+  Tensor matmul_nt(const Tensor& rhs) const;
+  // this^T * rhs without materializing the transpose; rows() must match
+  // rhs.rows(). Bit-identical to transpose().matmul(rhs).
+  Tensor matmul_tn(const Tensor& rhs) const;
   Tensor transpose() const;
 
   // --- reductions -----------------------------------------------------------

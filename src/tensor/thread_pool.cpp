@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -13,9 +14,38 @@
 
 namespace gtv {
 
+namespace {
+
+// True while the current thread is executing a parallel_for body — either as
+// a pool worker or as a caller participating in its own job. A parallel_for
+// issued from such a context (e.g. a kernel invoked inside another kernel's
+// chunk) must not enqueue: the nested caller could not help drain the pool
+// it is itself occupying, so nested calls run serially instead.
+thread_local bool tl_inside_chunk = false;
+
+std::size_t configured_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::size_t workers = std::min<std::size_t>(hw == 0 ? 4 : hw, 16);
+  // GTV_THREADS overrides the hardware default: =1 forces fully serial
+  // execution (deterministic CI), larger values cap the pool size.
+  if (const char* env = std::getenv("GTV_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      workers = std::min<std::size_t>(parsed, 64);
+    }
+  }
+  return workers;
+}
+
+}  // namespace
+
 struct ThreadPool::Impl {
-  // Jobs are shared so a straggling worker that grabbed the pointer after
-  // the work was fully consumed can still safely observe `next >= n`.
+  // One Job per parallel_for call. Jobs are independent objects shared via
+  // shared_ptr, so any number of caller threads can have jobs in flight at
+  // once: a second caller enqueues its own job instead of overwriting a
+  // shared slot, and a straggling worker that grabbed the pointer after the
+  // work was fully claimed safely observes `next >= n`.
   struct Job {
     const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     std::size_t n = 0;
@@ -38,28 +68,50 @@ struct ThreadPool::Impl {
   std::vector<WorkerStats> stats;  // size workers (spawned + caller slot 0)
   obs::Counter* calls = nullptr;       // parallel_for invocations
   obs::Counter* dispatched = nullptr;  // invocations that woke the pool
+  obs::Counter* nested = nullptr;      // nested invocations run serially
   std::mutex mu;
   std::condition_variable cv_work;
   std::condition_variable cv_done;
-  std::shared_ptr<Job> job;
-  std::uint64_t job_serial = 0;
+  // All jobs with unclaimed chunks, in submission order. Exhausted jobs are
+  // pruned by whichever thread notices next >= n.
+  std::vector<std::shared_ptr<Job>> active;
   bool shutdown = false;
 
+  bool work_available() const {
+    for (const auto& job : active) {
+      if (job->next.load(std::memory_order_relaxed) < job->n) return true;
+    }
+    return false;
+  }
+
+  std::shared_ptr<Job> pick_job() {
+    for (const auto& job : active) {
+      if (job->next.load(std::memory_order_relaxed) < job->n) return job;
+    }
+    return nullptr;
+  }
+
+  void remove_job(const std::shared_ptr<Job>& job) {
+    active.erase(std::remove(active.begin(), active.end(), job), active.end());
+  }
+
   void worker_loop(std::size_t slot) {
-    std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Job> local;
       {
         const bool timed = obs::timing_enabled();
         const std::uint64_t wait_start = timed ? obs::TraceSink::now_us() : 0;
         std::unique_lock<std::mutex> lock(mu);
-        cv_work.wait(lock, [&] { return shutdown || job_serial != seen; });
+        cv_work.wait(lock, [&] { return shutdown || work_available(); });
         if (timed) stats[slot].idle_us->add(obs::TraceSink::now_us() - wait_start);
         if (shutdown) return;
-        seen = job_serial;
-        local = job;
+        local = pick_job();
       }
-      if (local) run_chunks(*local, slot);
+      if (local) {
+        run_chunks(*local, slot);
+        std::lock_guard<std::mutex> lock(mu);
+        if (local->next.load(std::memory_order_relaxed) >= local->n) remove_job(local);
+      }
     }
   }
 
@@ -70,7 +122,11 @@ struct ThreadPool::Impl {
       if (begin >= j.n) break;
       const std::size_t end = std::min(j.n, begin + j.chunk);
       const std::uint64_t start = timed ? obs::TraceSink::now_us() : 0;
-      (*j.fn)(begin, end);
+      {
+        tl_inside_chunk = true;
+        (*j.fn)(begin, end);
+        tl_inside_chunk = false;
+      }
       if (timed) stats[slot].busy_us->add(obs::TraceSink::now_us() - start);
       stats[slot].chunks->add();
       if (j.remaining.fetch_sub(end - begin) == end - begin) {
@@ -82,12 +138,12 @@ struct ThreadPool::Impl {
 };
 
 ThreadPool::ThreadPool() : impl_(new Impl) {
-  const unsigned hw = std::thread::hardware_concurrency();
-  workers_ = std::min<std::size_t>(hw == 0 ? 4 : hw, 16);
+  workers_ = configured_workers();
   const std::size_t spawned = workers_ > 1 ? workers_ - 1 : 0;
   auto& registry = obs::MetricsRegistry::instance();
   impl_->calls = &registry.counter("threadpool.parallel_for");
   impl_->dispatched = &registry.counter("threadpool.dispatched");
+  impl_->nested = &registry.counter("threadpool.nested_serial");
   impl_->stats.resize(spawned + 1);
   for (std::size_t slot = 0; slot <= spawned; ++slot) {
     const std::string prefix =
@@ -122,6 +178,13 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   if (n == 0) return;
   impl_->calls->add();
   grain = std::max<std::size_t>(grain, 1);
+  if (tl_inside_chunk) {
+    // Nested call from inside another parallel_for body: run serially. The
+    // guard flag stays set so deeper nesting short-circuits the same way.
+    impl_->nested->add();
+    fn(0, n);
+    return;
+  }
   if (n <= grain || workers_ <= 1) {
     fn(0, n);
     return;
@@ -135,14 +198,13 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   job->remaining.store(n);
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->job = job;
-    ++impl_->job_serial;
+    impl_->active.push_back(job);
   }
   impl_->cv_work.notify_all();
   impl_->run_chunks(*job, /*slot=*/0);  // caller participates
   std::unique_lock<std::mutex> lock(impl_->mu);
   impl_->cv_done.wait(lock, [&] { return job->remaining.load() == 0; });
-  impl_->job.reset();
+  impl_->remove_job(job);
 }
 
 void parallel_for(std::size_t n, std::size_t grain,

@@ -1,8 +1,16 @@
 // Minimal persistent thread pool used to parallelize dense kernels.
 //
 // The pool is created lazily on first use and sized to the hardware
-// concurrency (capped). parallel_for partitions [0, n) into contiguous
+// concurrency (capped at 16); the GTV_THREADS environment variable
+// overrides the size (GTV_THREADS=1 forces fully serial execution, useful
+// for deterministic CI). parallel_for partitions [0, n) into contiguous
 // chunks; the calling thread participates so small ranges stay cheap.
+//
+// parallel_for is reentrant: each call owns an independent job object, so
+// any number of threads may issue calls concurrently (gtv-node reader
+// threads, probe synthesis) without interfering. A parallel_for issued from
+// *inside* a running parallel_for body is detected and executed serially on
+// the calling thread — nested dispatch cannot deadlock the pool.
 #pragma once
 
 #include <cstddef>
@@ -17,7 +25,8 @@ class ThreadPool {
 
   // Runs fn(begin, end) over a partition of [0, n). Blocks until done.
   // `grain` is the minimum chunk size; ranges smaller than `grain`
-  // run inline on the calling thread without synchronization.
+  // run inline on the calling thread without synchronization. Safe to call
+  // from multiple threads at once; nested calls degrade to serial.
   void parallel_for(std::size_t n, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 

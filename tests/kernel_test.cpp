@@ -1,0 +1,204 @@
+// Parity suite for the dense-matmul kernels (src/tensor/gemm.*).
+//
+// Every matmul variant must be bit-identical to the naive seed kernel
+// (i-k-j triple loop, single float accumulator per output element,
+// ascending k). The tests compare against that reference with EXPECT_EQ on
+// the raw floats — not EXPECT_NEAR — across shapes chosen to hit both the
+// small-shape path and the register-tiled path, including every tile-edge
+// case (partial 4-row groups, partial 16-column slivers, k-block
+// boundaries). Also pins IEEE non-finite propagation (the seed kernel's
+// zero-skip bug swallowed 0 * Inf) and the sum_rows double-accumulation
+// fix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+
+namespace gtv {
+namespace {
+
+// The seed kernel, kept verbatim as the semantic reference: i-k-j order,
+// one float accumulator chain per output element, no zero-skip.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+      const float aik = a(i, kk);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(kk, j);
+      }
+    }
+  }
+  return out;
+}
+
+// Compares with bitwise equality so NaNs also count as matching.
+void expect_bit_identical(const Tensor& got, const Tensor& want, const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t r = 0; r < got.rows(); ++r) {
+    for (std::size_t c = 0; c < got.cols(); ++c) {
+      std::uint32_t g, w;
+      const float gf = got(r, c), wf = want(r, c);
+      std::memcpy(&g, &gf, 4);
+      std::memcpy(&w, &wf, 4);
+      ASSERT_EQ(g, w) << what << " mismatch at (" << r << "," << c << "): " << gf
+                      << " vs " << wf;
+    }
+  }
+}
+
+// Shapes covering: degenerate, odd, partial micro-tiles (m % 4, n % 16),
+// exact tile edges, k-block boundary (k > 256), and a large square that is
+// firmly on the tiled path.
+struct Shape {
+  std::size_t m, k, n;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},    {3, 5, 7},     {4, 16, 16},  {5, 17, 16},  {4, 8, 15},
+    {8, 32, 17},  {127, 64, 129}, {127, 129, 64}, {64, 257, 33}, {96, 300, 131},
+    {1, 512, 1},  {128, 128, 128},
+};
+
+TEST(KernelParityTest, MatmulBitIdenticalToNaiveAcrossShapes) {
+  bool saw_tiled = false, saw_small = false;
+  for (const Shape& s : kShapes) {
+    Rng rng(1000 + s.m * 7 + s.k * 3 + s.n);
+    Tensor a = Tensor::normal(s.m, s.k, 0.0f, 1.0f, rng);
+    Tensor b = Tensor::normal(s.k, s.n, 0.0f, 1.0f, rng);
+    if (detail::gemm_uses_tiled_path(s.m, s.k, s.n)) saw_tiled = true;
+    else saw_small = true;
+    expect_bit_identical(a.matmul(b), naive_matmul(a, b), "matmul");
+  }
+  // The suite must pin both code paths; if the threshold moves, add shapes.
+  EXPECT_TRUE(saw_tiled);
+  EXPECT_TRUE(saw_small);
+}
+
+TEST(KernelParityTest, MatmulNtBitIdenticalToExplicitTranspose) {
+  for (const Shape& s : kShapes) {
+    Rng rng(2000 + s.m + s.k + s.n);
+    Tensor a = Tensor::normal(s.m, s.k, 0.0f, 1.0f, rng);
+    Tensor bt = Tensor::normal(s.n, s.k, 0.0f, 1.0f, rng);  // b stored transposed
+    expect_bit_identical(a.matmul_nt(bt), naive_matmul(a, bt.transpose()),
+                         "matmul_nt");
+  }
+}
+
+TEST(KernelParityTest, MatmulTnBitIdenticalToExplicitTranspose) {
+  for (const Shape& s : kShapes) {
+    Rng rng(3000 + s.m + s.k + s.n);
+    Tensor at = Tensor::normal(s.k, s.m, 0.0f, 1.0f, rng);  // a stored transposed
+    Tensor b = Tensor::normal(s.k, s.n, 0.0f, 1.0f, rng);
+    expect_bit_identical(at.matmul_tn(b), naive_matmul(at.transpose(), b),
+                         "matmul_tn");
+  }
+}
+
+TEST(KernelParityTest, LargeSquareHitsTiledPathAndMatches) {
+  ASSERT_TRUE(detail::gemm_uses_tiled_path(256, 256, 256));
+  Rng rng(42);
+  Tensor a = Tensor::normal(256, 256, 0.0f, 1.0f, rng);
+  Tensor b = Tensor::normal(256, 256, 0.0f, 1.0f, rng);
+  expect_bit_identical(a.matmul(b), naive_matmul(a, b), "matmul 256^3");
+}
+
+TEST(KernelParityTest, KernelIsaReportsKnownValue) {
+  const char* isa = detail::gemm_kernel_isa();
+  EXPECT_TRUE(std::strcmp(isa, "avx2") == 0 || std::strcmp(isa, "portable") == 0)
+      << isa;
+}
+
+// Regression for the zero-skip bug: the seed kernel skipped the inner loop
+// when a(i,k) == 0, so a zero in A silently swallowed an Inf/NaN in B.
+// IEEE says 0 * Inf = NaN and that NaN must reach the output.
+TEST(KernelIeeeTest, ZeroTimesInfPropagatesNaN) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a = Tensor::of({{0, 1}});
+  Tensor b(2, 1);
+  b(0, 0) = inf;
+  b(1, 0) = 1.0f;
+  Tensor c = a.matmul(b);  // 0*inf + 1*1 = NaN + 1 = NaN
+  EXPECT_TRUE(std::isnan(c(0, 0)));
+}
+
+TEST(KernelIeeeTest, ZeroTimesNaNPropagates) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a = Tensor::of({{0, 2}});
+  Tensor b(2, 1);
+  b(0, 0) = nan;
+  b(1, 0) = 3.0f;
+  EXPECT_TRUE(std::isnan(a.matmul(b)(0, 0)));
+}
+
+TEST(KernelIeeeTest, InfRowStaysInfWhenNoCancellation) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a = Tensor::of({{1, 1}});
+  Tensor b(2, 1);
+  b(0, 0) = inf;
+  b(1, 0) = 1.0f;
+  EXPECT_TRUE(std::isinf(a.matmul(b)(0, 0)));
+}
+
+// Non-finite propagation must also hold on the tiled path (packed slivers
+// zero-pad the last partial sliver — the padding must never combine with
+// non-finite A values in a way that leaks NaN into real columns, and real
+// non-finite products must still propagate).
+TEST(KernelIeeeTest, TiledPathPropagatesNonFinite) {
+  const std::size_t m = 64, k = 64, n = 33;  // partial 16-col sliver at the end
+  ASSERT_TRUE(detail::gemm_uses_tiled_path(m, k, n));
+  Rng rng(7);
+  Tensor a = Tensor::normal(m, k, 0.0f, 1.0f, rng);
+  Tensor b = Tensor::normal(k, n, 0.0f, 1.0f, rng);
+  a(5, 3) = 0.0f;
+  b(3, 20) = std::numeric_limits<float>::infinity();
+  a(60, 0) = std::numeric_limits<float>::infinity();
+  Tensor got = a.matmul(b);
+  expect_bit_identical(got, naive_matmul(a, b), "tiled non-finite");
+  EXPECT_TRUE(std::isnan(got(5, 20)));  // 0 * inf in the accumulation chain
+}
+
+// sum_rows accumulates each column in double before rounding once to
+// float32. For 100k rows of small same-sign values a float accumulator
+// stalls (x + eps == x once x is large); the double sum must match a
+// reference double accumulation exactly after the final rounding.
+TEST(SumRowsTest, HundredThousandRowsMatchesDoubleReference) {
+  const std::size_t n = 100000, c = 3;
+  Rng rng(11);
+  Tensor t = Tensor::uniform(n, c, 0.0f, 1.0f, rng);
+  Tensor got = t.sum_rows();
+  ASSERT_EQ(got.rows(), 1u);
+  ASSERT_EQ(got.cols(), c);
+  for (std::size_t j = 0; j < c; ++j) {
+    double ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i) ref += static_cast<double>(t(i, j));
+    EXPECT_FLOAT_EQ(got(0, j), static_cast<float>(ref)) << "col " << j;
+  }
+}
+
+// Discriminating case: accumulating 100k copies of 0.1f in float32 drifts
+// by far more than 4 ulps (each add at magnitude ~1e4 rounds away ~1e-4),
+// while the double accumulator rounds once at the end. A float-accumulating
+// sum_rows fails this test; the double-accumulating one passes exactly.
+TEST(SumRowsTest, ManySmallValuesDoNotStall) {
+  const std::size_t n = 100000;
+  Tensor t = Tensor::full(n, 1, 0.1f);
+  double ref = 0.0;
+  for (std::size_t i = 0; i < n; ++i) ref += static_cast<double>(0.1f);
+  EXPECT_FLOAT_EQ(t.sum_rows()(0, 0), static_cast<float>(ref));
+}
+
+TEST(KernelParityTest, ShapeMismatchStillThrows) {
+  Tensor a(2, 3), b(4, 5);
+  EXPECT_THROW(a.matmul(b), std::invalid_argument);
+  EXPECT_THROW(a.matmul_nt(b), std::invalid_argument);
+  EXPECT_THROW(a.matmul_tn(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gtv

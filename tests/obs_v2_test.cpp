@@ -160,12 +160,17 @@ TEST(ProfilerTest, AutogradOpsRecordForwardAndBackward) {
   ASSERT_TRUE(stats.count("matmul.bwd"));
   ASSERT_TRUE(stats.count("sum_all.bwd"));
   ASSERT_TRUE(stats.count("autograd.backward"));
-  // Each matmul call touches two 2x2 operands and one 2x2 result; the
-  // forward plus the two backward-closure matmuls all record under "matmul".
-  EXPECT_GE(stats.at("matmul").calls, 3u);
+  // Each matmul-family call touches two 2x2 operands and one 2x2 result.
+  // The backward pass is transpose-free: g·B^T records under "matmul_nt"
+  // and A^T·g under "matmul_tn" — no "transpose" op appears at all.
+  EXPECT_EQ(stats.at("matmul").calls, 1u);
   EXPECT_EQ(stats.at("matmul").bytes,
             stats.at("matmul").calls * 3u * 4u * sizeof(float));
-  EXPECT_TRUE(stats.count("transpose"));
+  ASSERT_TRUE(stats.count("matmul_nt"));
+  ASSERT_TRUE(stats.count("matmul_tn"));
+  EXPECT_EQ(stats.at("matmul_nt").calls, 1u);
+  EXPECT_EQ(stats.at("matmul_tn").calls, 1u);
+  EXPECT_EQ(stats.count("transpose"), 0u);
 }
 
 TEST(ProfilerTest, ReportAndJsonCarrySchemaAndOps) {

@@ -1,0 +1,168 @@
+// Reentrancy and concurrency tests for gtv::ThreadPool.
+//
+// The pool used to keep a single shared job slot, so two threads calling
+// parallel_for at once corrupted each other's chunk cursors, and a
+// parallel_for issued from inside a running chunk deadlocked waiting on
+// workers that were all occupied by its parent. This suite pins the fixed
+// contract: any number of caller threads may dispatch concurrently, nested
+// calls degrade to serial, and GTV_THREADS sizes the pool.
+//
+// GTV_THREADS is set in a global constructor so it is visible before the
+// lazily-created singleton pool first runs — which is also why this lives in
+// its own binary instead of tensor_test (the env var must win the race with
+// every other test's first kernel call).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "tensor/thread_pool.h"
+
+namespace {
+struct EnvSetter {
+  EnvSetter() { setenv("GTV_THREADS", "3", /*overwrite=*/1); }
+} g_env_setter;
+}  // namespace
+
+namespace gtv {
+namespace {
+
+TEST(ThreadPoolStressTest, GtvThreadsEnvSizesPool) {
+  EXPECT_EQ(ThreadPool::instance().worker_count(), 3u);
+}
+
+TEST(ThreadPoolStressTest, SingleCallerCoversRangeExactlyOnce) {
+  const std::size_t n = 10007;  // prime: exercises ragged final chunk
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, 8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+// Four caller threads hammer the pool simultaneously, each with its own
+// output buffer and a data-dependent payload. Every call must cover its own
+// range exactly once regardless of interleaving with the other callers.
+TEST(ThreadPoolStressTest, FourConcurrentCallersEachGetCorrectResults) {
+  constexpr int kCallers = 4;
+  constexpr int kRepeats = 50;
+  constexpr std::size_t kN = 4099;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([t, &failures] {
+      std::vector<int> out(kN);
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        std::fill(out.begin(), out.end(), -1);
+        parallel_for(kN, 4, [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            out[i] = t * 1000000 + rep * 10000 + static_cast<int>(i % 10000);
+          }
+        });
+        for (std::size_t i = 0; i < kN; ++i) {
+          const int want = t * 1000000 + rep * 10000 + static_cast<int>(i % 10000);
+          if (out[i] != want) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Concurrent matmuls from multiple threads — the realistic VFL shape of the
+// bug: per-party reader threads and probe synthesis all driving kernels at
+// once. Each thread checks its product against a serially-computed answer.
+TEST(ThreadPoolStressTest, ConcurrentMatmulsAreIndependent) {
+  constexpr int kCallers = 4;
+  std::vector<Tensor> as, bs, wants;
+  for (int t = 0; t < kCallers; ++t) {
+    Rng rng(100 + t);
+    as.push_back(Tensor::normal(96, 64, 0.0f, 1.0f, rng));
+    bs.push_back(Tensor::normal(64, 80, 0.0f, 1.0f, rng));
+    wants.push_back(as.back().matmul(bs.back()));
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([t, &as, &bs, &wants, &mismatches] {
+      for (int rep = 0; rep < 25; ++rep) {
+        Tensor got = as[t].matmul(bs[t]);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          if (got.data()[i] != wants[t].data()[i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// A parallel_for issued from inside a chunk body must complete (serially)
+// rather than deadlock, and still cover its whole range exactly once.
+TEST(ThreadPoolStressTest, NestedParallelForCompletesSerially) {
+  constexpr std::size_t kOuter = 64;
+  constexpr std::size_t kInner = 257;
+  std::vector<std::atomic<int>> inner_hits(kOuter * kInner);
+  parallel_for(kOuter, 1, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      parallel_for(kInner, 16, [&, o](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          inner_hits[o * kInner + i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  });
+  for (std::size_t i = 0; i < inner_hits.size(); ++i) {
+    ASSERT_EQ(inner_hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+// Nesting inside concurrent callers at once — the worst case: every worker
+// occupied by outer chunks while each chunk spawns inner loops.
+TEST(ThreadPoolStressTest, ConcurrentCallersWithNestedLoops) {
+  constexpr int kCallers = 4;
+  std::atomic<long> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&total] {
+      for (int rep = 0; rep < 10; ++rep) {
+        parallel_for(32, 1, [&](std::size_t ob, std::size_t oe) {
+          for (std::size_t o = ob; o < oe; ++o) {
+            parallel_for(100, 10, [&](std::size_t b, std::size_t e) {
+              total.fetch_add(static_cast<long>(e - b), std::memory_order_relaxed);
+            });
+          }
+        });
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), static_cast<long>(kCallers) * 10 * 32 * 100);
+}
+
+TEST(ThreadPoolStressTest, ZeroAndTinyRangesAreSafe) {
+  int calls = 0;
+  parallel_for(0, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 8, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace gtv
