@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Diff the repo's BENCH_*.json files against their committed baselines.
+
+The check.sh stages regenerate BENCH_transport_smoke.json,
+BENCH_kernels.json, BENCH_health_smoke.json and BENCH_liveobs_smoke.json
+in the working tree. This tool answers "what moved?" by comparing every
+numeric field against a baseline copy:
+
+  python3 scripts/bench_compare.py                    # vs git HEAD
+  python3 scripts/bench_compare.py --baseline-dir X/  # vs saved copies
+  python3 scripts/bench_compare.py BENCH_kernels.json # subset of files
+
+Exit code 0 when everything compared (informational mode). With
+--fail-over PCT, exits 1 when any metric whose name matches --gate REGEX
+regressed by more than PCT percent (regression = the value moving in the
+bad direction: up for *_ms/*_bytes/latency metrics, down for *gflops*/
+*speedup* metrics; other metrics are never gated, only reported).
+"""
+import argparse
+import glob
+import json
+import os
+import re
+import subprocess
+import sys
+
+# Metrics where bigger is better; everything else numeric is treated as
+# smaller-is-better for gating purposes.
+BIGGER_IS_BETTER = re.compile(r"(gflops|speedup|coverage|rounds)$")
+
+
+def flatten(doc, prefix=""):
+    """Yields (dotted.path, value) for every numeric leaf."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            yield from flatten(value, f"{prefix}{key}.")
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            yield from flatten(value, f"{prefix}{i}.")
+    elif isinstance(doc, bool):
+        return  # bools are ints in python; skip them
+    elif isinstance(doc, (int, float)):
+        yield prefix.rstrip("."), float(doc)
+
+
+def load_baseline(path, baseline_dir):
+    if baseline_dir:
+        candidate = os.path.join(baseline_dir, os.path.basename(path))
+        if not os.path.exists(candidate):
+            return None
+        with open(candidate) as f:
+            return json.load(f)
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{os.path.basename(path)}"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        return json.loads(blob)
+    except (subprocess.CalledProcessError, json.JSONDecodeError):
+        return None  # new benchmark: no committed baseline yet
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="BENCH_*.json files (default: all)")
+    parser.add_argument("--baseline-dir", default=None,
+                        help="directory of baseline copies (default: git HEAD)")
+    parser.add_argument("--gate", default=None,
+                        help="regex of metric paths to gate with --fail-over")
+    parser.add_argument("--fail-over", type=float, default=None, metavar="PCT",
+                        help="fail when a gated metric regresses more than PCT%%")
+    args = parser.parse_args()
+
+    files = args.files or sorted(glob.glob("BENCH_*.json"))
+    if not files:
+        print("bench_compare: no BENCH_*.json files found", file=sys.stderr)
+        return 2
+    gate = re.compile(args.gate) if args.gate else None
+
+    failures = []
+    for path in files:
+        with open(path) as f:
+            current = dict(flatten(json.load(f)))
+        baseline_doc = load_baseline(path, args.baseline_dir)
+        print(f"== {path} ==")
+        if baseline_doc is None:
+            print(f"  (no baseline: {len(current)} metrics, nothing to diff)")
+            continue
+        baseline = dict(flatten(baseline_doc))
+        for name in sorted(set(current) | set(baseline)):
+            old, new = baseline.get(name), current.get(name)
+            if old is None or new is None:
+                print(f"  {name:<44} {'added' if old is None else 'removed'}")
+                continue
+            delta = new - old
+            pct = (delta / abs(old) * 100.0) if old != 0 else (0.0 if delta == 0 else float("inf"))
+            marker = ""
+            if args.fail_over is not None and gate is not None and gate.search(name):
+                bad = -pct if BIGGER_IS_BETTER.search(name) else pct
+                if bad > args.fail_over:
+                    marker = "  <-- REGRESSION"
+                    failures.append((path, name, old, new, pct))
+            if delta != 0:
+                print(f"  {name:<44} {old:>14.6g} -> {new:<14.6g} ({pct:+.1f}%){marker}")
+        same = sum(1 for n in current if n in baseline and baseline[n] == current[n])
+        print(f"  ({same}/{len(current)} metrics unchanged)")
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} gated regression(s):", file=sys.stderr)
+        for path, name, old, new, pct in failures:
+            print(f"  {path}: {name} {old:g} -> {new:g} ({pct:+.1f}%)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

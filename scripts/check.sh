@@ -29,6 +29,15 @@
 #          reentrancy, 10-round loss-trajectory parity), then bench/kernels:
 #          the tiled gemm must beat the compiled-in seed kernel by >=2.5x at
 #          512^3 on this machine. Emits BENCH_kernels.json.
+#   liveobs incremental build + agg/transport tests, then the live-telemetry
+#          smoke: a 4-process run with the Collector enabled must show every
+#          party live in gtv-top and on the Prometheus endpoint (party
+#          labels), every party must deliver >=1 snapshot with a finite
+#          measured clock offset, the loss trajectory must be identical to a
+#          telemetry-off run, and gtv-prof --offsets must fold the per-party
+#          traces into clock-aligned cross-file gap statistics. Emits
+#          BENCH_liveobs_smoke.json (snapshot latency p50/p99 + collector
+#          overhead) and diffs all baselines via scripts/bench_compare.py.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -140,6 +149,197 @@ print(f"transport smoke OK: tcp max loss delta {worst}, "
 EOF
 }
 
+# --- live telemetry smoke (stages: all, liveobs) -----------------------------
+# Trains the same tiny config twice as 4 OS processes — telemetry plane off
+# (timed baseline) and on (Collector + HTTP endpoint + per-party traces) —
+# then asserts the plane observed everyone without touching the training.
+run_liveobs_stage() {
+  local LOUT="$SMOKE_OUT/liveobs"
+  mkdir -p "$LOUT"
+  local NODE="$BUILD_DIR/tools/gtv-node"
+  local TOP="$BUILD_DIR/tools/gtv-top"
+  local PROF="$BUILD_DIR/tools/gtv-prof"
+  local ARGS="--clients 2 --rounds 3 --rows 96 --batch 32 --d-steps 2 --seed 7"
+  local PORT=47681 DPORT=47682 CPORT=47683 MPORT=47684
+  local LINGER_MS=4000
+  command -v python3 > /dev/null 2>&1 \
+    || { echo "FAIL: the liveobs stage needs python3"; exit 1; }
+
+  wait_four() {
+    local PID FAILED=0
+    for PID in "$@"; do wait "$PID" || FAILED=1; done
+    if [ "$FAILED" -ne 0 ]; then
+      echo "FAIL: a gtv-node process exited nonzero"
+      cat "$LOUT"/*.json
+      exit 1
+    fi
+  }
+
+  # 1. Baseline: telemetry plane off, wall-clock timed.
+  local T0 T1 BASE_MS LIVE_MS
+  T0=$(date +%s%N)
+  "$NODE" --role server $ARGS --port "$PORT" --driver-port "$DPORT" \
+    > "$LOUT/base_server.json" 2>&1 &
+  local S_PID=$!
+  "$NODE" --role client0 $ARGS --port "$PORT" --driver-port "$DPORT" \
+    > "$LOUT/base_client0.json" 2>&1 &
+  local C0_PID=$!
+  "$NODE" --role client1 $ARGS --port "$PORT" --driver-port "$DPORT" \
+    > "$LOUT/base_client1.json" 2>&1 &
+  local C1_PID=$!
+  "$NODE" --role driver $ARGS --port "$PORT" --driver-port "$DPORT" \
+    > "$LOUT/base_driver.json" 2>&1 &
+  local D_PID=$!
+  wait_four "$S_PID" "$C0_PID" "$C1_PID" "$D_PID"
+  T1=$(date +%s%N)
+  BASE_MS=$(( (T1 - T0) / 1000000 ))
+
+  # 2. Live: Collector in the driver, HTTP endpoint, 50ms snapshots,
+  #    per-party traces, offsets export, linger so scrapes are determinate.
+  local LIVE="--collector-port $CPORT --snapshot-interval-ms 50"
+  T0=$(date +%s%N)
+  GTV_TRACE="$LOUT/trace_server.jsonl" "$NODE" --role server $ARGS \
+    --port "$PORT" --driver-port "$DPORT" $LIVE > "$LOUT/server.json" 2>&1 &
+  S_PID=$!
+  GTV_TRACE="$LOUT/trace_client0.jsonl" "$NODE" --role client0 $ARGS \
+    --port "$PORT" --driver-port "$DPORT" $LIVE > "$LOUT/client0.json" 2>&1 &
+  C0_PID=$!
+  GTV_TRACE="$LOUT/trace_client1.jsonl" "$NODE" --role client1 $ARGS \
+    --port "$PORT" --driver-port "$DPORT" $LIVE > "$LOUT/client1.json" 2>&1 &
+  C1_PID=$!
+  GTV_TRACE="$LOUT/trace_driver.jsonl" "$NODE" --role driver $ARGS \
+    --port "$PORT" --driver-port "$DPORT" $LIVE --metrics-port "$MPORT" \
+    --offsets-out "$LOUT/offsets.json" --linger-ms "$LINGER_MS" \
+    > "$LOUT/driver.json" 2>&1 &
+  D_PID=$!
+
+  # While the run is up, the scrape endpoint must eventually show every
+  # party with a party label…
+  python3 - "$MPORT" "$LOUT" <<'EOF'
+import json, sys, time, urllib.request
+port, out = sys.argv[1], sys.argv[2]
+want = {'party="server"', 'party="client0"', 'party="client1"', 'party="driver"'}
+deadline = time.time() + 30
+metrics = status = ""
+while time.time() < deadline:
+    try:
+        metrics = urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=2).read().decode()
+        status = urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/status", timeout=2).read().decode()
+    except OSError:
+        time.sleep(0.2)
+        continue
+    if all(label in metrics for label in want):
+        break
+    time.sleep(0.2)
+missing = {label for label in want if label not in metrics}
+assert not missing, f"scrape never showed {missing}"
+json.loads(status)  # must be valid JSON for gtv-top
+open(f"{out}/metrics.prom", "w").write(metrics)
+open(f"{out}/status.json", "w").write(status)
+print(f"scrape OK: all {len(want)} parties labeled on /metrics")
+EOF
+
+  # …and once every party is on the plane, gtv-top must render a frame
+  # that shows all of them live.
+  "$TOP" --port "$MPORT" --once > "$LOUT/top.txt" \
+    || { echo "FAIL: gtv-top could not reach the collector"; exit 1; }
+  local PARTY
+  for PARTY in server client0 client1 driver; do
+    grep -q "$PARTY" "$LOUT/top.txt" \
+      || { echo "FAIL: gtv-top frame is missing $PARTY"; cat "$LOUT/top.txt"; exit 1; }
+  done
+
+  wait_four "$S_PID" "$C0_PID" "$C1_PID" "$D_PID"
+  T1=$(date +%s%N)
+  LIVE_MS=$(( (T1 - T0) / 1000000 - LINGER_MS ))
+
+  # 4. Clock-aligned trace merge: cross-file flow pairs must join the gap
+  #    statistics once --offsets is applied (and stay excluded without it).
+  "$PROF" --trace "$LOUT/trace_server.jsonl" --trace "$LOUT/trace_client0.jsonl" \
+    --trace "$LOUT/trace_client1.jsonl" --trace "$LOUT/trace_driver.jsonl" \
+    > "$LOUT/prof_raw.txt"
+  grep -q "cross-file pairs excluded" "$LOUT/prof_raw.txt" \
+    || { echo "FAIL: gtv-prof did not warn about unaligned cross-file pairs"; exit 1; }
+  "$PROF" --trace "$LOUT/trace_server.jsonl" --trace "$LOUT/trace_client0.jsonl" \
+    --trace "$LOUT/trace_client1.jsonl" --trace "$LOUT/trace_driver.jsonl" \
+    --offsets "$LOUT/offsets.json" --merged-out "$LOUT/merged_aligned.jsonl" \
+    > "$LOUT/prof_aligned.txt"
+  grep -q "aligned cross-file gap" "$LOUT/prof_aligned.txt" \
+    || { echo "FAIL: gtv-prof --offsets produced no aligned gap stats"; \
+         cat "$LOUT/prof_aligned.txt"; exit 1; }
+
+  # 5. Assertions + baseline emission.
+  python3 - "$LOUT" "$BASE_MS" "$LIVE_MS" <<'EOF'
+import json, math, sys
+out, base_ms, live_ms = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+base = json.load(open(f"{out}/base_driver.json"))
+live = json.load(open(f"{out}/driver.json"))
+
+# The telemetry plane is a pure observer: identical loss trajectory.
+assert base["rounds"] == live["rounds"], \
+    f"telemetry changed the training: {base['rounds']} vs {live['rounds']}"
+
+# Every party delivered snapshots and a finite measured clock offset.
+coll = live["collector"]
+assert coll["all_reported"], f"not every party reported: {coll}"
+assert coll["parties"] == coll["expected"] == 4, coll
+offsets_seen = {}
+# (Parties other than the driver finish before the linger window ends, so
+# they are legitimately stale by the time this summary prints — liveness
+# during the run is what the gtv-top frame asserted above.)
+for view in coll["views"]:
+    assert view["snapshots"] >= 1, f"{view['party']} delivered no snapshots"
+    assert view["clock_valid"], f"{view['party']} has no clock sync"
+    assert math.isfinite(view["clock_offset_us"]), view
+    assert math.isfinite(view["clock_rtt_us"]) and view["clock_rtt_us"] >= 0, view
+    offsets_seen[view["party"]] = view["clock_offset_us"]
+
+# The exported offsets file matches what the driver summarized.
+offsets = json.load(open(f"{out}/offsets.json"))
+assert offsets["schema_version"] == 1 and offsets["reference"] == "collector"
+assert set(offsets["offsets"]) == set(offsets_seen), \
+    f"offsets file parties {set(offsets['offsets'])} != {set(offsets_seen)}"
+
+# Scrape artefacts: aggregated exposition + parseable status.
+metrics = open(f"{out}/metrics.prom").read()
+assert "# TYPE gtv_agg_snapshots_total counter" in metrics
+assert 'gtv_agg_up{party="driver"} 1' in metrics
+status = json.load(open(f"{out}/status.json"))
+assert len(status["parties"]) == 4, status["collector"]
+
+# Publisher-side accounting on each party.
+for party in ("server", "client0", "client1"):
+    tele = json.load(open(f"{out}/{party}.json"))["telemetry"]
+    assert tele["snapshots"] >= 1, f"{party}: {tele}"
+    assert tele["clock"]["valid"], f"{party} publisher has no clock: {tele}"
+
+overhead = (live_ms - base_ms) / base_ms if base_ms > 0 else 0.0
+baseline = {
+    "schema_version": 1,
+    "parties": coll["parties"],
+    "snapshots_total": sum(v["snapshots"] for v in coll["views"]),
+    "snapshot_latency_p50_ms": coll["snapshot_latency_p50_ms"],
+    "snapshot_latency_p99_ms": coll["snapshot_latency_p99_ms"],
+    "max_abs_clock_offset_us": max(abs(v) for v in offsets_seen.values()),
+    "base_wall_ms": base_ms,
+    "live_wall_ms": live_ms,
+    "collector_overhead_ratio": round(overhead, 4),
+}
+with open("BENCH_liveobs_smoke.json", "w") as f:
+    json.dump(baseline, f, indent=1)
+    f.write("\n")
+print(f"liveobs smoke OK: {baseline['snapshots_total']} snapshots from "
+      f"{coll['parties']} parties, latency p50/p99 "
+      f"{coll['snapshot_latency_p50_ms']}/{coll['snapshot_latency_p99_ms']} ms, "
+      f"overhead {overhead:+.1%} ({base_ms}ms -> {live_ms}ms)")
+EOF
+
+  # 6. What moved vs the committed baselines (informational).
+  python3 scripts/bench_compare.py || true
+}
+
 # --- dense-kernel smoke (stages: all, kernels) -------------------------------
 # Runs bench/kernels (tiled gemm vs the compiled-in seed kernel) and gates
 # on the speedup + sanity of every reported number.
@@ -245,11 +445,12 @@ EOF
 
   run_transport_stage
   run_kernels_stage
+  run_liveobs_stage
 fi
 
 if [ "$STAGE" != "all" ] && [ "$STAGE" != "health" ] && [ "$STAGE" != "transport" ] \
-   && [ "$STAGE" != "kernels" ]; then
-  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health|transport|kernels)"
+   && [ "$STAGE" != "kernels" ] && [ "$STAGE" != "liveobs" ]; then
+  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health|transport|kernels|liveobs)"
   exit 2
 fi
 
@@ -261,6 +462,17 @@ if [ "$STAGE" = "kernels" ]; then
     -R 'kernel_test|kernel_trajectory_test|thread_pool_stress_test|tensor_test|autograd_test' \
     --output-on-failure
   run_kernels_stage
+  echo "check.sh: all green (stage $STAGE)"
+  exit 0
+fi
+
+# --- standalone liveobs stage -------------------------------------------------
+if [ "$STAGE" = "liveobs" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" -R 'agg_test|transport_test|metrics_test' \
+    --output-on-failure
+  run_liveobs_stage
   echo "check.sh: all green (stage $STAGE)"
   exit 0
 fi

@@ -80,6 +80,10 @@ std::string ServerNode::link_down(std::size_t client) const {
 
 void ServerNode::run() {
   const std::size_t n = config_.n_clients;
+  if (status_ != nullptr) {
+    status_->rounds_total.store(config_.rounds, std::memory_order_relaxed);
+    status_->set_phase(obs::agg::Phase::kSetup);
+  }
   // Setup: each client reports its CV width; the split widths are public
   // (derived from feature counts), so this completes the ClientInfo table.
   std::vector<GtvServer::ClientInfo> infos;
@@ -96,12 +100,18 @@ void ServerNode::run() {
     const auto cmd = recv_command(meter_, "driver->server");
     switch (cmd[0]) {
       case kCmdCriticStep:
+        if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kCritic);
         critic_step(cmd.at(1));
         break;
       case kCmdGeneratorStep:
+        if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kGenerator);
         generator_step(cmd.at(1));
+        if (status_ != nullptr) {
+          status_->round.fetch_add(1, std::memory_order_relaxed);
+        }
         break;
       case kCmdFinish:
+        if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kDone);
         meter_.send_indices("server->driver", {kCmdFinish});
         return;
       default:
@@ -201,6 +211,11 @@ void ServerNode::critic_step(std::size_t batch) {
     gan::clip_parameters(server_->discriminator_parameters(), options.gan.clip_value);
   }
 
+  if (status_ != nullptr) {
+    status_->d_loss.store(loss.value()(0, 0), std::memory_order_relaxed);
+    status_->gp.store(gp.value()(0, 0), std::memory_order_relaxed);
+    status_->wasserstein.store(-critic.value()(0, 0), std::memory_order_relaxed);
+  }
   meter_.send_tensor("server->driver",
                      pack_losses(loss.value()(0, 0), 0.0f, gp.value()(0, 0),
                                  -critic.value()(0, 0)));
@@ -241,6 +256,9 @@ void ServerNode::generator_step(std::size_t batch) {
   server_->generator_backward(slice_grads);
   server_->step_generator();
 
+  if (status_ != nullptr) {
+    status_->g_loss.store(adv.value()(0, 0), std::memory_order_relaxed);
+  }
   meter_.send_tensor("server->driver", pack_losses(0.0f, adv.value()(0, 0), 0.0f, 0.0f));
 }
 
@@ -265,6 +283,10 @@ std::string ClientNode::link_down() const {
 }
 
 void ClientNode::run() {
+  if (status_ != nullptr) {
+    status_->rounds_total.store(config_.rounds, std::memory_order_relaxed);
+    status_->set_phase(obs::agg::Phase::kSetup);
+  }
   meter_.send_indices(link_up(), {client_->cv_width()});
   const std::string cmd_link = "driver->client" + std::to_string(id_);
   const std::string ack_link = "client" + std::to_string(id_) + "->driver";
@@ -272,15 +294,22 @@ void ClientNode::run() {
     const auto cmd = recv_command(meter_, cmd_link);
     switch (cmd[0]) {
       case kCmdCriticStep:
+        if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kCritic);
         critic_step(cmd.at(1));
         break;
       case kCmdGeneratorStep:
+        if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kGenerator);
         generator_step(cmd.at(1));
+        if (status_ != nullptr) {
+          status_->round.fetch_add(1, std::memory_order_relaxed);
+        }
         break;
       case kCmdShuffle:
+        if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kShuffle);
         client_->shuffle_local_data(static_cast<std::uint64_t>(cmd.at(1)));
         break;
       case kCmdFinish:
+        if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kDone);
         meter_.send_indices(ack_link, {kCmdFinish});
         return;
       default:
@@ -359,18 +388,29 @@ void DriverNode::broadcast(NodeCommand code, std::size_t arg, bool include_serve
 
 std::vector<gan::RoundLosses> DriverNode::run() {
   const std::size_t batch = std::min(config_.options.gan.batch_size, config_.train_rows);
+  if (status_ != nullptr) {
+    status_->rounds_total.store(config_.rounds, std::memory_order_relaxed);
+    status_->set_phase(obs::agg::Phase::kSetup);
+  }
   std::vector<gan::RoundLosses> history;
   for (std::size_t r = 0; r < config_.rounds; ++r) {
     gan::RoundLosses losses;
     for (std::size_t step = 0; step < config_.options.gan.d_steps_per_round; ++step) {
+      if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kCritic);
       broadcast(kCmdCriticStep, batch, /*include_server=*/true);
       const Tensor packed = meter_.recv_tensor("server->driver");
       losses.d_loss = packed(0, 0);
       losses.gp = packed(0, 2);
       losses.wasserstein = packed(0, 3);
     }
+    if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kGenerator);
     broadcast(kCmdGeneratorStep, batch, /*include_server=*/true);
     losses.g_loss = meter_.recv_tensor("server->driver")(0, 1);
+    if (status_ != nullptr) {
+      status_->set_losses(losses.d_loss, losses.g_loss, losses.gp,
+                          losses.wasserstein);
+      status_->set_round(r + 1);
+    }
 
     if (config_.options.training_with_shuffling) {
       // The shuffle seed is the clients' shared secret: the driver plays
@@ -386,6 +426,7 @@ std::vector<gan::RoundLosses> DriverNode::run() {
   for (std::size_t i = 0; i < config_.n_clients; ++i) {
     meter_.recv_indices("client" + std::to_string(i) + "->driver");
   }
+  if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kDone);
   return history;
 }
 

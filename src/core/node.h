@@ -33,6 +33,7 @@
 #include "core/server.h"
 #include "gan/ctabgan.h"
 #include "net/wire.h"
+#include "obs/snapshot.h"
 
 namespace gtv::core {
 
@@ -78,6 +79,12 @@ class ServerNode {
   }
   net::TrafficMeter& traffic() { return meter_; }
 
+  // Optional telemetry hook (must outlive the node): round/phase/loss
+  // progress is mirrored into `status` with relaxed atomic stores at step
+  // boundaries, so a SnapshotPublisher can watch the run without touching
+  // the training path.
+  void set_live_status(obs::agg::LiveStatus* status) { status_ = status; }
+
   // Performs the setup handshake (clients report their CV widths), then
   // serves driver commands until kCmdFinish.
   void run();
@@ -93,6 +100,7 @@ class ServerNode {
   std::vector<std::size_t> d_widths_;
   std::unique_ptr<GtvServer> server_;
   net::TrafficMeter meter_;
+  obs::agg::LiveStatus* status_ = nullptr;
 };
 
 class ClientNode {
@@ -104,6 +112,9 @@ class ClientNode {
     meter_.set_transport(std::move(transport));
   }
   net::TrafficMeter& traffic() { return meter_; }
+
+  // Telemetry hook; see ServerNode::set_live_status.
+  void set_live_status(obs::agg::LiveStatus* status) { status_ = status; }
 
   // Reports this client's CV width to the server, then serves driver
   // commands until kCmdFinish.
@@ -119,6 +130,7 @@ class ClientNode {
   std::size_t id_;
   std::unique_ptr<GtvClient> client_;
   net::TrafficMeter meter_;
+  obs::agg::LiveStatus* status_ = nullptr;
 };
 
 class DriverNode {
@@ -129,6 +141,9 @@ class DriverNode {
     meter_.set_transport(std::move(transport));
   }
   net::TrafficMeter& traffic() { return meter_; }
+
+  // Telemetry hook; see ServerNode::set_live_status.
+  void set_live_status(obs::agg::LiveStatus* status) { status_ = status; }
 
   // Runs the full schedule (rounds x (d_steps x critic + generator +
   // shuffle)), then broadcasts kCmdFinish. Returns one RoundLosses per
@@ -141,6 +156,7 @@ class DriverNode {
   NodeConfig config_;
   Rng shuffle_stream_;
   net::TrafficMeter meter_;
+  obs::agg::LiveStatus* status_ = nullptr;
 };
 
 }  // namespace gtv::core

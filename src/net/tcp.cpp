@@ -12,6 +12,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace gtv::net {
 
 namespace {
@@ -20,6 +22,36 @@ namespace {
 // party name. The frame header itself carries (and validates) the
 // protocol version.
 constexpr const char* kHelloLink = "@hello";
+
+// Clock-sync frames exchanged right after HELLO, before the reader thread
+// takes over the stream. Payload layout (little-endian):
+//   ping   [u8 kind=0][u32 idx][u64 t0]
+//   pong   [u8 kind=1][u32 idx][u64 t0][u64 t1][u64 t2]
+//   report [u8 kind=2][u8 valid][i64 offset_us][u64 rtt_us]  (dialer's estimate)
+constexpr const char* kClockLink = "@clock";
+constexpr std::uint8_t kClockPing = 0;
+constexpr std::uint8_t kClockPong = 1;
+constexpr std::uint8_t kClockReport = 2;
+
+void append_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t read_u32_le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
 
 bool read_full(int fd, std::uint8_t* buf, std::size_t n, int timeout_ms) {
   std::size_t got = 0;
@@ -93,7 +125,42 @@ std::string recv_hello(int fd, int timeout_ms) {
   return std::string(frame.payload.begin(), frame.payload.end());
 }
 
+void send_clock_frame(int fd, std::vector<std::uint8_t> payload) {
+  Frame frame;
+  frame.link = kClockLink;
+  frame.payload = std::move(payload);
+  const auto bytes = encode_frame(frame);
+  if (!write_full(fd, bytes.data(), bytes.size())) {
+    throw TransportError("tcp: clock-sync write failed");
+  }
+}
+
+Frame recv_clock_frame(int fd, int timeout_ms) {
+  const auto bytes = read_frame(fd, timeout_ms);
+  if (bytes.empty()) throw TransportError("tcp: clock-sync read failed");
+  const Frame frame = decode_frame(bytes);
+  if (frame.link != kClockLink) {
+    throw TransportError("tcp: expected @clock frame, got '" + frame.link + "'");
+  }
+  if (frame.payload.empty()) throw TransportError("tcp: empty clock-sync frame");
+  return frame;
+}
+
 }  // namespace
+
+ClockSync estimate_clock_offset(const std::vector<ClockSyncSample>& samples) {
+  ClockSync best;
+  for (const ClockSyncSample& s : samples) {
+    const double rtt = (s.t3 - s.t0) - (s.t2 - s.t1);
+    if (rtt < 0) continue;  // a clock stepped mid-exchange; unusable
+    if (!best.valid || rtt < best.rtt_us) {
+      best.valid = true;
+      best.rtt_us = rtt;
+      best.offset_us = ((s.t1 - s.t0) + (s.t2 - s.t3)) / 2.0;
+    }
+  }
+  return best;
+}
 
 TcpTransport::TcpTransport(std::string self_name, TcpOptions options)
     : self_(std::move(self_name)), options_(options) {}
@@ -154,6 +221,7 @@ void TcpTransport::accept_loop() {
       send_hello(fd, self_);
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      clock_sync_as_acceptor(fd, peer);
       add_conn(fd, peer);
     } catch (const TransportError&) {
       ::close(fd);  // bad handshake: reject the connection, keep listening
@@ -192,6 +260,7 @@ void TcpTransport::connect_peer(const std::string& peer, const std::string& host
       }
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      clock_sync_as_dialer(fd, peer);
       add_conn(fd, peer);
       return;
     } catch (const VersionError&) {
@@ -207,18 +276,126 @@ void TcpTransport::connect_peer(const std::string& peer, const std::string& host
                        std::to_string(options_.connect_attempts) + " attempts");
 }
 
+void TcpTransport::clock_sync_as_dialer(int fd, const std::string& peer) {
+  if (options_.clock_sync_pings <= 0) return;
+  std::vector<ClockSyncSample> samples;
+  samples.reserve(static_cast<std::size_t>(options_.clock_sync_pings));
+  for (int i = 0; i < options_.clock_sync_pings; ++i) {
+    std::vector<std::uint8_t> payload;
+    payload.push_back(kClockPing);
+    append_u32_le(payload, static_cast<std::uint32_t>(i));
+    const std::uint64_t t0 = obs::TraceSink::now_us();
+    append_u64_le(payload, t0);
+    send_clock_frame(fd, std::move(payload));
+    const Frame pong = recv_clock_frame(fd, options_.handshake_timeout_ms);
+    const std::uint64_t t3 = obs::TraceSink::now_us();
+    if (pong.payload.size() != 1 + 4 + 8 * 3 || pong.payload[0] != kClockPong ||
+        read_u32_le(pong.payload.data() + 1) != static_cast<std::uint32_t>(i) ||
+        read_u64_le(pong.payload.data() + 5) != t0) {
+      throw TransportError("tcp: malformed clock-sync pong from " + peer);
+    }
+    ClockSyncSample s;
+    s.t0 = static_cast<double>(t0);
+    s.t1 = static_cast<double>(read_u64_le(pong.payload.data() + 13));
+    s.t2 = static_cast<double>(read_u64_le(pong.payload.data() + 21));
+    s.t3 = static_cast<double>(t3);
+    samples.push_back(s);
+  }
+  const ClockSync sync = estimate_clock_offset(samples);
+  // Report the estimate so the acceptor learns the offset too (negated on
+  // its side: the report is dialer-relative).
+  std::vector<std::uint8_t> report;
+  report.push_back(kClockReport);
+  report.push_back(sync.valid ? 1 : 0);
+  append_u64_le(report, static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(sync.valid ? sync.offset_us : 0)));
+  append_u64_le(report, static_cast<std::uint64_t>(sync.valid ? sync.rtt_us : 0));
+  send_clock_frame(fd, std::move(report));
+  store_clock_sync(peer, sync);
+}
+
+void TcpTransport::clock_sync_as_acceptor(int fd, const std::string& peer) {
+  if (options_.clock_sync_pings <= 0) return;
+  // The dialer decides how many pings it sends; answer until its report
+  // arrives. Bound the loop defensively against a misbehaving dialer.
+  for (int i = 0; i < 1024; ++i) {
+    const Frame frame = recv_clock_frame(fd, options_.handshake_timeout_ms);
+    const std::uint64_t t1 = obs::TraceSink::now_us();
+    if (frame.payload[0] == kClockPing) {
+      if (frame.payload.size() != 1 + 4 + 8) {
+        throw TransportError("tcp: malformed clock-sync ping from " + peer);
+      }
+      std::vector<std::uint8_t> pong;
+      pong.push_back(kClockPong);
+      append_u32_le(pong, read_u32_le(frame.payload.data() + 1));
+      append_u64_le(pong, read_u64_le(frame.payload.data() + 5));  // echo t0
+      append_u64_le(pong, t1);
+      append_u64_le(pong, obs::TraceSink::now_us());  // t2: just before send
+      send_clock_frame(fd, std::move(pong));
+      continue;
+    }
+    if (frame.payload[0] == kClockReport) {
+      if (frame.payload.size() != 2 + 8 * 2) {
+        throw TransportError("tcp: malformed clock-sync report from " + peer);
+      }
+      const auto offset =
+          static_cast<std::int64_t>(read_u64_le(frame.payload.data() + 2));
+      const std::uint64_t rtt = read_u64_le(frame.payload.data() + 10);
+      ClockSync sync;
+      sync.valid = frame.payload[1] != 0;
+      sync.offset_us = -static_cast<double>(offset);  // flip to peer - self
+      sync.rtt_us = static_cast<double>(rtt);
+      store_clock_sync(peer, sync);
+      return;
+    }
+    throw TransportError("tcp: unexpected clock-sync frame kind from " + peer);
+  }
+  throw TransportError("tcp: clock-sync report from " + peer + " never arrived");
+}
+
+void TcpTransport::store_clock_sync(const std::string& peer, const ClockSync& sync) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  clock_[peer] = sync;
+}
+
+ClockSync TcpTransport::clock_sync(const std::string& peer) const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  auto it = clock_.find(peer);
+  return it == clock_.end() ? ClockSync{} : it->second;
+}
+
+std::uint64_t TcpTransport::conn_generation(const std::string& peer) const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  auto it = conn_generation_.find(peer);
+  return it == conn_generation_.end() ? 0 : it->second;
+}
+
 void TcpTransport::add_conn(int fd, const std::string& peer) {
   auto conn = std::make_unique<Conn>();
   conn->fd = fd;
   conn->peer = peer;
   Conn* raw = conn.get();
+  std::unique_ptr<Conn> replaced;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    if (conns_.count(peer)) {
-      ::close(fd);
-      return;  // duplicate dial from the same peer; keep the first
+    auto it = conns_.find(peer);
+    if (it != conns_.end()) {
+      if (!it->second->closed.load()) {
+        ::close(fd);
+        return;  // duplicate dial while the first is healthy; keep the first
+      }
+      // The old connection died (reader saw EOF / a write failed): this is
+      // the peer reconnecting. Swap the fresh socket in.
+      replaced = std::move(it->second);
+      conns_.erase(it);
     }
     conns_[peer] = std::move(conn);
+    ++conn_generation_[peer];
+  }
+  if (replaced) {
+    ::shutdown(replaced->fd, SHUT_RDWR);
+    if (replaced->reader.joinable()) replaced->reader.join();
+    ::close(replaced->fd);
   }
   raw->reader = std::thread([this, raw] { reader_loop(raw); });
   conns_cv_.notify_all();

@@ -77,7 +77,9 @@ class VersionError : public TransportError {
 
 // --- frame codec -----------------------------------------------------------------
 inline constexpr std::uint32_t kFrameMagic = 0x47545646u;  // "GTVF"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+// v2: HELLO handshake is followed by an NTP-style @clock exchange
+// (net/tcp.cpp); v1 peers would misparse it, so the bump fails them fast.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 24;
 // Sanity caps enforced by the decoder; far above anything GTV sends.
 inline constexpr std::size_t kMaxLinkNameBytes = 256;

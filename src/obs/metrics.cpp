@@ -264,6 +264,13 @@ std::string MetricsRegistry::to_prometheus() const {
   return os.str();
 }
 
+std::map<std::string, std::uint64_t> MetricsRegistry::counters_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();

@@ -117,6 +117,11 @@ class MetricsRegistry {
   // scrapes as `gtv_health_server_D_grad_norm`.
   std::string to_prometheus() const;
 
+  // Point-in-time copy of every counter (raw names -> values). Lets
+  // readers enumerate e.g. the per-link `net.*` traffic counters without
+  // holding the registry lock while they work.
+  std::map<std::string, std::uint64_t> counters_snapshot() const;
+
   // Zeroes every registered metric; handles stay valid. For tests and for
   // benchmark repeats that want per-run deltas.
   void reset();

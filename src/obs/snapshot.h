@@ -1,0 +1,117 @@
+// gtv::obs::agg — telemetry snapshot frames for the live cross-party plane.
+//
+// Each party periodically serializes a Snapshot — round/phase progress,
+// losses, cumulative per-link traffic, memory high-water mark, health
+// alert counts, plus the full Prometheus dump — and ships it to the
+// driver-side Collector (obs/agg.h) on a dedicated socket. Snapshots are
+// read-only observers: building one only loads atomics and copies registry
+// counters, so the training loss trajectory is byte-identical with the
+// telemetry plane on or off (pinned by the liveobs smoke in check.sh).
+//
+// LiveStatus is the producer side of the hook: a plain struct of relaxed
+// atomics that the core nodes (src/core/node.cpp) update at step
+// boundaries and a SnapshotPublisher samples from another thread. It is
+// header-only on purpose — gtv_core can depend on it without linking the
+// aggregation library.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gtv::obs::agg {
+
+// Where a party currently is in the training protocol.
+enum class Phase : std::uint32_t {
+  kIdle = 0,
+  kSetup = 1,
+  kCritic = 2,
+  kGenerator = 3,
+  kShuffle = 4,
+  kDone = 5,
+};
+
+const char* to_string(Phase phase);
+
+// Lock-free live training status, updated by the node command loops and
+// read by the snapshot publisher. All loads/stores are relaxed: telemetry
+// tolerates momentarily torn *sets* of fields (each field is individually
+// atomic) in exchange for zero overhead on the training path.
+struct LiveStatus {
+  std::atomic<std::uint64_t> round{0};
+  std::atomic<std::uint64_t> rounds_total{0};
+  std::atomic<std::uint32_t> phase{static_cast<std::uint32_t>(Phase::kIdle)};
+  std::atomic<float> d_loss{0.0f};
+  std::atomic<float> g_loss{0.0f};
+  std::atomic<float> gp{0.0f};
+  std::atomic<float> wasserstein{0.0f};
+
+  void set_phase(Phase p) {
+    phase.store(static_cast<std::uint32_t>(p), std::memory_order_relaxed);
+  }
+  Phase get_phase() const {
+    return static_cast<Phase>(phase.load(std::memory_order_relaxed));
+  }
+  void set_round(std::uint64_t r) { round.store(r, std::memory_order_relaxed); }
+  void set_losses(float d, float g, float penalty, float w) {
+    d_loss.store(d, std::memory_order_relaxed);
+    g_loss.store(g, std::memory_order_relaxed);
+    gp.store(penalty, std::memory_order_relaxed);
+    wasserstein.store(w, std::memory_order_relaxed);
+  }
+};
+
+// Cumulative traffic on one link, as published by the TrafficMeter into
+// the MetricsRegistry (`net.<link>.bytes` / `.messages`).
+struct LinkTraffic {
+  std::string link;
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+inline constexpr std::uint32_t kSnapshotSchemaVersion = 1;
+
+// One telemetry frame. All totals are cumulative since process start; the
+// Collector differences consecutive snapshots when it wants rates.
+struct Snapshot {
+  std::string party;
+  std::uint64_t seq = 0;   // publisher-assigned, monotonically increasing
+  std::uint64_t t_us = 0;  // sender's TraceSink::now_us() at build time
+  std::uint64_t round = 0;
+  std::uint64_t rounds_total = 0;
+  std::uint32_t phase = 0;  // Phase enum value
+  float d_loss = 0.0f;
+  float g_loss = 0.0f;
+  float gp = 0.0f;
+  float wasserstein = 0.0f;
+  std::uint64_t bytes = 0;  // totals across every link this party drives
+  std::uint64_t messages = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t corrupt_frames = 0;
+  std::uint64_t mem_live_bytes = 0;
+  std::uint64_t mem_peak_bytes = 0;
+  std::uint64_t alerts_info = 0;
+  std::uint64_t alerts_warn = 0;
+  std::uint64_t alerts_fatal = 0;
+  std::vector<LinkTraffic> links;
+  // Full MetricsRegistry::to_prometheus() text; the Collector re-labels it
+  // with party="..." for the scrape endpoint.
+  std::string prom;
+
+  // JSON object for /status consumers (omits `prom`, reports its size).
+  std::string to_json() const;
+};
+
+// Little-endian snapshot codec (schema version checked on decode). Throws
+// net::WireError on truncated, oversized, or trailing-garbage input.
+std::vector<std::uint8_t> serialize_snapshot(const Snapshot& snap);
+Snapshot deserialize_snapshot(const std::vector<std::uint8_t>& bytes);
+
+// Builds a snapshot of THIS process: samples `status` (may be null),
+// the MetricsRegistry (net.* traffic counters + Prometheus dump), the
+// tensor memory ledger, and the HealthLog. Never blocks on training.
+Snapshot collect_snapshot(const std::string& party, const LiveStatus* status);
+
+}  // namespace gtv::obs::agg

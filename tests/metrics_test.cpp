@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "net/chaos.h"
 #include "net/wire.h"
@@ -109,6 +114,79 @@ TEST(TrafficCountersTest, MeterResetKeepsCumulativeRegistryCounters) {
             first.retries + second.retries);
   EXPECT_EQ(registry.counter("net." + link + ".timeouts").value() - timeouts_before,
             first.timeouts + second.timeouts);
+}
+
+// --- Prometheus exposition -------------------------------------------------
+
+// The registry is a process-wide singleton shared with every other test in
+// this binary, so these tests register uniquely-named metrics and assert on
+// their own lines instead of comparing the whole dump.
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(PrometheusTest, SanitizesNamesAndEmitsTypedSamples) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("prom.test-a->b.bytes").add(7);
+  registry.gauge("prom.test.gauge").set(2.5);
+  const std::string text = registry.to_prometheus();
+  // '.', '-' and '>' all sanitize to '_'; the raw name never appears.
+  EXPECT_NE(text.find("# TYPE prom_test_a__b_bytes counter\n"), std::string::npos);
+  EXPECT_NE(text.find("prom_test_a__b_bytes 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prom_test_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("prom_test_gauge 2.5\n"), std::string::npos);
+  EXPECT_EQ(text.find("prom.test"), std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeWithInfAndSumCount) {
+  auto& registry = obs::MetricsRegistry::instance();
+  auto& hist = registry.histogram("prom.test.hist", {1.0, 10.0, 100.0});
+  hist.record(0.5);
+  hist.record(5.0);
+  hist.record(5.0);
+  hist.record(50.0);
+  hist.record(5000.0);  // overflow bucket
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE prom_test_hist histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("prom_test_hist_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("prom_test_hist_bucket{le=\"10\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("prom_test_hist_bucket{le=\"100\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("prom_test_hist_bucket{le=\"+Inf\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("prom_test_hist_count 5\n"), std::string::npos);
+  // Cumulativeness holds for every histogram in the dump, whatever other
+  // tests registered: bucket counts never decrease and +Inf == _count.
+  std::map<std::string, std::uint64_t> last_bucket;
+  std::map<std::string, std::uint64_t> inf_bucket, count_sample;
+  for (const std::string& line : split_lines(text)) {
+    const std::size_t brace = line.find("_bucket{le=\"");
+    if (brace != std::string::npos) {
+      const std::string family = line.substr(0, brace);
+      const std::size_t close = line.find("\"} ");
+      ASSERT_NE(close, std::string::npos) << line;
+      const std::uint64_t value = std::stoull(line.substr(close + 3));
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        inf_bucket[family] = value;
+      } else {
+        EXPECT_GE(value, last_bucket[family]) << line;
+      }
+      last_bucket[family] = std::max(last_bucket[family], value);
+    } else if (line.size() > 7 &&
+               line.rfind("# ", 0) != 0 &&
+               line.find("_count ") != std::string::npos) {
+      const std::size_t at = line.find("_count ");
+      count_sample[line.substr(0, at)] = std::stoull(line.substr(at + 7));
+    }
+  }
+  for (const auto& [family, inf] : inf_bucket) {
+    auto it = count_sample.find(family);
+    ASSERT_NE(it, count_sample.end()) << family;
+    EXPECT_EQ(inf, it->second) << family;
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <thread>
 
 #include "net/chaos.h"
@@ -294,6 +295,102 @@ TEST(TcpTransportTest, ConnectRetriesUntilListenerAppears) {
   EXPECT_TRUE(connected.load());
   EXPECT_GT(client.connect_retries(), 0u);
   EXPECT_TRUE(server.wait_for_peer("client0", 5000));
+}
+
+// --- clock sync ------------------------------------------------------------------
+
+TEST(ClockSyncTest, EstimatorRecoversSyntheticSkew) {
+  // Peer clock runs 2500us ahead; one-way delay 40us each direction.
+  std::vector<ClockSyncSample> samples;
+  for (int i = 0; i < 8; ++i) {
+    const double t0 = 1000.0 * i;
+    const double noise = 5.0 * i;  // asymmetric queueing on later samples
+    ClockSyncSample s;
+    s.t0 = t0;
+    s.t1 = t0 + 40 + noise + 2500;  // receive on peer clock
+    s.t2 = s.t1 + 3;                // peer turnaround
+    s.t3 = t0 + 83 + 2 * noise;     // back on our clock
+    samples.push_back(s);
+  }
+  const ClockSync sync = estimate_clock_offset(samples);
+  ASSERT_TRUE(sync.valid);
+  // Min-RTT sample is i == 0 (zero noise): exact recovery there.
+  EXPECT_NEAR(sync.offset_us, 2500.0, 1.0);
+  EXPECT_NEAR(sync.rtt_us, 80.0, 1.0);
+}
+
+TEST(ClockSyncTest, EstimatorRejectsEmptyAndNegativeRtt) {
+  EXPECT_FALSE(estimate_clock_offset({}).valid);
+  ClockSyncSample stepped;  // clock jumped backwards mid-exchange
+  stepped.t0 = 100;
+  stepped.t1 = 50;
+  stepped.t2 = 51;
+  stepped.t3 = 60;  // rtt = (60-100) - (51-50) < 0
+  EXPECT_FALSE(estimate_clock_offset({stepped}).valid);
+}
+
+TEST(ClockSyncTest, HandshakeMeasuresLoopbackOffsetWithinRttBound) {
+  TcpTransport server("server");
+  const std::uint16_t port = server.listen(0);
+  TcpTransport client("client0");
+  client.connect_peer("server", "127.0.0.1", port);
+  ASSERT_TRUE(server.wait_for_peer("client0", 5000));
+
+  // Same process, same trace clock: the true offset is 0, so the measured
+  // one must sit inside the NTP error bound rtt/2 (plus scheduling slack).
+  const ClockSync at_client = client.clock_sync("server");
+  const ClockSync at_server = server.clock_sync("client0");
+  ASSERT_TRUE(at_client.valid);
+  ASSERT_TRUE(at_server.valid);
+  EXPECT_GE(at_client.rtt_us, 0.0);
+  EXPECT_LE(std::abs(at_client.offset_us), at_client.rtt_us / 2 + 1000.0);
+  EXPECT_LE(std::abs(at_server.offset_us), at_server.rtt_us / 2 + 1000.0);
+  // Both sides agree on the convention peer_clock - self_clock, so the two
+  // estimates are (noisy) negations of each other.
+  EXPECT_NEAR(at_client.offset_us, -at_server.offset_us,
+              at_client.rtt_us + at_server.rtt_us + 2000.0);
+  // Unknown peer -> invalid, not a throw.
+  EXPECT_FALSE(client.clock_sync("nobody").valid);
+}
+
+TEST(ClockSyncTest, DisabledWhenPingsZero) {
+  TcpOptions no_sync;
+  no_sync.clock_sync_pings = 0;
+  TcpTransport server("server", no_sync);
+  const std::uint16_t port = server.listen(0);
+  TcpTransport client("client0", no_sync);
+  client.connect_peer("server", "127.0.0.1", port);
+  ASSERT_TRUE(server.wait_for_peer("client0", 5000));
+  EXPECT_FALSE(client.clock_sync("server").valid);
+  EXPECT_FALSE(server.clock_sync("client0").valid);
+}
+
+TEST(TcpTransportTest, ReconnectReplacesDeadConnection) {
+  TcpTransport server("server");
+  const std::uint16_t port = server.listen(0);
+
+  {
+    TcpTransport first("client0");
+    first.connect_peer("server", "127.0.0.1", port);
+    ASSERT_TRUE(server.wait_for_peer("client0", 5000));
+    first.send("client0->server", bytes_of({1}));
+    EXPECT_EQ(server.recv("client0->server", 5000), bytes_of({1}));
+    EXPECT_EQ(server.conn_generation("client0"), 1u);
+  }  // first's socket closes; server's conn is marked dead on reader EOF
+
+  // Give the server's reader a beat to observe the EOF before redialing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // A second dial under the same party name must replace the dead conn.
+  TcpTransport second("client0");
+  second.connect_peer("server", "127.0.0.1", port);
+  // The fresh transport restarts seq at 0, which Transport::recv would
+  // drop as a duplicate — fetch the raw frame like the Collector does.
+  second.send("client0->server", bytes_of({2}));
+  const Frame frame = decode_frame(server.fetch_frame("client0->server", 5000));
+  EXPECT_EQ(frame.payload, bytes_of({2}));
+  EXPECT_EQ(server.conn_generation("client0"), 2u);
+  EXPECT_TRUE(server.clock_sync("client0").valid);
 }
 
 TEST(TcpTransportTest, MeterSplitEndpointsCarryTensors) {

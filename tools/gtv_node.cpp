@@ -21,12 +21,14 @@
 // Rendezvous is on localhost: the server listens on --port, the driver on
 // --driver-port; clients dial both, the driver dials the server. Dials
 // retry with bounded backoff, so start order does not matter.
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/gtv.h"
@@ -36,7 +38,9 @@
 #include "data/table.h"
 #include "net/chaos.h"
 #include "net/tcp.h"
+#include "obs/agg.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 
 namespace {
@@ -57,6 +61,14 @@ struct Args {
   int driver_port = 47532;
   net::ChaosOptions chaos;
   bool chaos_enabled = false;
+  // Live telemetry plane (obs::agg). The Collector runs inside the driver
+  // process; every party publishes snapshots to it when a port is given.
+  int collector_port = 0;          // 0 = telemetry plane disabled
+  std::string collector_host;      // defaults to --host
+  int metrics_port = 0;            // driver only: HTTP /metrics + /status
+  int snapshot_interval_ms = 200;  // publisher cadence
+  std::string offsets_out;         // driver only: clock-offset JSON path
+  int linger_ms = 0;  // driver only: keep endpoints up after training
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -66,6 +78,8 @@ struct Args {
                "  [--dataset name] [--clients N] [--rounds R] [--rows N]\n"
                "  [--batch N] [--d-steps N] [--seed S]\n"
                "  [--host H] [--port P] [--driver-port P]\n"
+               "  [--collector-port P] [--collector-host H] [--snapshot-interval-ms N]\n"
+               "  [--metrics-port P] [--offsets-out FILE] [--linger-ms N]  (driver)\n"
                "  [--chaos-drop p] [--chaos-dup p] [--chaos-corrupt p]\n"
                "  [--chaos-latency-us N] [--chaos-seed S]   (inproc only)\n");
   std::exit(2);
@@ -101,6 +115,18 @@ Args parse_args(int argc, char** argv) {
       args.port = std::atoi(value(i));
     } else if (flag == "--driver-port") {
       args.driver_port = std::atoi(value(i));
+    } else if (flag == "--collector-port") {
+      args.collector_port = std::atoi(value(i));
+    } else if (flag == "--collector-host") {
+      args.collector_host = value(i);
+    } else if (flag == "--metrics-port") {
+      args.metrics_port = std::atoi(value(i));
+    } else if (flag == "--snapshot-interval-ms") {
+      args.snapshot_interval_ms = std::atoi(value(i));
+    } else if (flag == "--offsets-out") {
+      args.offsets_out = value(i);
+    } else if (flag == "--linger-ms") {
+      args.linger_ms = std::atoi(value(i));
     } else if (flag == "--chaos-drop") {
       args.chaos.drop_prob = std::atof(value(i));
       args.chaos_enabled = true;
@@ -232,6 +258,34 @@ net::RetryPolicy node_retry_policy() {
   return policy;
 }
 
+// Starts this party's snapshot publisher when a collector port was given
+// (`host_override` lets the driver dial its own in-process Collector on
+// loopback). Returns nullptr when the telemetry plane is off.
+std::unique_ptr<obs::agg::SnapshotPublisher> start_publisher(
+    const Args& args, const std::string& party, const obs::agg::LiveStatus* status,
+    const std::string& host_override = {}) {
+  if (args.collector_port <= 0) return nullptr;
+  std::string host = host_override;
+  if (host.empty()) host = args.collector_host.empty() ? args.host : args.collector_host;
+  obs::agg::PublisherOptions options;
+  options.interval_ms = args.snapshot_interval_ms;
+  auto publisher = std::make_unique<obs::agg::SnapshotPublisher>(
+      party, host, static_cast<std::uint16_t>(args.collector_port), options);
+  publisher->set_status(status);
+  publisher->start();
+  return publisher;
+}
+
+void print_publisher(const obs::agg::SnapshotPublisher& publisher) {
+  const net::ClockSync sync = publisher.clock_sync();
+  std::printf(
+      ",\n  \"telemetry\": {\"snapshots\": %llu, \"send_failures\": %llu, "
+      "\"clock\": {\"valid\": %s, \"offset_us\": %.3f, \"rtt_us\": %.3f}}",
+      static_cast<unsigned long long>(publisher.published()),
+      static_cast<unsigned long long>(publisher.send_failures()),
+      sync.valid ? "true" : "false", sync.offset_us, sync.rtt_us);
+}
+
 int run_inproc(const Args& args, const Shared& shared) {
   core::GtvTrainer trainer(shared.shards, shared.config.options, args.seed);
   std::shared_ptr<net::ChaosTransport> chaos;
@@ -273,9 +327,14 @@ int run_server(const Args& args, Shared shared) {
   core::ServerNode node(shared.config, shared.g_widths, shared.d_widths);
   node.set_transport(transport);
   node.traffic().set_retry_policy(node_retry_policy());
+  obs::agg::LiveStatus status;
+  node.set_live_status(&status);
+  auto publisher = start_publisher(args, "server", &status);
   node.run();
+  if (publisher) publisher->stop();
   std::printf("{\n  \"role\": \"server\",\n  \"transport\": \"tcp\",\n");
   print_traffic(node.traffic());
+  if (publisher) print_publisher(*publisher);
   std::printf("\n}\n");
   return 0;
 }
@@ -291,15 +350,70 @@ int run_client(const Args& args, Shared shared, std::size_t id) {
                         shared.g_widths[id], shared.d_widths[id]);
   node.set_transport(transport);
   node.traffic().set_retry_policy(node_retry_policy());
+  obs::agg::LiveStatus status;
+  node.set_live_status(&status);
+  auto publisher = start_publisher(args, name, &status);
   node.run();
+  if (publisher) publisher->stop();
   std::printf("{\n  \"role\": \"%s\",\n  \"transport\": \"tcp\",\n", name.c_str());
   print_traffic(node.traffic());
+  if (publisher) print_publisher(*publisher);
   std::printf("\n}\n");
   return 0;
 }
 
+// Writes `text` to `path`; returns false (and warns) on failure.
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "gtv-node: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+void print_collector(const obs::agg::Collector& collector, std::size_t expected) {
+  const auto parties = collector.parties();
+  std::size_t reported = 0;
+  for (const auto& view : parties) {
+    if (view.snapshots > 0) ++reported;
+  }
+  std::printf(",\n  \"collector\": {\"parties\": %zu, \"expected\": %zu, "
+              "\"all_reported\": %s, \"snapshot_latency_p50_ms\": %.3f, "
+              "\"snapshot_latency_p99_ms\": %.3f,\n    \"views\": [",
+              parties.size(), expected, reported >= expected ? "true" : "false",
+              collector.latency_ms(50), collector.latency_ms(99));
+  for (std::size_t i = 0; i < parties.size(); ++i) {
+    const auto& view = parties[i];
+    std::printf("%s\n      {\"party\": \"%s\", \"snapshots\": %llu, \"stale\": %s, "
+                "\"reconnects\": %llu, \"clock_valid\": %s, \"clock_offset_us\": %.3f, "
+                "\"clock_rtt_us\": %.3f}",
+                i == 0 ? "" : ",", view.latest.party.c_str(),
+                static_cast<unsigned long long>(view.snapshots),
+                view.stale ? "true" : "false",
+                static_cast<unsigned long long>(view.reconnects),
+                view.have_clock ? "true" : "false", view.clock_offset_us,
+                view.clock_rtt_us);
+  }
+  std::printf("\n    ]}");
+}
+
 int run_driver(const Args& args, const Shared& shared) {
   obs::PartyScope scope(obs::kDriverPid);
+
+  // The Collector lives in the driver process: telemetry converges where
+  // the round schedule is decided, on sockets that never carry training.
+  std::unique_ptr<obs::agg::Collector> collector;
+  if (args.collector_port > 0) {
+    collector = std::make_unique<obs::agg::Collector>();
+    collector->listen(static_cast<std::uint16_t>(args.collector_port));
+    if (args.metrics_port > 0) {
+      collector->serve_http(static_cast<std::uint16_t>(args.metrics_port));
+    }
+  }
+
   auto transport = std::make_shared<net::TcpTransport>("driver");
   transport->listen(static_cast<std::uint16_t>(args.driver_port));
   transport->connect_peer("server", args.host, static_cast<std::uint16_t>(args.port));
@@ -314,10 +428,31 @@ int run_driver(const Args& args, const Shared& shared) {
   core::DriverNode node(shared.config);
   node.set_transport(transport);
   node.traffic().set_retry_policy(node_retry_policy());
+  obs::agg::LiveStatus status;
+  node.set_live_status(&status);
+  auto publisher = start_publisher(args, "driver", &status, "127.0.0.1");
   const auto history = node.run();
+  if (publisher) publisher->stop();
+
+  if (collector) {
+    // Parties flush a final snapshot on their way out; give the plane a
+    // moment so the summary below reflects everyone.
+    collector->wait_for_snapshots(args.clients + 2, 1, 5000);
+    if (!args.offsets_out.empty()) {
+      write_file(args.offsets_out, collector->offsets_json() + "\n");
+    }
+    if (args.linger_ms > 0) {
+      // Keep /metrics and /status scrapeable after training ends — smoke
+      // tests and dashboards get a deterministic window.
+      std::this_thread::sleep_for(std::chrono::milliseconds(args.linger_ms));
+    }
+  }
+
   std::printf("{\n  \"role\": \"driver\",\n  \"transport\": \"tcp\",\n");
   print_losses(history);
   print_traffic(node.traffic());
+  if (publisher) print_publisher(*publisher);
+  if (collector) print_collector(*collector, args.clients + 2);
   std::printf("\n}\n");
   return 0;
 }

@@ -5,6 +5,7 @@
 //            [--telemetry <stem>.telemetry.json] (metrics + memory snapshot)
 //            [--trace <trace.jsonl>]...          (GTV_TRACE span/flow stream)
 //            [--merged-out <merged.jsonl>]       (write the merged trace)
+//            [--offsets <offsets.json>]          (clock offsets per party)
 //            [--health <stem>.health.json]       (GTV_HEALTH=1 alert log)
 //
 // --trace may repeat: a multi-process gtv-node run leaves one trace file
@@ -14,6 +15,15 @@
 // arrows survive the merge because transfer flow ids are derived
 // deterministically from the link name on both sides — the send half in
 // one process's file pairs with the finish half in another's.
+//
+// Each process stamps timestamps with its own monotonic clock, so a raw
+// merge carries per-party clock skew. --offsets takes the clock-offset
+// file a Collector run writes (gtv-node --role driver --collector-port
+// ... --offsets-out offsets.json; offsets are measured NTP-style during
+// the transport handshake, min-RTT sample wins) and rewrites every "ts"
+// onto the collector's clock, making cross-party flow arrows meaningful
+// to within the measured min-RTT bound. Without --offsets the old
+// behavior is kept and a skew warning is printed for multi-file merges.
 //
 // Any subset may be given; each present artefact adds a section. When a
 // telemetry snapshot is supplied and a sibling `<stem>.health.json` exists,
@@ -28,6 +38,7 @@
 // rather than misreport.
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -186,6 +197,27 @@ struct PartyRow {
   double span_us = 0;
 };
 
+// Measured clock offset of one party relative to the collector's clock
+// (offset_us = party_clock - collector_clock, rtt_us = the min RTT of the
+// winning handshake sample — the alignment error bound).
+struct ClockOffset {
+  double offset_us = 0;
+  double rtt_us = 0;
+};
+
+// Parses the offsets file a Collector run writes (--offsets-out): schema v1,
+// {"offsets": {party: {"offset_us": ..., "rtt_us": ...}}}.
+std::map<std::string, ClockOffset> load_offsets(const std::string& path) {
+  const Value doc = gtv::obs::json::parse(read_file(path));
+  require_schema(doc, 1, path);
+  std::map<std::string, ClockOffset> offsets;
+  for (const auto& [party, entry] : doc.at("offsets").object) {
+    offsets[party] = ClockOffset{entry.num_or("offset_us", 0),
+                                 entry.num_or("rtt_us", 0)};
+  }
+  return offsets;
+}
+
 // Rewrites the number after `"pid":` in a raw trace line (string surgery —
 // the merged file must stay byte-faithful to the source except for the pid).
 std::string replace_pid(const std::string& line, int new_pid) {
@@ -202,13 +234,47 @@ std::string replace_pid(const std::string& line, int new_pid) {
   return line.substr(0, start) + std::to_string(new_pid) + line.substr(end);
 }
 
+// Rewrites the integer after `"ts":` in a raw trace line — same surgery as
+// replace_pid; the trace sink prints ts as a plain integer so the digit run
+// (with optional leading '-') is the whole value.
+std::string replace_ts(const std::string& line, long long new_ts) {
+  const std::string key = "\"ts\":";
+  const std::size_t at = line.find(key);
+  if (at == std::string::npos) return line;
+  std::size_t start = at + key.size();
+  while (start < line.size() && line[start] == ' ') ++start;
+  std::size_t end = start;
+  while (end < line.size() && (std::isdigit(static_cast<unsigned char>(line[end])) ||
+                               line[end] == '-')) {
+    ++end;
+  }
+  return line.substr(0, start) + std::to_string(new_ts) + line.substr(end);
+}
+
 // Merges one or more per-process trace files into a single analysis (and
 // optionally a single merged JSONL). Two files claiming the same pid for
 // different party names get de-conflicted: the later file's records are
 // rewritten to a fresh pid. Flow ids are deterministic per link, so the
 // 's' half from one file pairs with the 'f' half from another.
+//
+// When `offsets` is non-empty every timestamp of an offset-bearing party is
+// rewritten onto the collector's clock (ts - offset_us), then all records
+// are rebased by a common shift so no ts goes negative. Cross-file flow
+// pairs then carry real latency instead of clock skew and join the gap
+// statistics.
 void print_traces(const std::vector<std::string>& paths,
-                  const std::string& merged_out) {
+                  const std::string& merged_out,
+                  const std::map<std::string, ClockOffset>& offsets) {
+  const bool align = !offsets.empty();
+  // Rebase so the most-ahead party's rewritten timestamps stay positive:
+  // aligned_ts = ts - offset + shift, shift = max(0, max offset).
+  double shift_us = 0;
+  double max_rtt_us = 0;
+  for (const auto& [party, off] : offsets) {
+    (void)party;
+    shift_us = std::max(shift_us, off.offset_us);
+    max_rtt_us = std::max(max_rtt_us, off.rtt_us);
+  }
   std::map<int, PartyRow> parties;
   std::map<int, std::string> pid_owner;  // merged pid -> party name
   // flow id -> (start ts, finish ts, start file, finish file); ts 0 = unseen.
@@ -220,6 +286,7 @@ void print_traces(const std::vector<std::string>& paths,
   std::map<std::string, std::uint64_t> flow_names;
   std::vector<std::size_t> file_records(paths.size(), 0);
   std::vector<std::string> merged_lines;
+  std::vector<std::string> missing_offsets;
   int next_free_pid = 100;
 
   for (std::size_t fi = 0; fi < paths.size(); ++fi) {
@@ -251,6 +318,19 @@ void print_traces(const std::vector<std::string>& paths,
         pid_owner[next_free_pid] = name;
       }
     }
+    // Clock correction for this file's pids, keyed by the *original* pid
+    // (records are looked up before the collision remap rewrites them).
+    std::map<int, double> file_offset;
+    if (align) {
+      for (const auto& [pid, name] : local_names) {
+        auto it = offsets.find(name);
+        if (it != offsets.end()) {
+          file_offset[pid] = it->second.offset_us;
+        } else {
+          missing_offsets.push_back(name);
+        }
+      }
+    }
     // Pass 2: aggregate + rewrite.
     in.clear();
     in.seekg(0);
@@ -260,6 +340,12 @@ void print_traces(const std::vector<std::string>& paths,
       const Value rec = gtv::obs::json::parse(line);
       const std::string ph = rec.str_or("ph", "");
       int pid = static_cast<int>(rec.num_or("pid", -1));
+      double ts = rec.num_or("ts", 0);
+      if (align && rec.has("ts")) {
+        const auto off = file_offset.find(pid);
+        ts = ts - (off != file_offset.end() ? off->second : 0.0) + shift_us;
+        line = replace_ts(line, std::llround(ts));
+      }
       if (auto it = remap.find(pid); it != remap.end()) {
         line = replace_pid(line, it->second);
         pid = it->second;
@@ -276,11 +362,11 @@ void print_traces(const std::vector<std::string>& paths,
         const auto id = static_cast<std::uint64_t>(rec.num_or("id", 0));
         auto& slot = flows[id];
         if (ph == "s") {
-          slot.start_ts = rec.num_or("ts", 0);
+          slot.start_ts = ts;
           slot.start_file = static_cast<int>(fi);
           flow_names[rec.str_or("name", "?")] += 1;
         } else {
-          slot.finish_ts = rec.num_or("ts", 0);
+          slot.finish_ts = ts;
           slot.finish_file = static_cast<int>(fi);
         }
       }
@@ -311,16 +397,26 @@ void print_traces(const std::vector<std::string>& paths,
                 static_cast<unsigned long long>(row.spans), row.span_us / 1000.0);
   }
 
-  // Mean gap is only meaningful for pairs within one file: each process
-  // stamps with its own monotonic clock, so cross-file deltas carry clock
-  // skew, not latency.
-  std::uint64_t paired = 0, cross_file = 0, gap_pairs = 0;
-  double latency_us = 0;
+  // Without --offsets, mean gap is only meaningful for pairs within one
+  // file: each process stamps with its own monotonic clock, so raw
+  // cross-file deltas carry clock skew, not latency. With --offsets the
+  // timestamps above were aligned onto the collector's clock, so
+  // cross-file pairs join the statistics (error bound: the max min-RTT of
+  // the winning clock-sync samples).
+  std::uint64_t paired = 0, cross_file = 0, gap_pairs = 0, cross_pairs = 0;
+  double latency_us = 0, cross_latency_us = 0;
+  double cross_min_us = 0;
   for (const auto& [id, slot] : flows) {
     if (slot.start_ts > 0 && slot.finish_ts > 0) {
       ++paired;
       if (slot.start_file != slot.finish_file) {
         ++cross_file;
+        if (align) {
+          const double gap = slot.finish_ts - slot.start_ts;
+          if (cross_pairs == 0 || gap < cross_min_us) cross_min_us = gap;
+          ++cross_pairs;
+          cross_latency_us += gap;
+        }
       } else {
         ++gap_pairs;
         latency_us += slot.finish_ts - slot.start_ts;
@@ -336,6 +432,28 @@ void print_traces(const std::vector<std::string>& paths,
     std::printf(", mean send->recv gap %.1f us", latency_us / static_cast<double>(gap_pairs));
   }
   std::printf("\n");
+  if (cross_pairs > 0) {
+    std::printf(
+        "aligned cross-file gap: mean %.1f us, min %.1f us over %llu pairs"
+        " (clock-sync error bound +/-%.1f us)\n",
+        cross_latency_us / static_cast<double>(cross_pairs), cross_min_us,
+        static_cast<unsigned long long>(cross_pairs), max_rtt_us);
+  } else if (!align && paths.size() > 1 && cross_file > 0) {
+    std::printf(
+        "note: %llu cross-file pairs excluded from gap stats — timestamps"
+        " carry per-process clock skew; rerun with --offsets <offsets.json>"
+        " from a collector run (gtv-node --offsets-out) to align them\n",
+        static_cast<unsigned long long>(cross_file));
+  }
+  if (!missing_offsets.empty()) {
+    std::sort(missing_offsets.begin(), missing_offsets.end());
+    missing_offsets.erase(
+        std::unique(missing_offsets.begin(), missing_offsets.end()),
+        missing_offsets.end());
+    std::printf("warning: no clock offset for");
+    for (const auto& name : missing_offsets) std::printf(" %s", name.c_str());
+    std::printf(" — their timestamps were rebased but not skew-corrected\n");
+  }
   for (const auto& [name, count] : flow_names) {
     std::printf("  %-34s x%llu\n", name.c_str(),
                 static_cast<unsigned long long>(count));
@@ -351,7 +469,7 @@ void print_traces(const std::vector<std::string>& paths,
 
 int main(int argc, char** argv) {
   std::vector<std::string> trace_paths;
-  std::string profile_path, telemetry_path, health_path, merged_out;
+  std::string profile_path, telemetry_path, health_path, merged_out, offsets_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -359,6 +477,8 @@ int main(int argc, char** argv) {
       trace_paths.push_back(argv[++i]);
     } else if (arg == "--merged-out" && has_value) {
       merged_out = argv[++i];
+    } else if (arg == "--offsets" && has_value) {
+      offsets_path = argv[++i];
     } else if (arg == "--profile" && has_value) {
       profile_path = argv[++i];
     } else if (arg == "--telemetry" && has_value) {
@@ -370,6 +490,7 @@ int main(int argc, char** argv) {
                    "usage: gtv-prof [--profile <stem>.profile.json]"
                    " [--telemetry <stem>.telemetry.json]"
                    " [--trace <trace.jsonl>]... [--merged-out <merged.jsonl>]"
+                   " [--offsets <offsets.json>]"
                    " [--health <stem>.health.json]\n");
       return 2;
     }
@@ -412,7 +533,11 @@ int main(int argc, char** argv) {
       wall_us = round_wall_us(doc);
     }
     if (!health_path.empty()) print_health(health_path);
-    if (!trace_paths.empty()) print_traces(trace_paths, merged_out);
+    if (!trace_paths.empty()) {
+      std::map<std::string, ClockOffset> offsets;
+      if (!offsets_path.empty()) offsets = load_offsets(offsets_path);
+      print_traces(trace_paths, merged_out, offsets);
+    }
     if (have_profile && wall_us > 0) {
       std::printf("== coverage ==\n");
       std::printf("op self time %.3f ms of %.3f ms round wall clock (%.1f%%)\n",
