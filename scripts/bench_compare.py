@@ -2,8 +2,8 @@
 """Diff the repo's BENCH_*.json files against their committed baselines.
 
 The check.sh stages regenerate BENCH_transport_smoke.json,
-BENCH_kernels.json, BENCH_health_smoke.json and BENCH_liveobs_smoke.json
-in the working tree. This tool answers "what moved?" by comparing every
+BENCH_kernels.json, BENCH_health_smoke.json, BENCH_liveobs_smoke.json and
+BENCH_blackbox_smoke.json in the working tree. This tool answers "what moved?" by comparing every
 numeric field against a baseline copy:
 
   python3 scripts/bench_compare.py                    # vs git HEAD
@@ -26,7 +26,7 @@ import sys
 
 # Metrics where bigger is better; everything else numeric is treated as
 # smaller-is-better for gating purposes.
-BIGGER_IS_BETTER = re.compile(r"(gflops|speedup|coverage|rounds)$")
+BIGGER_IS_BETTER = re.compile(r"(gflops|speedup|coverage|rounds|records_per_sec)$")
 
 
 def flatten(doc, prefix=""):

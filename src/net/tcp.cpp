@@ -10,6 +10,8 @@
 #include <chrono>
 #include <cstring>
 #include <thread>
+
+#include "obs/blackbox.h"
 #include <utility>
 
 #include "obs/trace.h"
@@ -223,6 +225,7 @@ void TcpTransport::accept_loop() {
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       clock_sync_as_acceptor(fd, peer);
       add_conn(fd, peer);
+      obs::bb::note_net_event(obs::bb::NetEvent::kAccept, peer.c_str());
     } catch (const TransportError&) {
       ::close(fd);  // bad handshake: reject the connection, keep listening
     }
@@ -262,6 +265,7 @@ void TcpTransport::connect_peer(const std::string& peer, const std::string& host
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       clock_sync_as_dialer(fd, peer);
       add_conn(fd, peer);
+      obs::bb::note_net_event(obs::bb::NetEvent::kConnect, peer.c_str());
       return;
     } catch (const VersionError&) {
       ::close(fd);
@@ -420,7 +424,9 @@ void TcpTransport::reader_loop(Conn* conn) {
     }
     push_frame(link, std::move(bytes));
   }
-  conn->closed.store(true);
+  if (!conn->closed.exchange(true) && !stopping_.load()) {
+    obs::bb::note_net_event(obs::bb::NetEvent::kDisconnect, conn->peer.c_str());
+  }
   queues_cv_.notify_all();  // wake waiters so they can fail fast
 }
 
@@ -462,7 +468,9 @@ void TcpTransport::deliver_frame(const std::string& link,
   }
   std::lock_guard<std::mutex> wlock(conn->write_mu);
   if (conn->closed.load() || !write_full(conn->fd, frame.data(), frame.size())) {
-    conn->closed.store(true);
+    if (!conn->closed.exchange(true)) {
+      obs::bb::note_net_event(obs::bb::NetEvent::kDisconnect, conn->peer.c_str());
+    }
     throw TransportError("tcp: write on " + link + " failed (peer gone?)");
   }
 }

@@ -7,6 +7,7 @@
 #include <limits>
 #include <thread>
 
+#include "obs/blackbox.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -169,6 +170,12 @@ void TrafficMeter::note_fault(const std::string& link, const char* what,
   // Faults are rare; building the metric name inline keeps the clean path
   // free of these counters entirely (they only exist once observed).
   obs::MetricsRegistry::instance().counter("net." + link + "." + what).add();
+  const obs::bb::NetEvent kind = std::strcmp(what, "timeouts") == 0
+                                     ? obs::bb::NetEvent::kTimeout
+                                 : std::strcmp(what, "corrupt_frames") == 0
+                                     ? obs::bb::NetEvent::kCorruptFrame
+                                     : obs::bb::NetEvent::kRetry;
+  obs::bb::note_net_event(kind, link.c_str());
 }
 
 void TrafficMeter::record_timing(const std::string& link, const char* half, double ms) {

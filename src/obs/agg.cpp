@@ -12,6 +12,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/json.h"
 #include "obs/trace.h"
 
 namespace gtv::obs::agg {
@@ -19,19 +20,7 @@ namespace gtv::obs::agg {
 namespace {
 
 // Prometheus label-value escaping: backslash, double quote, newline.
-std::string label_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case '"': out += "\\\""; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
+std::string label_escape(const std::string& s) { return json::prom_label_escape(s); }
 
 // Base family name of a sample line: metric name with any histogram
 // series suffix stripped. Fallback for dumps missing # TYPE headers.

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/blackbox.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -30,11 +32,7 @@ Counter& severity_counter(Severity severity) {
 
 // JSON has no NaN/Inf literals; clamp pathological observations (the very
 // thing health monitoring exists to catch) into representable numbers.
-double json_num(double v) {
-  if (std::isnan(v)) return 0.0;
-  if (std::isinf(v)) return v > 0 ? 1e308 : -1e308;
-  return v;
-}
+double json_num(double v) { return json::safe_num(v); }
 
 }  // namespace
 
@@ -287,6 +285,8 @@ HealthLog& HealthLog::instance() {
 }
 
 void HealthLog::record(const HealthAlert& alert) {
+  bb::note_alert(static_cast<std::uint32_t>(alert.severity), alert.round,
+                 alert.rule.c_str());
   std::lock_guard<std::mutex> lock(mu_);
   alerts_.push_back(alert);
 }

@@ -1,6 +1,8 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace gtv::obs::json {
@@ -227,5 +229,48 @@ std::string Value::str_or(const std::string& key, const std::string& fallback) c
 }
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double safe_num(double v) {
+  if (std::isnan(v)) return 0.0;
+  if (std::isinf(v)) return v > 0 ? 1e308 : -1e308;
+  return v;
+}
+
+std::string prom_label_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
 
 }  // namespace gtv::obs::json

@@ -48,4 +48,21 @@ class Value {
 // std::runtime_error with position info on malformed input.
 Value parse(std::string_view text);
 
+// --- emitter helpers --------------------------------------------------------
+// The single home for the string/number escaping every hand-written JSON
+// emitter in the obs stack shares (metrics snapshots, health logs,
+// Prometheus exposition). Everything escape() emits parses back via
+// parse() above.
+
+// Escapes `"`, `\` and control characters for embedding in a JSON string.
+std::string escape(const std::string& s);
+
+// JSON has no NaN/Inf literals; clamps them (NaN -> 0, ±Inf -> ±1e308) so
+// pathological observations stay representable.
+double safe_num(double v);
+
+// Prometheus label-value escaping: backslash, double quote, newline only
+// (the exposition format, unlike JSON, leaves other bytes untouched).
+std::string prom_label_escape(const std::string& s);
+
 }  // namespace gtv::obs::json

@@ -8,6 +8,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace gtv::obs {
 
 namespace {
@@ -36,28 +38,7 @@ void set_timing_enabled(bool enabled) {
   g_timing_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return json::escape(s); }
 
 void Gauge::add(double delta) {
   double cur = value_.load(std::memory_order_relaxed);

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/blackbox.h"
+
 namespace gtv::obs::agg {
 
 // Where a party currently is in the training protocol.
@@ -47,8 +49,13 @@ struct LiveStatus {
   std::atomic<float> gp{0.0f};
   std::atomic<float> wasserstein{0.0f};
 
+  // The setters double as the black-box emission points: every party role
+  // funnels its round/phase/loss updates through here, so one hook covers
+  // them all. bb::note_* is a single relaxed load when no recorder is open.
   void set_phase(Phase p) {
     phase.store(static_cast<std::uint32_t>(p), std::memory_order_relaxed);
+    bb::note_phase(round.load(std::memory_order_relaxed),
+                   static_cast<std::uint32_t>(p));
   }
   Phase get_phase() const {
     return static_cast<Phase>(phase.load(std::memory_order_relaxed));
@@ -59,6 +66,7 @@ struct LiveStatus {
     g_loss.store(g, std::memory_order_relaxed);
     gp.store(penalty, std::memory_order_relaxed);
     wasserstein.store(w, std::memory_order_relaxed);
+    bb::note_loss(round.load(std::memory_order_relaxed), d, g, penalty, w);
   }
 };
 

@@ -1,0 +1,386 @@
+// gtv::obs::bb — crash-safe flight recorder.
+//
+// The interesting properties are structural: every completed append is a
+// CRC-valid frame in the file at all times, seqs are unique and monotone
+// under concurrency, ring wrap retains the newest contiguous window, torn
+// bytes are skipped rather than misparsed, and the fatal-signal path
+// leaves a crash record behind (proved with a fork()ed child that really
+// dies of SIGSEGV).
+#include "obs/blackbox.h"
+
+#include <gtest/gtest.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gtv::obs::bb {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name + "." +
+         std::to_string(::getpid()) + ".bbox";
+}
+
+RunHeaderRecord test_header(const std::string& party) {
+  RunHeaderRecord header;
+  header.party = party;
+  header.n_clients = 2;
+  header.rounds = 3;
+  header.seed = 7;
+  return header;
+}
+
+TEST(BlackBoxPayloadTest, AllRecordTypesRoundTrip) {
+  std::uint8_t buf[kMaxRecordPayload];
+
+  RunHeaderRecord run = test_header("client1");
+  run.wall_us = 1234567;
+  run.pid = 4242;
+  std::size_t n = run.encode(buf, sizeof(buf));
+  ASSERT_GT(n, 0u);
+  const RunHeaderRecord run2 = RunHeaderRecord::decode(buf, n);
+  EXPECT_EQ(run2.party, "client1");
+  EXPECT_EQ(run2.n_clients, 2u);
+  EXPECT_EQ(run2.rounds, 3u);
+  EXPECT_EQ(run2.seed, 7u);
+  EXPECT_EQ(run2.wall_us, 1234567u);
+  EXPECT_EQ(run2.pid, 4242u);
+
+  n = PhaseRecord{9, 3}.encode(buf, sizeof(buf));
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(PhaseRecord::decode(buf, n).round, 9u);
+  EXPECT_EQ(PhaseRecord::decode(buf, n).phase, 3u);
+
+  n = LossRecord{4, 1.5f, -2.5f, 0.25f, 3.0f}.encode(buf, sizeof(buf));
+  ASSERT_GT(n, 0u);
+  const LossRecord loss = LossRecord::decode(buf, n);
+  EXPECT_EQ(loss.round, 4u);
+  EXPECT_FLOAT_EQ(loss.d_loss, 1.5f);
+  EXPECT_FLOAT_EQ(loss.g_loss, -2.5f);
+  EXPECT_FLOAT_EQ(loss.gp, 0.25f);
+  EXPECT_FLOAT_EQ(loss.wasserstein, 3.0f);
+
+  AlertRecord alert;
+  alert.severity = 2;
+  alert.round = 6;
+  alert.rule = "wasserstein_drift";
+  n = alert.encode(buf, sizeof(buf));
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(AlertRecord::decode(buf, n).rule, "wasserstein_drift");
+  EXPECT_EQ(AlertRecord::decode(buf, n).severity, 2u);
+
+  NetEventRecord event;
+  event.kind = NetEvent::kTimeout;
+  event.link = "driver->server";
+  n = event.encode(buf, sizeof(buf));
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(NetEventRecord::decode(buf, n).kind, NetEvent::kTimeout);
+  EXPECT_EQ(NetEventRecord::decode(buf, n).link, "driver->server");
+
+  n = StallRecord{30500, 2, 3}.encode(buf, sizeof(buf));
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(StallRecord::decode(buf, n).stalled_ms, 30500u);
+
+  ThreadStackRecord stack;
+  stack.tid = 777;
+  stack.pcs = {0xdeadbeefULL, 0x1234ULL};
+  n = stack.encode(buf, sizeof(buf));
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(ThreadStackRecord::decode(buf, n).tid, 777u);
+  EXPECT_EQ(ThreadStackRecord::decode(buf, n).pcs, stack.pcs);
+
+  CrashRecord crash;
+  crash.signal = 11;
+  crash.fault_addr = 0x10;
+  crash.pcs = {0xabcULL};
+  n = crash.encode(buf, sizeof(buf));
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(CrashRecord::decode(buf, n).signal, 11u);
+  EXPECT_EQ(CrashRecord::decode(buf, n).fault_addr, 0x10u);
+  EXPECT_EQ(CrashRecord::decode(buf, n).pcs, crash.pcs);
+
+  ShutdownRecord down;
+  down.code = 130;
+  down.reason = "SIGINT";
+  n = down.encode(buf, sizeof(buf));
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(ShutdownRecord::decode(buf, n).code, 130u);
+  EXPECT_EQ(ShutdownRecord::decode(buf, n).reason, "SIGINT");
+}
+
+TEST(BlackBoxPayloadTest, DecodeRejectsTruncation) {
+  std::uint8_t buf[kMaxRecordPayload];
+  AlertRecord alert;
+  alert.rule = "rule";
+  const std::size_t n = alert.encode(buf, sizeof(buf));
+  for (std::size_t cut = 0; cut < n; ++cut) {
+    EXPECT_THROW(AlertRecord::decode(buf, cut), std::runtime_error) << cut;
+  }
+}
+
+TEST(BlackBoxTest, AppendReadRoundTrip) {
+  const std::string path = tmp_path("roundtrip");
+  {
+    BlackBox box(path, test_header("server"));
+    std::uint8_t buf[64];
+    for (std::uint64_t r = 0; r < 5; ++r) {
+      box.append(RecordType::kPhase, buf, PhaseRecord{r, 2}.encode(buf, sizeof(buf)));
+      box.append(RecordType::kLoss, buf,
+                 LossRecord{r, 0.1f, 0.2f, 0.3f, 0.4f}.encode(buf, sizeof(buf)));
+    }
+    EXPECT_EQ(box.records_written(), 11u);  // run header + 10
+    EXPECT_EQ(box.records_dropped(), 0u);
+  }
+  const ReadResult ring = read_ring(path);
+  EXPECT_TRUE(validate(ring).empty()) << validate(ring).front();
+  EXPECT_EQ(ring.records.size(), 11u);
+  EXPECT_EQ(ring.crc_rejects, 0u);
+  ASSERT_TRUE(ring.has_run_header);
+  EXPECT_EQ(ring.run_header.party, "server");
+  EXPECT_GT(ring.run_header.wall_us, 0u);  // filled in by the constructor
+  EXPECT_EQ(ring.records.front().type, RecordType::kRunHeader);
+  // Timestamps are monotone in seq order (single writer).
+  for (std::size_t i = 1; i < ring.records.size(); ++i) {
+    EXPECT_EQ(ring.records[i].seq, ring.records[i - 1].seq + 1);
+    EXPECT_GE(ring.records[i].t_us, ring.records[i - 1].t_us);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BlackBoxTest, FileIsCompleteWithoutDestructorOrSync) {
+  // The crash-safety claim: records are in the file as appended, no flush
+  // needed. Read the ring while the writer is still alive and unsynced.
+  const std::string path = tmp_path("live");
+  BlackBox box(path, test_header("server"));
+  std::uint8_t buf[64];
+  box.append(RecordType::kPhase, buf, PhaseRecord{1, 2}.encode(buf, sizeof(buf)));
+  const ReadResult ring = read_ring(path);
+  EXPECT_TRUE(validate(ring).empty());
+  EXPECT_EQ(ring.records.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(BlackBoxTest, OversizePayloadIsCountedDropped) {
+  const std::string path = tmp_path("oversize");
+  BlackBox box(path, test_header("server"));
+  std::vector<std::uint8_t> big(kMaxRecordPayload + 1, 0xab);
+  box.append(RecordType::kAlert, big.data(), big.size());
+  EXPECT_EQ(box.records_dropped(), 1u);
+  EXPECT_EQ(box.records_written(), 1u);  // just the run header
+  const ReadResult ring = read_ring(path);
+  EXPECT_EQ(ring.info.records_dropped, 1u);
+  EXPECT_TRUE(validate(ring).empty());
+  std::remove(path.c_str());
+}
+
+TEST(BlackBoxTest, RingWrapRetainsNewestContiguousWindow) {
+  const std::string path = tmp_path("wrap");
+  const std::size_t kWrites = 2000;  // minimum 16 KiB ring: ~340 frames fit
+  {
+    BlackBox box(path, test_header("server"), BlackBoxOptions{kMinRingCapacity});
+    std::uint8_t buf[64];
+    for (std::uint64_t i = 0; i < kWrites; ++i) {
+      box.append(RecordType::kPhase, buf, PhaseRecord{i, 1}.encode(buf, sizeof(buf)));
+    }
+    EXPECT_EQ(box.records_written(), kWrites + 1);
+  }
+  const ReadResult ring = read_ring(path);
+  ASSERT_FALSE(ring.records.empty());
+  // The newest record always survives, the oldest are overwritten, and
+  // what remains is one contiguous seq window ending at the last append.
+  EXPECT_EQ(ring.records.back().seq, kWrites);  // run header took seq 0
+  EXPECT_LT(ring.records.size(), kWrites);
+  for (std::size_t i = 1; i < ring.records.size(); ++i) {
+    EXPECT_EQ(ring.records[i].seq, ring.records[i - 1].seq + 1);
+  }
+  // The run header was lapped away, so validate() flags exactly that and
+  // nothing else.
+  const auto problems = validate(ring);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("run header"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BlackBoxTest, TornFrameIsSkippedNotMisparsed) {
+  const std::string path = tmp_path("torn");
+  {
+    BlackBox box(path, test_header("server"));
+    std::uint8_t buf[64];
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      box.append(RecordType::kPhase, buf, PhaseRecord{i, 1}.encode(buf, sizeof(buf)));
+    }
+  }
+  // Corrupt one payload byte of a mid-ring frame: its CRC must fail and
+  // only that record disappears.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    // Frame layout: run header first; phase frames are 32 + 16 bytes each.
+    // Flip a payload byte of the 3rd phase frame (safely inside the ring).
+    const long run_header_total = 32 + ((40 + 2 + 6 + 7) / 8) * 8;
+    const long target = static_cast<long>(kRingHeaderBytes) + run_header_total +
+                        2 * 48 + 32 + 3;
+    std::fseek(f, target, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, target, SEEK_SET);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+  }
+  const ReadResult ring = read_ring(path);
+  EXPECT_EQ(ring.records.size(), 10u);  // 11 written, 1 torn
+  EXPECT_GE(ring.crc_rejects, 1u);
+  std::set<std::uint64_t> seqs;
+  for (const Record& rec : ring.records) seqs.insert(rec.seq);
+  EXPECT_EQ(seqs.size(), ring.records.size());
+  // One interior gap of one seq: tolerated by validate (torn writer).
+  EXPECT_TRUE(validate(ring).empty());
+  std::remove(path.c_str());
+}
+
+TEST(BlackBoxTest, ConcurrentAppendsKeepSeqsUniqueAndFramesValid) {
+  const std::string path = tmp_path("concurrent");
+  const int kThreads = 4;
+  const std::uint64_t kPerThread = 3000;
+  {
+    // 4 MiB ring: all 12k frames (48 bytes each) fit without wrapping.
+    BlackBox box(path, test_header("server"), BlackBoxOptions{4u << 20});
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&box, t] {
+        std::uint8_t buf[64];
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          const PhaseRecord rec{i, static_cast<std::uint32_t>(t)};
+          box.append(RecordType::kPhase, buf, rec.encode(buf, sizeof(buf)));
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(box.records_written(), kThreads * kPerThread + 1);
+  }
+  const ReadResult ring = read_ring(path);
+  EXPECT_TRUE(validate(ring).empty());
+  EXPECT_EQ(ring.records.size(), kThreads * kPerThread + 1);
+  EXPECT_EQ(ring.crc_rejects, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BlackBoxTest, ReadRejectsNonRingFiles) {
+  const std::string path = tmp_path("notaring");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::vector<std::uint8_t> junk(kRingHeaderBytes + 64, 0x5a);
+    std::fwrite(junk.data(), 1, junk.size(), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_ring(path), std::runtime_error);
+  EXPECT_THROW(read_ring(path + ".missing"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BlackBoxTest, NoteHelpersAreNoOpsWithoutGlobalInstance) {
+  // Must not crash before open_global: every hook site relies on this.
+  note_phase(1, 2);
+  note_loss(1, 0.1f, 0.2f, 0.3f, 0.4f);
+  note_alert(1, 2, "rule");
+  note_net_event(NetEvent::kRetry, "a->b");
+  note_shutdown(0, "clean");
+}
+
+TEST(StallWatchdogTest, DetectsStallAndDumpsStacks) {
+  const std::string path = tmp_path("stall");
+  BlackBox* box = BlackBox::open_global(path, test_header("server"));
+  std::atomic<std::uint64_t> round{0};
+  std::atomic<std::uint32_t> phase{2};
+
+  StallWatchdogOptions options;
+  options.stall_ms = 250;
+  options.poll_ms = 20;
+  options.dump_stacks = true;
+  StallWatchdog watchdog(&round, &phase, options);
+  watchdog.start();
+
+  // Progress for a while: no stall may fire.
+  for (int i = 0; i < 5; ++i) {
+    round.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  EXPECT_EQ(watchdog.stalls_detected(), 0u);
+
+  // Freeze. The watchdog must record a stall and at least one stack.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (watchdog.stalls_detected() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  watchdog.stop();
+  EXPECT_GE(watchdog.stalls_detected(), 1u);
+
+  box->sync();
+  const ReadResult ring = read_ring(path);
+  bool saw_stall = false, saw_stack = false;
+  for (const Record& rec : ring.records) {
+    if (rec.type == RecordType::kStall) {
+      saw_stall = true;
+      const StallRecord stall =
+          StallRecord::decode(rec.payload.data(), rec.payload.size());
+      EXPECT_EQ(stall.round, 5u);
+      EXPECT_GE(stall.stalled_ms, 250u);
+    }
+    if (rec.type == RecordType::kThreadStack) saw_stack = true;
+  }
+  EXPECT_TRUE(saw_stall);
+  EXPECT_TRUE(saw_stack);
+  std::remove(path.c_str());
+}
+
+TEST(CrashHandlerTest, SegfaultingChildLeavesCrashRecord) {
+  const std::string path = tmp_path("crash");
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: open a recorder, arm the handlers, die for real.
+    BlackBox::open_global(path, test_header("victim"));
+    install_crash_handlers();
+    note_phase(3, 2);
+    volatile int* null_ptr = nullptr;
+    *null_ptr = 42;  // SIGSEGV
+    ::_exit(99);     // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  const ReadResult ring = read_ring(path);
+  EXPECT_TRUE(validate(ring).empty());
+  bool saw_crash = false;
+  for (const Record& rec : ring.records) {
+    if (rec.type != RecordType::kCrash) continue;
+    saw_crash = true;
+    const CrashRecord crash = CrashRecord::decode(rec.payload.data(), rec.payload.size());
+    EXPECT_EQ(crash.signal, static_cast<std::uint32_t>(SIGSEGV));
+#if defined(__GLIBC__)
+    EXPECT_FALSE(crash.pcs.empty());
+#endif
+  }
+  EXPECT_TRUE(saw_crash);
+  // No shutdown record: the process died, it didn't exit.
+  for (const Record& rec : ring.records) {
+    EXPECT_NE(rec.type, RecordType::kShutdown);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gtv::obs::bb

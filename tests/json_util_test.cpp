@@ -1,0 +1,64 @@
+// obs::json emitter helpers — the single shared home for the string/number
+// escaping that metrics, health and Prometheus emission all lean on.
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace gtv::obs::json {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainStringsThrough) {
+  EXPECT_EQ(escape("net.server->client0.bytes"), "net.server->client0.bytes");
+  EXPECT_EQ(escape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndWhitespaceControls) {
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("a\nb\rc\td"), "a\\nb\\rc\\td");
+}
+
+TEST(JsonEscapeTest, UEscapesOtherControlCharacters) {
+  EXPECT_EQ(escape(std::string("a") + '\x01' + "b"), "a\\u0001b");
+  EXPECT_EQ(escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscapeTest, EverythingEscapedParsesBack) {
+  // The contract with the reader half of obs::json: a string embedded via
+  // escape() round-trips through parse().
+  std::string nasty;
+  for (int c = 1; c < 0x80; ++c) nasty.push_back(static_cast<char>(c));
+  const Value doc = parse("{\"s\":\"" + escape(nasty) + "\"}");
+  EXPECT_EQ(doc.at("s").str, nasty);
+}
+
+TEST(JsonEscapeTest, MetricsJsonEscapeDelegatesHere) {
+  // obs::json_escape (metrics.h) is now a thin wrapper — identical output.
+  const std::string sample = "a\"b\\c\nd\x02";
+  EXPECT_EQ(obs::json_escape(sample), escape(sample));
+}
+
+TEST(SafeNumTest, ClampsNonFiniteOnly) {
+  EXPECT_EQ(safe_num(0.5), 0.5);
+  EXPECT_EQ(safe_num(-123.0), -123.0);
+  EXPECT_EQ(safe_num(std::numeric_limits<double>::quiet_NaN()), 0.0);
+  EXPECT_EQ(safe_num(std::numeric_limits<double>::infinity()), 1e308);
+  EXPECT_EQ(safe_num(-std::numeric_limits<double>::infinity()), -1e308);
+}
+
+TEST(PromLabelEscapeTest, EscapesExactlyThePrometheusSet) {
+  EXPECT_EQ(prom_label_escape("client0"), "client0");
+  EXPECT_EQ(prom_label_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_label_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_label_escape("a\nb"), "a\\nb");
+  // Unlike JSON escaping, other bytes — tabs included — pass untouched.
+  EXPECT_EQ(prom_label_escape("a\tb"), "a\tb");
+}
+
+}  // namespace
+}  // namespace gtv::obs::json

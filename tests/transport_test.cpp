@@ -9,6 +9,7 @@
 #include "net/chaos.h"
 #include "net/tcp.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace gtv::net {
 namespace {
@@ -224,6 +225,71 @@ TEST(ChaosTransportTest, MeterRecoversCorruptionAndDuplicates) {
   EXPECT_EQ(stats.messages, 60u);
   EXPECT_GT(stats.corrupt_frames, 0u);
   EXPECT_GT(stats.retries, 0u);
+}
+
+TEST(ChaosTransportTest, CombinedChaosCountersMatchScheduleDigest) {
+  // Drop + dup + corrupt on the same link. The chaos schedule is a pure
+  // function of the seed (schedule_digest proves the runs saw the same
+  // faults), so the recovery counters — both the per-meter LinkStats and
+  // the process-wide net.<link>.* registry counters — must be identical
+  // across runs and consistent with each other.
+  struct RunResult {
+    LinkStats stats;
+    std::uint64_t digest = 0;
+    std::uint64_t reg_retries = 0, reg_timeouts = 0, reg_corrupt = 0;
+  };
+  auto run_once = [] {
+    ChaosOptions options;
+    options.drop_prob = 0.25;
+    options.dup_prob = 0.25;
+    options.corrupt_prob = 0.25;
+    options.seed = 17;
+    auto chaos =
+        std::make_shared<ChaosTransport>(std::make_shared<InProcTransport>(), options);
+    TrafficMeter meter;
+    meter.set_transport(chaos);
+    RetryPolicy policy;
+    policy.backoff_base_ms = 0;
+    meter.set_retry_policy(policy);
+    auto& registry = gtv::obs::MetricsRegistry::instance();
+    const std::uint64_t r0 = registry.counter("net.combined.retries").value();
+    const std::uint64_t t0 = registry.counter("net.combined.timeouts").value();
+    const std::uint64_t c0 = registry.counter("net.combined.corrupt_frames").value();
+    const std::vector<std::size_t> idx = {8, 6, 7, 5, 3, 0, 9};
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(meter.transfer("combined", idx), idx);
+    }
+    RunResult result;
+    result.stats = meter.stats("combined");
+    result.digest = chaos->schedule_digest();
+    result.reg_retries = registry.counter("net.combined.retries").value() - r0;
+    result.reg_timeouts = registry.counter("net.combined.timeouts").value() - t0;
+    result.reg_corrupt = registry.counter("net.combined.corrupt_frames").value() - c0;
+    return result;
+  };
+
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  ASSERT_EQ(a.digest, b.digest);
+
+  // Every fault class fired at least once under the combined schedule.
+  EXPECT_GT(a.stats.retries, 0u);
+  EXPECT_GT(a.stats.timeouts, 0u);
+  EXPECT_GT(a.stats.corrupt_frames, 0u);
+  EXPECT_EQ(a.stats.messages, 50u);
+
+  // Same digest -> same counters, run over run.
+  EXPECT_EQ(a.stats.retries, b.stats.retries);
+  EXPECT_EQ(a.stats.timeouts, b.stats.timeouts);
+  EXPECT_EQ(a.stats.corrupt_frames, b.stats.corrupt_frames);
+
+  // The registry deltas mirror the LinkStats exactly, both runs.
+  EXPECT_EQ(a.reg_retries, a.stats.retries);
+  EXPECT_EQ(a.reg_timeouts, a.stats.timeouts);
+  EXPECT_EQ(a.reg_corrupt, a.stats.corrupt_frames);
+  EXPECT_EQ(b.reg_retries, b.stats.retries);
+  EXPECT_EQ(b.reg_timeouts, b.stats.timeouts);
+  EXPECT_EQ(b.reg_corrupt, b.stats.corrupt_frames);
 }
 
 // --- TcpTransport ----------------------------------------------------------------

@@ -21,6 +21,9 @@
 // Rendezvous is on localhost: the server listens on --port, the driver on
 // --driver-port; clients dial both, the driver dials the server. Dials
 // retry with bounded backoff, so start order does not matter.
+#include <signal.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -39,6 +42,7 @@
 #include "net/chaos.h"
 #include "net/tcp.h"
 #include "obs/agg.h"
+#include "obs/blackbox.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
@@ -69,6 +73,15 @@ struct Args {
   int snapshot_interval_ms = 200;  // publisher cadence
   std::string offsets_out;         // driver only: clock-offset JSON path
   int linger_ms = 0;  // driver only: keep endpoints up after training
+  // Black-box flight recorder (obs::bb). When a directory is given, every
+  // role writes <dir>/<role>.bbox and arms the crash handlers + watchdog.
+  std::string blackbox_dir;
+  std::size_t blackbox_size = 0;  // 0 = kDefaultRingCapacity
+  int blackbox_stall_ms = 30000;
+  // Recv patience, exposed so crash smokes don't park ~2 minutes on a
+  // SIGKILL'd peer before giving up.
+  int recv_timeout_ms = 5000;
+  int max_attempts = 24;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -80,6 +93,8 @@ struct Args {
                "  [--host H] [--port P] [--driver-port P]\n"
                "  [--collector-port P] [--collector-host H] [--snapshot-interval-ms N]\n"
                "  [--metrics-port P] [--offsets-out FILE] [--linger-ms N]  (driver)\n"
+               "  [--blackbox-dir DIR] [--blackbox-size BYTES] [--blackbox-stall-ms N]\n"
+               "  [--recv-timeout-ms N] [--max-attempts N]\n"
                "  [--chaos-drop p] [--chaos-dup p] [--chaos-corrupt p]\n"
                "  [--chaos-latency-us N] [--chaos-seed S]   (inproc only)\n");
   std::exit(2);
@@ -127,6 +142,16 @@ Args parse_args(int argc, char** argv) {
       args.offsets_out = value(i);
     } else if (flag == "--linger-ms") {
       args.linger_ms = std::atoi(value(i));
+    } else if (flag == "--blackbox-dir") {
+      args.blackbox_dir = value(i);
+    } else if (flag == "--blackbox-size") {
+      args.blackbox_size = std::strtoul(value(i), nullptr, 10);
+    } else if (flag == "--blackbox-stall-ms") {
+      args.blackbox_stall_ms = std::atoi(value(i));
+    } else if (flag == "--recv-timeout-ms") {
+      args.recv_timeout_ms = std::atoi(value(i));
+    } else if (flag == "--max-attempts") {
+      args.max_attempts = std::atoi(value(i));
     } else if (flag == "--chaos-drop") {
       args.chaos.drop_prob = std::atof(value(i));
       args.chaos_enabled = true;
@@ -250,12 +275,53 @@ void print_traffic(const net::TrafficMeter& meter) {
 }
 
 // Node roles park longer per recv attempt than the loopback default: the
-// peer may legitimately be grinding through a whole critic step.
-net::RetryPolicy node_retry_policy() {
+// peer may legitimately be grinding through a whole critic step. Defaults
+// give ~2 minutes before giving up on a peer; crash smokes dial both down.
+net::RetryPolicy node_retry_policy(const Args& args) {
   net::RetryPolicy policy;
-  policy.recv_timeout_ms = 5000;
-  policy.max_attempts = 24;  // ~2 minutes before giving up on a peer
+  policy.recv_timeout_ms = args.recv_timeout_ms;
+  policy.max_attempts = args.max_attempts;
   return policy;
+}
+
+// Opens the per-role flight recorder and arms the fatal-signal handlers.
+// No-op when --blackbox-dir was not given.
+void open_blackbox(const Args& args, const std::string& role) {
+  if (args.blackbox_dir.empty()) return;
+  obs::bb::RunHeaderRecord header;
+  header.party = role;
+  header.n_clients = args.clients;
+  header.rounds = args.rounds;
+  header.seed = args.seed;
+  obs::bb::BlackBoxOptions options;
+  if (args.blackbox_size > 0) options.capacity_bytes = args.blackbox_size;
+  obs::bb::BlackBox::open_global(args.blackbox_dir + "/" + role + ".bbox", header,
+                                 options);
+  obs::bb::install_crash_handlers();
+}
+
+obs::bb::StallWatchdogOptions watchdog_options(const Args& args) {
+  obs::bb::StallWatchdogOptions options;
+  options.stall_ms = args.blackbox_stall_ms;
+  return options;
+}
+
+void graceful_signal_handler(int sig) {
+  // Last word into the ring first (async-signal-safe), then std::exit so
+  // the atexit hooks flush traces and GTV_METRICS_DUMP. std::exit from a
+  // handler is not strictly async-signal-safe; for a terminal-interrupt
+  // path, occasionally losing that race beats always losing the artifacts.
+  obs::bb::note_shutdown(static_cast<std::uint32_t>(128 + sig),
+                         sig == SIGINT ? "SIGINT" : "SIGTERM");
+  std::exit(128 + sig);
+}
+
+void install_graceful_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = graceful_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
 }
 
 // Starts this party's snapshot publisher when a collector port was given
@@ -294,7 +360,11 @@ int run_inproc(const Args& args, const Shared& shared) {
                                                   args.chaos);
     trainer.traffic().set_transport(chaos);
   }
-  trainer.train(args.rounds);
+  // No LiveStatus in the classic loop; feed the recorder per-round instead.
+  trainer.train(args.rounds, [](std::size_t round, const gan::RoundLosses& losses) {
+    obs::bb::note_loss(round, losses.d_loss, losses.g_loss, losses.gp,
+                       losses.wasserstein);
+  });
   const std::uint64_t model_hash = hash_table(trainer.sample(64));
 
   std::printf("{\n  \"role\": \"inproc\",\n  \"transport\": \"%s\",\n",
@@ -326,12 +396,15 @@ int run_server(const Args& args, Shared shared) {
   transport->listen(static_cast<std::uint16_t>(args.port));
   core::ServerNode node(shared.config, shared.g_widths, shared.d_widths);
   node.set_transport(transport);
-  node.traffic().set_retry_policy(node_retry_policy());
+  node.traffic().set_retry_policy(node_retry_policy(args));
   obs::agg::LiveStatus status;
   node.set_live_status(&status);
+  obs::bb::StallWatchdog watchdog(&status.round, &status.phase, watchdog_options(args));
+  if (!args.blackbox_dir.empty()) watchdog.start();
   auto publisher = start_publisher(args, "server", &status);
   node.run();
   if (publisher) publisher->stop();
+  watchdog.stop();
   std::printf("{\n  \"role\": \"server\",\n  \"transport\": \"tcp\",\n");
   print_traffic(node.traffic());
   if (publisher) print_publisher(*publisher);
@@ -349,12 +422,15 @@ int run_client(const Args& args, Shared shared, std::size_t id) {
   core::ClientNode node(shared.config, id, std::move(shared.shards[id]),
                         shared.g_widths[id], shared.d_widths[id]);
   node.set_transport(transport);
-  node.traffic().set_retry_policy(node_retry_policy());
+  node.traffic().set_retry_policy(node_retry_policy(args));
   obs::agg::LiveStatus status;
   node.set_live_status(&status);
+  obs::bb::StallWatchdog watchdog(&status.round, &status.phase, watchdog_options(args));
+  if (!args.blackbox_dir.empty()) watchdog.start();
   auto publisher = start_publisher(args, name, &status);
   node.run();
   if (publisher) publisher->stop();
+  watchdog.stop();
   std::printf("{\n  \"role\": \"%s\",\n  \"transport\": \"tcp\",\n", name.c_str());
   print_traffic(node.traffic());
   if (publisher) print_publisher(*publisher);
@@ -427,18 +503,55 @@ int run_driver(const Args& args, const Shared& shared) {
   }
   core::DriverNode node(shared.config);
   node.set_transport(transport);
-  node.traffic().set_retry_policy(node_retry_policy());
+  node.traffic().set_retry_policy(node_retry_policy(args));
   obs::agg::LiveStatus status;
   node.set_live_status(&status);
+  obs::bb::StallWatchdog watchdog(&status.round, &status.phase, watchdog_options(args));
+  if (!args.blackbox_dir.empty()) watchdog.start();
   auto publisher = start_publisher(args, "driver", &status, "127.0.0.1");
+
+  // A SIGKILL'd party makes node.run() throw, so the end-of-run offsets
+  // write below never happens — on exactly the runs gtv-postmortem needs
+  // offsets for. A side thread writes them as soon as every party has
+  // clock info, and writes whatever arrived if the run unwinds first.
+  std::atomic<bool> offsets_stop{false};
+  std::thread offsets_thread;
+  struct OffsetsJoin {
+    std::atomic<bool>* stop;
+    std::thread* thread;
+    ~OffsetsJoin() {
+      stop->store(true);
+      if (thread->joinable()) thread->join();
+    }
+  } offsets_join{&offsets_stop, &offsets_thread};
+  if (collector && !args.offsets_out.empty()) {
+    offsets_thread = std::thread([&collector, &offsets_stop, &args] {
+      const std::size_t expected = args.clients + 2;
+      while (!offsets_stop.load()) {
+        std::size_t clocked = 0;
+        for (const auto& view : collector->parties()) {
+          if (view.have_clock) ++clocked;
+        }
+        if (clocked >= expected) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      write_file(args.offsets_out, collector->offsets_json() + "\n");
+    });
+  }
+
   const auto history = node.run();
   if (publisher) publisher->stop();
+  watchdog.stop();
 
   if (collector) {
     // Parties flush a final snapshot on their way out; give the plane a
     // moment so the summary below reflects everyone.
     collector->wait_for_snapshots(args.clients + 2, 1, 5000);
     if (!args.offsets_out.empty()) {
+      // Retire the early writer first so the final (most complete) offsets
+      // are what lands on disk.
+      offsets_stop.store(true);
+      if (offsets_thread.joinable()) offsets_thread.join();
       write_file(args.offsets_out, collector->offsets_json() + "\n");
     }
     if (args.linger_ms > 0) {
@@ -462,19 +575,32 @@ int run_driver(const Args& args, const Shared& shared) {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   try {
+    open_blackbox(args, args.role);
+    install_graceful_handlers();
     Shared shared = build_shared(args);
     declare_parties(args.clients);
-    if (args.role == "inproc") return run_inproc(args, shared);
-    if (args.role == "server") return run_server(args, std::move(shared));
-    if (args.role == "driver") return run_driver(args, shared);
-    if (args.role.rfind("client", 0) == 0) {
+    int rc = 2;
+    if (args.role == "inproc") {
+      rc = run_inproc(args, shared);
+    } else if (args.role == "server") {
+      rc = run_server(args, std::move(shared));
+    } else if (args.role == "driver") {
+      rc = run_driver(args, shared);
+    } else if (args.role.rfind("client", 0) == 0) {
       const std::size_t id = std::strtoul(args.role.c_str() + 6, nullptr, 10);
       if (id >= args.clients) usage("client id out of range");
-      return run_client(args, std::move(shared), id);
+      rc = run_client(args, std::move(shared), id);
+    } else {
+      usage(("unknown role " + args.role).c_str());
     }
-    usage(("unknown role " + args.role).c_str());
+    // The ring's last word: a clean exit. A SIGKILL'd party never gets
+    // here, which is precisely how gtv-postmortem tells the dead from the
+    // survivors.
+    obs::bb::note_shutdown(0, "clean");
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gtv-node(%s): %s\n", args.role.c_str(), e.what());
+    obs::bb::note_shutdown(1, e.what());
     return 1;
   }
 }
