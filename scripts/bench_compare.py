@@ -2,8 +2,9 @@
 """Diff the repo's BENCH_*.json files against their committed baselines.
 
 The check.sh stages regenerate BENCH_transport_smoke.json,
-BENCH_kernels.json, BENCH_health_smoke.json, BENCH_liveobs_smoke.json and
-BENCH_blackbox_smoke.json in the working tree. This tool answers "what moved?" by comparing every
+BENCH_kernels.json, BENCH_health_smoke.json, BENCH_liveobs_smoke.json,
+BENCH_blackbox_smoke.json and BENCH_sampler_smoke.json in the working tree.
+This tool answers "what moved?" by comparing every
 numeric field against a baseline copy:
 
   python3 scripts/bench_compare.py                    # vs git HEAD
@@ -26,7 +27,8 @@ import sys
 
 # Metrics where bigger is better; everything else numeric is treated as
 # smaller-is-better for gating purposes.
-BIGGER_IS_BETTER = re.compile(r"(gflops|speedup|coverage|rounds|records_per_sec)$")
+BIGGER_IS_BETTER = re.compile(
+    r"(gflops|speedup|coverage|rounds|records_per_sec|samples_per_sec|resolved_frac)$")
 
 
 def flatten(doc, prefix=""):

@@ -47,6 +47,16 @@
 #          naming the killed party, its last round/phase, and >=1 transport
 #          event around the death. Emits BENCH_blackbox_smoke.json
 #          (records/sec, write p99, overhead ratio).
+#   sampler incremental build + sampler/transport tests, then the profiler
+#          smoke: a --sample-hz 97 inproc run must reproduce the sampler-off
+#          losses + model hash bit-for-bit at <=3% CPU overhead (wait4
+#          rusage, interleaved pairs); a 4-process TCP run writes one
+#          <role>.folded per party, and gtv-flame's merged profile must hold
+#          >=100 samples, symbolize >=80% of frames, contain an on-CPU gemm
+#          frame and an off-CPU blocked-in-recv frame, and cover all four
+#          parties; the diff of a profile against itself must cancel to zero
+#          stacks. Emits BENCH_sampler_smoke.json (samples/sec, overhead
+#          ratio, resolved fraction).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -575,6 +585,174 @@ EOF
   python3 scripts/bench_compare.py BENCH_blackbox_smoke.json || true
 }
 
+# --- sampling-profiler smoke (stages: all, sampler) --------------------------
+# Arms the SIGPROF/SIGUSR2 statistical sampler end to end: parity + CPU
+# overhead with sampling on, per-party folded profiles from a real 4-process
+# run, and gtv-flame's merge/diff/symbolization gates over them.
+run_sampler_stage() {
+  local POUT="$SMOKE_OUT/sampler"
+  mkdir -p "$POUT"
+  local NODE="$BUILD_DIR/tools/gtv-node"
+  local FLAME="$BUILD_DIR/tools/gtv-flame"
+  # Big enough (~0.7s CPU) that the sampler's one-time costs — ELF symtab
+  # parse, exit symbolization, folded write — amortize under the 3% gate.
+  local ARGS="--clients 2 --rounds 10 --rows 384 --batch 64 --d-steps 2 --seed 7"
+  local PORT=47721 DPORT=47722
+  command -v python3 > /dev/null 2>&1 \
+    || { echo "FAIL: the sampler stage needs python3"; exit 1; }
+
+  # 1. Pure-observer check: sampler on vs off, interleaved pairs measured in
+  #    child CPU time (user+sys via wait4 rusage) — same method and reasons
+  #    as the blackbox stage, with the gate at the sampler's 3% budget.
+  python3 - "$NODE" "$POUT" $ARGS <<'EOF'
+import json, os, subprocess, sys
+node, out = sys.argv[1], sys.argv[2]
+args = sys.argv[3:]
+
+def run(extra, path):
+    with open(path, "w") as f:
+        proc = subprocess.Popen([node, "--role", "inproc", *args, *extra],
+                                stdout=f)
+    _, status, ru = os.wait4(proc.pid, 0)
+    assert status == 0, f"gtv-node inproc exited with status {status}"
+    return ru.ru_utime + ru.ru_stime
+
+base = on = float("inf")
+for rep in range(20):
+    base = min(base, run([], f"{out}/inproc_off.json"))
+    on = min(on, run(["--sample-hz", "97", "--profile-dir", out],
+                     f"{out}/inproc_on.json"))
+    if rep >= 4 and on < base * 1.03:
+        break
+with open(f"{out}/overhead.json", "w") as f:
+    json.dump({"base_cpu_s": round(base, 4), "sampler_cpu_s": round(on, 4),
+               "pairs": rep + 1}, f)
+EOF
+
+  # 2. The 4-process run: every role samples at 97 Hz and writes its own
+  #    <role>.folded on the way out.
+  local SARGS="$ARGS --port $PORT --driver-port $DPORT"
+  SARGS="$SARGS --sample-hz 97 --profile-dir $POUT"
+  local T0 T1
+  T0=$(date +%s%N)
+  "$NODE" --role server $SARGS > "$POUT/server.json" 2>&1 &
+  local S_PID=$!
+  "$NODE" --role client0 $SARGS > "$POUT/client0.json" 2>&1 &
+  local C0_PID=$!
+  "$NODE" --role client1 $SARGS > "$POUT/client1.json" 2>&1 &
+  local C1_PID=$!
+  "$NODE" --role driver $SARGS > "$POUT/driver.json" 2>&1 &
+  local D_PID=$!
+  local PID FAILED=0
+  for PID in "$S_PID" "$C0_PID" "$C1_PID" "$D_PID"; do
+    wait "$PID" || FAILED=1
+  done
+  if [ "$FAILED" -ne 0 ]; then
+    echo "FAIL: a sampled gtv-node process exited nonzero"
+    cat "$POUT"/*.json
+    exit 1
+  fi
+  T1=$(date +%s%N)
+  local WALL_MS=$(( (T1 - T0) / 1000000 ))
+
+  local ROLE
+  for ROLE in server client0 client1 driver; do
+    [ -s "$POUT/$ROLE.folded" ] \
+      || { echo "FAIL: $ROLE wrote no folded profile"; exit 1; }
+  done
+
+  # 3. gtv-flame over the four profiles: merged folded text, summary JSON,
+  #    the SVG, and a self-diff that must cancel to zero stacks.
+  local FOLDED="$POUT/server.folded $POUT/client0.folded $POUT/client1.folded $POUT/driver.folded"
+  "$FLAME" $FOLDED --out "$POUT/merged.folded" --svg "$POUT/flame.svg" \
+    || { echo "FAIL: gtv-flame could not merge the folded profiles"; exit 1; }
+  "$FLAME" $FOLDED --json > "$POUT/flame.json" \
+    || { echo "FAIL: gtv-flame --json failed"; exit 1; }
+  "$FLAME" $FOLDED --base "$POUT/server.folded,$POUT/client0.folded,$POUT/client1.folded,$POUT/driver.folded" \
+    --out - > "$POUT/selfdiff.folded" \
+    || { echo "FAIL: gtv-flame --base failed"; exit 1; }
+  grep -q "<svg" "$POUT/flame.svg" \
+    || { echo "FAIL: flame.svg is not an SVG"; exit 1; }
+
+  # 4. Assertions + baseline emission.
+  python3 - "$POUT" "$WALL_MS" <<'EOF'
+import json, sys
+out, wall_ms = sys.argv[1], int(sys.argv[2])
+
+# Sampling is a pure observer: bit-identical losses and model.
+off = json.load(open(f"{out}/inproc_off.json"))
+on = json.load(open(f"{out}/inproc_on.json"))
+assert off["rounds"] == on["rounds"], "sampler changed the loss trajectory"
+assert off["model_hash"] == on["model_hash"], "sampler changed the model"
+assert on["sampler"]["cpu_samples"] > 0, f"sampler-on run took no samples: {on['sampler']}"
+
+# CPU overhead within the 3% budget.
+timing = json.load(open(f"{out}/overhead.json"))
+base_s, on_s = timing["base_cpu_s"], timing["sampler_cpu_s"]
+overhead = (on_s - base_s) / base_s if base_s > 0 else 0.0
+assert overhead < 0.03, \
+    f"sampler overhead {overhead:.1%} >= 3% CPU ({base_s}s -> {on_s}s)"
+
+# The TCP run must match the in-proc trajectory (same float tolerance as
+# the transport stage) — sampling must not perturb the distributed path.
+driver = json.load(open(f"{out}/driver.json"))
+for r, (d, i) in enumerate(zip(driver["rounds"], off["rounds"])):
+    for field in ("d_loss", "g_loss", "gp", "wasserstein"):
+        assert abs(d[field] - i[field]) <= 1e-5, \
+            f"sampled tcp round {r} {field}: {d[field]} vs {i[field]}"
+
+# Merged-profile gates: volume, symbolization, both sample states, the hot
+# kernel on-CPU and a blocked-in-recv stack off-CPU, all four parties.
+flame = json.load(open(f"{out}/flame.json"))
+assert flame["total_samples"] >= 100, f"only {flame['total_samples']} samples"
+assert flame["resolved_frac"] >= 0.80, \
+    f"only {flame['resolved_frac']:.1%} of frames symbolized"
+assert set(flame["parties"]) == {"server", "client0", "client1", "driver"}, \
+    flame["parties"]
+assert flame["cpu_samples"] > 0 and flame["offcpu_samples"] > 0, flame
+
+gemm_cpu = blocked_recv = False
+for line in open(f"{out}/merged.folded"):
+    if line.startswith("#"):
+        continue
+    if ";cpu;" in line and "gemm" in line:
+        gemm_cpu = True
+    if ";offcpu;" in line and any(w in line for w in ("read", "recv", "poll", "wait")):
+        blocked_recv = True
+assert gemm_cpu, "no on-CPU gemm frame in the merged profile"
+assert blocked_recv, "no off-CPU blocked-in-recv/poll/wait stack"
+
+# Diffing a profile against itself cancels every stack.
+for line in open(f"{out}/selfdiff.folded"):
+    assert line.startswith("#"), f"self-diff left a residual stack: {line}"
+
+samples_per_sec = flame["total_samples"] / (wall_ms / 1000.0) if wall_ms else 0.0
+baseline = {
+    "schema_version": 1,
+    "total_samples": flame["total_samples"],
+    "cpu_samples": flame["cpu_samples"],
+    "offcpu_samples": flame["offcpu_samples"],
+    "samples_per_sec": round(samples_per_sec, 1),
+    "resolved_frac": round(flame["resolved_frac"], 4),
+    "unique_stacks": flame["unique_stacks"],
+    "dropped": flame["dropped"],
+    "base_cpu_s": base_s,
+    "sampler_cpu_s": on_s,
+    "overhead_ratio": round(overhead, 4),
+}
+with open("BENCH_sampler_smoke.json", "w") as f:
+    json.dump(baseline, f, indent=1)
+    f.write("\n")
+print(f"sampler smoke OK: {flame['total_samples']} samples "
+      f"({flame['cpu_samples']} cpu / {flame['offcpu_samples']} offcpu, "
+      f"{samples_per_sec:.0f}/s), {flame['resolved_frac']:.1%} symbolized, "
+      f"overhead {overhead:+.1%} CPU over {timing['pairs']} pairs")
+EOF
+
+  # 5. What moved vs the committed baseline (informational).
+  python3 scripts/bench_compare.py BENCH_sampler_smoke.json || true
+}
+
 if [ "$STAGE" = "all" ]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j
@@ -643,12 +821,13 @@ EOF
   run_kernels_stage
   run_liveobs_stage
   run_blackbox_stage
+  run_sampler_stage
 fi
 
 if [ "$STAGE" != "all" ] && [ "$STAGE" != "health" ] && [ "$STAGE" != "transport" ] \
    && [ "$STAGE" != "kernels" ] && [ "$STAGE" != "liveobs" ] \
-   && [ "$STAGE" != "blackbox" ]; then
-  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health|transport|kernels|liveobs|blackbox)"
+   && [ "$STAGE" != "blackbox" ] && [ "$STAGE" != "sampler" ]; then
+  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health|transport|kernels|liveobs|blackbox|sampler)"
   exit 2
 fi
 
@@ -682,6 +861,17 @@ if [ "$STAGE" = "blackbox" ]; then
   ctest --test-dir "$BUILD_DIR" -R 'blackbox_test|json_util_test|transport_test' \
     --output-on-failure
   run_blackbox_stage
+  echo "check.sh: all green (stage $STAGE)"
+  exit 0
+fi
+
+# --- standalone sampler stage ------------------------------------------------
+if [ "$STAGE" = "sampler" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" -R 'sampler_test|transport_test|agg_test' \
+    --output-on-failure
+  run_sampler_stage
   echo "check.sh: all green (stage $STAGE)"
   exit 0
 fi

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "gan/losses.h"
+#include "obs/thread_name.h"
 
 namespace gtv::core {
 
@@ -79,6 +80,9 @@ std::string ServerNode::link_down(std::size_t client) const {
 }
 
 void ServerNode::run() {
+  // Role-named main thread: sampler folded stacks and blackbox thread dumps
+  // show "gtv-server" instead of the process image name.
+  obs::set_current_thread_name("gtv-server");
   const std::size_t n = config_.n_clients;
   if (status_ != nullptr) {
     status_->rounds_total.store(config_.rounds, std::memory_order_relaxed);
@@ -283,6 +287,7 @@ std::string ClientNode::link_down() const {
 }
 
 void ClientNode::run() {
+  obs::set_current_thread_name(("gtv-client" + std::to_string(id_)).c_str());
   if (status_ != nullptr) {
     status_->rounds_total.store(config_.rounds, std::memory_order_relaxed);
     status_->set_phase(obs::agg::Phase::kSetup);
@@ -387,6 +392,7 @@ void DriverNode::broadcast(NodeCommand code, std::size_t arg, bool include_serve
 }
 
 std::vector<gan::RoundLosses> DriverNode::run() {
+  obs::set_current_thread_name("gtv-driver");
   const std::size_t batch = std::min(config_.options.gan.batch_size, config_.train_rows);
   if (status_ != nullptr) {
     status_->rounds_total.store(config_.rounds, std::memory_order_relaxed);

@@ -14,6 +14,7 @@
 #include "obs/blackbox.h"
 #include <utility>
 
+#include "obs/thread_name.h"
 #include "obs/trace.h"
 
 namespace gtv::net {
@@ -79,6 +80,31 @@ bool read_full(int fd, std::uint8_t* buf, std::size_t n, int timeout_ms) {
     got += static_cast<std::size_t>(r);
   }
   return true;
+}
+
+// Completes a connect() that was interrupted by a signal. POSIX: after
+// EINTR the connection attempt continues asynchronously, and the socket is
+// *already* committed — dialing again on a fresh fd would burn an attempt
+// for nothing. Wait for writability, then read the final status from
+// SO_ERROR.
+bool finish_connect(int fd, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count());
+    pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms > 0 ? wait_ms : 1);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return false;
+    break;
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return false;
+  return err == 0;
 }
 
 bool write_full(int fd, const std::uint8_t* buf, std::size_t n) {
@@ -212,10 +238,15 @@ std::uint16_t TcpTransport::listen(std::uint16_t port) {
 }
 
 void TcpTransport::accept_loop() {
+  obs::set_current_thread_name("gtv-tcp-accept");
   while (!stopping_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
+    // poll() is never auto-restarted, even under SA_RESTART; an EINTR from
+    // the sampling signals just re-enters the bounded wait.
     const int rc = ::poll(&pfd, 1, 200);
     if (rc <= 0) continue;
+    // EINTR/ECONNABORTED on accept are routine under signal load; every
+    // error path re-polls rather than tearing the listener down.
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     try {
@@ -251,8 +282,11 @@ void TcpTransport::connect_peer(const std::string& peer, const std::string& host
       throw TransportError("tcp: bad host " + host);
     }
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      ::close(fd);
-      continue;
+      const bool interrupted = errno == EINTR || errno == EINPROGRESS;
+      if (!interrupted || !finish_connect(fd, options_.handshake_timeout_ms)) {
+        ::close(fd);
+        continue;
+      }
     }
     try {
       send_hello(fd, self_);
@@ -406,6 +440,7 @@ void TcpTransport::add_conn(int fd, const std::string& peer) {
 }
 
 void TcpTransport::reader_loop(Conn* conn) {
+  obs::set_current_thread_name(("gtv-rd-" + conn->peer).c_str());
   while (!stopping_.load() && !conn->closed.load()) {
     std::vector<std::uint8_t> bytes;
     try {

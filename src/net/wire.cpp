@@ -251,6 +251,10 @@ std::vector<std::uint8_t> TrafficMeter::roundtrip(const std::string& link,
 }
 
 std::vector<std::uint8_t> TrafficMeter::recv_with_retry(const std::string& link) {
+  // EINTR never reaches this layer: every raw send/recv/accept/connect
+  // syscall lives in tcp.cpp, whose loops restart on EINTR (sampling
+  // signals fire at --sample-hz rates), so a Transport exception here is a
+  // genuine timeout/corruption, never an interrupted syscall in disguise.
   Transport& t = transport();
   for (int attempt = 1;; ++attempt) {
     try {

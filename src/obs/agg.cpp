@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/thread_name.h"
 #include "obs/trace.h"
 
 namespace gtv::obs::agg {
@@ -169,6 +170,7 @@ bool SnapshotPublisher::publish_once(std::uint64_t seq) {
 }
 
 void SnapshotPublisher::run() {
+  set_current_thread_name("gtv-snap-pub");
   int backoff_ms = options_.reconnect_backoff_ms;
   std::uint64_t seq = 0;
   auto wait_ms = [this](int ms) {
@@ -224,6 +226,7 @@ void Collector::stop() {
 }
 
 void Collector::ingest_loop() {
+  set_current_thread_name("gtv-agg-ingest");
   while (!stopping_.load()) {
     bool drained_any = false;
     for (const std::string& peer : transport_->peers()) {
@@ -443,6 +446,7 @@ std::uint16_t Collector::serve_http(std::uint16_t port) {
 }
 
 void Collector::http_loop() {
+  set_current_thread_name("gtv-agg-http");
   while (!stopping_.load()) {
     pollfd pfd{http_fd_, POLLIN, 0};
     const int rc = ::poll(&pfd, 1, 200);
@@ -470,6 +474,7 @@ void Collector::handle_http_client(int fd) {
     if (::poll(&pfd, 1, std::max(wait_ms, 1)) <= 0) return;
     char buf[1024];
     const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0 && errno == EINTR) continue;  // sampler signal; re-poll
     if (r <= 0) return;
     request.append(buf, static_cast<std::size_t>(r));
   }

@@ -21,6 +21,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/thread_name.h"
 #include "obs/trace.h"
 
 #if defined(__GLIBC__) && __has_include(<execinfo.h>)
@@ -684,6 +685,7 @@ void StallWatchdog::stop() {
 }
 
 void StallWatchdog::run() {
+  set_current_thread_name("gtv-watchdog");
   auto progress = [this]() -> std::uint64_t {
     // Round/phase are the real signal (a stuck recv loop keeps appending
     // retry records, which must not mask the stall); fall back to the

@@ -8,6 +8,7 @@
 #include "obs/health.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace gtv::obs::agg {
@@ -18,6 +19,7 @@ namespace {
 // before the exact-size check can reject the frame.
 constexpr std::size_t kMaxStringBytes = 16u << 20;
 constexpr std::size_t kMaxLinks = 1u << 16;
+constexpr std::size_t kMaxHotFrames = 64;
 
 void append_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -123,6 +125,10 @@ std::vector<std::uint8_t> serialize_snapshot(const Snapshot& snap) {
     throw net::WireError("snapshot: too many links (" +
                          std::to_string(snap.links.size()) + ")");
   }
+  if (snap.hot.size() > kMaxHotFrames) {
+    throw net::WireError("snapshot: too many hot frames (" +
+                         std::to_string(snap.hot.size()) + ")");
+  }
   std::vector<std::uint8_t> out;
   out.reserve(128 + snap.party.size() + snap.prom.size() + snap.links.size() * 32);
   append_u32_le(out, kSnapshotSchemaVersion);
@@ -151,6 +157,13 @@ std::vector<std::uint8_t> serialize_snapshot(const Snapshot& snap) {
     append_str(out, lt.link);
     append_u64_le(out, lt.bytes);
     append_u64_le(out, lt.messages);
+  }
+  append_u64_le(out, snap.samples_total);
+  append_u32_le(out, static_cast<std::uint32_t>(snap.hot.size()));
+  for (const HotFrame& hf : snap.hot) {
+    append_str(out, hf.frame);
+    append_u64_le(out, hf.samples);
+    append_u32_le(out, hf.on_cpu);
   }
   append_str(out, snap.prom);
   return out;
@@ -197,6 +210,20 @@ Snapshot deserialize_snapshot(const std::vector<std::uint8_t>& bytes) {
     lt.messages = r.u64();
     snap.links.push_back(std::move(lt));
   }
+  snap.samples_total = r.u64();
+  const std::uint32_t n_hot = r.u32();
+  if (n_hot > kMaxHotFrames) {
+    throw net::WireError("snapshot: hot frame count " + std::to_string(n_hot) +
+                         " exceeds cap");
+  }
+  snap.hot.reserve(n_hot);
+  for (std::uint32_t i = 0; i < n_hot; ++i) {
+    HotFrame hf;
+    hf.frame = r.str();
+    hf.samples = r.u64();
+    hf.on_cpu = r.u32();
+    snap.hot.push_back(std::move(hf));
+  }
   snap.prom = r.str();
   r.expect_end();
   return snap;
@@ -221,6 +248,13 @@ std::string Snapshot::to_json() const {
     os << "{\"link\":\"" << json_escape(links[i].link)
        << "\",\"bytes\":" << links[i].bytes << ",\"messages\":" << links[i].messages
        << "}";
+  }
+  os << "],\"samples_total\":" << samples_total << ",\"hot\":[";
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"frame\":\"" << json_escape(hot[i].frame)
+       << "\",\"samples\":" << hot[i].samples
+       << ",\"on_cpu\":" << (hot[i].on_cpu != 0 ? "true" : "false") << "}";
   }
   os << "],\"prom_bytes\":" << prom.size() << "}";
   return os.str();
@@ -279,6 +313,19 @@ Snapshot collect_snapshot(const std::string& party, const LiveStatus* status) {
   snap.alerts_info = health.count(Severity::kInfo);
   snap.alerts_warn = health.count(Severity::kWarn);
   snap.alerts_fatal = health.count(Severity::kFatal);
+
+  // Hot stacks from the sampling profiler, when --sample-hz armed it.
+  if (const sampler::Sampler* prof = sampler::Sampler::get()) {
+    const sampler::SamplerStats st = prof->stats();
+    snap.samples_total = st.cpu_samples + st.offcpu_samples;
+    for (const sampler::HotEntry& e : prof->top_hot(16)) {
+      HotFrame hf;
+      hf.frame = e.frame;
+      hf.samples = e.samples;
+      hf.on_cpu = e.on_cpu ? 1 : 0;
+      snap.hot.push_back(std::move(hf));
+    }
+  }
 
   snap.prom = registry.to_prometheus();
   return snap;

@@ -78,7 +78,17 @@ struct LinkTraffic {
   std::uint64_t messages = 0;
 };
 
-inline constexpr std::uint32_t kSnapshotSchemaVersion = 1;
+// One of the party's hottest functions, as folded by the sampling profiler
+// (obs/sampler.h). `frame` is the demangled leaf symbol; `on_cpu` false means
+// the samples were off-CPU (thread blocked in recv/condvar).
+struct HotFrame {
+  std::string frame;
+  std::uint64_t samples = 0;
+  std::uint32_t on_cpu = 1;
+};
+
+// v2: appended sampling-profiler block (samples_total + hot frames).
+inline constexpr std::uint32_t kSnapshotSchemaVersion = 2;
 
 // One telemetry frame. All totals are cumulative since process start; the
 // Collector differences consecutive snapshots when it wants rates.
@@ -104,6 +114,10 @@ struct Snapshot {
   std::uint64_t alerts_warn = 0;
   std::uint64_t alerts_fatal = 0;
   std::vector<LinkTraffic> links;
+  // Sampling-profiler block (empty / zero when --sample-hz is off): total
+  // drained samples and the top-k hottest leaf functions by sample count.
+  std::uint64_t samples_total = 0;
+  std::vector<HotFrame> hot;
   // Full MetricsRegistry::to_prometheus() text; the Collector re-labels it
   // with party="..." for the scrape endpoint.
   std::string prom;

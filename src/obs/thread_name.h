@@ -1,0 +1,33 @@
+#pragma once
+
+// Thread naming helper. Every thread the project spawns calls
+// set_current_thread_name() first thing so that
+//   * sampler profiles fold per-role stacks under a readable name,
+//   * blackbox all-thread stack dumps attribute frames to roles,
+//   * /proc/<pid>/task/<tid>/comm and gdb `info threads` are legible.
+//
+// Linux caps thread names at 15 chars + NUL; longer names are truncated
+// rather than rejected so call sites can pass descriptive strings.
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace gtv::obs {
+
+inline constexpr int kMaxThreadNameLen = 15;  // Linux TASK_COMM_LEN - 1
+
+inline void set_current_thread_name(const char* name) {
+#if defined(__linux__)
+  char buf[kMaxThreadNameLen + 1];
+  std::strncpy(buf, name, kMaxThreadNameLen);
+  buf[kMaxThreadNameLen] = '\0';
+  pthread_setname_np(pthread_self(), buf);
+#else
+  (void)name;
+#endif
+}
+
+}  // namespace gtv::obs

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/thread_name.h"
 #include "obs/trace.h"
 
 namespace gtv {
@@ -96,6 +97,7 @@ struct ThreadPool::Impl {
   }
 
   void worker_loop(std::size_t slot) {
+    obs::set_current_thread_name(("gtv-pool-" + std::to_string(slot)).c_str());
     for (;;) {
       std::shared_ptr<Job> local;
       {

@@ -48,6 +48,9 @@ Snapshot sample_snapshot() {
   snap.alerts_fatal = 0;
   snap.links.push_back({"client0->server", 900, 300});
   snap.links.push_back({"driver->client0", 100, 21});
+  snap.samples_total = 1234;
+  snap.hot.push_back({"gtv::detail::gemm_nn", 600, 1});
+  snap.hot.push_back({"read", 77, 0});
   snap.prom = "# TYPE x counter\nx 1\n";
   return snap;
 }
@@ -82,6 +85,13 @@ TEST(SnapshotCodecTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.links[0].bytes, 900u);
   EXPECT_EQ(back.links[0].messages, 300u);
   EXPECT_EQ(back.links[1].link, "driver->client0");
+  EXPECT_EQ(back.samples_total, snap.samples_total);
+  ASSERT_EQ(back.hot.size(), 2u);
+  EXPECT_EQ(back.hot[0].frame, "gtv::detail::gemm_nn");
+  EXPECT_EQ(back.hot[0].samples, 600u);
+  EXPECT_EQ(back.hot[0].on_cpu, 1u);
+  EXPECT_EQ(back.hot[1].frame, "read");
+  EXPECT_EQ(back.hot[1].on_cpu, 0u);
   EXPECT_EQ(back.prom, snap.prom);
 }
 
@@ -111,6 +121,11 @@ TEST(SnapshotCodecTest, ToJsonParsesAndOmitsProm) {
   EXPECT_NEAR(doc.num_or("d_loss", 0), -1.25, 1e-6);
   EXPECT_FALSE(doc.has("prom"));
   EXPECT_EQ(doc.num_or("prom_bytes", 0), static_cast<double>(snap.prom.size()));
+  // Profiler block: total plus the hot-frame list, states preserved.
+  EXPECT_EQ(doc.num_or("samples_total", 0), 1234);
+  EXPECT_NE(snap.to_json().find("\"frame\":\"gtv::detail::gemm_nn\""),
+            std::string::npos);
+  EXPECT_NE(snap.to_json().find("\"on_cpu\":false"), std::string::npos);
 }
 
 // --- Prometheus re-labeling ------------------------------------------------

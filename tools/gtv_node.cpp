@@ -44,7 +44,9 @@
 #include "obs/agg.h"
 #include "obs/blackbox.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/snapshot.h"
+#include "obs/thread_name.h"
 #include "obs/trace.h"
 
 namespace {
@@ -82,6 +84,11 @@ struct Args {
   // SIGKILL'd peer before giving up.
   int recv_timeout_ms = 5000;
   int max_attempts = 24;
+  // Statistical sampling profiler (obs::sampler). When >0, every role arms
+  // SIGPROF at this rate, writes <dir>/<role>.folded at exit, and embeds its
+  // top-k hot stacks in telemetry snapshots.
+  int sample_hz = 0;
+  std::string profile_dir = ".";
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -95,6 +102,7 @@ struct Args {
                "  [--metrics-port P] [--offsets-out FILE] [--linger-ms N]  (driver)\n"
                "  [--blackbox-dir DIR] [--blackbox-size BYTES] [--blackbox-stall-ms N]\n"
                "  [--recv-timeout-ms N] [--max-attempts N]\n"
+               "  [--sample-hz HZ] [--profile-dir DIR]\n"
                "  [--chaos-drop p] [--chaos-dup p] [--chaos-corrupt p]\n"
                "  [--chaos-latency-us N] [--chaos-seed S]   (inproc only)\n");
   std::exit(2);
@@ -152,6 +160,10 @@ Args parse_args(int argc, char** argv) {
       args.recv_timeout_ms = std::atoi(value(i));
     } else if (flag == "--max-attempts") {
       args.max_attempts = std::atoi(value(i));
+    } else if (flag == "--sample-hz") {
+      args.sample_hz = std::atoi(value(i));
+    } else if (flag == "--profile-dir") {
+      args.profile_dir = value(i);
     } else if (flag == "--chaos-drop") {
       args.chaos.drop_prob = std::atof(value(i));
       args.chaos_enabled = true;
@@ -306,6 +318,48 @@ obs::bb::StallWatchdogOptions watchdog_options(const Args& args) {
   return options;
 }
 
+// --sample-hz plumbing. The sampler is process-global; each role arms it
+// right before its main loop and writes <profile-dir>/<role>.folded on the
+// way out. Phase ids in LiveStatus are agg::Phase values, so sample tags
+// reuse the same names the telemetry plane shows.
+const char* sampler_phase_name(std::uint32_t phase) {
+  return obs::agg::to_string(static_cast<obs::agg::Phase>(phase));
+}
+
+obs::sampler::Sampler* start_sampler(const Args& args,
+                                     const obs::agg::LiveStatus* status) {
+  if (args.sample_hz <= 0) return nullptr;
+  obs::sampler::SamplerOptions options;
+  options.cpu_hz = args.sample_hz;
+  options.phase_name = sampler_phase_name;
+  return obs::sampler::Sampler::start_global(
+      options, status != nullptr ? &status->round : nullptr,
+      status != nullptr ? &status->phase : nullptr);
+}
+
+// Disarms the sampler and writes the folded profile. Must run before the
+// LiveStatus the sampler tags from goes out of scope.
+void finish_sampler(obs::sampler::Sampler* prof, const Args& args,
+                    const std::string& role) {
+  if (prof == nullptr) return;
+  prof->stop();
+  const std::string dir = args.profile_dir.empty() ? "." : args.profile_dir;
+  prof->write_folded(dir + "/" + role + ".folded", role);
+}
+
+void print_sampler(const obs::sampler::Sampler* prof) {
+  if (prof == nullptr) return;
+  const obs::sampler::SamplerStats st = prof->stats();
+  std::printf(
+      ",\n  \"sampler\": {\"cpu_samples\": %llu, \"offcpu_samples\": %llu, "
+      "\"wall_sweeps\": %llu, \"dropped\": %llu, \"threads\": %llu}",
+      static_cast<unsigned long long>(st.cpu_samples),
+      static_cast<unsigned long long>(st.offcpu_samples),
+      static_cast<unsigned long long>(st.wall_sweeps),
+      static_cast<unsigned long long>(st.dropped),
+      static_cast<unsigned long long>(st.threads_seen));
+}
+
 void graceful_signal_handler(int sig) {
   // Last word into the ring first (async-signal-safe), then std::exit so
   // the atexit hooks flush traces and GTV_METRICS_DUMP. std::exit from a
@@ -360,12 +414,15 @@ int run_inproc(const Args& args, const Shared& shared) {
                                                   args.chaos);
     trainer.traffic().set_transport(chaos);
   }
-  // No LiveStatus in the classic loop; feed the recorder per-round instead.
+  // No LiveStatus in the classic loop; samples carry round 0 / phase "idle"
+  // tags but still attribute CPU to the hot kernels.
+  obs::sampler::Sampler* prof = start_sampler(args, nullptr);
   trainer.train(args.rounds, [](std::size_t round, const gan::RoundLosses& losses) {
     obs::bb::note_loss(round, losses.d_loss, losses.g_loss, losses.gp,
                        losses.wasserstein);
   });
   const std::uint64_t model_hash = hash_table(trainer.sample(64));
+  finish_sampler(prof, args, "inproc");
 
   std::printf("{\n  \"role\": \"inproc\",\n  \"transport\": \"%s\",\n",
               args.chaos_enabled ? "chaos+inproc" : "inproc");
@@ -386,6 +443,7 @@ int run_inproc(const Args& args, const Shared& shared) {
         static_cast<unsigned long long>(stats.delays),
         static_cast<unsigned long long>(chaos->schedule_digest()));
   }
+  print_sampler(prof);
   std::printf("\n}\n");
   return 0;
 }
@@ -402,12 +460,15 @@ int run_server(const Args& args, Shared shared) {
   obs::bb::StallWatchdog watchdog(&status.round, &status.phase, watchdog_options(args));
   if (!args.blackbox_dir.empty()) watchdog.start();
   auto publisher = start_publisher(args, "server", &status);
+  obs::sampler::Sampler* prof = start_sampler(args, &status);
   node.run();
   if (publisher) publisher->stop();
   watchdog.stop();
+  finish_sampler(prof, args, "server");
   std::printf("{\n  \"role\": \"server\",\n  \"transport\": \"tcp\",\n");
   print_traffic(node.traffic());
   if (publisher) print_publisher(*publisher);
+  print_sampler(prof);
   std::printf("\n}\n");
   return 0;
 }
@@ -428,12 +489,15 @@ int run_client(const Args& args, Shared shared, std::size_t id) {
   obs::bb::StallWatchdog watchdog(&status.round, &status.phase, watchdog_options(args));
   if (!args.blackbox_dir.empty()) watchdog.start();
   auto publisher = start_publisher(args, name, &status);
+  obs::sampler::Sampler* prof = start_sampler(args, &status);
   node.run();
   if (publisher) publisher->stop();
   watchdog.stop();
+  finish_sampler(prof, args, name);
   std::printf("{\n  \"role\": \"%s\",\n  \"transport\": \"tcp\",\n", name.c_str());
   print_traffic(node.traffic());
   if (publisher) print_publisher(*publisher);
+  print_sampler(prof);
   std::printf("\n}\n");
   return 0;
 }
@@ -509,6 +573,7 @@ int run_driver(const Args& args, const Shared& shared) {
   obs::bb::StallWatchdog watchdog(&status.round, &status.phase, watchdog_options(args));
   if (!args.blackbox_dir.empty()) watchdog.start();
   auto publisher = start_publisher(args, "driver", &status, "127.0.0.1");
+  obs::sampler::Sampler* prof = start_sampler(args, &status);
 
   // A SIGKILL'd party makes node.run() throw, so the end-of-run offsets
   // write below never happens — on exactly the runs gtv-postmortem needs
@@ -526,6 +591,7 @@ int run_driver(const Args& args, const Shared& shared) {
   } offsets_join{&offsets_stop, &offsets_thread};
   if (collector && !args.offsets_out.empty()) {
     offsets_thread = std::thread([&collector, &offsets_stop, &args] {
+      obs::set_current_thread_name("gtv-offsets");
       const std::size_t expected = args.clients + 2;
       while (!offsets_stop.load()) {
         std::size_t clocked = 0;
@@ -542,6 +608,7 @@ int run_driver(const Args& args, const Shared& shared) {
   const auto history = node.run();
   if (publisher) publisher->stop();
   watchdog.stop();
+  finish_sampler(prof, args, "driver");
 
   if (collector) {
     // Parties flush a final snapshot on their way out; give the plane a
@@ -566,6 +633,7 @@ int run_driver(const Args& args, const Shared& shared) {
   print_traffic(node.traffic());
   if (publisher) print_publisher(*publisher);
   if (collector) print_collector(*collector, args.clients + 2);
+  print_sampler(prof);
   std::printf("\n}\n");
   return 0;
 }

@@ -104,6 +104,7 @@ std::string http_get(const std::string& host, int port, const std::string& path)
   std::size_t sent = 0;
   while (sent < request.size()) {
     const ssize_t w = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (w < 0 && errno == EINTR) continue;  // profiler signal; retry the send
     if (w <= 0) {
       ::close(fd);
       return {};
@@ -171,10 +172,11 @@ std::string render(const gtv::obs::json::Value& status) {
       << "s  snapshot latency p50/p99: " << collector.num_or("snapshot_latency_p50_ms", 0)
       << "/" << collector.num_or("snapshot_latency_p99_ms", 0) << " ms  bad frames: "
       << collector.num_or("bad_frames", 0) << "\n\n";
-  char line[256];
-  std::snprintf(line, sizeof(line), "%-10s %-6s %-10s %-10s %10s %10s %9s %7s %7s %8s %10s %8s\n",
+  char line[320];
+  std::snprintf(line, sizeof(line),
+                "%-10s %-6s %-10s %-10s %10s %10s %9s %7s %7s %8s %10s %8s  %s\n",
                 "PARTY", "STATE", "ROUND", "PHASE", "D_LOSS", "G_LOSS", "BYTES",
-                "MSGS", "RETRY", "ALERTS", "OFFSET_US", "AGE_MS");
+                "MSGS", "RETRY", "ALERTS", "OFFSET_US", "AGE_MS", "HOT");
   out << line;
   for (const auto& party : status.at("parties").array) {
     const auto& snap = party.at("snapshot");
@@ -194,15 +196,32 @@ std::string render(const gtv::obs::json::Value& status) {
     } else {
       std::snprintf(offset, sizeof(offset), "n/a");
     }
+    // Hottest sampled function for the party (--sample-hz runs only): the
+    // snapshot's hot list arrives pre-sorted, entry 0 is the top leaf.
+    std::string hot = "-";
+    if (snap.has("hot") && !snap.at("hot").array.empty()) {
+      const auto& top = snap.at("hot").array[0];
+      hot = top.str_or("frame", "?");
+      if (hot.size() > 36) hot = hot.substr(0, 34) + "..";
+      const bool on_cpu = top.has("on_cpu") && top.at("on_cpu").boolean;
+      hot += on_cpu ? "" : " [blocked]";
+      const double total = snap.num_or("samples_total", 0);
+      if (total > 0) {
+        char pct[16];
+        std::snprintf(pct, sizeof(pct), " %.0f%%",
+                      100.0 * top.num_or("samples", 0) / total);
+        hot += pct;
+      }
+    }
     std::snprintf(line, sizeof(line),
-                  "%-10s %-6s %-10s %-10s %10.4f %10.4f %9s %7ld %7ld %8s %10s %8.0f\n",
+                  "%-10s %-6s %-10s %-10s %10.4f %10.4f %9s %7ld %7ld %8s %10s %8.0f  %s\n",
                   party.str_or("party", "?").c_str(), stale ? "STALE" : "live",
                   round.c_str(), snap.str_or("phase", "?").c_str(),
                   snap.num_or("d_loss", 0), snap.num_or("g_loss", 0),
                   human_bytes(snap.num_or("bytes", 0)).c_str(),
                   static_cast<long>(snap.num_or("messages", 0)),
                   static_cast<long>(snap.num_or("retries", 0)), alert_str.c_str(),
-                  offset, party.num_or("age_ms", 0));
+                  offset, party.num_or("age_ms", 0), hot.c_str());
     out << line;
   }
   // Loss curve from whichever party carries the driver's merged view.
