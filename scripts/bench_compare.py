@@ -3,7 +3,8 @@
 
 The check.sh stages regenerate BENCH_transport_smoke.json,
 BENCH_kernels.json, BENCH_health_smoke.json, BENCH_liveobs_smoke.json,
-BENCH_blackbox_smoke.json and BENCH_sampler_smoke.json in the working tree.
+BENCH_blackbox_smoke.json, BENCH_sampler_smoke.json and BENCH_serve.json
+in the working tree.
 This tool answers "what moved?" by comparing every
 numeric field against a baseline copy:
 
@@ -28,7 +29,8 @@ import sys
 # Metrics where bigger is better; everything else numeric is treated as
 # smaller-is-better for gating purposes.
 BIGGER_IS_BETTER = re.compile(
-    r"(gflops|speedup|coverage|rounds|records_per_sec|samples_per_sec|resolved_frac)$")
+    r"(gflops|speedup(_\d+_vs_\d+)?|coverage|rounds|records_per_sec"
+    r"|rows_per_sec|samples_per_sec|resolved_frac)$")
 
 
 def flatten(doc, prefix=""):

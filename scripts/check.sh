@@ -57,6 +57,15 @@
 #          parties; the diff of a profile against itself must cancel to zero
 #          stacks. Emits BENCH_sampler_smoke.json (samples/sec, overhead
 #          ratio, resolved fraction).
+#   serve  incremental build + serve/serialize tests, then the serving
+#          smoke: gtv-node --checkpoint-out writes a versioned container,
+#          gtv-serve serves it over TCP with /metrics + the flight recorder
+#          armed, two fresh connections with the same seed must hash
+#          byte-identical, the scrape must show the serve party live with
+#          request counters, SIGTERM must drain gracefully with a clean
+#          black-box shutdown record, and bench/serve must show 64
+#          concurrent clients >=3x one client through batching. Emits
+#          BENCH_serve.json (rows/sec + latency percentiles per level).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -753,6 +762,156 @@ EOF
   python3 scripts/bench_compare.py BENCH_sampler_smoke.json || true
 }
 
+# --- serving smoke (stages: all, serve) --------------------------------------
+# Trains a tiny checkpoint, serves it with gtv-serve over real TCP, and
+# asserts the whole serving contract: model identity end to end, seeded
+# determinism across fresh connections, live /metrics counters, a graceful
+# SIGTERM drain with a clean black-box record, and the 1/8/64-client
+# batching bench.
+run_serve_stage() {
+  local VOUT="$SMOKE_OUT/serve"
+  mkdir -p "$VOUT"
+  local NODE="$BUILD_DIR/tools/gtv-node"
+  local SERVE="$BUILD_DIR/tools/gtv-serve"
+  local PM="$BUILD_DIR/tools/gtv-postmortem"
+  local ARGS="--clients 2 --rounds 2 --rows 96 --batch 32 --d-steps 2 --seed 7"
+  local PORT=47741 MPORT=47742
+  command -v python3 > /dev/null 2>&1 \
+    || { echo "FAIL: the serve stage needs python3"; exit 1; }
+
+  # 1. Train the checkpoint the daemon will serve.
+  "$NODE" --role inproc $ARGS --checkpoint-out "$VOUT/model.ckpt" \
+    > "$VOUT/train.json"
+  [ -s "$VOUT/model.ckpt" ] \
+    || { echo "FAIL: gtv-node wrote no checkpoint container"; exit 1; }
+
+  # 2. Daemon up: /metrics endpoint + flight recorder armed.
+  "$SERVE" --checkpoint "$VOUT/model.ckpt" --port "$PORT" \
+    --metrics-port "$MPORT" --blackbox-dir "$VOUT" \
+    > "$VOUT/daemon.json" 2> "$VOUT/daemon.log" &
+  local SERVE_PID=$!
+
+  # 3. Seeded determinism across fresh connections: two clients, same
+  #    seed, must hash byte-identical. (The first client retries while
+  #    the daemon finishes binding.)
+  local TRY OK=0
+  for TRY in $(seq 1 100); do
+    if "$SERVE" --connect "127.0.0.1:$PORT" --rows 200 --seed 42 --name c1 \
+      > "$VOUT/c1.json" 2> /dev/null; then
+      OK=1
+      break
+    fi
+    kill -0 "$SERVE_PID" 2> /dev/null \
+      || { echo "FAIL: gtv-serve died on startup"; cat "$VOUT/daemon.log"; exit 1; }
+    sleep 0.1
+  done
+  [ "$OK" -eq 1 ] \
+    || { echo "FAIL: could not reach gtv-serve"; cat "$VOUT/daemon.log"; exit 1; }
+  "$SERVE" --connect "127.0.0.1:$PORT" --rows 200 --seed 42 --name c2 \
+    > "$VOUT/c2.json"
+  # A CSV pull exercises the header + cell path end to end.
+  "$SERVE" --connect "127.0.0.1:$PORT" --rows 5 --seed 7 --name c3 --csv \
+    > "$VOUT/sample.csv"
+
+  # 4. The scrape endpoint must show the serving party live with its
+  #    request counters.
+  python3 - "$MPORT" "$VOUT" <<'EOF'
+import sys, time, urllib.request
+port, out = sys.argv[1], sys.argv[2]
+deadline = time.time() + 30
+metrics = ""
+while time.time() < deadline:
+    try:
+        metrics = urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=2).read().decode()
+    except OSError:
+        time.sleep(0.2)
+        continue
+    if 'party="serve"' in metrics and "serve_requests" in metrics:
+        break
+    time.sleep(0.2)
+assert 'party="serve"' in metrics, "scrape never showed the serve party"
+assert "serve_requests" in metrics, "scrape has no serve_requests counter"
+open(f"{out}/metrics.prom", "w").write(metrics)
+print("scrape OK: serve party live on /metrics with request counters")
+EOF
+
+  # 5. Graceful drain: SIGTERM, the daemon finishes admitted work and
+  #    prints its summary JSON on the way out.
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID" \
+    || { echo "FAIL: gtv-serve exited nonzero on drain"; cat "$VOUT/daemon.log"; exit 1; }
+
+  # 6. The black box must read back a clean exit.
+  "$PM" "$VOUT/serve.bbox" > "$VOUT/postmortem.txt" \
+    || { echo "FAIL: gtv-postmortem rejected the serve ring"; \
+         cat "$VOUT/postmortem.txt"; exit 1; }
+  grep -q "all parties shut down cleanly" "$VOUT/postmortem.txt" \
+    || { echo "FAIL: postmortem did not see a clean serve shutdown"; \
+         cat "$VOUT/postmortem.txt"; exit 1; }
+
+  # 7. The batching bench: 1/8/64 concurrent clients against a fresh
+  #    daemon; the binary exits nonzero if its determinism probe fails.
+  "$BUILD_DIR/bench/serve" > "$VOUT/bench.json" \
+    || { echo "FAIL: bench/serve determinism probe failed"; \
+         cat "$VOUT/bench.json"; exit 1; }
+
+  # 8. Assertions + baseline emission.
+  python3 - "$VOUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+
+train = json.load(open(f"{out}/train.json"))
+daemon = json.load(open(f"{out}/daemon.json"))
+c1 = json.load(open(f"{out}/c1.json"))
+c2 = json.load(open(f"{out}/c2.json"))
+
+# Model identity end to end: trainer -> container -> daemon -> client hello.
+assert train["model_hash"] == daemon["model_hash"] == c1["model_hash"], \
+    (train["model_hash"], daemon["model_hash"], c1["model_hash"])
+
+# Seeded determinism across fresh connections.
+assert c1["rows"] == c2["rows"] == 200, (c1["rows"], c2["rows"])
+assert c1["cells_hash"] == c2["cells_hash"], \
+    f"same seed, different cells: {c1['cells_hash']} vs {c2['cells_hash']}"
+
+# The daemon accounted for every request and saw no errors.
+assert daemon["requests"] >= 3, daemon
+assert daemon["rows"] >= 405, daemon
+assert daemon["errors"] == 0, daemon
+
+# CSV pull: every column labeled name:type, every row fully populated.
+header, *rows = open(f"{out}/sample.csv").read().splitlines()
+cols = header.split(",")
+assert all(":" in c for c in cols), f"unlabeled CSV column: {header}"
+assert len(cols) == c1["columns"], (len(cols), c1["columns"])
+assert len(rows) == 5 and all(len(r.split(",")) == len(cols) for r in rows), \
+    f"CSV shape wrong: {len(rows)} rows"
+
+# The bench gate: deterministic, and 64 concurrent clients must beat one
+# client by >=3x through batching alone (same daemon, same linger).
+bench = json.load(open(f"{out}/bench.json"))
+assert bench["schema_version"] == 1 and bench["deterministic"] is True, bench
+for level in bench["levels"]:
+    assert level["rows_per_sec"] > 0 and level["p99_ms"] > 0, level
+    assert level["avg_batch_rows"] > 0, level
+assert bench["speedup_64_vs_1"] >= 3.0, \
+    f"batching only bought {bench['speedup_64_vs_1']}x at 64 clients"
+
+# Persist the bench output verbatim as the committed baseline.
+open("BENCH_serve.json", "w").write(open(f"{out}/bench.json").read())
+levels = {l["clients"]: l for l in bench["levels"]}
+print(f"serve smoke OK: model {daemon['model_hash']} served "
+      f"{daemon['rows']} rows / {daemon['requests']} requests with 0 errors, "
+      f"deterministic across connections, "
+      f"{levels[1]['rows_per_sec']:.0f} -> {levels[64]['rows_per_sec']:.0f} rows/s "
+      f"({bench['speedup_64_vs_1']}x at 64 clients)")
+EOF
+
+  # 9. What moved vs the committed baseline (informational).
+  python3 scripts/bench_compare.py BENCH_serve.json || true
+}
+
 if [ "$STAGE" = "all" ]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j
@@ -822,12 +981,14 @@ EOF
   run_liveobs_stage
   run_blackbox_stage
   run_sampler_stage
+  run_serve_stage
 fi
 
 if [ "$STAGE" != "all" ] && [ "$STAGE" != "health" ] && [ "$STAGE" != "transport" ] \
    && [ "$STAGE" != "kernels" ] && [ "$STAGE" != "liveobs" ] \
-   && [ "$STAGE" != "blackbox" ] && [ "$STAGE" != "sampler" ]; then
-  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health|transport|kernels|liveobs|blackbox|sampler)"
+   && [ "$STAGE" != "blackbox" ] && [ "$STAGE" != "sampler" ] \
+   && [ "$STAGE" != "serve" ]; then
+  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health|transport|kernels|liveobs|blackbox|sampler|serve)"
   exit 2
 fi
 
@@ -872,6 +1033,17 @@ if [ "$STAGE" = "sampler" ]; then
   ctest --test-dir "$BUILD_DIR" -R 'sampler_test|transport_test|agg_test' \
     --output-on-failure
   run_sampler_stage
+  echo "check.sh: all green (stage $STAGE)"
+  exit 0
+fi
+
+# --- standalone serve stage ---------------------------------------------------
+if [ "$STAGE" = "serve" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" -R 'serve_test|serialize_test|transport_test' \
+    --output-on-failure
+  run_serve_stage
   echo "check.sh: all green (stage $STAGE)"
   exit 0
 fi

@@ -64,6 +64,8 @@ class GtvClient {
 
   // --- simulation / evaluation access (not part of the deployed protocol) ---
   nn::Module& discriminator_bottom() { return *d_bottom_; }
+  // Bottom generator module, exposed for checkpointing (serve::snapshot_net).
+  nn::Module& generator_bottom() { return *g_bottom_; }
   std::vector<ag::Var> discriminator_parameters() { return d_bottom_->parameters(); }
   Tensor encoded_rows(const std::vector<std::size_t>& idx) const;
   // Encoded synthetic rows produced by the most recent discriminator-phase

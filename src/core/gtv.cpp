@@ -46,6 +46,7 @@ struct PhaseHistograms {
 GtvTrainer::GtvTrainer(std::vector<data::Table> client_tables, GtvOptions options,
                        std::uint64_t seed)
     : options_(options),
+      seed_(seed),
       shuffle_stream_(options.shuffle_seed),
       publish_stream_(options.shuffle_seed ^ 0x9e3779b97f4a7c15ULL),
       dp_rng_(seed ^ 0xd9b0a5e5ULL),
@@ -593,6 +594,40 @@ std::vector<data::Table> GtvTrainer::sample_per_client(std::size_t rows) {
 
 data::Table GtvTrainer::sample(std::size_t rows) {
   return data::Table::concat_columns(sample_per_client(rows));
+}
+
+serve::Checkpoint GtvTrainer::make_checkpoint(std::uint64_t model_hash) {
+  serve::Checkpoint ckpt;
+  ckpt.model_hash = model_hash;
+  ckpt.seed = seed_;
+  ckpt.rounds = history_.size();
+  ckpt.noise_dim = options_.gan.noise_dim;
+  ckpt.gumbel_tau = options_.gan.gumbel_tau;
+
+  const auto& infos = server_->client_info();
+  std::size_t g_total = 0;
+  for (const auto& info : infos) g_total += info.g_slice_width;
+  const serve::NetArch top_arch{options_.gan.noise_dim + server_->total_cv_width(),
+                                options_.generator_hidden, options_.partition.g_top,
+                                g_total};
+  ckpt.g_top = serve::snapshot_net(top_arch, server_->generator_top());
+
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    GtvClient& client = *clients_[i];
+    serve::ClientPart part;
+    part.cv_width = client.cv_width();
+    part.g_slice_width = infos[i].g_slice_width;
+    const serve::NetArch arch{infos[i].g_slice_width, infos[i].g_slice_width,
+                              options_.partition.g_bottom, client.encoded_width()};
+    part.g_bottom = serve::snapshot_net(arch, client.generator_bottom());
+    part.encoder = client.encoder();
+    ckpt.clients.push_back(std::move(part));
+  }
+  return ckpt;
+}
+
+void GtvTrainer::save_checkpoint(const std::string& path, std::uint64_t model_hash) {
+  serve::save_checkpoint(make_checkpoint(model_hash), path);
 }
 
 ServerInferenceAttack::Evaluation GtvTrainer::attack_evaluation() const {

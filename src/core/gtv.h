@@ -35,6 +35,7 @@
 #include "net/wire.h"
 #include "obs/health.h"
 #include "obs/telemetry.h"
+#include "serve/checkpoint.h"
 
 namespace gtv::core {
 
@@ -72,6 +73,13 @@ class GtvTrainer {
   std::vector<data::Table> sample_per_client(std::size_t rows);
   // Horizontal concatenation of the published shards.
   data::Table sample(std::size_t rows);
+
+  // --- serving (gtv::serve) ----------------------------------------------------
+  // Snapshot of the full split generator stack (G^t + per-client G^b_i +
+  // fitted encoders) as a versioned container for gtv-serve. `model_hash`
+  // is the FNV-1a table hash stamped in gtv-node's report (0 = unstamped).
+  serve::Checkpoint make_checkpoint(std::uint64_t model_hash = 0);
+  void save_checkpoint(const std::string& path, std::uint64_t model_hash = 0);
 
   std::size_t n_clients() const { return clients_.size(); }
   GtvClient& client(std::size_t i) { return *clients_.at(i); }
@@ -135,6 +143,7 @@ class GtvTrainer {
   std::string link_down(std::size_t client) const;  // server -> client
 
   GtvOptions options_;
+  std::uint64_t seed_ = 0;  // construction seed, recorded in checkpoints
   std::vector<std::unique_ptr<GtvClient>> clients_;
   std::unique_ptr<GtvServer> server_;
   net::TrafficMeter meter_;

@@ -6,6 +6,7 @@
 
 #include "gan/losses.h"
 #include "obs/thread_name.h"
+#include "serve/engine.h"
 
 namespace gtv::core {
 
@@ -114,6 +115,19 @@ void ServerNode::run() {
           status_->round.fetch_add(1, std::memory_order_relaxed);
         }
         break;
+      case kCmdCheckpoint: {
+        serve::ServerPart part;
+        part.noise_dim = config_.options.gan.noise_dim;
+        part.gumbel_tau = config_.options.gan.gumbel_tau;
+        std::size_t g_total = 0;
+        for (const std::size_t w : g_widths_) g_total += w;
+        const serve::NetArch arch{
+            config_.options.gan.noise_dim + server_->total_cv_width(),
+            config_.options.generator_hidden, config_.options.partition.g_top, g_total};
+        part.g_top = serve::snapshot_net(arch, server_->generator_top());
+        meter_.send_payload("server->driver", serve::encode_server_part(part));
+        break;
+      }
       case kCmdFinish:
         if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kDone);
         meter_.send_indices("server->driver", {kCmdFinish});
@@ -270,7 +284,7 @@ void ServerNode::generator_step(std::size_t batch) {
 
 ClientNode::ClientNode(NodeConfig config, std::size_t id, data::Table local_table,
                        std::size_t g_width, std::size_t d_width)
-    : config_(std::move(config)), id_(id) {
+    : config_(std::move(config)), id_(id), g_width_(g_width) {
   config_.validate();
   if (id_ >= config_.n_clients) throw std::invalid_argument("ClientNode: id out of range");
   client_ = std::make_unique<GtvClient>(id_, std::move(local_table), config_.options,
@@ -313,6 +327,17 @@ void ClientNode::run() {
         if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kShuffle);
         client_->shuffle_local_data(static_cast<std::uint64_t>(cmd.at(1)));
         break;
+      case kCmdCheckpoint: {
+        serve::ClientPart part;
+        part.cv_width = client_->cv_width();
+        part.g_slice_width = g_width_;
+        const serve::NetArch arch{g_width_, g_width_, config_.options.partition.g_bottom,
+                                  client_->encoded_width()};
+        part.g_bottom = serve::snapshot_net(arch, client_->generator_bottom());
+        part.encoder = client_->encoder();
+        meter_.send_payload(ack_link, serve::encode_client_part(part));
+        break;
+      }
       case kCmdFinish:
         if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kDone);
         meter_.send_indices(ack_link, {kCmdFinish});
@@ -427,6 +452,7 @@ std::vector<gan::RoundLosses> DriverNode::run() {
     }
     history.push_back(losses);
   }
+  if (!checkpoint_out_.empty()) collect_checkpoint();
   broadcast(kCmdFinish, 0, /*include_server=*/true);
   meter_.recv_indices("server->driver");
   for (std::size_t i = 0; i < config_.n_clients; ++i) {
@@ -434,6 +460,28 @@ std::vector<gan::RoundLosses> DriverNode::run() {
   }
   if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kDone);
   return history;
+}
+
+void DriverNode::collect_checkpoint() {
+  broadcast(kCmdCheckpoint, 0, /*include_server=*/true);
+  serve::Checkpoint ckpt;
+  ckpt.seed = config_.seed;
+  ckpt.rounds = config_.rounds;
+  serve::ServerPart server_part =
+      serve::decode_server_part(meter_.recv_payload("server->driver"));
+  ckpt.noise_dim = server_part.noise_dim;
+  ckpt.gumbel_tau = server_part.gumbel_tau;
+  ckpt.g_top = std::move(server_part.g_top);
+  for (std::size_t i = 0; i < config_.n_clients; ++i) {
+    ckpt.clients.push_back(serve::decode_client_part(
+        meter_.recv_payload("client" + std::to_string(i) + "->driver")));
+  }
+  // Stamp the model identity before writing: the hash of a fixed-seed
+  // sample is a stable fingerprint of the assembled weights + encoders.
+  serve::Synthesizer synth(ckpt);
+  ckpt.model_hash = serve::hash_table(synth.sample(64, config_.seed));
+  checkpoint_hash_ = ckpt.model_hash;
+  serve::save_checkpoint(ckpt, checkpoint_out_);
 }
 
 }  // namespace gtv::core

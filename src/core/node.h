@@ -40,12 +40,15 @@ namespace gtv::core {
 // Step commands broadcast by the driver. Encoded as an index vector
 // {code, arg}: batch size for the step commands, the round's secret
 // shuffle seed for kShuffle (sent to clients only — the server must never
-// see it, same as in-process).
+// see it, same as in-process). kCmdCheckpoint asks every party to encode
+// its serve::Checkpoint part and ship it to the driver, which assembles
+// the container without ever seeing raw data.
 enum NodeCommand : std::size_t {
   kCmdCriticStep = 1,
   kCmdGeneratorStep = 2,
   kCmdShuffle = 3,
   kCmdFinish = 4,
+  kCmdCheckpoint = 5,
 };
 
 struct NodeConfig {
@@ -128,6 +131,7 @@ class ClientNode {
 
   NodeConfig config_;
   std::size_t id_;
+  std::size_t g_width_ = 0;  // this client's split-generator slice width
   std::unique_ptr<GtvClient> client_;
   net::TrafficMeter meter_;
   obs::agg::LiveStatus* status_ = nullptr;
@@ -145,18 +149,29 @@ class DriverNode {
   // Telemetry hook; see ServerNode::set_live_status.
   void set_live_status(obs::agg::LiveStatus* status) { status_ = status; }
 
+  // After training, collect every party's checkpoint part and write the
+  // assembled serve::Checkpoint container here. The stamped model_hash is
+  // the FNV-1a hash of a 64-row Synthesizer sample seeded with the run
+  // seed, so repeat runs of the same config produce the same stamp.
+  void set_checkpoint_out(std::string path) { checkpoint_out_ = std::move(path); }
+  std::uint64_t checkpoint_hash() const { return checkpoint_hash_; }
+
   // Runs the full schedule (rounds x (d_steps x critic + generator +
-  // shuffle)), then broadcasts kCmdFinish. Returns one RoundLosses per
-  // round, field-for-field what GtvTrainer::train_round returns.
+  // shuffle)), then collects the checkpoint (when requested) and
+  // broadcasts kCmdFinish. Returns one RoundLosses per round,
+  // field-for-field what GtvTrainer::train_round returns.
   std::vector<gan::RoundLosses> run();
 
  private:
   void broadcast(NodeCommand code, std::size_t arg, bool include_server);
+  void collect_checkpoint();
 
   NodeConfig config_;
   Rng shuffle_stream_;
   net::TrafficMeter meter_;
   obs::agg::LiveStatus* status_ = nullptr;
+  std::string checkpoint_out_;
+  std::uint64_t checkpoint_hash_ = 0;
 };
 
 }  // namespace gtv::core

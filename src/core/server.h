@@ -68,6 +68,8 @@ class GtvServer {
 
   std::size_t noise_dim() const { return options_.gan.noise_dim; }
   Rng& rng() { return rng_; }
+  // Top generator module, exposed for checkpointing (serve::snapshot_net).
+  nn::Module& generator_top() { return *g_top_; }
   std::size_t generator_parameter_count() { return g_top_->parameter_count(); }
   std::size_t discriminator_parameter_count();
   // All top-side critic parameters (D^t and D^s), for weight clipping.

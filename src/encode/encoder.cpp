@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/bytes.h"
+
 namespace gtv::encode {
 
 using data::ColumnType;
@@ -200,6 +202,184 @@ data::Table TableEncoder::decode(const Tensor& encoded) const {
     out.append_row(row);
   }
   return out;
+}
+
+namespace {
+
+constexpr std::uint32_t kEncoderMagic = 0x45565447;  // "GTVE"
+constexpr std::uint32_t kEncoderVersion = 1;
+// Sanity bound on every element count in the blob; real tables are far
+// smaller and this keeps a corrupt length from driving a huge allocation.
+constexpr std::uint64_t kMaxEncoderItems = 1ull << 24;
+
+std::uint64_t checked_count(bytes::Reader& r, const char* what) {
+  const std::uint64_t n = r.u64(what);
+  if (n > kMaxEncoderItems) {
+    throw std::runtime_error(std::string("TableEncoder::deserialize: implausible count (") +
+                             what + ")");
+  }
+  return n;
+}
+
+void put_doubles(std::vector<std::uint8_t>& out, const std::vector<double>& values) {
+  bytes::put_u64(out, values.size());
+  for (double v : values) bytes::put_f64(out, v);
+}
+
+std::vector<double> read_doubles(bytes::Reader& r, const char* what) {
+  const std::uint64_t n = checked_count(r, what);
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (auto& v : values) v = r.f64(what);
+  return values;
+}
+
+}  // namespace
+
+void TableEncoder::serialize(std::vector<std::uint8_t>& out) const {
+  bytes::put_u32(out, kEncoderMagic);
+  bytes::put_u32(out, kEncoderVersion);
+  // Schema (zero-row table: only the column specs matter).
+  bytes::put_u64(out, schema_.n_cols());
+  for (const auto& spec : schema_.schema()) {
+    bytes::put_string(out, spec.name);
+    bytes::put_u32(out, static_cast<std::uint32_t>(spec.type));
+    bytes::put_u64(out, spec.categories.size());
+    for (const auto& cat : spec.categories) bytes::put_string(out, cat);
+    put_doubles(out, spec.special_values);
+  }
+  // Per-column codecs.
+  bytes::put_u64(out, codecs_.size());
+  for (const auto& codec : codecs_) {
+    bytes::put_u32(out, static_cast<std::uint32_t>(codec.type));
+    bytes::put_u64(out, codec.gmm.n_modes());
+    for (double v : codec.gmm.weights()) bytes::put_f64(out, v);
+    for (double v : codec.gmm.means()) bytes::put_f64(out, v);
+    for (double v : codec.gmm.stds()) bytes::put_f64(out, v);
+    put_doubles(out, codec.special_values);
+    bytes::put_u64(out, codec.cardinality);
+    bytes::put_f64(out, codec.normalization_factor);
+  }
+  // Span layout.
+  bytes::put_u64(out, spans_.size());
+  for (const auto& span : spans_) {
+    bytes::put_u64(out, span.offset);
+    bytes::put_u64(out, span.width);
+    bytes::put_u32(out, static_cast<std::uint32_t>(span.activation));
+    bytes::put_u64(out, span.source_column);
+  }
+  bytes::put_u64(out, column_spans_.size());
+  for (const auto& ids : column_spans_) {
+    bytes::put_u64(out, ids.size());
+    for (std::size_t id : ids) bytes::put_u64(out, id);
+  }
+  // Conditional-vector metadata.
+  bytes::put_u64(out, discrete_spans_.size());
+  for (const auto& ds : discrete_spans_) {
+    bytes::put_u64(out, ds.source_column);
+    bytes::put_u64(out, ds.span_offset);
+    bytes::put_u64(out, ds.cardinality);
+    bytes::put_u64(out, ds.frequencies.size());
+    for (std::size_t f : ds.frequencies) bytes::put_u64(out, f);
+  }
+  bytes::put_u64(out, total_width_);
+}
+
+TableEncoder TableEncoder::deserialize(const std::uint8_t* data, std::size_t size,
+                                       std::size_t& offset) {
+  bytes::Reader r(data, size, "TableEncoder::deserialize", offset);
+  if (r.u32("magic") != kEncoderMagic) {
+    throw std::runtime_error("TableEncoder::deserialize: bad magic");
+  }
+  if (r.u32("version") != kEncoderVersion) {
+    throw std::runtime_error("TableEncoder::deserialize: unsupported version");
+  }
+  TableEncoder enc;
+  const std::uint64_t n_cols = checked_count(r, "schema columns");
+  std::vector<data::ColumnSpec> schema;
+  schema.reserve(static_cast<std::size_t>(n_cols));
+  for (std::uint64_t c = 0; c < n_cols; ++c) {
+    data::ColumnSpec spec;
+    spec.name = r.str("column name");
+    const std::uint32_t type = r.u32("column type");
+    if (type > 2) throw std::runtime_error("TableEncoder::deserialize: bad column type");
+    spec.type = static_cast<ColumnType>(type);
+    const std::uint64_t n_cats = checked_count(r, "categories");
+    spec.categories.reserve(static_cast<std::size_t>(n_cats));
+    for (std::uint64_t i = 0; i < n_cats; ++i) spec.categories.push_back(r.str("category"));
+    spec.special_values = read_doubles(r, "schema special values");
+    schema.push_back(std::move(spec));
+  }
+  enc.schema_ = data::Table(std::move(schema));
+  const std::uint64_t n_codecs = checked_count(r, "codecs");
+  for (std::uint64_t c = 0; c < n_codecs; ++c) {
+    ColumnCodec codec;
+    const std::uint32_t type = r.u32("codec type");
+    if (type > 2) throw std::runtime_error("TableEncoder::deserialize: bad codec type");
+    codec.type = static_cast<ColumnType>(type);
+    const std::uint64_t n_modes = checked_count(r, "gmm modes");
+    if (n_modes > 0) {
+      std::vector<double> weights(static_cast<std::size_t>(n_modes));
+      std::vector<double> means(static_cast<std::size_t>(n_modes));
+      std::vector<double> stds(static_cast<std::size_t>(n_modes));
+      for (auto& v : weights) v = r.f64("gmm weight");
+      for (auto& v : means) v = r.f64("gmm mean");
+      for (auto& v : stds) v = r.f64("gmm std");
+      codec.gmm = GaussianMixture1D::from_components(std::move(weights), std::move(means),
+                                                     std::move(stds));
+    }
+    codec.special_values = read_doubles(r, "codec special values");
+    codec.cardinality = static_cast<std::size_t>(r.u64("cardinality"));
+    codec.normalization_factor = r.f64("normalization factor");
+    enc.codecs_.push_back(std::move(codec));
+  }
+  const std::uint64_t n_spans = checked_count(r, "spans");
+  for (std::uint64_t i = 0; i < n_spans; ++i) {
+    Span span;
+    span.offset = static_cast<std::size_t>(r.u64("span offset"));
+    span.width = static_cast<std::size_t>(r.u64("span width"));
+    const std::uint32_t act = r.u32("span activation");
+    if (act > 1) throw std::runtime_error("TableEncoder::deserialize: bad activation");
+    span.activation = static_cast<Activation>(act);
+    span.source_column = static_cast<std::size_t>(r.u64("span source column"));
+    enc.spans_.push_back(span);
+  }
+  const std::uint64_t n_col_spans = checked_count(r, "column spans");
+  for (std::uint64_t i = 0; i < n_col_spans; ++i) {
+    const std::uint64_t n_ids = checked_count(r, "column span ids");
+    std::vector<std::size_t> ids;
+    ids.reserve(static_cast<std::size_t>(n_ids));
+    for (std::uint64_t k = 0; k < n_ids; ++k) {
+      const std::uint64_t id = r.u64("span id");
+      if (id >= enc.spans_.size()) {
+        throw std::runtime_error("TableEncoder::deserialize: span id out of range");
+      }
+      ids.push_back(static_cast<std::size_t>(id));
+    }
+    enc.column_spans_.push_back(std::move(ids));
+  }
+  const std::uint64_t n_discrete = checked_count(r, "discrete spans");
+  for (std::uint64_t i = 0; i < n_discrete; ++i) {
+    DiscreteSpan ds;
+    ds.source_column = static_cast<std::size_t>(r.u64("discrete source column"));
+    ds.span_offset = static_cast<std::size_t>(r.u64("discrete span offset"));
+    ds.cardinality = static_cast<std::size_t>(r.u64("discrete cardinality"));
+    const std::uint64_t n_freq = checked_count(r, "discrete frequencies");
+    if (n_freq != ds.cardinality) {
+      throw std::runtime_error("TableEncoder::deserialize: frequency count mismatch");
+    }
+    ds.frequencies.reserve(static_cast<std::size_t>(n_freq));
+    for (std::uint64_t k = 0; k < n_freq; ++k) {
+      ds.frequencies.push_back(static_cast<std::size_t>(r.u64("frequency")));
+    }
+    enc.discrete_spans_.push_back(std::move(ds));
+  }
+  enc.total_width_ = static_cast<std::size_t>(r.u64("total width"));
+  if (enc.codecs_.size() != enc.schema_.n_cols() ||
+      enc.column_spans_.size() != enc.schema_.n_cols()) {
+    throw std::runtime_error("TableEncoder::deserialize: inconsistent column counts");
+  }
+  offset = r.offset;
+  return enc;
 }
 
 }  // namespace gtv::encode

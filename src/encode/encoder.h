@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,15 @@ class TableEncoder {
     std::vector<std::size_t> frequencies;  // training counts per category
   };
   const std::vector<DiscreteSpan>& discrete_spans() const { return discrete_spans_; }
+
+  // Appends the full fitted state (schema, codecs, span layout, discrete
+  // spans) to `out` as a little-endian byte blob, so a checkpoint can
+  // rebuild the encoder without the training data. The inverse parses from
+  // `reader_data`/`size` starting at `offset` (advanced past the blob) and
+  // throws std::runtime_error on malformed input.
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static TableEncoder deserialize(const std::uint8_t* data, std::size_t size,
+                                  std::size_t& offset);
 
  private:
   struct ColumnCodec {

@@ -122,6 +122,24 @@ void GaussianMixture1D::fit(const std::vector<double>& values, const GmmOptions&
   stds_ = std::move(s);
 }
 
+GaussianMixture1D GaussianMixture1D::from_components(std::vector<double> weights,
+                                                     std::vector<double> means,
+                                                     std::vector<double> stds) {
+  if (weights.empty() || weights.size() != means.size() || means.size() != stds.size()) {
+    throw std::invalid_argument("GaussianMixture1D::from_components: component size mismatch");
+  }
+  for (double s : stds) {
+    if (!(s > 0.0)) {
+      throw std::invalid_argument("GaussianMixture1D::from_components: non-positive std");
+    }
+  }
+  GaussianMixture1D gmm;
+  gmm.weights_ = std::move(weights);
+  gmm.means_ = std::move(means);
+  gmm.stds_ = std::move(stds);
+  return gmm;
+}
+
 std::vector<double> GaussianMixture1D::responsibilities(double value) const {
   const std::size_t k = means_.size();
   std::vector<double> out(k);

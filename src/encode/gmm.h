@@ -27,6 +27,12 @@ class GaussianMixture1D {
   // `values` must be non-empty.
   void fit(const std::vector<double>& values, const GmmOptions& options, Rng& rng);
 
+  // Rebuilds a fitted mixture from stored components (checkpoint restore).
+  // All three vectors must have the same length; stds must be positive.
+  static GaussianMixture1D from_components(std::vector<double> weights,
+                                           std::vector<double> means,
+                                           std::vector<double> stds);
+
   std::size_t n_modes() const { return means_.size(); }
   const std::vector<double>& weights() const { return weights_; }
   const std::vector<double>& means() const { return means_; }

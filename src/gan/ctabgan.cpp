@@ -36,6 +36,15 @@ std::vector<Var> GeneratorNet::parameters() {
   return params;
 }
 
+std::vector<Tensor*> GeneratorNet::buffers() {
+  std::vector<Tensor*> bufs;
+  for (auto& block : blocks_) {
+    auto b = block->buffers();
+    bufs.insert(bufs.end(), b.begin(), b.end());
+  }
+  return bufs;
+}
+
 void GeneratorNet::set_training(bool training) {
   Module::set_training(training);
   for (auto& block : blocks_) block->set_training(training);

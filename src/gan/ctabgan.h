@@ -53,6 +53,7 @@ class GeneratorNet : public nn::Module {
                std::size_t out_features, Rng& rng);
   ag::Var forward(const ag::Var& x) override;
   std::vector<ag::Var> parameters() override;
+  std::vector<Tensor*> buffers() override;
   void set_training(bool training) override;
   std::size_t out_features() const { return out_->out_features(); }
 

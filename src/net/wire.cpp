@@ -50,6 +50,7 @@ float read_f32_le(const std::uint8_t* p) {
 // Unrecognised endpoints land on the driver row.
 int endpoint_pid(const std::string& endpoint) {
   if (endpoint == "server") return 0;
+  if (endpoint == "serve") return 98;  // serving daemon (tools/gtv-serve)
   if (endpoint.rfind("client", 0) == 0) {
     const char* digits = endpoint.c_str() + 6;
     if (digits[0] != '\0') {

@@ -121,6 +121,15 @@ std::vector<Var> Sequential::parameters() {
   return params;
 }
 
+std::vector<Tensor*> Sequential::buffers() {
+  std::vector<Tensor*> bufs;
+  for (auto& layer : layers_) {
+    auto b = layer->buffers();
+    bufs.insert(bufs.end(), b.begin(), b.end());
+  }
+  return bufs;
+}
+
 void Sequential::set_training(bool training) {
   Module::set_training(training);
   for (auto& layer : layers_) layer->set_training(training);

@@ -27,6 +27,10 @@ class Module {
   virtual Var forward(const Var& x) = 0;
   // All trainable leaf Vars.
   virtual std::vector<Var> parameters() { return {}; }
+  // Non-trainable state tensors (e.g. batchnorm running statistics) that a
+  // checkpoint must persist alongside parameters() for eval-mode forwards
+  // to survive a save/load cycle. Declaration order, like parameters().
+  virtual std::vector<Tensor*> buffers() { return {}; }
   // Toggles train/eval behaviour (dropout, batchnorm).
   virtual void set_training(bool training) { training_ = training; }
   bool training() const { return training_; }
@@ -64,6 +68,7 @@ class BatchNorm1d : public Module {
 
   Var forward(const Var& x) override;
   std::vector<Var> parameters() override { return {gamma_, beta_}; }
+  std::vector<Tensor*> buffers() override { return {&running_mean_, &running_var_}; }
 
  private:
   std::size_t features_;
@@ -118,6 +123,7 @@ class Sequential : public Module {
 
   Var forward(const Var& x) override;
   std::vector<Var> parameters() override;
+  std::vector<Tensor*> buffers() override;
   void set_training(bool training) override;
 
   std::size_t size() const { return layers_.size(); }
@@ -135,6 +141,7 @@ class ResidualBlock : public Module {
 
   Var forward(const Var& x) override;
   std::vector<Var> parameters() override;
+  std::vector<Tensor*> buffers() override { return bn_.buffers(); }
   void set_training(bool training) override;
 
   std::size_t out_features() const { return hidden_ + in_; }

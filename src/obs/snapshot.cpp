@@ -116,6 +116,9 @@ const char* to_string(Phase phase) {
     case Phase::kGenerator: return "generator";
     case Phase::kShuffle: return "shuffle";
     case Phase::kDone: return "done";
+    case Phase::kServeWait: return "serve-wait";
+    case Phase::kServeBatch: return "serve-batch";
+    case Phase::kServeDrain: return "serve-drain";
   }
   return "unknown";
 }

@@ -24,7 +24,9 @@
 
 namespace gtv::obs::agg {
 
-// Where a party currently is in the training protocol.
+// Where a party currently is in the training protocol. The kServe*
+// values cover a serving process (tools/gtv-serve): waiting for
+// requests, running a coalesced generator batch, draining on shutdown.
 enum class Phase : std::uint32_t {
   kIdle = 0,
   kSetup = 1,
@@ -32,6 +34,9 @@ enum class Phase : std::uint32_t {
   kGenerator = 3,
   kShuffle = 4,
   kDone = 5,
+  kServeWait = 6,
+  kServeBatch = 7,
+  kServeDrain = 8,
 };
 
 const char* to_string(Phase phase);

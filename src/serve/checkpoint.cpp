@@ -1,0 +1,235 @@
+#include "serve/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "nn/serialize.h"
+#include "tensor/bytes.h"
+
+namespace gtv::serve {
+
+namespace {
+
+void append_net_state(std::vector<std::uint8_t>& out, const NetState& state) {
+  bytes::put_u64(out, state.arch.in_features);
+  bytes::put_u64(out, state.arch.hidden);
+  bytes::put_u64(out, state.arch.n_blocks);
+  bytes::put_u64(out, state.arch.out_features);
+  nn::append_tensor_block(out, state.tensors);
+}
+
+NetState parse_net_state(const std::uint8_t* data, std::size_t size, std::size_t& offset) {
+  bytes::Reader r(data, size, "checkpoint", offset);
+  NetState state;
+  state.arch.in_features = r.u64("arch in");
+  state.arch.hidden = r.u64("arch hidden");
+  state.arch.n_blocks = r.u64("arch blocks");
+  state.arch.out_features = r.u64("arch out");
+  offset = r.offset;
+  state.tensors = nn::parse_tensor_block(data, size, offset);
+  return state;
+}
+
+void append_client_part(std::vector<std::uint8_t>& out, const ClientPart& part) {
+  bytes::put_u64(out, part.cv_width);
+  bytes::put_u64(out, part.g_slice_width);
+  append_net_state(out, part.g_bottom);
+  part.encoder.serialize(out);
+}
+
+ClientPart parse_client_part(const std::uint8_t* data, std::size_t size, std::size_t& offset) {
+  bytes::Reader r(data, size, "checkpoint", offset);
+  ClientPart part;
+  part.cv_width = r.u64("cv width");
+  part.g_slice_width = r.u64("g slice width");
+  offset = r.offset;
+  part.g_bottom = parse_net_state(data, size, offset);
+  part.encoder = encode::TableEncoder::deserialize(data, size, offset);
+  return part;
+}
+
+}  // namespace
+
+NetState snapshot_net(const NetArch& arch, nn::Module& net) {
+  NetState state;
+  state.arch = arch;
+  state.tensors = nn::snapshot_state(net);
+  return state;
+}
+
+std::unique_ptr<gan::GeneratorNet> build_generator(const NetState& state) {
+  if (state.arch.in_features == 0 || state.arch.out_features == 0) {
+    throw CheckpointError("checkpoint: generator architecture has zero-sized layers");
+  }
+  // The init weights are immediately overwritten by restore_state; the rng
+  // only exists to satisfy the constructor.
+  Rng init_rng(0);
+  auto net = std::make_unique<gan::GeneratorNet>(
+      static_cast<std::size_t>(state.arch.in_features),
+      static_cast<std::size_t>(state.arch.hidden),
+      static_cast<std::size_t>(state.arch.n_blocks),
+      static_cast<std::size_t>(state.arch.out_features), init_rng);
+  try {
+    nn::restore_state(*net, state.tensors);
+  } catch (const std::runtime_error& e) {
+    throw CheckpointError(std::string("checkpoint: weights do not fit architecture: ") +
+                          e.what());
+  }
+  net->set_training(false);
+  return net;
+}
+
+std::vector<std::uint8_t> encode_server_part(const ServerPart& part) {
+  std::vector<std::uint8_t> out;
+  bytes::put_u64(out, part.noise_dim);
+  bytes::put_f32(out, part.gumbel_tau);
+  append_net_state(out, part.g_top);
+  return out;
+}
+
+ServerPart decode_server_part(const std::vector<std::uint8_t>& bytes_in) {
+  try {
+    bytes::Reader r(bytes_in.data(), bytes_in.size(), "checkpoint server part");
+    ServerPart part;
+    part.noise_dim = r.u64("noise dim");
+    part.gumbel_tau = r.f32("gumbel tau");
+    std::size_t offset = r.offset;
+    part.g_top = parse_net_state(bytes_in.data(), bytes_in.size(), offset);
+    if (offset != bytes_in.size()) {
+      throw CheckpointError("checkpoint: trailing bytes in server part");
+    }
+    return part;
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    throw CheckpointError(e.what());
+  }
+}
+
+std::vector<std::uint8_t> encode_client_part(const ClientPart& part) {
+  std::vector<std::uint8_t> out;
+  append_client_part(out, part);
+  return out;
+}
+
+ClientPart decode_client_part(const std::vector<std::uint8_t>& bytes_in) {
+  try {
+    std::size_t offset = 0;
+    ClientPart part = parse_client_part(bytes_in.data(), bytes_in.size(), offset);
+    if (offset != bytes_in.size()) {
+      throw CheckpointError("checkpoint: trailing bytes in client part");
+    }
+    return part;
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    throw CheckpointError(e.what());
+  }
+}
+
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path) {
+  std::vector<std::uint8_t> payload;
+  bytes::put_u64(payload, checkpoint.model_hash);
+  bytes::put_u64(payload, checkpoint.seed);
+  bytes::put_u64(payload, checkpoint.rounds);
+  bytes::put_u64(payload, checkpoint.noise_dim);
+  bytes::put_f32(payload, checkpoint.gumbel_tau);
+  append_net_state(payload, checkpoint.g_top);
+  bytes::put_u64(payload, checkpoint.clients.size());
+  for (const auto& client : checkpoint.clients) append_client_part(payload, client);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 20);
+  bytes::put_u32(out, kCheckpointMagic);
+  bytes::put_u32(out, kCheckpointVersion);
+  bytes::put_u64(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  bytes::put_u32(out, nn::state_crc32(payload.data(), payload.size()));
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("save_checkpoint: cannot open '" + path + "'");
+  file.write(reinterpret_cast<const char*>(out.data()),
+             static_cast<std::streamsize>(out.size()));
+  if (!file) throw std::runtime_error("save_checkpoint: write failed for '" + path + "'");
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) throw CheckpointError("load_checkpoint: cannot open '" + path + "'");
+  const std::streamsize size = file.tellg();
+  file.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> raw(static_cast<std::size_t>(size));
+  if (size > 0) file.read(reinterpret_cast<char*>(raw.data()), size);
+  if (!file) throw CheckpointError("load_checkpoint: read failed for '" + path + "'");
+
+  try {
+    bytes::Reader header(raw.data(), raw.size(), "load_checkpoint");
+    if (header.u32("magic") != kCheckpointMagic) {
+      throw CheckpointError("load_checkpoint: bad magic in '" + path + "'");
+    }
+    const std::uint32_t version = header.u32("version");
+    if (version != kCheckpointVersion) {
+      throw CheckpointError("load_checkpoint: unsupported version " + std::to_string(version));
+    }
+    const std::uint64_t payload_len = header.u64("payload length");
+    if (raw.size() != 16 + payload_len + 4) {
+      throw CheckpointError("load_checkpoint: size mismatch in '" + path +
+                            "' (truncated or trailing bytes)");
+    }
+    const std::uint8_t* payload = raw.data() + 16;
+    const std::uint32_t stored_crc = bytes::get_u32(payload + payload_len);
+    if (stored_crc != nn::state_crc32(payload, static_cast<std::size_t>(payload_len))) {
+      throw CheckpointError("load_checkpoint: CRC mismatch in '" + path + "'");
+    }
+
+    bytes::Reader r(payload, static_cast<std::size_t>(payload_len), "load_checkpoint");
+    Checkpoint ckpt;
+    ckpt.model_hash = r.u64("model hash");
+    ckpt.seed = r.u64("seed");
+    ckpt.rounds = r.u64("rounds");
+    ckpt.noise_dim = r.u64("noise dim");
+    ckpt.gumbel_tau = r.f32("gumbel tau");
+    std::size_t offset = r.offset;
+    ckpt.g_top = parse_net_state(payload, static_cast<std::size_t>(payload_len), offset);
+    bytes::Reader tail(payload, static_cast<std::size_t>(payload_len), "load_checkpoint",
+                       offset);
+    const std::uint64_t n_clients = tail.u64("client count");
+    if (n_clients > 4096) throw CheckpointError("load_checkpoint: implausible client count");
+    offset = tail.offset;
+    for (std::uint64_t i = 0; i < n_clients; ++i) {
+      ckpt.clients.push_back(
+          parse_client_part(payload, static_cast<std::size_t>(payload_len), offset));
+    }
+    if (offset != payload_len) {
+      throw CheckpointError("load_checkpoint: trailing bytes inside payload");
+    }
+    return ckpt;
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    throw CheckpointError(e.what());
+  }
+}
+
+std::uint64_t hash_table(const data::Table& table) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(table.n_rows());
+  mix(table.n_cols());
+  for (std::size_t r = 0; r < table.n_rows(); ++r) {
+    for (std::size_t c = 0; c < table.n_cols(); ++c) {
+      const double cell = table.cell(r, c);
+      std::uint64_t bits;
+      std::memcpy(&bits, &cell, 8);
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+}  // namespace gtv::serve

@@ -1,0 +1,118 @@
+// gtv::serve — versioned, hash-stamped model checkpoints.
+//
+// A Checkpoint is everything needed to synthesize rows without the
+// training data or the training processes: the server's top generator
+// G^t, and per client the bottom generator G^b_i plus the full fitted
+// encoder state (GMM components, categorical vocabularies, span layout,
+// conditional-vector metadata). Network weights are captured with
+// nn::snapshot_state (parameters AND buffers, so batchnorm running
+// statistics survive and eval-mode forwards after reload match the
+// training process bit-for-bit).
+//
+// On-disk container ("GTVK", all little-endian, mirroring the wire-frame
+// discipline):
+//
+//   offset  size  field
+//        0     4  magic        0x4B565447 ("GTVK")
+//        4     4  version      kCheckpointVersion
+//        8     8  payload_len
+//       16     .  payload
+//        .     4  crc32        CRC-32 (IEEE) over the payload bytes
+//
+// The payload carries the run identity (model_hash — the same FNV-1a
+// table hash gtv-node stamps in its report — seed, rounds) followed by
+// the architecture descriptor + tensor block of every net and the
+// serialized encoders. Exact-size: trailing bytes after the CRC are
+// rejected.
+//
+// The per-part codecs (encode_server_part / encode_client_part) are the
+// distributed collection path: on kCmdCheckpoint each party encodes its
+// own part and ships it to the driver, which assembles the container
+// without ever seeing raw data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "encode/encoder.h"
+#include "gan/ctabgan.h"
+
+namespace gtv::serve {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4B565447u;  // "GTVK"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// Malformed container, version mismatch, CRC failure, or a tensor set
+// that does not fit the declared architecture.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Constructor arguments of a gan::GeneratorNet — enough to rebuild the
+// net and reject weight sets saved for a different architecture.
+struct NetArch {
+  std::uint64_t in_features = 0;
+  std::uint64_t hidden = 0;
+  std::uint64_t n_blocks = 0;
+  std::uint64_t out_features = 0;
+
+  bool operator==(const NetArch& other) const = default;
+};
+
+// One generator tower: architecture + full state (nn::snapshot_state
+// order — parameters then buffers).
+struct NetState {
+  NetArch arch;
+  std::vector<Tensor> tensors;
+};
+
+// Captures a net's current state under a declared architecture.
+NetState snapshot_net(const NetArch& arch, nn::Module& net);
+
+// Rebuilds a GeneratorNet from a NetState. Throws CheckpointError when
+// the tensor set does not match the architecture (count or any shape).
+std::unique_ptr<gan::GeneratorNet> build_generator(const NetState& state);
+
+struct ClientPart {
+  std::uint64_t cv_width = 0;
+  std::uint64_t g_slice_width = 0;
+  NetState g_bottom;
+  encode::TableEncoder encoder;
+};
+
+struct ServerPart {
+  std::uint64_t noise_dim = 0;
+  float gumbel_tau = 0.2f;
+  NetState g_top;
+};
+
+struct Checkpoint {
+  std::uint64_t model_hash = 0;  // FNV-1a table hash from gtv-node's report
+  std::uint64_t seed = 0;        // training seed of the producing run
+  std::uint64_t rounds = 0;      // training rounds completed
+  std::uint64_t noise_dim = 0;
+  float gumbel_tau = 0.2f;
+  NetState g_top;
+  std::vector<ClientPart> clients;
+};
+
+// Per-party codecs for the driver-side distributed assembly.
+std::vector<std::uint8_t> encode_server_part(const ServerPart& part);
+ServerPart decode_server_part(const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> encode_client_part(const ClientPart& part);
+ClientPart decode_client_part(const std::vector<std::uint8_t>& bytes);
+
+// Whole-container file I/O. save throws std::runtime_error on I/O
+// failure; load throws CheckpointError on any malformed input.
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path);
+Checkpoint load_checkpoint(const std::string& path);
+
+// FNV-1a over a table's dimensions and cell bit patterns — the model_hash
+// gtv-node stamps in its report and checkpoints carry.
+std::uint64_t hash_table(const data::Table& table);
+
+}  // namespace gtv::serve

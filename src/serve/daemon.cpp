@@ -1,0 +1,451 @@
+#include "serve/daemon.h"
+
+#include <chrono>
+#include <csignal>
+#include <stdexcept>
+#include <utility>
+
+#include "data/table.h"
+#include "obs/metrics.h"
+
+namespace gtv::serve {
+
+namespace {
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& rows;
+  obs::Counter& batches;
+  obs::Counter& errors;
+  obs::Histogram& batch_rows;
+  obs::Histogram& request_ms;
+  obs::Histogram& batch_ms;
+};
+
+ServeMetrics& metrics() {
+  static ServeMetrics m{
+      obs::MetricsRegistry::instance().counter("serve.requests"),
+      obs::MetricsRegistry::instance().counter("serve.rows"),
+      obs::MetricsRegistry::instance().counter("serve.batches"),
+      obs::MetricsRegistry::instance().counter("serve.errors"),
+      obs::MetricsRegistry::instance().histogram(
+          "serve.batch_rows",
+          {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}),
+      obs::MetricsRegistry::instance().histogram("serve.request_ms"),
+      obs::MetricsRegistry::instance().histogram("serve.batch_ms"),
+  };
+  return m;
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(Synthesizer& synth, DaemonOptions options)
+    : synth_(synth), options_(options) {
+  metrics();  // resolve handles before any thread races the registry
+}
+
+ServeDaemon::~ServeDaemon() { drain(); }
+
+void ServeDaemon::set_transport(std::shared_ptr<net::Transport> transport) {
+  transport_ = std::move(transport);
+  send_meter_.set_transport(transport_);
+}
+
+void ServeDaemon::start() {
+  if (started_) return;
+  if (!transport_) throw std::logic_error("ServeDaemon: set_transport before start");
+  started_ = true;
+  set_phase(obs::agg::Phase::kServeWait);
+  batch_thread_ = std::thread([this] { batch_loop(); });
+}
+
+void ServeDaemon::add_peer(const std::string& peer) {
+  if (draining_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  auto it = handlers_.find(peer);
+  if (it != handlers_.end()) {
+    // A handler whose peer hung up parks in done_peers_; reap it so a
+    // reconnect under the same name gets a fresh handler.
+    if (done_peers_.count(peer) == 0) return;
+    it->second.join();
+    handlers_.erase(it);
+    done_peers_.erase(peer);
+  }
+  handlers_.emplace(peer, std::thread([this, peer] { handler_loop(peer); }));
+}
+
+void ServeDaemon::watch_peers(net::TcpTransport* tcp) {
+  watch_thread_ = std::thread([this, tcp] { watch_loop(tcp); });
+}
+
+void ServeDaemon::watch_loop(net::TcpTransport* tcp) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    for (const auto& peer : tcp->peers()) add_peer(peer);
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.peer_poll_ms));
+  }
+}
+
+void ServeDaemon::handler_loop(const std::string& peer) {
+  const std::string link_in = peer + "->serve";
+  // Receives go straight to the raw (thread-safe) transport: timeouts are
+  // the poll cadence, not errors, and traffic is charged sender-side.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::vector<std::uint8_t> payload;
+    try {
+      payload = transport_->recv(link_in, options_.recv_timeout_ms);
+    } catch (const net::TimeoutError&) {
+      continue;
+    } catch (const net::TransportError&) {
+      // Peer hung up: a dead connection throws on every recv, so leaving
+      // the loop (rather than retrying) is the only non-spinning option.
+      // Not a serve error — clients come and go.
+      break;
+    }
+    try {
+      handle_message(peer, payload);
+    } catch (const net::WireError& e) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics().errors.add();
+      send_error(peer, 0, e.what());
+    }
+  }
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  done_peers_.insert(peer);
+}
+
+void ServeDaemon::handle_message(const std::string& peer,
+                                 const std::vector<std::uint8_t>& payload) {
+  switch (peek_type(payload)) {
+    case MsgType::kHello: {
+      const Hello hello = decode_hello(payload);
+      if (hello.version != kServeProtocolVersion) {
+        send_error(peer, 0,
+                   "serve protocol version mismatch (daemon " +
+                       std::to_string(kServeProtocolVersion) + ", client " +
+                       std::to_string(hello.version) + ")");
+        return;
+      }
+      Welcome welcome;
+      welcome.model_hash = synth_.model_hash();
+      for (const auto& spec : synth_.schema()) {
+        welcome.columns.push_back(spec.name + ":" + data::to_string(spec.type));
+      }
+      send_to(peer, encode_welcome(welcome));
+      return;
+    }
+    case MsgType::kSampleRequest: {
+      const SampleRequest req = decode_sample_request(payload);
+      if (draining_.load(std::memory_order_relaxed)) {
+        send_error(peer, req.request_id, "daemon is draining");
+        return;
+      }
+      Synthesizer::Condition cond;
+      const Synthesizer::Condition* cond_ptr = nullptr;
+      if (req.has_cond) {
+        cond.column = req.cond_column;
+        cond.category = req.cond_category;
+        cond_ptr = &cond;
+      }
+      PendingRequest pending;
+      try {
+        // plan() is thread-safe and pre-draws the request's entire random
+        // stream, so admission order cannot affect any request's rows.
+        pending.plan = synth_.plan(static_cast<std::size_t>(req.n_rows), req.seed, cond_ptr);
+      } catch (const std::invalid_argument& e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        metrics().errors.add();
+        send_error(peer, req.request_id, e.what());
+        return;
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      metrics().requests.add();
+      if (req.n_rows == 0) {
+        RowBatch empty;
+        empty.request_id = req.request_id;
+        empty.n_cols = synth_.n_cols();
+        empty.done = true;
+        send_to(peer, encode_row_batch(empty));
+        return;
+      }
+      pending.peer = peer;
+      pending.request_id = req.request_id;
+      pending.rows_total = static_cast<std::size_t>(req.n_rows);
+      pending.admit_us = now_us();
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        pending_rows_ += pending.rows_total;
+        queue_.push_back(std::move(pending));
+      }
+      queue_cv_.notify_all();
+      return;
+    }
+    default:
+      throw net::WireError("serve daemon: unexpected message from " + peer);
+  }
+}
+
+void ServeDaemon::batch_loop() {
+  struct Segment {
+    std::string peer;
+    std::uint64_t request_id = 0;
+    std::size_t start_row = 0;  // offset inside the request
+    std::size_t rows = 0;
+    std::size_t row_off = 0;  // offset inside the coalesced batch
+    bool done = false;
+    std::uint64_t admit_us = 0;
+  };
+
+  const std::size_t n_clients = synth_.n_clients();
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] {
+      return !queue_.empty() || draining_.load(std::memory_order_relaxed);
+    });
+    if (queue_.empty()) break;  // draining and nothing left to serve
+
+    // Linger: give concurrent clients max_wait_us to land in this batch,
+    // unless it is already full (or we are draining).
+    const auto deadline =
+        std::chrono::steady_clock::time_point(
+            std::chrono::microseconds(queue_.front().admit_us)) +
+        std::chrono::microseconds(options_.max_wait_us);
+    queue_cv_.wait_until(lock, deadline, [&] {
+      return pending_rows_ >= options_.max_batch ||
+             draining_.load(std::memory_order_relaxed);
+    });
+
+    // Assemble a FIFO-contiguous batch of up to max_batch rows. A large
+    // request may be split across batches; its client sees a stream of
+    // RowBatch frames either way.
+    std::vector<Segment> segments;
+    std::vector<Tensor> input_parts;
+    std::vector<std::vector<Tensor>> gumbel_parts(n_clients);
+    std::size_t taken = 0;
+    for (auto& req : queue_) {
+      if (taken >= options_.max_batch) break;
+      const std::size_t take =
+          std::min(req.rows_total - req.next_row, options_.max_batch - taken);
+      Segment seg;
+      seg.peer = req.peer;
+      seg.request_id = req.request_id;
+      seg.start_row = req.next_row;
+      seg.rows = take;
+      seg.row_off = taken;
+      seg.admit_us = req.admit_us;
+      input_parts.push_back(req.plan.input.slice_rows(req.next_row, req.next_row + take));
+      for (std::size_t i = 0; i < n_clients; ++i) {
+        gumbel_parts[i].push_back(
+            req.plan.gumbel[i].slice_rows(req.next_row, req.next_row + take));
+      }
+      req.next_row += take;
+      taken += take;
+      seg.done = req.next_row == req.rows_total;
+      segments.push_back(std::move(seg));
+    }
+    pending_rows_ -= taken;
+    while (!queue_.empty() && queue_.front().next_row == queue_.front().rows_total) {
+      queue_.pop_front();
+    }
+    lock.unlock();
+
+    set_phase(obs::agg::Phase::kServeBatch);
+    const std::uint64_t t0 = now_us();
+    try {
+      Tensor input = Tensor::concat_rows(input_parts);
+      std::vector<Tensor> gumbel;
+      gumbel.reserve(n_clients);
+      for (std::size_t i = 0; i < n_clients; ++i) {
+        gumbel.push_back(Tensor::concat_rows(gumbel_parts[i]));
+      }
+      const data::Table table = synth_.run(input, gumbel);
+
+      const std::uint64_t done_us = now_us();
+      for (const auto& seg : segments) {
+        RowBatch batch;
+        batch.request_id = seg.request_id;
+        batch.start_row = seg.start_row;
+        batch.n_rows = seg.rows;
+        batch.n_cols = table.n_cols();
+        batch.done = seg.done;
+        batch.cells.reserve(seg.rows * table.n_cols());
+        for (std::size_t r = seg.row_off; r < seg.row_off + seg.rows; ++r) {
+          for (std::size_t c = 0; c < table.n_cols(); ++c) {
+            batch.cells.push_back(table.cell(r, c));
+          }
+        }
+        send_to(seg.peer, encode_row_batch(batch));
+        if (seg.done) {
+          metrics().request_ms.record(
+              static_cast<double>(done_us - seg.admit_us) / 1000.0);
+        }
+      }
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      rows_.fetch_add(taken, std::memory_order_relaxed);
+      metrics().batches.add();
+      metrics().rows.add(taken);
+      metrics().batch_rows.record(static_cast<double>(taken));
+      metrics().batch_ms.record(static_cast<double>(now_us() - t0) / 1000.0);
+      if (options_.status != nullptr) {
+        options_.status->set_round(batches_.load(std::memory_order_relaxed));
+      }
+    } catch (const std::exception& e) {
+      // A failed forward fails every request in the batch; clients see the
+      // reason instead of hanging.
+      errors_.fetch_add(segments.size(), std::memory_order_relaxed);
+      metrics().errors.add(segments.size());
+      for (const auto& seg : segments) {
+        send_error(seg.peer, seg.request_id, std::string("batch failed: ") + e.what());
+      }
+    }
+    set_phase(draining_.load(std::memory_order_relaxed) ? obs::agg::Phase::kServeDrain
+                                                        : obs::agg::Phase::kServeWait);
+    lock.lock();
+  }
+}
+
+void ServeDaemon::send_to(const std::string& peer,
+                          const std::vector<std::uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  try {
+    send_meter_.send_payload("serve->" + peer, payload);
+  } catch (const net::TransportError&) {
+    // Peer went away mid-reply; nothing to deliver to.
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics().errors.add();
+  }
+}
+
+void ServeDaemon::send_error(const std::string& peer, std::uint64_t request_id,
+                             const std::string& message) {
+  ErrorReply reply;
+  reply.request_id = request_id;
+  reply.message = message;
+  send_to(peer, encode_error(reply));
+}
+
+void ServeDaemon::set_phase(obs::agg::Phase phase) {
+  if (options_.status != nullptr) options_.status->set_phase(phase);
+}
+
+void ServeDaemon::drain() {
+  if (drained_) return;
+  drained_ = true;
+  draining_.store(true, std::memory_order_relaxed);
+  set_phase(obs::agg::Phase::kServeDrain);
+  queue_cv_.notify_all();
+  if (batch_thread_.joinable()) batch_thread_.join();
+  stop_.store(true, std::memory_order_relaxed);
+  if (watch_thread_.joinable()) watch_thread_.join();
+  // Join outside the lock: an exiting handler takes peers_mu_ to mark
+  // itself done, so joining while holding it would deadlock.
+  std::map<std::string, std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    handlers.swap(handlers_);
+    done_peers_.clear();
+  }
+  for (auto& [peer, thread] : handlers) {
+    (void)peer;
+    if (thread.joinable()) thread.join();
+  }
+  if (started_) set_phase(obs::agg::Phase::kDone);
+}
+
+ServeStats ServeDaemon::stats() const {
+  ServeStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.rows = rows_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- ServeClient -----------------------------------------------------------------
+
+ServeClient::ServeClient(std::string name)
+    : name_(std::move(name)),
+      link_out_(name_ + "->serve"),
+      link_in_("serve->" + name_) {}
+
+void ServeClient::connect(const std::string& host, std::uint16_t port) {
+  transport_ = std::make_shared<net::TcpTransport>(name_);
+  transport_->connect_peer(kServeParty, host, port);
+  meter_.set_transport(transport_);
+}
+
+Welcome ServeClient::hello() {
+  meter_.send_payload(link_out_, encode_hello(Hello{}));
+  const std::vector<std::uint8_t> payload = meter_.recv_payload(link_in_);
+  if (peek_type(payload) == MsgType::kError) {
+    throw net::VersionError("serve hello rejected: " + decode_error(payload).message);
+  }
+  const Welcome welcome = decode_welcome(payload);
+  if (welcome.version != kServeProtocolVersion) {
+    throw net::VersionError("serve protocol version mismatch (daemon " +
+                            std::to_string(welcome.version) + ")");
+  }
+  return welcome;
+}
+
+ServeClient::Result ServeClient::sample(std::size_t rows, std::uint64_t seed,
+                                        const Synthesizer::Condition* cond) {
+  SampleRequest req;
+  req.request_id = next_request_id_++;
+  req.n_rows = rows;
+  req.seed = seed;
+  if (cond != nullptr) {
+    req.has_cond = true;
+    req.cond_column = cond->column;
+    req.cond_category = cond->category;
+  }
+  meter_.send_payload(link_out_, encode_sample_request(req));
+
+  Result result;
+  std::uint64_t expected_row = 0;
+  for (;;) {
+    const std::vector<std::uint8_t> payload = meter_.recv_payload(link_in_);
+    if (peek_type(payload) == MsgType::kError) {
+      throw std::runtime_error("serve request failed: " + decode_error(payload).message);
+    }
+    const RowBatch batch = decode_row_batch(payload);
+    if (batch.request_id != req.request_id) {
+      throw std::runtime_error("serve client: reply for wrong request id");
+    }
+    if (batch.start_row != expected_row) {
+      throw std::runtime_error("serve client: out-of-order row batch");
+    }
+    result.n_cols = batch.n_cols;
+    result.cells.insert(result.cells.end(), batch.cells.begin(), batch.cells.end());
+    expected_row += batch.n_rows;
+    ++result.batches;
+    if (batch.done) break;
+  }
+  result.n_rows = expected_row;
+  if (expected_row != rows) {
+    throw std::runtime_error("serve client: row count mismatch");
+  }
+  return result;
+}
+
+// --- drain signal latch ----------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_drain_requested{false};
+void on_drain_signal(int) { g_drain_requested.store(true, std::memory_order_relaxed); }
+}  // namespace
+
+void install_drain_handler() {
+  std::signal(SIGTERM, on_drain_signal);
+  std::signal(SIGINT, on_drain_signal);
+}
+
+bool drain_requested() { return g_drain_requested.load(std::memory_order_relaxed); }
+
+}  // namespace gtv::serve

@@ -1,0 +1,94 @@
+// gtv::serve — typed request/response protocol for the serving daemon.
+//
+// Serve messages ride as payloads inside gtv::net frames (the transport
+// already provides versioned envelopes, CRC, and per-link sequencing), so
+// this layer only defines the application vocabulary. Every message starts
+// with a little-endian u32 type tag; peek_type() dispatches without
+// consuming.
+//
+//   client -> daemon ("<name>->serve"):
+//     Hello          protocol version check before anything else
+//     SampleRequest  n_rows + seed (+ optional condition); request_id is
+//                    chosen by the client and echoed on every reply
+//   daemon -> client ("serve-><name>"):
+//     Welcome        checkpoint model_hash + joined schema tokens
+//                    ("name:<type>"), so clients can assert they are
+//                    talking to the model they expect
+//     RowBatch       a contiguous slice of the request's rows. Cells are
+//                    f64 (the decoded values exactly as data::Table holds
+//                    them, so TCP parity with in-process sampling is
+//                    byte-testable). `done` marks the final slice.
+//     ErrorReply     request-scoped failure (bad column, bad category...)
+//
+// Decoders validate sizes exactly; malformed input raises net::WireError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gtv::serve {
+
+inline constexpr std::uint32_t kServeProtocolVersion = 1;
+
+enum class MsgType : std::uint32_t {
+  kHello = 1,
+  kWelcome = 2,
+  kSampleRequest = 3,
+  kRowBatch = 4,
+  kError = 5,
+};
+
+// Type tag of an encoded message (throws net::WireError when too short).
+MsgType peek_type(const std::vector<std::uint8_t>& payload);
+
+struct Hello {
+  std::uint32_t version = kServeProtocolVersion;
+};
+
+struct Welcome {
+  std::uint32_t version = kServeProtocolVersion;
+  std::uint64_t model_hash = 0;
+  // Joined schema as "name:<type>" tokens (type via data::to_string).
+  std::vector<std::string> columns;
+};
+
+struct SampleRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t n_rows = 0;
+  std::uint64_t seed = 0;
+  bool has_cond = false;
+  std::string cond_column;
+  std::string cond_category;
+};
+
+struct RowBatch {
+  std::uint64_t request_id = 0;
+  std::uint64_t start_row = 0;  // offset inside the request
+  std::uint64_t n_rows = 0;
+  std::uint64_t n_cols = 0;
+  bool done = false;             // last slice of this request
+  std::vector<double> cells;     // row-major, n_rows * n_cols
+};
+
+struct ErrorReply {
+  std::uint64_t request_id = 0;
+  std::string message;
+};
+
+std::vector<std::uint8_t> encode_hello(const Hello& msg);
+Hello decode_hello(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_welcome(const Welcome& msg);
+Welcome decode_welcome(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_sample_request(const SampleRequest& msg);
+SampleRequest decode_sample_request(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_row_batch(const RowBatch& msg);
+RowBatch decode_row_batch(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_error(const ErrorReply& msg);
+ErrorReply decode_error(const std::vector<std::uint8_t>& payload);
+
+}  // namespace gtv::serve

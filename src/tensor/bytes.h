@@ -1,0 +1,110 @@
+// Little-endian byte-buffer codec helpers shared by the serialization
+// envelopes (nn::serialize, encode::TableEncoder, gtv::serve). Writers
+// append to a std::vector<std::uint8_t>; the Reader is a bounds-checked
+// cursor that throws std::runtime_error on truncation, so every consumer
+// gets exact-size validation for free.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gtv::bytes {
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(out, bits);
+}
+
+inline void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+inline void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// Bounds-checked little-endian cursor. `who` prefixes error messages.
+struct Reader {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  std::size_t offset = 0;
+  const char* who = "decode";
+
+  Reader(const std::uint8_t* d, std::size_t n, const char* w, std::size_t start = 0)
+      : data(d), size(n), offset(start), who(w) {}
+
+  void need(std::size_t n, const char* what) const {
+    if (offset > size || size - offset < n) {
+      throw std::runtime_error(std::string(who) + ": truncated input (" + what + ")");
+    }
+  }
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return data[offset++];
+  }
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = get_u32(data + offset);
+    offset += 4;
+    return v;
+  }
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = get_u64(data + offset);
+    offset += 8;
+    return v;
+  }
+  float f32(const char* what) {
+    const std::uint32_t bits = u32(what);
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double f64(const char* what) {
+    const std::uint64_t bits = u64(what);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str(const char* what) {
+    const std::uint64_t len = u64(what);
+    if (len > size) throw std::runtime_error(std::string(who) + ": implausible string length");
+    need(static_cast<std::size_t>(len), what);
+    std::string s(reinterpret_cast<const char*>(data + offset),
+                  static_cast<std::size_t>(len));
+    offset += static_cast<std::size_t>(len);
+    return s;
+  }
+  bool done() const { return offset == size; }
+};
+
+}  // namespace gtv::bytes

@@ -90,5 +90,123 @@ TEST(SerializeTest, CorruptFilesRejected) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, BatchNormRunningStatsSurviveReload) {
+  Rng rng(5);
+  gan::GeneratorNet net(6, 12, 2, 4, rng);
+  // Drive the running statistics away from their init with a few
+  // train-mode forwards — these live in buffers, not parameters.
+  net.set_training(true);
+  for (int step = 0; step < 4; ++step) {
+    Tensor x = Tensor::normal(8, 6, 0.0f, 1.0f, rng);
+    net.forward(ag::Var(x));
+  }
+  const std::string path = temp_path("gtv_serialize_buffers.bin");
+  save_parameters(net, path);
+
+  gan::GeneratorNet restored(6, 12, 2, 4, rng);
+  load_parameters(restored, path);
+  for (std::size_t i = 0; i < net.buffers().size(); ++i) {
+    EXPECT_FLOAT_EQ(net.buffers()[i]->max_abs_diff(*restored.buffers()[i]), 0.0f);
+  }
+  // Eval-mode outputs depend on the running stats, so this only passes if
+  // the buffers really round-tripped.
+  net.set_training(false);
+  restored.set_training(false);
+  ag::NoGradGuard no_grad;
+  Tensor probe = Tensor::ones(3, 6);
+  EXPECT_FLOAT_EQ(net.forward(ag::Var(probe)).value().max_abs_diff(
+                      restored.forward(ag::Var(probe)).value()),
+                  0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LegacyV1FormatStillLoads) {
+  Rng rng(6);
+  Sequential model;
+  model.emplace<Linear>(3, 5, rng);
+  model.emplace<Linear>(5, 2, rng);
+  // Handcraft a v1 file: "GTVP" magic, u64 parameter count, then per
+  // parameter u64 rows / u64 cols / raw floats, all native-endian, no CRC.
+  std::vector<std::uint8_t> bytes;
+  auto put_native = [&bytes](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes.insert(bytes.end(), b, b + n);
+  };
+  const std::uint32_t magic = 0x47545650;
+  put_native(&magic, 4);
+  auto params = model.parameters();
+  const std::uint64_t count = params.size();
+  put_native(&count, 8);
+  for (const auto& p : params) {
+    const std::uint64_t rows = p.value().rows();
+    const std::uint64_t cols = p.value().cols();
+    put_native(&rows, 8);
+    put_native(&cols, 8);
+    put_native(p.value().data(), p.value().size() * sizeof(float));
+  }
+  const std::string path = temp_path("gtv_serialize_v1.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  Sequential other;
+  other.emplace<Linear>(3, 5, rng);  // different random init
+  other.emplace<Linear>(5, 2, rng);
+  load_parameters(other, path);
+  auto a = model.parameters();
+  auto b = other.parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i].value().max_abs_diff(b[i].value()), 0.0f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CrcCatchesBitFlipsAndTrailingBytes) {
+  Rng rng(7);
+  Linear model(4, 4, rng);
+  const std::string path = temp_path("gtv_serialize_crc.bin");
+  save_parameters(model, path);
+  const auto size = std::filesystem::file_size(path);
+
+  // Flip one bit in the middle of the payload.
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    file.seekp(static_cast<std::streamoff>(size / 2));
+    file.write(&byte, 1);
+  }
+  EXPECT_THROW(load_parameters(model, path), std::runtime_error);
+
+  // A single appended byte must also fail (exact-size + CRC discipline).
+  save_parameters(model, path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.put('\0');
+  }
+  EXPECT_THROW(load_parameters(model, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncationFuzzNeverCrashes) {
+  Rng rng(8);
+  gan::GeneratorNet net(5, 8, 1, 3, rng);
+  const std::string path = temp_path("gtv_serialize_fuzz.bin");
+  save_parameters(net, path);
+  const auto size = std::filesystem::file_size(path);
+  // Every truncation length must throw — never crash, never half-load.
+  for (std::uintmax_t cut = 0; cut < size; cut += 3) {
+    save_parameters(net, path);
+    std::filesystem::resize_file(path, cut);
+    EXPECT_THROW(load_parameters(net, path), std::runtime_error) << "cut=" << cut;
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace gtv::nn

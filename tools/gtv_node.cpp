@@ -89,6 +89,9 @@ struct Args {
   // top-k hot stacks in telemetry snapshots.
   int sample_hz = 0;
   std::string profile_dir = ".";
+  // Write a serve::Checkpoint container after training (inproc and driver
+  // roles): the driver collects every party's part over the wire.
+  std::string checkpoint_out;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -103,6 +106,7 @@ struct Args {
                "  [--blackbox-dir DIR] [--blackbox-size BYTES] [--blackbox-stall-ms N]\n"
                "  [--recv-timeout-ms N] [--max-attempts N]\n"
                "  [--sample-hz HZ] [--profile-dir DIR]\n"
+               "  [--checkpoint-out FILE]   (inproc, driver)\n"
                "  [--chaos-drop p] [--chaos-dup p] [--chaos-corrupt p]\n"
                "  [--chaos-latency-us N] [--chaos-seed S]   (inproc only)\n");
   std::exit(2);
@@ -164,6 +168,8 @@ Args parse_args(int argc, char** argv) {
       args.sample_hz = std::atoi(value(i));
     } else if (flag == "--profile-dir") {
       args.profile_dir = value(i);
+    } else if (flag == "--checkpoint-out") {
+      args.checkpoint_out = value(i);
     } else if (flag == "--chaos-drop") {
       args.chaos.drop_prob = std::atof(value(i));
       args.chaos_enabled = true;
@@ -243,26 +249,9 @@ void declare_parties(std::size_t n_clients) {
   sink.declare_party(obs::kDriverPid, "driver");
 }
 
-std::uint64_t hash_table(const data::Table& table) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xffu;
-      h *= 0x100000001b3ULL;
-    }
-  };
-  mix(table.n_rows());
-  mix(table.n_cols());
-  for (std::size_t r = 0; r < table.n_rows(); ++r) {
-    for (std::size_t c = 0; c < table.n_cols(); ++c) {
-      const double cell = table.cell(r, c);
-      std::uint64_t bits;
-      std::memcpy(&bits, &cell, 8);
-      mix(bits);
-    }
-  }
-  return h;
-}
+// Model fingerprint: serve::hash_table is the same FNV-1a the checkpoint
+// container stamps, so the report hash and the checkpoint hash agree.
+std::uint64_t hash_table(const data::Table& table) { return serve::hash_table(table); }
 
 void print_losses(const std::vector<gan::RoundLosses>& history) {
   std::printf("  \"rounds\": [");
@@ -422,6 +411,9 @@ int run_inproc(const Args& args, const Shared& shared) {
                        losses.wasserstein);
   });
   const std::uint64_t model_hash = hash_table(trainer.sample(64));
+  if (!args.checkpoint_out.empty()) {
+    trainer.save_checkpoint(args.checkpoint_out, model_hash);
+  }
   finish_sampler(prof, args, "inproc");
 
   std::printf("{\n  \"role\": \"inproc\",\n  \"transport\": \"%s\",\n",
@@ -430,6 +422,9 @@ int run_inproc(const Args& args, const Shared& shared) {
   print_traffic(trainer.traffic());
   std::printf(",\n  \"model_hash\": \"%016llx\"",
               static_cast<unsigned long long>(model_hash));
+  if (!args.checkpoint_out.empty()) {
+    std::printf(",\n  \"checkpoint\": \"%s\"", args.checkpoint_out.c_str());
+  }
   if (chaos) {
     const auto stats = chaos->stats();
     std::printf(
@@ -568,6 +563,7 @@ int run_driver(const Args& args, const Shared& shared) {
   core::DriverNode node(shared.config);
   node.set_transport(transport);
   node.traffic().set_retry_policy(node_retry_policy(args));
+  if (!args.checkpoint_out.empty()) node.set_checkpoint_out(args.checkpoint_out);
   obs::agg::LiveStatus status;
   node.set_live_status(&status);
   obs::bb::StallWatchdog watchdog(&status.round, &status.phase, watchdog_options(args));
@@ -631,6 +627,11 @@ int run_driver(const Args& args, const Shared& shared) {
   std::printf("{\n  \"role\": \"driver\",\n  \"transport\": \"tcp\",\n");
   print_losses(history);
   print_traffic(node.traffic());
+  if (!args.checkpoint_out.empty()) {
+    std::printf(",\n  \"checkpoint\": \"%s\",\n  \"model_hash\": \"%016llx\"",
+                args.checkpoint_out.c_str(),
+                static_cast<unsigned long long>(node.checkpoint_hash()));
+  }
   if (publisher) print_publisher(*publisher);
   if (collector) print_collector(*collector, args.clients + 2);
   print_sampler(prof);

@@ -99,6 +99,9 @@ const char* phase_name(std::uint32_t phase) {
     case 3: return "generator";
     case 4: return "shuffle";
     case 5: return "done";
+    case 6: return "serve-wait";   // serving daemon: idle between batches
+    case 7: return "serve-batch";  // serving daemon: coalesced generator run
+    case 8: return "serve-drain";  // serving daemon: graceful shutdown
   }
   return "?";
 }
