@@ -57,6 +57,18 @@
 #          parties; the diff of a profile against itself must cancel to zero
 #          stacks. Emits BENCH_sampler_smoke.json (samples/sec, overhead
 #          ratio, resolved fraction).
+#   resume incremental build + resume/node/transport tests, then the
+#          elastic-federation smoke: a 4-process run that rewrites a GTVT
+#          train checkpoint every few rounds must reproduce the in-proc
+#          trajectory (checkpointing is a pure observer); a cold --resume
+#          relaunch from the round-6 container must replay to the exact
+#          same history and model hash; a straggled 40-round run
+#          (--straggle-us) with client1 SIGKILLed mid-training must park,
+#          readmit the --rejoin relaunch from the last checkpoint, and
+#          finish all rounds bit-identical to an uninterrupted run; and a
+#          --dp-noise TCP run must match the in-proc DP trainer to 1e-5
+#          (the lifted DP-over-TCP restriction). Emits
+#          BENCH_resume_smoke.json.
 #   serve  incremental build + serve/serialize tests, then the serving
 #          smoke: gtv-node --checkpoint-out writes a versioned container,
 #          gtv-serve serves it over TCP with /metrics + the flight recorder
@@ -912,6 +924,187 @@ EOF
   python3 scripts/bench_compare.py BENCH_serve.json || true
 }
 
+# --- elastic-federation smoke (stages: all, resume) --------------------------
+# Exercises coordinated train checkpoints end to end: checkpointing as a
+# pure observer, a cold --resume from the GTVT container, the headline
+# crash — SIGKILL a client mid-training and readmit its --rejoin relaunch
+# from the last checkpoint — and DP-noise parity between the in-proc
+# trainer and the TCP deployment.
+run_resume_stage() {
+  local EOUT="$SMOKE_OUT/resume"
+  mkdir -p "$EOUT"
+  local NODE="$BUILD_DIR/tools/gtv-node"
+  local ARGS="--clients 2 --rows 96 --batch 32 --d-steps 2 --seed 7"
+  command -v python3 > /dev/null 2>&1 \
+    || { echo "FAIL: the resume stage needs python3"; exit 1; }
+
+  wait_leg() {
+    local TAG="$1"
+    shift
+    local PID FAILED=0
+    for PID in "$@"; do wait "$PID" || FAILED=1; done
+    if [ "$FAILED" -ne 0 ]; then
+      echo "FAIL: a gtv-node process exited nonzero (leg $TAG)"
+      cat "$EOUT/$TAG"*.json
+      exit 1
+    fi
+  }
+
+  # Four OS processes with shared flags; the driver additionally writes
+  # <tag>.ckpt so legs can compare final model hashes bit-for-bit.
+  run4() {
+    local TAG="$1" PORT="$2" DPORT="$3"
+    shift 3
+    local SH="$ARGS $* --port $PORT --driver-port $DPORT"
+    "$NODE" --role server $SH > "$EOUT/${TAG}_server.json" 2>&1 &
+    local S_PID=$!
+    "$NODE" --role client0 $SH > "$EOUT/${TAG}_client0.json" 2>&1 &
+    local C0_PID=$!
+    "$NODE" --role client1 $SH > "$EOUT/${TAG}_client1.json" 2>&1 &
+    local C1_PID=$!
+    "$NODE" --role driver $SH --checkpoint-out "$EOUT/${TAG}.ckpt" \
+      > "$EOUT/${TAG}_driver.json" 2>&1 &
+    local D_PID=$!
+    wait_leg "$TAG" "$S_PID" "$C0_PID" "$C1_PID" "$D_PID"
+  }
+
+  # 1. In-proc references for both horizons.
+  "$NODE" --role inproc $ARGS --rounds 8 > "$EOUT/ref8.json"
+  "$NODE" --role inproc $ARGS --rounds 40 > "$EOUT/ref40.json"
+
+  # 2. Checkpoint parity: an elastic 8-round run that rewrites the GTVT
+  #    container every 3 rounds must reproduce the plain trajectory. The
+  #    surviving file is the round-6 snapshot ((r+1) % 3 lands the
+  #    barrier after rounds 3 and 6, never 8).
+  run4 base8 47761 47762 --rounds 8 --train-ckpt "$EOUT/train.gtvt" --ckpt-every 3
+  [ -s "$EOUT/train.gtvt" ] \
+    || { echo "FAIL: the elastic run left no GTVT train checkpoint"; exit 1; }
+
+  # 3. Cold resume: fresh processes, --resume from the round-6 container,
+  #    train rounds 7..8 only. Same full history, same final model hash.
+  run4 resumed 47763 47764 --rounds 8 --resume "$EOUT/train.gtvt"
+
+  # 4. Uninterrupted 40-round TCP baseline for the crash leg's gates.
+  run4 base40 47765 47766 --rounds 40
+
+  # 5. The headline crash. The straggler latency stretches the run so the
+  #    SIGKILL lands mid-training (an unthrottled 40-round run is over in
+  #    ~2s); checkpoints land every 2 rounds; client1 dies once the first
+  #    GTVT snapshot is on disk and relaunches with --rejoin. The driver
+  #    must park the round, readmit the newcomer, and finish all 40
+  #    rounds with recoveries >= 1.
+  local KARGS="$ARGS --rounds 40 --straggle-us 10000 --port 47767 --driver-port 47768"
+  KARGS="$KARGS --train-ckpt $EOUT/crash.gtvt --ckpt-every 2 --rejoin-wait-ms 30000"
+  "$NODE" --role server $KARGS > "$EOUT/crash_server.json" 2>&1 &
+  local S_PID=$!
+  "$NODE" --role client0 $KARGS > "$EOUT/crash_client0.json" 2>&1 &
+  local C0_PID=$!
+  "$NODE" --role client1 $KARGS > "$EOUT/crash_client1.json" 2>&1 &
+  local C1_PID=$!
+  "$NODE" --role driver $KARGS --checkpoint-out "$EOUT/crash.ckpt" \
+    > "$EOUT/crash_driver.json" 2>&1 &
+  local D_PID=$!
+
+  local TRY
+  for TRY in $(seq 1 400); do
+    [ -s "$EOUT/crash.gtvt" ] && break
+    kill -0 "$C1_PID" 2> /dev/null \
+      || { echo "FAIL: client1 exited before it could be killed"; \
+           cat "$EOUT/crash_client1.json"; exit 1; }
+    sleep 0.05
+  done
+  [ -s "$EOUT/crash.gtvt" ] \
+    || { echo "FAIL: no GTVT snapshot appeared within the poll window"; exit 1; }
+  sleep 0.5
+  kill -0 "$C1_PID" 2> /dev/null \
+    || { echo "FAIL: client1 finished before the SIGKILL"; \
+         cat "$EOUT/crash_client1.json"; exit 1; }
+  kill -9 "$C1_PID"
+  wait "$C1_PID" 2> /dev/null || true
+  sleep 0.3
+  "$NODE" --role client1 $KARGS --rejoin > "$EOUT/crash_rejoin.json" 2>&1 &
+  local R_PID=$!
+  wait_leg crash "$S_PID" "$C0_PID" "$R_PID" "$D_PID"
+
+  # 6. DP parity over TCP: same noise std, per-party noise streams, so
+  #    the deployment must match the in-proc DP trainer.
+  "$NODE" --role inproc $ARGS --rounds 8 --dp-noise 0.1 > "$EOUT/dp_inproc.json"
+  run4 dp 47769 47770 --rounds 8 --dp-noise 0.1
+
+  # 7. Assertions + baseline emission.
+  python3 - "$EOUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+load = lambda name: json.load(open(f"{out}/{name}.json"))
+ref8, ref40 = load("ref8"), load("ref40")
+base8, resumed = load("base8_driver"), load("resumed_driver")
+base40, crash = load("base40_driver"), load("crash_driver")
+dp_ref, dp = load("dp_inproc"), load("dp_driver")
+
+def close(a, b, what, tol=1e-5):
+    assert len(a) == len(b), f"{what}: round count {len(a)} vs {len(b)}"
+    worst = 0.0
+    for r, (x, y) in enumerate(zip(a, b)):
+        for field in ("d_loss", "g_loss", "gp", "wasserstein"):
+            delta = abs(x[field] - y[field])
+            worst = max(worst, delta)
+            assert delta <= tol, \
+                f"{what} round {r} {field}: {x[field]} vs {y[field]}"
+    return worst
+
+# Checkpointing is a pure observer: the elastic TCP run matches the
+# in-proc reference to the transport stage's float tolerance.
+tcp_delta = close(base8["rounds"], ref8["rounds"], "base8 vs inproc")
+
+# Cold resume: restored from round 6, replayed history plus two freshly
+# trained rounds, bit-identical to the uninterrupted elastic run.
+assert resumed["resumed_from"] == 6, \
+    f"resumed from round {resumed['resumed_from']}, expected 6"
+assert resumed["recoveries"] == 0, resumed["recoveries"]
+close(resumed["rounds"], base8["rounds"], "resumed vs base8", tol=0.0)
+assert resumed["model_hash"] == base8["model_hash"], \
+    f"resume changed the model: {resumed['model_hash']} vs {base8['model_hash']}"
+
+# Crash + rejoin: the driver recovered at least once and the straggled,
+# interrupted run still lands on the uninterrupted trajectory and model.
+assert crash["recoveries"] >= 1, \
+    f"driver saw no recovery despite the SIGKILL: {crash['recoveries']}"
+close(crash["rounds"], base40["rounds"], "crash vs base40", tol=0.0)
+assert crash["model_hash"] == base40["model_hash"], \
+    f"rejoin changed the model: {crash['model_hash']} vs {base40['model_hash']}"
+close(base40["rounds"], ref40["rounds"], "base40 vs inproc")
+
+# The lifted DP-over-TCP restriction: per-party noise streams make the
+# distributed run reproduce the in-proc DP trainer.
+dp_delta = close(dp["rounds"], dp_ref["rounds"], "dp tcp vs dp inproc")
+
+baseline = {
+    "schema_version": 1,
+    "rounds": len(base8["rounds"]),
+    "ckpt_every": 3,
+    "resumed_from": resumed["resumed_from"],
+    "tcp_vs_inproc_max_loss_delta": tcp_delta,
+    "crash_rounds": len(crash["rounds"]),
+    "crash_recoveries": crash["recoveries"],
+    "straggle_us": 10000,
+    "dp_noise_std": 0.1,
+    "dp_max_loss_delta": dp_delta,
+    "model_hash_8": base8["model_hash"],
+    "model_hash_40": base40["model_hash"],
+}
+with open("BENCH_resume_smoke.json", "w") as f:
+    json.dump(baseline, f, indent=1)
+    f.write("\n")
+print(f"resume smoke OK: cold resume from round {resumed['resumed_from']} "
+      f"bit-exact, SIGKILL'd client rejoined ({crash['recoveries']} "
+      f"recoveries) and finished {len(crash['rounds'])} rounds on hash "
+      f"{crash['model_hash']}, dp-over-tcp max delta {dp_delta}")
+EOF
+
+  # 8. What moved vs the committed baseline (informational).
+  python3 scripts/bench_compare.py BENCH_resume_smoke.json || true
+}
+
 if [ "$STAGE" = "all" ]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j
@@ -982,13 +1175,14 @@ EOF
   run_blackbox_stage
   run_sampler_stage
   run_serve_stage
+  run_resume_stage
 fi
 
 if [ "$STAGE" != "all" ] && [ "$STAGE" != "health" ] && [ "$STAGE" != "transport" ] \
    && [ "$STAGE" != "kernels" ] && [ "$STAGE" != "liveobs" ] \
    && [ "$STAGE" != "blackbox" ] && [ "$STAGE" != "sampler" ] \
-   && [ "$STAGE" != "serve" ]; then
-  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health|transport|kernels|liveobs|blackbox|sampler|serve)"
+   && [ "$STAGE" != "serve" ] && [ "$STAGE" != "resume" ]; then
+  echo "check.sh: unknown GTV_CHECK_STAGE '$STAGE' (expected all|health|transport|kernels|liveobs|blackbox|sampler|serve|resume)"
   exit 2
 fi
 
@@ -1044,6 +1238,17 @@ if [ "$STAGE" = "serve" ]; then
   ctest --test-dir "$BUILD_DIR" -R 'serve_test|serialize_test|transport_test' \
     --output-on-failure
   run_serve_stage
+  echo "check.sh: all green (stage $STAGE)"
+  exit 0
+fi
+
+# --- standalone resume stage --------------------------------------------------
+if [ "$STAGE" = "resume" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" -R 'resume_test|node_test|transport_test' \
+    --output-on-failure
+  run_resume_stage
   echo "check.sh: all green (stage $STAGE)"
   exit 0
 fi

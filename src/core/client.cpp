@@ -28,7 +28,8 @@ GtvClient::GtvClient(std::size_t id, data::Table local, const GtvOptions& option
       table_(std::move(local)),
       options_(options),
       d_out_width_(d_out_width),
-      rng_(seed) {
+      rng_(seed),
+      dp_rng_(seed ^ 0xd9b0a5e5ULL) {
   if (table_.n_rows() == 0 || table_.n_cols() == 0) {
     throw std::invalid_argument("GtvClient: empty local table");
   }
@@ -156,6 +157,49 @@ void GtvClient::backward_real(const Tensor& grad_d_out) {
   Var d_out = std::move(*pending_real_);
   pending_real_.reset();
   ag::backward(d_out, Var(grad_d_out));
+}
+
+Tensor GtvClient::privatize(Tensor t) {
+  if (options_.dp_noise_std <= 0.0f) return t;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] += static_cast<float>(dp_rng_.normal(0.0, options_.dp_noise_std));
+  }
+  return t;
+}
+
+void GtvClient::restore_row_order(const std::vector<std::size_t>& target) {
+  if (target.size() != original_row_.size()) {
+    throw std::invalid_argument("GtvClient::restore_row_order: row count mismatch");
+  }
+  // Current row r holds original row original_row_[r]; we want row r to hold
+  // original row target[r]. perm[r] = invP[target[r]] with invP the inverse
+  // of the current placement, so new[r] = old[perm[r]] lands correctly.
+  std::vector<std::size_t> inverse(original_row_.size());
+  for (std::size_t r = 0; r < original_row_.size(); ++r) {
+    const std::size_t original = original_row_[r];
+    if (original >= inverse.size()) {
+      throw std::invalid_argument("GtvClient::restore_row_order: corrupt current order");
+    }
+    inverse[original] = r;
+  }
+  std::vector<std::size_t> perm(target.size());
+  for (std::size_t r = 0; r < target.size(); ++r) {
+    if (target[r] >= inverse.size()) {
+      throw std::invalid_argument("GtvClient::restore_row_order: row index out of range");
+    }
+    perm[r] = inverse[target[r]];
+  }
+  table_.permute_rows(perm);
+  encoded_ = encoded_.gather_rows(perm);
+  original_row_.assign(target.begin(), target.end());
+  cond_ = std::make_unique<encode::ConditionalSampler>(encoder_, table_);
+}
+
+void GtvClient::clear_pending() {
+  pending_generator_.reset();
+  pending_fake_d_.reset();
+  pending_real_.reset();
+  pending_condition_.reset();
 }
 
 void GtvClient::shuffle_local_data(std::uint64_t round_seed) {

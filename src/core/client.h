@@ -59,6 +59,22 @@ class GtvClient {
   // --- training-with-shuffling --------------------------------------------------------
   void shuffle_local_data(std::uint64_t round_seed);
 
+  // --- differential privacy ------------------------------------------------------------
+  // Adds Gaussian noise (options.dp_noise_std) to an outbound activation or
+  // gradient, drawn from this client's own dp stream — never from a shared
+  // trainer-owned RNG, so inproc and TCP runs privatize identically. No-op
+  // when dp_noise_std == 0.
+  Tensor privatize(Tensor t);
+
+  // --- elastic federation (train-resume) ----------------------------------------------
+  // Reorders the current rows so row r holds original row target[r] again —
+  // a rejoining client rebuilds its shard from data (identity order) and
+  // replays the net effect of every pre-crash shuffle in one permutation.
+  void restore_row_order(const std::vector<std::size_t>& target);
+  // Drops any half-finished split-backprop state (a crash can interrupt a
+  // round between forward and backward; resume restarts the whole round).
+  void clear_pending();
+
   // --- synthesis -------------------------------------------------------------------------
   data::Table synthesize(const Tensor& g_slice);
 
@@ -83,6 +99,9 @@ class GtvClient {
   // Local RNG, exposed so the trainer's sample-quality probe can snapshot
   // and restore it (probes must not perturb the training stream).
   Rng& rng() { return rng_; }
+  // DP noise stream, exposed for train-resume state capture.
+  Rng& dp_rng() { return dp_rng_; }
+  const std::vector<std::size_t>& original_row_order() const { return original_row_; }
   std::size_t generator_parameter_count();
   std::size_t discriminator_parameter_count();
 
@@ -94,6 +113,7 @@ class GtvClient {
   GtvOptions options_;
   std::size_t d_out_width_;
   Rng rng_;
+  Rng dp_rng_;  // per-client DP noise stream, derived from the party seed
   encode::TableEncoder encoder_;
   std::unique_ptr<encode::ConditionalSampler> cond_;
   Tensor encoded_;

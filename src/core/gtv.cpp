@@ -5,6 +5,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/resume.h"
+
 #include "gan/losses.h"
 #include "obs/health.h"
 #include "obs/memory.h"
@@ -49,7 +51,6 @@ GtvTrainer::GtvTrainer(std::vector<data::Table> client_tables, GtvOptions option
       seed_(seed),
       shuffle_stream_(options.shuffle_seed),
       publish_stream_(options.shuffle_seed ^ 0x9e3779b97f4a7c15ULL),
-      dp_rng_(seed ^ 0xd9b0a5e5ULL),
       health_monitor_(options.health.thresholds) {
   if (client_tables.empty()) throw std::invalid_argument("GtvTrainer: no clients");
   const std::size_t rows = client_tables.front().n_rows();
@@ -109,14 +110,6 @@ std::string GtvTrainer::link_down(std::size_t client) const {
   return "server->client" + std::to_string(client);
 }
 
-Tensor GtvTrainer::privatize(Tensor activations) {
-  if (options_.dp_noise_std <= 0.0f) return activations;
-  for (std::size_t i = 0; i < activations.size(); ++i) {
-    activations.data()[i] += static_cast<float>(dp_rng_.normal(0.0, options_.dp_noise_std));
-  }
-  return activations;
-}
-
 gan::RoundLosses GtvTrainer::critic_step(std::size_t batch, obs::RoundTelemetry& telemetry) {
   const std::size_t n = clients_.size();
   gan::RoundLosses losses;
@@ -164,8 +157,8 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch, obs::RoundTelemetry&
   fake_vars.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const Tensor slice = meter_.transfer(link_down(i), slices[i]);
-    const Tensor d_out =
-        meter_.transfer(link_up(i), privatize(clients_[i]->forward_fake(slice, false)));
+    const Tensor d_out = meter_.transfer(
+        link_up(i), clients_[i]->privatize(clients_[i]->forward_fake(slice, false)));
     fake_vars.emplace_back(d_out, /*requires_grad=*/true);
   }
   mem.reset();
@@ -183,14 +176,14 @@ gan::RoundLosses GtvTrainer::critic_step(std::size_t batch, obs::RoundTelemetry&
       // Client p always knows the indices; in the P2P variant every client
       // received them and forwards only the selected rows.
       const Tensor d_out = meter_.transfer(
-          link_up(i), privatize(clients_[i]->forward_real_selected(i == p ? sample.rows
-                                                                          : idx)));
+          link_up(i), clients_[i]->privatize(
+                          clients_[i]->forward_real_selected(i == p ? sample.rows : idx)));
       real_full_rows[i] = d_out.rows();
       real_vars.emplace_back(d_out, /*requires_grad=*/true);
     } else {
       // Non-contributing clients pass ALL their rows; the server selects.
       const Tensor d_out_full =
-          meter_.transfer(link_up(i), privatize(clients_[i]->forward_real_all()));
+          meter_.transfer(link_up(i), clients_[i]->privatize(clients_[i]->forward_real_all()));
       real_full_rows[i] = d_out_full.rows();
       real_vars.emplace_back(d_out_full.gather_rows(idx), /*requires_grad=*/true);
     }
@@ -325,8 +318,8 @@ float GtvTrainer::generator_step(std::size_t batch, obs::RoundTelemetry& telemet
   fake_vars.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const Tensor slice = meter_.transfer(link_down(i), slices[i]);
-    const Tensor d_out =
-        meter_.transfer(link_up(i), privatize(clients_[i]->forward_fake(slice, true)));
+    const Tensor d_out = meter_.transfer(
+        link_up(i), clients_[i]->privatize(clients_[i]->forward_fake(slice, true)));
     fake_vars.emplace_back(d_out, /*requires_grad=*/true);
   }
 
@@ -628,6 +621,64 @@ serve::Checkpoint GtvTrainer::make_checkpoint(std::uint64_t model_hash) {
 
 void GtvTrainer::save_checkpoint(const std::string& path, std::uint64_t model_hash) {
   serve::save_checkpoint(make_checkpoint(model_hash), path);
+}
+
+serve::TrainCheckpoint GtvTrainer::make_train_checkpoint() const {
+  serve::TrainCheckpoint ckpt;
+  ckpt.seed = seed_;
+  ckpt.round = history_.size();
+  ckpt.shuffle_stream = shuffle_stream_.state();
+  ckpt.publish_stream = publish_stream_.state();
+  ckpt.history = history_;
+  ckpt.server = capture_server_train_state(*server_);
+  for (const auto& client : clients_) {
+    ckpt.clients.push_back(capture_client_train_state(*client));
+  }
+  return ckpt;
+}
+
+void GtvTrainer::restore_train_state(const serve::TrainCheckpoint& ckpt) {
+  if (ckpt.seed != seed_) {
+    throw serve::CheckpointError("restore_train_state: checkpoint seed " +
+                                 std::to_string(ckpt.seed) + " != trainer seed " +
+                                 std::to_string(seed_));
+  }
+  if (ckpt.clients.size() != clients_.size()) {
+    throw serve::CheckpointError("restore_train_state: checkpoint has " +
+                                 std::to_string(ckpt.clients.size()) + " clients, trainer " +
+                                 std::to_string(clients_.size()));
+  }
+  if (ckpt.history.size() != ckpt.round) {
+    throw serve::CheckpointError("restore_train_state: history/round mismatch");
+  }
+  restore_server_train_state(*server_, ckpt.server);
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    restore_client_train_state(*clients_[i], ckpt.clients[i]);
+  }
+  shuffle_stream_.set_state(ckpt.shuffle_stream);
+  publish_stream_.set_state(ckpt.publish_stream);
+  history_ = ckpt.history;
+  // Keep telemetry_ parallel to history_ (train_round indexes rounds by
+  // telemetry_.size()). Pre-crash phase timings are gone; the skeleton
+  // records carry the round index and losses so reports stay coherent.
+  telemetry_.clear();
+  for (std::size_t r = 0; r < history_.size(); ++r) {
+    obs::RoundTelemetry t;
+    t.round = r;
+    t.d_loss = history_[r].d_loss;
+    t.g_loss = history_[r].g_loss;
+    t.gp = history_[r].gp;
+    t.wasserstein = history_[r].wasserstein;
+    telemetry_.push_back(std::move(t));
+  }
+}
+
+void GtvTrainer::save_train_checkpoint(const std::string& path) const {
+  serve::save_train_checkpoint(make_train_checkpoint(), path);
+}
+
+void GtvTrainer::restore_train_state(const std::string& path) {
+  restore_train_state(serve::load_train_checkpoint(path));
 }
 
 ServerInferenceAttack::Evaluation GtvTrainer::attack_evaluation() const {

@@ -81,6 +81,21 @@ class GtvTrainer {
   serve::Checkpoint make_checkpoint(std::uint64_t model_hash = 0);
   void save_checkpoint(const std::string& path, std::uint64_t model_hash = 0);
 
+  // --- elastic federation (train-resume) ---------------------------------------
+  // Full training state as a GTVT container: every party's module weights,
+  // Adam moments, RNG positions (including each client's DP stream and row
+  // order), the driver streams, the completed-round counter and loss
+  // history. restore_train_state() rebuilds exactly that point — a resumed
+  // run's loss trajectory is bit-identical to the uninterrupted one. Throws
+  // CheckpointError when the checkpoint's seed or party shapes don't match
+  // this trainer (resume requires rebuilding from the same data and seed).
+  serve::TrainCheckpoint make_train_checkpoint() const;
+  void restore_train_state(const serve::TrainCheckpoint& checkpoint);
+  void save_train_checkpoint(const std::string& path) const;
+  void restore_train_state(const std::string& path);
+  // Rounds fully completed so far (== history().size()).
+  std::size_t rounds_completed() const { return history_.size(); }
+
   std::size_t n_clients() const { return clients_.size(); }
   GtvClient& client(std::size_t i) { return *clients_.at(i); }
   GtvServer& server() { return *server_; }
@@ -137,8 +152,6 @@ class GtvTrainer {
   // snapshotted/restored so training trajectories are unaffected) and fills
   // `health.probes` with per-column marginal comparisons vs the real shards.
   void run_probe(obs::RoundHealth& health);
-  // Client-side DP noise on outgoing activations (no-op when disabled).
-  Tensor privatize(Tensor activations);
   std::string link_up(std::size_t client) const;    // client -> server
   std::string link_down(std::size_t client) const;  // server -> client
 
@@ -151,7 +164,6 @@ class GtvTrainer {
   PeerSelectionFrequencyAttack peer_attack_;
   Rng shuffle_stream_;   // clients' shared secret stream (never on the server)
   Rng publish_stream_;
-  Rng dp_rng_;           // Gaussian noise stream for the optional DP mode
   data::Table initial_joined_;  // evaluation-only ground truth snapshot
   std::vector<gan::RoundLosses> history_;
   std::vector<obs::RoundTelemetry> telemetry_;  // parallel to history_

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "core/resume.h"
 #include "gan/losses.h"
 #include "obs/thread_name.h"
 #include "serve/engine.h"
@@ -26,11 +27,9 @@ void NodeConfig::validate() const {
         "NodeConfig: peer-to-peer index sharing needs client<->client links; "
         "the node topology is star-shaped (use IndexSharing::kServer)");
   }
-  if (options.dp_noise_std > 0.0f) {
-    throw std::invalid_argument(
-        "NodeConfig: DP noise draws from the trainer's own RNG stream, which "
-        "no single party owns in a distributed run");
-  }
+  // DP noise is deliberately NOT rejected: each client owns its noise
+  // stream (GtvClient::privatize, seeded from the client's party seed), so
+  // dp_noise_std > 0 partitions cleanly and runs over TCP.
 }
 
 std::vector<std::uint64_t> party_seeds(std::uint64_t seed, std::size_t n_clients) {
@@ -106,14 +105,33 @@ void ServerNode::run() {
     switch (cmd[0]) {
       case kCmdCriticStep:
         if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kCritic);
-        critic_step(cmd.at(1));
+        try {
+          critic_step(cmd.at(1));
+        } catch (const net::TransportError&) {
+          if (!elastic_) throw;
+          park_round();
+        }
         break;
       case kCmdGeneratorStep:
         if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kGenerator);
-        generator_step(cmd.at(1));
+        try {
+          generator_step(cmd.at(1));
+        } catch (const net::TransportError&) {
+          if (!elastic_) throw;
+          park_round();
+          break;
+        }
         if (status_ != nullptr) {
           status_->round.fetch_add(1, std::memory_order_relaxed);
         }
+        break;
+      case kCmdCheckpointTrain:
+        meter_.send_payload("server->driver",
+                            serve::encode_server_train_part(
+                                capture_server_train_state(*server_)));
+        break;
+      case kCmdRestore:
+        restore_train();
         break;
       case kCmdCheckpoint: {
         serve::ServerPart part;
@@ -136,6 +154,42 @@ void ServerNode::run() {
         throw net::WireError("node: unknown server command " + std::to_string(cmd[0]));
     }
   }
+}
+
+void ServerNode::park_round() {
+  // A peer vanished mid-round. Drop half-finished split state; the driver
+  // will replay the round from the last coordinated checkpoint.
+  server_->clear_pending();
+  // Poke everyone still blocked on us: an empty payload fails whatever
+  // recv consumes it (indices and tensors both reject it) without waiting
+  // out the retry budget. Anything left queued is discarded at restore.
+  for (std::size_t i = 0; i < config_.n_clients; ++i) {
+    try {
+      meter_.send_payload(link_down(i), {});
+    } catch (const net::TransportError&) {
+      // dead peer — exactly why we are parking
+    }
+  }
+  try {
+    meter_.send_payload("server->driver", {});
+  } catch (const net::TransportError&) {
+  }
+}
+
+void ServerNode::restore_train() {
+  // Data-plane links restart from scratch: the rejoined party counts from
+  // seq 0, and queued frames belong to the round being replayed. The
+  // command links stay intact — they are in lockstep with the driver.
+  net::Transport& t = meter_.transport();
+  for (std::size_t i = 0; i < config_.n_clients; ++i) {
+    t.discard_queued(link_up(i));
+    t.reset_link(link_up(i));
+    t.reset_link(link_down(i));
+  }
+  const serve::ServerTrainPart part =
+      serve::decode_server_train_part(meter_.recv_payload("driver->server"));
+  restore_server_train_state(*server_, part);
+  meter_.send_indices("server->driver", {kCmdRestore});
 }
 
 void ServerNode::critic_step(std::size_t batch) {
@@ -306,7 +360,10 @@ void ClientNode::run() {
     status_->rounds_total.store(config_.rounds, std::memory_order_relaxed);
     status_->set_phase(obs::agg::Phase::kSetup);
   }
-  meter_.send_indices(link_up(), {client_->cv_width()});
+  // A rejoining client skips the CV-width report: the surviving server
+  // already holds every client's setup info, and an unexpected setup frame
+  // would desync the replayed round.
+  if (!rejoin_) meter_.send_indices(link_up(), {client_->cv_width()});
   const std::string cmd_link = "driver->client" + std::to_string(id_);
   const std::string ack_link = "client" + std::to_string(id_) + "->driver";
   for (;;) {
@@ -314,11 +371,22 @@ void ClientNode::run() {
     switch (cmd[0]) {
       case kCmdCriticStep:
         if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kCritic);
-        critic_step(cmd.at(1));
+        try {
+          critic_step(cmd.at(1));
+        } catch (const net::TransportError&) {
+          if (!elastic_) throw;
+          client_->clear_pending();  // park: the driver will replay the round
+        }
         break;
       case kCmdGeneratorStep:
         if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kGenerator);
-        generator_step(cmd.at(1));
+        try {
+          generator_step(cmd.at(1));
+        } catch (const net::TransportError&) {
+          if (!elastic_) throw;
+          client_->clear_pending();
+          break;
+        }
         if (status_ != nullptr) {
           status_->round.fetch_add(1, std::memory_order_relaxed);
         }
@@ -326,6 +394,13 @@ void ClientNode::run() {
       case kCmdShuffle:
         if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kShuffle);
         client_->shuffle_local_data(static_cast<std::uint64_t>(cmd.at(1)));
+        break;
+      case kCmdCheckpointTrain:
+        meter_.send_payload(ack_link, serve::encode_client_train_part(
+                                          capture_client_train_state(*client_)));
+        break;
+      case kCmdRestore:
+        restore_train();
         break;
       case kCmdCheckpoint: {
         serve::ClientPart part;
@@ -348,6 +423,18 @@ void ClientNode::run() {
   }
 }
 
+void ClientNode::restore_train() {
+  net::Transport& t = meter_.transport();
+  t.discard_queued(link_down());
+  t.reset_link(link_down());
+  t.reset_link(link_up());
+  const std::string cmd_link = "driver->client" + std::to_string(id_);
+  const serve::ClientTrainPart part =
+      serve::decode_client_train_part(meter_.recv_payload(cmd_link));
+  restore_client_train_state(*client_, part);
+  meter_.send_indices("client" + std::to_string(id_) + "->driver", {kCmdRestore});
+}
+
 void ClientNode::critic_step(std::size_t batch) {
   const std::size_t p = recv_command(meter_, link_down())[0];
 
@@ -360,16 +447,21 @@ void ClientNode::critic_step(std::size_t batch) {
 
   client_->zero_grad_discriminator();
 
-  // Fake path: split slice down, D^b(G^b(slice)) back up.
+  // Fake path: split slice down, D^b(G^b(slice)) back up. Outbound logits
+  // pass through the client's own DP stream (no-op when disabled), exactly
+  // as in GtvTrainer::critic_step.
   const Tensor slice = meter_.recv_tensor(link_down());
-  meter_.send_tensor(link_up(), client_->forward_fake(slice, /*train_generator=*/false));
+  meter_.send_tensor(
+      link_up(),
+      client_->privatize(client_->forward_fake(slice, /*train_generator=*/false)));
 
   // Real path: the selected client forwards its chosen rows; everyone else
   // forwards everything and lets the server select.
   if (p == id_) {
-    meter_.send_tensor(link_up(), client_->forward_real_selected(sample.rows));
+    meter_.send_tensor(link_up(),
+                       client_->privatize(client_->forward_real_selected(sample.rows)));
   } else {
-    meter_.send_tensor(link_up(), client_->forward_real_all());
+    meter_.send_tensor(link_up(), client_->privatize(client_->forward_real_all()));
   }
 
   client_->backward_fake_discriminator(meter_.recv_tensor(link_down()));
@@ -395,7 +487,9 @@ void ClientNode::generator_step(std::size_t batch) {
   client_->zero_grad_generator();
 
   const Tensor slice = meter_.recv_tensor(link_down());
-  meter_.send_tensor(link_up(), client_->forward_fake(slice, /*train_generator=*/true));
+  meter_.send_tensor(
+      link_up(),
+      client_->privatize(client_->forward_fake(slice, /*train_generator=*/true)));
 
   const Tensor d_out_grad = meter_.recv_tensor(link_down());
   meter_.send_tensor(link_up(), client_->backward_generator(d_out_grad));
@@ -405,9 +499,19 @@ void ClientNode::generator_step(std::size_t batch) {
 // --- DriverNode ------------------------------------------------------------------
 
 DriverNode::DriverNode(NodeConfig config)
-    : config_(std::move(config)), shuffle_stream_(config_.options.shuffle_seed) {
+    : config_(std::move(config)),
+      shuffle_stream_(config_.options.shuffle_seed),
+      publish_stream_(config_.options.shuffle_seed ^ 0x9e3779b97f4a7c15ULL) {
   config_.validate();
 }
+
+void DriverNode::set_train_checkpoint(std::string path, std::size_t every) {
+  if (every == 0) throw std::invalid_argument("DriverNode: checkpoint interval is 0");
+  train_ckpt_path_ = std::move(path);
+  train_ckpt_every_ = every;
+}
+
+void DriverNode::set_resume(std::string path) { resume_path_ = std::move(path); }
 
 void DriverNode::broadcast(NodeCommand code, std::size_t arg, bool include_server) {
   if (include_server) meter_.send_indices("driver->server", {code, arg});
@@ -424,33 +528,53 @@ std::vector<gan::RoundLosses> DriverNode::run() {
     status_->set_phase(obs::agg::Phase::kSetup);
   }
   std::vector<gan::RoundLosses> history;
-  for (std::size_t r = 0; r < config_.rounds; ++r) {
-    gan::RoundLosses losses;
-    for (std::size_t step = 0; step < config_.options.gan.d_steps_per_round; ++step) {
-      if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kCritic);
-      broadcast(kCmdCriticStep, batch, /*include_server=*/true);
-      const Tensor packed = meter_.recv_tensor("server->driver");
-      losses.d_loss = packed(0, 0);
-      losses.gp = packed(0, 2);
-      losses.wasserstein = packed(0, 3);
-    }
-    if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kGenerator);
-    broadcast(kCmdGeneratorStep, batch, /*include_server=*/true);
-    losses.g_loss = meter_.recv_tensor("server->driver")(0, 1);
-    if (status_ != nullptr) {
-      status_->set_losses(losses.d_loss, losses.g_loss, losses.gp,
-                          losses.wasserstein);
-      status_->set_round(r + 1);
-    }
+  if (!resume_path_.empty()) {
+    last_train_ckpt_ = std::make_unique<serve::TrainCheckpoint>(
+        serve::load_train_checkpoint(resume_path_));
+    history = distribute_restore();
+    resumed_from_ = history.size();
+  }
+  std::size_t r = history.size();
+  while (r < config_.rounds) {
+    try {
+      gan::RoundLosses losses;
+      for (std::size_t step = 0; step < config_.options.gan.d_steps_per_round; ++step) {
+        if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kCritic);
+        broadcast(kCmdCriticStep, batch, /*include_server=*/true);
+        const Tensor packed = meter_.recv_tensor("server->driver");
+        losses.d_loss = packed(0, 0);
+        losses.gp = packed(0, 2);
+        losses.wasserstein = packed(0, 3);
+      }
+      if (status_ != nullptr) status_->set_phase(obs::agg::Phase::kGenerator);
+      broadcast(kCmdGeneratorStep, batch, /*include_server=*/true);
+      losses.g_loss = meter_.recv_tensor("server->driver")(0, 1);
+      if (status_ != nullptr) {
+        status_->set_losses(losses.d_loss, losses.g_loss, losses.gp,
+                            losses.wasserstein);
+        status_->set_round(r + 1);
+      }
 
-    if (config_.options.training_with_shuffling) {
-      // The shuffle seed is the clients' shared secret: the driver plays
-      // the clients' side of that agreement and never tells the server.
-      const std::uint64_t round_seed = shuffle_stream_.next_u64();
-      broadcast(kCmdShuffle, static_cast<std::size_t>(round_seed),
-                /*include_server=*/false);
+      if (config_.options.training_with_shuffling) {
+        // The shuffle seed is the clients' shared secret: the driver plays
+        // the clients' side of that agreement and never tells the server.
+        const std::uint64_t round_seed = shuffle_stream_.next_u64();
+        broadcast(kCmdShuffle, static_cast<std::size_t>(round_seed),
+                  /*include_server=*/false);
+      }
+      history.push_back(losses);
+      if (train_ckpt_every_ > 0 && (r + 1) % train_ckpt_every_ == 0) {
+        collect_train_checkpoint(history);
+      }
+      ++r;
+    } catch (const net::TransportError&) {
+      // A party died mid-round. Without a coordinated checkpoint there is
+      // nothing to replay from — surface the failure as before.
+      if (last_train_ckpt_ == nullptr) throw;
+      history = recover();
+      r = history.size();
+      ++recoveries_;
     }
-    history.push_back(losses);
   }
   if (!checkpoint_out_.empty()) collect_checkpoint();
   broadcast(kCmdFinish, 0, /*include_server=*/true);
@@ -482,6 +606,113 @@ void DriverNode::collect_checkpoint() {
   ckpt.model_hash = serve::hash_table(synth.sample(64, config_.seed));
   checkpoint_hash_ = ckpt.model_hash;
   serve::save_checkpoint(ckpt, checkpoint_out_);
+}
+
+void DriverNode::collect_train_checkpoint(
+    const std::vector<gan::RoundLosses>& history) {
+  broadcast(kCmdCheckpointTrain, 0, /*include_server=*/true);
+  auto ckpt = std::make_unique<serve::TrainCheckpoint>();
+  ckpt->seed = config_.seed;
+  ckpt->round = history.size();
+  ckpt->shuffle_stream = shuffle_stream_.state();
+  ckpt->publish_stream = publish_stream_.state();
+  ckpt->history = history;
+  ckpt->server =
+      serve::decode_server_train_part(meter_.recv_payload("server->driver"));
+  for (std::size_t i = 0; i < config_.n_clients; ++i) {
+    ckpt->clients.push_back(serve::decode_client_train_part(
+        meter_.recv_payload("client" + std::to_string(i) + "->driver")));
+  }
+  if (!train_ckpt_path_.empty()) {
+    serve::save_train_checkpoint(*ckpt, train_ckpt_path_);
+  }
+  // Kept in memory as the crash-recovery replay point: recover() must not
+  // depend on re-reading a file the crash may have raced.
+  last_train_ckpt_ = std::move(ckpt);
+}
+
+std::vector<gan::RoundLosses> DriverNode::distribute_restore() {
+  const serve::TrainCheckpoint& ckpt = *last_train_ckpt_;
+  if (ckpt.seed != config_.seed) {
+    throw serve::CheckpointError("train checkpoint seed mismatch");
+  }
+  if (ckpt.clients.size() != config_.n_clients) {
+    throw serve::CheckpointError("train checkpoint client count mismatch");
+  }
+  if (ckpt.round > config_.rounds || ckpt.history.size() != ckpt.round) {
+    throw serve::CheckpointError("train checkpoint round count implausible");
+  }
+  const auto round_arg = static_cast<std::size_t>(ckpt.round);
+  meter_.send_indices("driver->server", {kCmdRestore, round_arg});
+  meter_.send_payload("driver->server",
+                      serve::encode_server_train_part(ckpt.server));
+  for (std::size_t i = 0; i < config_.n_clients; ++i) {
+    const std::string cmd = "driver->client" + std::to_string(i);
+    meter_.send_indices(cmd, {kCmdRestore, round_arg});
+    meter_.send_payload(cmd, serve::encode_client_train_part(ckpt.clients[i]));
+  }
+  await_restore_ack("server->driver");
+  for (std::size_t i = 0; i < config_.n_clients; ++i) {
+    await_restore_ack("client" + std::to_string(i) + "->driver");
+  }
+  shuffle_stream_.set_state(ckpt.shuffle_stream);
+  publish_stream_.set_state(ckpt.publish_stream);
+  return ckpt.history;
+}
+
+std::vector<gan::RoundLosses> DriverNode::recover() {
+  net::Transport& transport = meter_.transport();
+  // Short probe first: a live party answers immediately, so only genuinely
+  // dead peers are made to wait out the rejoin window.
+  std::vector<std::size_t> dead;
+  if (!transport.wait_for_live_peer("server", 200)) {
+    // A rejoined server cannot rebuild its per-client CV-width table (the
+    // setup handshake already happened), so server loss is not recoverable.
+    throw net::TransportError("DriverNode: server died; only client crashes are recoverable");
+  }
+  for (std::size_t i = 0; i < config_.n_clients; ++i) {
+    if (!transport.wait_for_live_peer("client" + std::to_string(i), 200)) {
+      dead.push_back(i);
+    }
+  }
+  for (std::size_t i : dead) {
+    const std::string peer = "client" + std::to_string(i);
+    if (!transport.wait_for_live_peer(peer, rejoin_wait_ms_)) {
+      throw net::TransportError("DriverNode: " + peer +
+                                " did not rejoin within the wait window");
+    }
+    // The restarted process starts every link at seq 0; forget the old
+    // sequence bookkeeping on both directions of its driver links. (The
+    // server resets its own data links to the rejoiner during kCmdRestore.)
+    transport.reset_link("driver->" + peer);
+    transport.reset_link(peer + "->driver");
+    transport.discard_queued(peer + "->driver");
+  }
+  // Drop whatever the aborted round left queued on our in-links (stale
+  // losses, park poison, half-collected checkpoint parts).
+  transport.discard_queued("server->driver");
+  for (std::size_t i = 0; i < config_.n_clients; ++i) {
+    transport.discard_queued("client" + std::to_string(i) + "->driver");
+  }
+  return distribute_restore();
+}
+
+void DriverNode::await_restore_ack(const std::string& link) {
+  // The aborted round may still flush frames onto this link (a loss tensor
+  // the server sent just before parking, the park poison frame itself).
+  // Skip a bounded amount of junk; anything persistent is a real failure.
+  constexpr int kMaxJunk = 32;
+  for (int attempt = 0; attempt < kMaxJunk; ++attempt) {
+    try {
+      const std::vector<std::size_t> ack = meter_.recv_indices(link);
+      if (ack.size() == 1 && ack[0] == kCmdRestore) return;
+    } catch (const net::TimeoutError&) {
+      throw;  // retry budget already spent inside recv_indices
+    } catch (const net::WireError&) {
+      // Stale tensor payload or poison frame; keep draining.
+    }
+  }
+  throw net::TransportError("DriverNode: no restore ack on " + link);
 }
 
 }  // namespace gtv::core

@@ -15,13 +15,27 @@
 // bit-for-bit given the same seed. That only holds for configurations whose
 // computation is already cleanly partitioned by party —
 // NodeConfig::validate() rejects the simulation-only modes (exact gradient
-// penalty, peer-to-peer index sharing, DP noise) whose RNG or autograd
-// state crosses the party boundary.
+// penalty, peer-to-peer index sharing) whose RNG or autograd state crosses
+// the party boundary. DP noise is fine: each client draws from its own
+// dp stream (GtvClient::privatize), so inproc and TCP trajectories agree.
 //
 // Control plane: the driver broadcasts one command frame per step
 // ("driver->server", "driver->client<k>"); within a step the server tells
 // the clients which one was selected as the CV contributor; the server
 // reports per-step losses to the driver ("server->driver").
+//
+// Elastic federation: with set_train_checkpoint the driver periodically
+// runs a kCmdCheckpointTrain barrier — every party ships its training
+// state (core/resume.h) to the driver, which writes one atomic GTVT
+// container. set_resume replays such a container through a kCmdRestore
+// barrier before round 0. When a party dies mid-round (detected through
+// the transport: a closed TCP connection fast-fails pending recvs), the
+// survivors *park* — abandon the half round, drop split-backprop state and
+// wait for driver commands — while the driver waits for the dead party to
+// be relaunched with --rejoin, then replays the last coordinated
+// checkpoint through the same kCmdRestore barrier. Every restored RNG
+// stream resumes mid-sequence, so the recovered run's loss trajectory is
+// bit-identical to an uninterrupted one.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +48,7 @@
 #include "gan/ctabgan.h"
 #include "net/wire.h"
 #include "obs/snapshot.h"
+#include "serve/checkpoint.h"
 
 namespace gtv::core {
 
@@ -42,13 +57,19 @@ namespace gtv::core {
 // shuffle seed for kShuffle (sent to clients only — the server must never
 // see it, same as in-process). kCmdCheckpoint asks every party to encode
 // its serve::Checkpoint part and ship it to the driver, which assembles
-// the container without ever seeing raw data.
+// the container without ever seeing raw data. kCmdCheckpointTrain does the
+// same for the *training* state (GTVT), and kCmdRestore pushes a saved
+// training state back down: {code, completed-round}, followed by the
+// party's encoded train part on the same command link; the party resets
+// its data-plane links, restores, and acks {kCmdRestore} to the driver.
 enum NodeCommand : std::size_t {
   kCmdCriticStep = 1,
   kCmdGeneratorStep = 2,
   kCmdShuffle = 3,
   kCmdFinish = 4,
   kCmdCheckpoint = 5,
+  kCmdCheckpointTrain = 6,
+  kCmdRestore = 7,
 };
 
 struct NodeConfig {
@@ -88,6 +109,11 @@ class ServerNode {
   // the training path.
   void set_live_status(obs::agg::LiveStatus* status) { status_ = status; }
 
+  // Elastic mode: a TransportError during a step parks the round (drops
+  // split state, pokes blocked peers, returns to the command loop) instead
+  // of crashing, so the driver can replay from the last train checkpoint.
+  void set_elastic(bool elastic) { elastic_ = elastic; }
+
   // Performs the setup handshake (clients report their CV widths), then
   // serves driver commands until kCmdFinish.
   void run();
@@ -95,6 +121,13 @@ class ServerNode {
  private:
   void critic_step(std::size_t batch);
   void generator_step(std::size_t batch);
+  // Abandons a half-finished round: drops split state and delivers one
+  // empty "poison" frame per peer link so parties blocked in a data recv
+  // fail fast instead of burning their full retry budget.
+  void park_round();
+  // kCmdRestore: reset data links, receive + apply this party's train part,
+  // ack the driver.
+  void restore_train();
   std::string link_up(std::size_t client) const;
   std::string link_down(std::size_t client) const;
 
@@ -104,6 +137,7 @@ class ServerNode {
   std::unique_ptr<GtvServer> server_;
   net::TrafficMeter meter_;
   obs::agg::LiveStatus* status_ = nullptr;
+  bool elastic_ = false;
 };
 
 class ClientNode {
@@ -119,6 +153,12 @@ class ClientNode {
   // Telemetry hook; see ServerNode::set_live_status.
   void set_live_status(obs::agg::LiveStatus* status) { status_ = status; }
 
+  // Elastic mode; see ServerNode::set_elastic.
+  void set_elastic(bool elastic) { elastic_ = elastic; }
+  // Rejoin after a crash: skip the setup CV-width report (the surviving
+  // server already holds it) and wait for the driver's kCmdRestore.
+  void set_rejoin(bool rejoin) { rejoin_ = rejoin; }
+
   // Reports this client's CV width to the server, then serves driver
   // commands until kCmdFinish.
   void run();
@@ -126,6 +166,7 @@ class ClientNode {
  private:
   void critic_step(std::size_t batch);
   void generator_step(std::size_t batch);
+  void restore_train();
   std::string link_up() const;    // client<id> -> server
   std::string link_down() const;  // server -> client<id>
 
@@ -135,6 +176,8 @@ class ClientNode {
   std::unique_ptr<GtvClient> client_;
   net::TrafficMeter meter_;
   obs::agg::LiveStatus* status_ = nullptr;
+  bool elastic_ = false;
+  bool rejoin_ = false;
 };
 
 class DriverNode {
@@ -156,6 +199,21 @@ class DriverNode {
   void set_checkpoint_out(std::string path) { checkpoint_out_ = std::move(path); }
   std::uint64_t checkpoint_hash() const { return checkpoint_hash_; }
 
+  // Coordinated train checkpoints: after every `every` completed rounds the
+  // driver runs a kCmdCheckpointTrain barrier and writes the assembled GTVT
+  // container to `path` (atomic tmp+rename, each write replacing the last).
+  // The in-memory copy doubles as the crash-recovery replay point.
+  void set_train_checkpoint(std::string path, std::size_t every);
+  // Resume: load `path` (a GTVT container) and push it through a
+  // kCmdRestore barrier before round 0, then train the remaining rounds.
+  void set_resume(std::string path);
+  // How long recover() waits for a dead party to be relaunched.
+  void set_rejoin_wait_ms(int ms) { rejoin_wait_ms_ = ms; }
+  // Rounds skipped by --resume (0 when starting fresh).
+  std::size_t resumed_from() const { return resumed_from_; }
+  // Successful crash recoveries performed during run().
+  std::size_t recoveries() const { return recoveries_; }
+
   // Runs the full schedule (rounds x (d_steps x critic + generator +
   // shuffle)), then collects the checkpoint (when requested) and
   // broadcasts kCmdFinish. Returns one RoundLosses per round,
@@ -165,13 +223,33 @@ class DriverNode {
  private:
   void broadcast(NodeCommand code, std::size_t arg, bool include_server);
   void collect_checkpoint();
+  // kCmdCheckpointTrain barrier: collect every party's train part, stamp in
+  // the driver streams + history, write the GTVT container.
+  void collect_train_checkpoint(const std::vector<gan::RoundLosses>& history);
+  // kCmdRestore barrier: push last_train_ckpt_ to every party, wait for
+  // acks, restore the driver's own streams. Returns the restored history.
+  std::vector<gan::RoundLosses> distribute_restore();
+  // Crash recovery: identify dead peers, wait for their --rejoin relaunch,
+  // reset their links, then distribute_restore().
+  std::vector<gan::RoundLosses> recover();
+  // Reads index frames off `link` until one equals {kCmdRestore}, skipping
+  // frames left over from the aborted round (stale losses, park poison).
+  void await_restore_ack(const std::string& link);
 
   NodeConfig config_;
   Rng shuffle_stream_;
+  Rng publish_stream_;  // mirror of GtvTrainer's (only advanced by sampling)
   net::TrafficMeter meter_;
   obs::agg::LiveStatus* status_ = nullptr;
   std::string checkpoint_out_;
   std::uint64_t checkpoint_hash_ = 0;
+  std::string train_ckpt_path_;
+  std::size_t train_ckpt_every_ = 0;
+  std::string resume_path_;
+  int rejoin_wait_ms_ = 30000;
+  std::size_t resumed_from_ = 0;
+  std::size_t recoveries_ = 0;
+  std::unique_ptr<serve::TrainCheckpoint> last_train_ckpt_;
 };
 
 }  // namespace gtv::core

@@ -1,0 +1,90 @@
+#include "core/resume.h"
+
+#include <stdexcept>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "nn/serialize.h"
+
+namespace gtv::core {
+
+namespace {
+
+// Module/optimizer validation speaks std::runtime_error; resume callers
+// expect the checkpoint error domain.
+template <typename Fn>
+void rethrow_as_checkpoint_error(Fn&& fn) {
+  try {
+    fn();
+  } catch (const serve::CheckpointError&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    throw serve::CheckpointError(e.what());
+  } catch (const std::invalid_argument& e) {  // restore_row_order bounds checks
+    throw serve::CheckpointError(e.what());
+  }
+}
+
+}  // namespace
+
+serve::ServerTrainPart capture_server_train_state(GtvServer& server) {
+  serve::ServerTrainPart part;
+  part.g_top = nn::snapshot_state(server.generator_top());
+  part.d_top = nn::snapshot_state(server.discriminator_top());
+  if (server.d_s() != nullptr) part.d_s = nn::snapshot_state(*server.d_s());
+  part.adam_g = server.adam_generator().state();
+  part.adam_d = server.adam_discriminator().state();
+  part.rng = server.rng().state();
+  return part;
+}
+
+void restore_server_train_state(GtvServer& server, const serve::ServerTrainPart& part) {
+  if ((server.d_s() != nullptr) != !part.d_s.empty()) {
+    throw serve::CheckpointError(
+        "restore_server_train_state: D^s presence mismatch (different column types?)");
+  }
+  rethrow_as_checkpoint_error([&] {
+    nn::restore_state(server.generator_top(), part.g_top);
+    nn::restore_state(server.discriminator_top(), part.d_top);
+    if (server.d_s() != nullptr) nn::restore_state(*server.d_s(), part.d_s);
+    server.adam_generator().set_state(part.adam_g);
+    server.adam_discriminator().set_state(part.adam_d);
+  });
+  server.rng().set_state(part.rng);
+  server.clear_pending();
+}
+
+serve::ClientTrainPart capture_client_train_state(GtvClient& client) {
+  serve::ClientTrainPart part;
+  part.g_bottom = nn::snapshot_state(client.generator_bottom());
+  part.d_bottom = nn::snapshot_state(client.discriminator_bottom());
+  part.adam_g = client.adam_generator().state();
+  part.adam_d = client.adam_discriminator().state();
+  part.rng = client.rng().state();
+  part.dp_rng = client.dp_rng().state();
+  part.original_row.reserve(client.n_rows());
+  for (const std::size_t row : client.original_row_order()) {
+    part.original_row.push_back(static_cast<std::uint64_t>(row));
+  }
+  return part;
+}
+
+void restore_client_train_state(GtvClient& client, const serve::ClientTrainPart& part) {
+  std::vector<std::size_t> order;
+  order.reserve(part.original_row.size());
+  for (const std::uint64_t row : part.original_row) {
+    order.push_back(static_cast<std::size_t>(row));
+  }
+  rethrow_as_checkpoint_error([&] {
+    nn::restore_state(client.generator_bottom(), part.g_bottom);
+    nn::restore_state(client.discriminator_bottom(), part.d_bottom);
+    client.adam_generator().set_state(part.adam_g);
+    client.adam_discriminator().set_state(part.adam_d);
+    client.restore_row_order(order);
+  });
+  client.rng().set_state(part.rng);
+  client.dp_rng().set_state(part.dp_rng);
+  client.clear_pending();
+}
+
+}  // namespace gtv::core

@@ -70,6 +70,12 @@ class GtvServer {
   Rng& rng() { return rng_; }
   // Top generator module, exposed for checkpointing (serve::snapshot_net).
   nn::Module& generator_top() { return *g_top_; }
+  // Top discriminator / CV filter, exposed for train-resume state capture.
+  // d_s() is null when the run has no discrete columns.
+  nn::Module& discriminator_top() { return *d_top_; }
+  nn::Linear* d_s() { return d_s_.get(); }
+  // Drops half-finished split state; resume restarts the whole round.
+  void clear_pending() { pending_slices_.reset(); }
   std::size_t generator_parameter_count() { return g_top_->parameter_count(); }
   std::size_t discriminator_parameter_count();
   // All top-side critic parameters (D^t and D^s), for weight clipping.

@@ -45,6 +45,14 @@ class ChaosTransport : public Transport {
                      std::vector<std::uint8_t> frame) override;
   std::vector<std::uint8_t> fetch_frame(const std::string& link,
                                         int timeout_ms) override;
+  // Crash-recovery plumbing passes straight through to the real transport
+  // (queues and peer liveness live there, not in the decorator).
+  void discard_queued(const std::string& link) override {
+    inner_->discard_queued(link);
+  }
+  bool wait_for_live_peer(const std::string& peer, int timeout_ms) override {
+    return inner_->wait_for_live_peer(peer, timeout_ms);
+  }
 
   struct Stats {
     std::uint64_t sends = 0;        // deliver_frame calls observed

@@ -526,10 +526,26 @@ std::vector<std::uint8_t> TcpTransport::fetch_frame(const std::string& link,
   };
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+  // A closed source conn usually means the peer died, and waiters must fail
+  // fast instead of burning the full retry budget. But a reconnecting peer
+  // (telemetry collector, crash rejoin) lands its replacement conn a few
+  // milliseconds after the EOF — so only fail once the source has stayed
+  // dead through a short grace window.
+  constexpr auto kDeadSourceGrace = std::chrono::milliseconds(250);
+  std::chrono::steady_clock::time_point dead_since{};
+  bool seen_dead = false;
   while (!ready()) {
     if (source_gone()) {
-      throw TransportError("tcp: peer '" + src + "' disconnected while waiting on " +
-                           link);
+      const auto now = std::chrono::steady_clock::now();
+      if (!seen_dead) {
+        seen_dead = true;
+        dead_since = now;
+      } else if (now - dead_since >= kDeadSourceGrace) {
+        throw TransportError("tcp: peer '" + src + "' disconnected while waiting on " +
+                             link);
+      }
+    } else {
+      seen_dead = false;
     }
     if (timeout_ms <= 0) throw TimeoutError("tcp: no frame on " + link);
     // Wake periodically to re-check peer liveness.
@@ -550,6 +566,19 @@ bool TcpTransport::wait_for_peer(const std::string& peer, int timeout_ms) {
   std::unique_lock<std::mutex> lock(conns_mu_);
   return conns_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
                             [&] { return conns_.count(peer) > 0; });
+}
+
+bool TcpTransport::wait_for_live_peer(const std::string& peer, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(conns_mu_);
+  return conns_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    auto it = conns_.find(peer);
+    return it != conns_.end() && !it->second->closed.load();
+  });
+}
+
+void TcpTransport::discard_queued(const std::string& link) {
+  std::lock_guard<std::mutex> lock(queues_mu_);
+  queues_.erase(link);
 }
 
 std::vector<std::string> TcpTransport::peers() const {

@@ -89,6 +89,17 @@ class TcpTransport : public Transport {
   // dialed). Returns false on timeout.
   bool wait_for_peer(const std::string& peer, int timeout_ms);
 
+  // Crash recovery: waits until a connection to `peer` exists AND has not
+  // been marked closed. wait_for_peer counts a dead connection as present
+  // (good enough for the boot rendezvous, wrong for readmitting a crashed
+  // party); this variant only accepts a live one, so it completes exactly
+  // when the restarted process has re-dialed us.
+  bool wait_for_live_peer(const std::string& peer, int timeout_ms) override;
+
+  // Crash recovery: drops raw frames parked on `link` (half-delivered state
+  // from the round being replayed).
+  void discard_queued(const std::string& link) override;
+
   std::vector<std::string> peers() const;
   std::uint64_t connect_retries() const { return connect_retries_.load(); }
   const std::string& self() const { return self_; }

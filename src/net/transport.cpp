@@ -178,6 +178,12 @@ std::uint64_t Transport::stale_frames_dropped() const {
   return stale_dropped_;
 }
 
+void Transport::reset_link(const std::string& link) {
+  std::lock_guard<std::mutex> lock(seq_mu_);
+  send_seq_.erase(link);
+  recv_expected_.erase(link);
+}
+
 // --- InProcTransport -------------------------------------------------------------
 
 void InProcTransport::deliver_frame(const std::string& link,
@@ -206,6 +212,11 @@ std::vector<std::uint8_t> InProcTransport::fetch_frame(const std::string& link,
   std::vector<std::uint8_t> frame = std::move(queue.front());
   queue.pop_front();
   return frame;
+}
+
+void InProcTransport::discard_queued(const std::string& link) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queues_.erase(link);
 }
 
 std::size_t InProcTransport::queued(const std::string& link) const {

@@ -151,6 +151,27 @@ class Transport {
   // Frames dropped by recv() as duplicates/late retransmits.
   std::uint64_t stale_frames_dropped() const;
 
+  // --- crash recovery -------------------------------------------------------
+  // Forgets the sequence bookkeeping of one link. A party that died and
+  // rejoined restarts its links at seq 0; without the reset the surviving
+  // end would drop every frame from the fresh process as stale.
+  void reset_link(const std::string& link);
+
+  // Drops any frames already queued on `link` (half-delivered state from a
+  // round the recovery protocol is about to replay). Default: no queue to
+  // clear.
+  virtual void discard_queued(const std::string& link) { (void)link; }
+
+  // Waits until `peer` has a *live* connection, up to timeout_ms. Distinct
+  // from any handshake-time wait: a peer that connected and then died must
+  // count as absent. Transports without peer liveness (inproc: parties are
+  // threads, links never die) return true immediately.
+  virtual bool wait_for_live_peer(const std::string& peer, int timeout_ms) {
+    (void)peer;
+    (void)timeout_ms;
+    return true;
+  }
+
  private:
   mutable std::mutex seq_mu_;
   std::map<std::string, std::uint64_t> send_seq_;       // next seq per link
@@ -169,6 +190,7 @@ class InProcTransport : public Transport {
                      std::vector<std::uint8_t> frame) override;
   std::vector<std::uint8_t> fetch_frame(const std::string& link,
                                         int timeout_ms) override;
+  void discard_queued(const std::string& link) override;
 
   // Frames currently queued on `link` (tests).
   std::size_t queued(const std::string& link) const;

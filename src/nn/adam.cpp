@@ -1,6 +1,8 @@
 #include "nn/adam.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "obs/health.h"
 
@@ -75,6 +77,30 @@ void Adam::step_impl() {
 
 void Adam::zero_grad() {
   for (auto& p : params_) p.zero_grad();
+}
+
+AdamState Adam::state() const {
+  AdamState s;
+  s.step_count = static_cast<std::uint64_t>(step_count_);
+  s.m = m_;
+  s.v = v_;
+  return s;
+}
+
+void Adam::set_state(const AdamState& state) {
+  if (state.m.size() != m_.size() || state.v.size() != v_.size()) {
+    throw std::runtime_error("Adam::set_state: moment count mismatch");
+  }
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    if (state.m[i].rows() != m_[i].rows() || state.m[i].cols() != m_[i].cols() ||
+        state.v[i].rows() != v_[i].rows() || state.v[i].cols() != v_[i].cols()) {
+      throw std::runtime_error("Adam::set_state: moment shape mismatch at slot " +
+                               std::to_string(i));
+    }
+  }
+  m_ = state.m;
+  v_ = state.v;
+  step_count_ = static_cast<long>(state.step_count);
 }
 
 std::size_t Adam::parameter_count() const {

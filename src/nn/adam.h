@@ -36,6 +36,15 @@ struct AdamStepStats {
   std::uint64_t nonfinite = 0;  // NaN/Inf gradient elements encountered
 };
 
+// Complete optimizer state for train-resume checkpoints: the bias-
+// correction step counter plus first/second moment estimates, one pair
+// per parameter in constructor slot order.
+struct AdamState {
+  std::uint64_t step_count = 0;
+  std::vector<Tensor> m;
+  std::vector<Tensor> v;
+};
+
 class Adam {
  public:
   explicit Adam(std::vector<ag::Var> params, AdamOptions options = {});
@@ -43,6 +52,13 @@ class Adam {
   // Applies one update using each parameter's accumulated .grad().
   void step();
   void zero_grad();
+
+  // Snapshot / restore of the moment buffers and step counter. restore
+  // validates counts and every shape against the held parameters before
+  // writing anything back, so a mismatching snapshot throws
+  // std::runtime_error and leaves the optimizer untouched.
+  AdamState state() const;
+  void set_state(const AdamState& state);
 
   const AdamOptions& options() const { return options_; }
   std::size_t parameter_count() const;

@@ -29,6 +29,17 @@
 // distributed collection path: on kCmdCheckpoint each party encodes its
 // own part and ships it to the driver, which assembles the container
 // without ever seeing raw data.
+//
+// A sibling container ("GTVT", same envelope discipline) carries the
+// *training* state needed for exact train-resume: every party's full
+// module state (generator AND discriminator towers, parameters plus
+// buffers), Adam moment estimates and step counters, RNG stream
+// positions (including the Box-Muller spare), each client's current row
+// order, the driver's shuffle/publish streams, the completed-round
+// counter, and the loss history so far. Restoring it reproduces the
+// uninterrupted run's loss trajectory bit-for-bit. save_train_checkpoint
+// writes atomically (tmp + rename) because checkpoints are written
+// mid-training, exactly when crashes happen.
 #pragma once
 
 #include <cstdint>
@@ -39,11 +50,14 @@
 
 #include "encode/encoder.h"
 #include "gan/ctabgan.h"
+#include "tensor/rng.h"
 
 namespace gtv::serve {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4B565447u;  // "GTVK"
 inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kTrainCheckpointMagic = 0x54565447u;  // "GTVT"
+inline constexpr std::uint32_t kTrainCheckpointVersion = 1;
 
 // Malformed container, version mismatch, CRC failure, or a tensor set
 // that does not fit the declared architecture.
@@ -105,6 +119,59 @@ std::vector<std::uint8_t> encode_server_part(const ServerPart& part);
 ServerPart decode_server_part(const std::vector<std::uint8_t>& bytes);
 std::vector<std::uint8_t> encode_client_part(const ClientPart& part);
 ClientPart decode_client_part(const std::vector<std::uint8_t>& bytes);
+
+// --- training-state checkpoints ("GTVT") -----------------------------------------
+
+// One party's training state. Module tensor lists are in
+// nn::snapshot_state order (parameters then buffers); optimizer moments
+// ride as nn::AdamState in constructor slot order.
+struct ServerTrainPart {
+  std::vector<Tensor> g_top;
+  std::vector<Tensor> d_top;
+  std::vector<Tensor> d_s;  // empty when the run has no discrete columns
+  nn::AdamState adam_g;
+  nn::AdamState adam_d;
+  Rng::State rng;
+};
+
+struct ClientTrainPart {
+  std::vector<Tensor> g_bottom;
+  std::vector<Tensor> d_bottom;
+  nn::AdamState adam_g;
+  nn::AdamState adam_d;
+  Rng::State rng;
+  Rng::State dp_rng;
+  // Current row r holds original (pre-training) row original_row[r]: the
+  // net effect of every shuffle so far, so a resumed client reorders its
+  // freshly-built shard into the exact mid-training permutation.
+  std::vector<std::uint64_t> original_row;
+};
+
+struct TrainCheckpoint {
+  std::uint64_t seed = 0;   // training seed; resume refuses a mismatch
+  std::uint64_t round = 0;  // rounds fully completed when this was written
+  // Driver-owned streams: the clients' secret shuffle agreement and the
+  // publication shuffle. Never part of the server's state.
+  Rng::State shuffle_stream;
+  Rng::State publish_stream;
+  std::vector<gan::RoundLosses> history;  // one entry per completed round
+  ServerTrainPart server;
+  std::vector<ClientTrainPart> clients;
+};
+
+// Per-party codecs for the kCmdCheckpointTrain barrier (each party ships
+// its own training state to the driver; decode throws CheckpointError).
+std::vector<std::uint8_t> encode_server_train_part(const ServerTrainPart& part);
+ServerTrainPart decode_server_train_part(const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> encode_client_train_part(const ClientTrainPart& part);
+ClientTrainPart decode_client_train_part(const std::vector<std::uint8_t>& bytes);
+
+// Whole-container file I/O for the GTVT envelope. save writes to
+// `path`.tmp and renames, so a crash mid-write can never destroy the
+// previous good checkpoint; throws std::runtime_error on I/O failure.
+// load throws CheckpointError on any malformed input.
+void save_train_checkpoint(const TrainCheckpoint& checkpoint, const std::string& path);
+TrainCheckpoint load_train_checkpoint(const std::string& path);
 
 // Whole-container file I/O. save throws std::runtime_error on I/O
 // failure; load throws CheckpointError on any malformed input.

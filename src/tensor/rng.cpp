@@ -1,6 +1,7 @@
 #include "tensor/rng.h"
 
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
@@ -23,6 +24,20 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::State Rng::state() const {
+  State s;
+  for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+  std::memcpy(&s.spare_bits, &spare_, sizeof(s.spare_bits));
+  s.has_spare = has_spare_;
+  return s;
+}
+
+void Rng::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  std::memcpy(&spare_, &state.spare_bits, sizeof(spare_));
+  has_spare_ = state.has_spare;
 }
 
 std::uint64_t Rng::next_u64() {

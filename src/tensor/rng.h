@@ -14,7 +14,26 @@ namespace gtv {
 // xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
 class Rng {
  public:
+  // Complete stream position: the four xoshiro words plus the Box-Muller
+  // spare (serialized as the double's bit pattern so restore is exact).
+  // Restoring a State resumes the stream mid-flight: the next draw after
+  // set_state equals the next draw the captured Rng would have produced.
+  struct State {
+    std::uint64_t words[4] = {0, 0, 0, 0};
+    std::uint64_t spare_bits = 0;
+    bool has_spare = false;
+
+    bool operator==(const State& other) const {
+      return words[0] == other.words[0] && words[1] == other.words[1] &&
+             words[2] == other.words[2] && words[3] == other.words[3] &&
+             spare_bits == other.spare_bits && has_spare == other.has_spare;
+    }
+  };
+
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  State state() const;
+  void set_state(const State& state);
 
   std::uint64_t next_u64();
 

@@ -1,10 +1,16 @@
 // Multi-party node protocol (core/node.h): a four-party TCP run in threads
-// must reproduce GtvTrainer's losses exactly, and invalid configurations
-// must be rejected up front.
+// must reproduce GtvTrainer's losses exactly, invalid configurations must
+// be rejected up front, and the elastic-federation path (DP noise over
+// TCP, coordinated train checkpoints, crash + rejoin) must keep that
+// bit-exact parity.
 #include "core/node.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <thread>
@@ -58,6 +64,43 @@ net::RetryPolicy test_retry_policy() {
   return policy;
 }
 
+// Simulated SIGKILL for thread-hosted parties: after a budgeted number of
+// fetch_frame calls the transport throws a type nothing in the node stack
+// catches, so the party's run() unwinds and its TcpTransport destructor
+// slams the connections shut — peers observe exactly what a killed process
+// produces (EOF on every socket).
+struct CrashNow {};
+
+class FuseTransport : public net::Transport {
+ public:
+  FuseTransport(std::shared_ptr<net::Transport> inner, int fetch_budget)
+      : inner_(std::move(inner)), fetches_left_(fetch_budget) {}
+  std::string kind() const override { return "fuse+" + inner_->kind(); }
+  void deliver_frame(const std::string& link,
+                     std::vector<std::uint8_t> frame) override {
+    inner_->deliver_frame(link, std::move(frame));
+  }
+  std::vector<std::uint8_t> fetch_frame(const std::string& link,
+                                        int timeout_ms) override {
+    if (fetches_left_.fetch_sub(1) <= 0) throw CrashNow{};
+    return inner_->fetch_frame(link, timeout_ms);
+  }
+  void discard_queued(const std::string& link) override {
+    inner_->discard_queued(link);
+  }
+  bool wait_for_live_peer(const std::string& peer, int timeout_ms) override {
+    return inner_->wait_for_live_peer(peer, timeout_ms);
+  }
+
+ private:
+  std::shared_ptr<net::Transport> inner_;
+  std::atomic<int> fetches_left_;
+};
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
 TEST(NodeConfigTest, RejectsSimulationOnlyModes) {
   NodeConfig config;
   config.train_rows = 10;
@@ -67,8 +110,10 @@ TEST(NodeConfigTest, RejectsSimulationOnlyModes) {
   config.options.index_sharing = IndexSharing::kPeerToPeer;
   EXPECT_THROW(config.validate(), std::invalid_argument);
   config.options.index_sharing = IndexSharing::kServer;
+  // DP noise is party-local (each client owns its dp stream), so it is NOT
+  // simulation-only: node mode must accept it.
   config.options.dp_noise_std = 0.5f;
-  EXPECT_THROW(config.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(config.validate());
   config.options.dp_noise_std = 0.0f;
   EXPECT_NO_THROW(config.validate());
   config.train_rows = 0;
@@ -189,6 +234,157 @@ TEST(NodeProtocolTest, ChaosRunsAreDeterministicAndLossless) {
   EXPECT_FLOAT_EQ(history_c[0].d_loss, clean.history()[0].d_loss);
   EXPECT_FLOAT_EQ(history_c[0].g_loss, clean.history()[0].g_loss);
   EXPECT_GT(traffic_a.retries, 0u);
+}
+
+// Satellite regression: dp_noise_std > 0 must run over TCP and agree with
+// the in-process trainer exactly (each client owns its dp stream, so no
+// RNG state crosses the party boundary).
+TEST(NodeProtocolTest, TcpDpNoiseRunMatchesInProcessTrainer) {
+  NodeSetup setup = make_setup();
+  setup.config.options.dp_noise_std = 0.25f;
+
+  GtvTrainer trainer(setup.shards, setup.config.options, setup.config.seed);
+  trainer.train(setup.config.rounds);
+  const auto expected = trainer.history();
+
+  auto server_t = std::make_shared<net::TcpTransport>("server");
+  const std::uint16_t server_port = server_t->listen(0);
+  auto driver_t = std::make_shared<net::TcpTransport>("driver");
+  const std::uint16_t driver_port = driver_t->listen(0);
+
+  auto server_task = std::async(std::launch::async, [&] {
+    ServerNode node(setup.config, setup.g_widths, setup.d_widths);
+    node.set_transport(server_t);
+    node.traffic().set_retry_policy(test_retry_policy());
+    node.run();
+  });
+  std::vector<std::future<void>> client_tasks;
+  for (std::size_t i = 0; i < setup.config.n_clients; ++i) {
+    client_tasks.push_back(std::async(std::launch::async, [&, i] {
+      auto transport =
+          std::make_shared<net::TcpTransport>("client" + std::to_string(i));
+      transport->connect_peer("server", "127.0.0.1", server_port);
+      transport->connect_peer("driver", "127.0.0.1", driver_port);
+      ClientNode node(setup.config, i, setup.shards[i], setup.g_widths[i],
+                      setup.d_widths[i]);
+      node.set_transport(transport);
+      node.traffic().set_retry_policy(test_retry_policy());
+      node.run();
+    }));
+  }
+  driver_t->connect_peer("server", "127.0.0.1", server_port);
+  ASSERT_TRUE(driver_t->wait_for_peer("client0", 20000));
+  ASSERT_TRUE(driver_t->wait_for_peer("client1", 20000));
+
+  DriverNode driver(setup.config);
+  driver.set_transport(driver_t);
+  driver.traffic().set_retry_policy(test_retry_policy());
+  const auto history = driver.run();
+  server_task.get();
+  for (auto& task : client_tasks) task.get();
+
+  ASSERT_EQ(history.size(), expected.size());
+  for (std::size_t r = 0; r < history.size(); ++r) {
+    EXPECT_NEAR(history[r].d_loss, expected[r].d_loss, 1e-5) << "round " << r;
+    EXPECT_NEAR(history[r].g_loss, expected[r].g_loss, 1e-5) << "round " << r;
+  }
+}
+
+// The elastic tentpole: client1 "dies" mid-training (its transport slams
+// every socket shut, exactly like a SIGKILL'd process) and a fresh
+// replacement rejoins; the driver replays the last coordinated checkpoint
+// and the final loss trajectory is identical to the uninterrupted run.
+TEST(NodeProtocolTest, TcpCrashedClientRejoinsWithExactTrajectory) {
+  NodeSetup setup = make_setup(/*rounds=*/4);
+
+  GtvTrainer trainer(setup.shards, setup.config.options, setup.config.seed);
+  trainer.train(setup.config.rounds);
+  const auto expected = trainer.history();
+
+  auto server_t = std::make_shared<net::TcpTransport>("server");
+  const std::uint16_t server_port = server_t->listen(0);
+  auto driver_t = std::make_shared<net::TcpTransport>("driver");
+  const std::uint16_t driver_port = driver_t->listen(0);
+
+  // Crash-smoke patience: the dead client's peers must fail fast, not sit
+  // out 30 attempts x 2 s.
+  net::RetryPolicy policy = test_retry_policy();
+  policy.max_attempts = 8;
+
+  auto server_task = std::async(std::launch::async, [&] {
+    ServerNode node(setup.config, setup.g_widths, setup.d_widths);
+    node.set_transport(server_t);
+    node.set_elastic(true);
+    node.traffic().set_retry_policy(policy);
+    node.run();
+  });
+  auto client0_task = std::async(std::launch::async, [&] {
+    auto transport = std::make_shared<net::TcpTransport>("client0");
+    transport->connect_peer("server", "127.0.0.1", server_port);
+    transport->connect_peer("driver", "127.0.0.1", driver_port);
+    ClientNode node(setup.config, 0, setup.shards[0], setup.g_widths[0],
+                    setup.d_widths[0]);
+    node.set_transport(transport);
+    node.set_elastic(true);
+    node.traffic().set_retry_policy(policy);
+    node.run();
+  });
+  auto client1_task = std::async(std::launch::async, [&] {
+    try {
+      auto transport = std::make_shared<net::TcpTransport>("client1");
+      transport->connect_peer("server", "127.0.0.1", server_port);
+      transport->connect_peer("driver", "127.0.0.1", driver_port);
+      ClientNode node(setup.config, 1, setup.shards[1], setup.g_widths[1],
+                      setup.d_widths[1]);
+      // Budget chosen to blow partway through round 2+, after the round-1
+      // checkpoint barrier has completed.
+      node.set_transport(std::make_shared<FuseTransport>(transport, 60));
+      node.set_elastic(true);
+      node.traffic().set_retry_policy(policy);
+      node.run();
+      ADD_FAILURE() << "fuse never blew; raise the test's round count";
+      return;
+    } catch (const CrashNow&) {
+      // Transport destroyed: every socket closed, peers see EOF.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    // The relaunched process: same data and seed, --rejoin semantics.
+    auto transport = std::make_shared<net::TcpTransport>("client1");
+    transport->connect_peer("server", "127.0.0.1", server_port);
+    transport->connect_peer("driver", "127.0.0.1", driver_port);
+    ClientNode node(setup.config, 1, setup.shards[1], setup.g_widths[1],
+                    setup.d_widths[1]);
+    node.set_transport(transport);
+    node.set_elastic(true);
+    node.set_rejoin(true);
+    node.traffic().set_retry_policy(policy);
+    node.run();
+  });
+  driver_t->connect_peer("server", "127.0.0.1", server_port);
+  ASSERT_TRUE(driver_t->wait_for_peer("client0", 20000));
+  ASSERT_TRUE(driver_t->wait_for_peer("client1", 20000));
+
+  const std::string ckpt_path = temp_path("gtv_node_crash.gtvt");
+  DriverNode driver(setup.config);
+  driver.set_transport(driver_t);
+  driver.traffic().set_retry_policy(policy);
+  driver.set_train_checkpoint(ckpt_path, /*every=*/1);
+  driver.set_rejoin_wait_ms(30000);
+  const auto history = driver.run();
+  server_task.get();
+  client0_task.get();
+  client1_task.get();
+
+  EXPECT_GE(driver.recoveries(), 1u);
+  ASSERT_EQ(history.size(), expected.size());
+  for (std::size_t r = 0; r < history.size(); ++r) {
+    EXPECT_NEAR(history[r].d_loss, expected[r].d_loss, 1e-5) << "round " << r;
+    EXPECT_NEAR(history[r].g_loss, expected[r].g_loss, 1e-5) << "round " << r;
+    EXPECT_NEAR(history[r].gp, expected[r].gp, 1e-5) << "round " << r;
+    EXPECT_NEAR(history[r].wasserstein, expected[r].wasserstein, 1e-5)
+        << "round " << r;
+  }
+  std::remove(ckpt_path.c_str());
 }
 
 // Drop-heavy chaos still completes: every message eventually gets through

@@ -92,9 +92,28 @@ struct Args {
   // Write a serve::Checkpoint container after training (inproc and driver
   // roles): the driver collects every party's part over the wire.
   std::string checkpoint_out;
+  // Elastic federation: coordinated GTVT train checkpoints and crash
+  // recovery. --train-ckpt/--ckpt-every/--resume drive the driver;
+  // --rejoin marks a relaunched client; any of them imply --elastic,
+  // which every party must run with for the park/restore protocol.
+  std::string train_ckpt;       // driver: GTVT path, rewritten every interval
+  std::size_t ckpt_every = 5;   // driver: rounds between checkpoint barriers
+  std::string resume;           // driver: GTVT container to resume from
+  int rejoin_wait_ms = 30000;   // driver: patience for a crashed party's relaunch
+  bool rejoin = false;          // client: skip setup handshake, await kCmdRestore
+  bool elastic = false;
+  // Per-party DP noise on outbound activations (options.dp_noise_std).
+  float dp_noise = 0.0f;
+  // Deterministic straggler: fixed per-delivery latency injected through a
+  // ChaosTransport wrapped around the real TCP transport (any role).
+  int straggle_us = 0;
 };
 
 [[noreturn]] void usage(const char* msg) {
+  // Early exits must still leave a last word in the flight recorder: a
+  // wrapper script passing a bad flag otherwise looks identical to a
+  // party that vanished mid-rendezvous.
+  obs::bb::note_shutdown(2, msg != nullptr ? msg : "usage");
   if (msg != nullptr) std::fprintf(stderr, "gtv-node: %s\n", msg);
   std::fprintf(stderr,
                "usage: gtv-node --role inproc|server|client<k>|driver\n"
@@ -107,6 +126,10 @@ struct Args {
                "  [--recv-timeout-ms N] [--max-attempts N]\n"
                "  [--sample-hz HZ] [--profile-dir DIR]\n"
                "  [--checkpoint-out FILE]   (inproc, driver)\n"
+               "  [--train-ckpt FILE] [--ckpt-every N] [--resume FILE]\n"
+               "  [--rejoin-wait-ms N]   (driver)\n"
+               "  [--rejoin]   (client)   [--elastic]   [--dp-noise STD]\n"
+               "  [--straggle-us N]   (tcp roles)\n"
                "  [--chaos-drop p] [--chaos-dup p] [--chaos-corrupt p]\n"
                "  [--chaos-latency-us N] [--chaos-seed S]   (inproc only)\n");
   std::exit(2);
@@ -170,6 +193,22 @@ Args parse_args(int argc, char** argv) {
       args.profile_dir = value(i);
     } else if (flag == "--checkpoint-out") {
       args.checkpoint_out = value(i);
+    } else if (flag == "--train-ckpt") {
+      args.train_ckpt = value(i);
+    } else if (flag == "--ckpt-every") {
+      args.ckpt_every = std::strtoul(value(i), nullptr, 10);
+    } else if (flag == "--resume") {
+      args.resume = value(i);
+    } else if (flag == "--rejoin-wait-ms") {
+      args.rejoin_wait_ms = std::atoi(value(i));
+    } else if (flag == "--rejoin") {
+      args.rejoin = true;
+    } else if (flag == "--elastic") {
+      args.elastic = true;
+    } else if (flag == "--dp-noise") {
+      args.dp_noise = static_cast<float>(std::atof(value(i)));
+    } else if (flag == "--straggle-us") {
+      args.straggle_us = std::atoi(value(i));
     } else if (flag == "--chaos-drop") {
       args.chaos.drop_prob = std::atof(value(i));
       args.chaos_enabled = true;
@@ -190,6 +229,12 @@ Args parse_args(int argc, char** argv) {
     }
   }
   if (args.role.empty()) usage("--role is required");
+  // Any elastic-federation flag opts the whole party into the park/restore
+  // protocol (the driver decides when the barriers run; server and clients
+  // just need to survive a peer dying mid-round).
+  if (!args.train_ckpt.empty() || !args.resume.empty() || args.rejoin) {
+    args.elastic = true;
+  }
   return args;
 }
 
@@ -211,6 +256,7 @@ Shared build_shared(const Args& args) {
   options.exact_gradient_penalty = false;
   options.gan.batch_size = args.batch;
   options.gan.d_steps_per_round = args.d_steps;
+  options.dp_noise_std = args.dp_noise;
   shared.config.n_clients = args.clients;
   shared.config.rounds = args.rounds;
   shared.config.seed = args.seed;
@@ -273,6 +319,20 @@ void print_traffic(const net::TrafficMeter& meter) {
               static_cast<unsigned long long>(total.retries),
               static_cast<unsigned long long>(total.timeouts),
               static_cast<unsigned long long>(total.corrupt_frames));
+}
+
+// --straggle-us: wraps the party's TCP transport in a ChaosTransport whose
+// only fault is a fixed per-delivery latency — a deterministic straggler.
+// The lockstep protocol tolerates it by construction; crash recovery must
+// keep tolerating it, which the resume smoke pins.
+std::shared_ptr<net::Transport> maybe_straggle(std::shared_ptr<net::Transport> transport,
+                                               const Args& args) {
+  if (args.straggle_us <= 0) return transport;
+  net::ChaosOptions chaos;
+  chaos.latency_min_us = args.straggle_us;
+  chaos.latency_max_us = args.straggle_us;
+  chaos.seed = args.seed;
+  return std::make_shared<net::ChaosTransport>(std::move(transport), chaos);
 }
 
 // Node roles park longer per recv attempt than the loopback default: the
@@ -448,7 +508,8 @@ int run_server(const Args& args, Shared shared) {
   auto transport = std::make_shared<net::TcpTransport>("server");
   transport->listen(static_cast<std::uint16_t>(args.port));
   core::ServerNode node(shared.config, shared.g_widths, shared.d_widths);
-  node.set_transport(transport);
+  node.set_transport(maybe_straggle(transport, args));
+  node.set_elastic(args.elastic);
   node.traffic().set_retry_policy(node_retry_policy(args));
   obs::agg::LiveStatus status;
   node.set_live_status(&status);
@@ -477,7 +538,9 @@ int run_client(const Args& args, Shared shared, std::size_t id) {
                           static_cast<std::uint16_t>(args.driver_port));
   core::ClientNode node(shared.config, id, std::move(shared.shards[id]),
                         shared.g_widths[id], shared.d_widths[id]);
-  node.set_transport(transport);
+  node.set_transport(maybe_straggle(transport, args));
+  node.set_elastic(args.elastic);
+  node.set_rejoin(args.rejoin);
   node.traffic().set_retry_policy(node_retry_policy(args));
   obs::agg::LiveStatus status;
   node.set_live_status(&status);
@@ -561,9 +624,12 @@ int run_driver(const Args& args, const Shared& shared) {
     }
   }
   core::DriverNode node(shared.config);
-  node.set_transport(transport);
+  node.set_transport(maybe_straggle(transport, args));
   node.traffic().set_retry_policy(node_retry_policy(args));
   if (!args.checkpoint_out.empty()) node.set_checkpoint_out(args.checkpoint_out);
+  if (!args.train_ckpt.empty()) node.set_train_checkpoint(args.train_ckpt, args.ckpt_every);
+  if (!args.resume.empty()) node.set_resume(args.resume);
+  node.set_rejoin_wait_ms(args.rejoin_wait_ms);
   obs::agg::LiveStatus status;
   node.set_live_status(&status);
   obs::bb::StallWatchdog watchdog(&status.round, &status.phase, watchdog_options(args));
@@ -631,6 +697,10 @@ int run_driver(const Args& args, const Shared& shared) {
     std::printf(",\n  \"checkpoint\": \"%s\",\n  \"model_hash\": \"%016llx\"",
                 args.checkpoint_out.c_str(),
                 static_cast<unsigned long long>(node.checkpoint_hash()));
+  }
+  if (args.elastic) {
+    std::printf(",\n  \"resumed_from\": %zu,\n  \"recoveries\": %zu",
+                node.resumed_from(), node.recoveries());
   }
   if (publisher) print_publisher(*publisher);
   if (collector) print_collector(*collector, args.clients + 2);
